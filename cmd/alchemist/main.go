@@ -1,0 +1,161 @@
+// Command alchemist runs a benchmark workload on the Alchemist accelerator
+// model (or one of the baseline accelerators) and prints cycles, runtime and
+// utilization.
+//
+// Usage:
+//
+//	alchemist -workload bootstrap
+//	alchemist -workload cmult -units 256 -list
+//	alchemist -workload pbs1 -design Strix
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"alchemist"
+	"alchemist/internal/area"
+	"alchemist/internal/trace"
+)
+
+var workloads = map[string]func() *alchemist.Graph{
+	"pmult":     func() *alchemist.Graph { return alchemist.Workloads().Pmult() },
+	"hadd":      func() *alchemist.Graph { return alchemist.Workloads().Hadd() },
+	"keyswitch": func() *alchemist.Graph { return alchemist.Workloads().Keyswitch() },
+	"cmult":     func() *alchemist.Graph { return alchemist.Workloads().Cmult() },
+	"rotation":  func() *alchemist.Graph { return alchemist.Workloads().Rotation() },
+	"bootstrap": func() *alchemist.Graph { return alchemist.AppWorkloads().Bootstrap() },
+	"helr":      func() *alchemist.Graph { return alchemist.AppWorkloads().HELR() },
+	"lola":      func() *alchemist.Graph { return alchemist.AppWorkloads().LoLaMNIST(false) },
+	"lola-enc":  func() *alchemist.Graph { return alchemist.AppWorkloads().LoLaMNIST(true) },
+	"pbs1":      func() *alchemist.Graph { return alchemist.Workloads().TFHEPBS(1, 128) },
+	"pbs2":      func() *alchemist.Graph { return alchemist.Workloads().TFHEPBS(2, 128) },
+	"cross":     func() *alchemist.Graph { return alchemist.AppWorkloads().CrossScheme() },
+	"switch":    func() *alchemist.Graph { return alchemist.AppWorkloads().SchemeSwitch(128) },
+}
+
+func main() {
+	var (
+		name     = flag.String("workload", "cmult", "workload name (-workloads to list)")
+		design   = flag.String("design", "alchemist", "alchemist or a baseline: F1, BTS, ARK, CraterLake, SHARP, Matcha, Strix")
+		units    = flag.Int("units", 128, "computing units (alchemist design only)")
+		cores    = flag.Int("cores", 16, "cores per unit")
+		listWl   = flag.Bool("workloads", false, "list workloads and exit")
+		showOp   = flag.Bool("list", false, "print the op-level schedule")
+		timeline = flag.String("timeline", "", "write the op schedule as CSV to this file")
+		stats    = flag.Bool("stats", false, "print graph statistics (op histogram, depth)")
+	)
+	flag.Parse()
+
+	if *listWl {
+		names := make([]string, 0, len(workloads))
+		for n := range workloads {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Println(strings.Join(names, "\n"))
+		return
+	}
+	build, ok := workloads[*name]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q (use -workloads)\n", *name)
+		os.Exit(2)
+	}
+	g := build()
+
+	if !strings.EqualFold(*design, "alchemist") {
+		runBaseline(*design, g)
+		return
+	}
+
+	cfg := alchemist.DefaultArch()
+	cfg.Units = *units
+	cfg.CoresPerUnit = *cores
+	res, err := alchemist.Simulate(cfg, g)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ab := alchemist.Area(cfg)
+	fmt.Printf("workload   %s (%d ops)\n", g.Name, len(g.Ops))
+	fmt.Printf("design     Alchemist: %d units x %d cores, %.1f mm^2\n",
+		cfg.Units, cfg.CoresPerUnit, ab.Total)
+	fmt.Printf("cycles     %d (%.3f ms @ %.1f GHz)\n", res.Cycles, res.Seconds*1e3, cfg.FreqGHz)
+	fmt.Printf("compute    %d cycles   HBM %d cycles (%d MB streamed)\n",
+		res.ComputeCycles, res.MemCycles, res.StreamBytes>>20)
+	fmt.Printf("util       %.2f overall, %.2f while computing\n",
+		res.Utilization, res.ComputeUtilization)
+	fmt.Printf("energy     %.1f mJ at %.1f W (model)\n",
+		1e3*area.EnergyJoules(cfg, res.Seconds, res.Utilization),
+		area.Power(cfg, res.Utilization))
+	for _, c := range []trace.Class{trace.ClassNTT, trace.ClassBconv, trace.ClassDecompPolyMult} {
+		if res.PerClass[c].OccupancyCycles > 0 {
+			fmt.Printf("  %-15s occupancy %9d cycles, task util %.2f\n",
+				c, res.PerClass[c].OccupancyCycles, res.ClassUtilization(c))
+		}
+	}
+	lazy, eager := res.MultsTotal()
+	if eager > 0 {
+		fmt.Printf("mults      %d MetaOP vs %d eager (%.1f%% saved)\n",
+			lazy, eager, 100*(1-float64(lazy)/float64(eager)))
+	}
+	if *stats {
+		st := g.Statistics()
+		fmt.Printf("\ngraph      %d ops, dependency depth %d, %d MB streamed\n",
+			st.Ops, st.MaxDepth, st.StreamBytes>>20)
+		for _, k := range trace.Kinds() {
+			if st.ByKind[k] > 0 {
+				fmt.Printf("  %-15s %6d ops\n", k, st.ByKind[k])
+			}
+		}
+	}
+	if *showOp {
+		fmt.Println("\nschedule (first 40 ops):")
+		for i, ot := range res.Timings {
+			if i == 40 {
+				fmt.Println("  ...")
+				break
+			}
+			fmt.Printf("  [%6d..%6d] %-14s %s\n", ot.Start, ot.End, ot.Kind, ot.Label)
+		}
+	}
+	if *timeline != "" {
+		var b strings.Builder
+		b.WriteString("id,kind,label,start,end,occupancy,transpose,stream_done\n")
+		for _, ot := range res.Timings {
+			fmt.Fprintf(&b, "%d,%s,%q,%d,%d,%d,%d,%d\n",
+				ot.ID, ot.Kind, ot.Label, ot.Start, ot.End,
+				ot.OccupancyCycles, ot.TransposeCycles, ot.StreamDone)
+		}
+		if err := os.WriteFile(*timeline, []byte(b.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("timeline   wrote %d rows to %s\n", len(res.Timings), *timeline)
+	}
+}
+
+func runBaseline(name string, g *alchemist.Graph) {
+	for _, b := range alchemist.Baselines() {
+		if !strings.EqualFold(b.Name, name) {
+			continue
+		}
+		res, err := alchemist.SimulateBaseline(b, g)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("workload   %s (%d ops)\n", g.Name, len(g.Ops))
+		fmt.Printf("design     %s: %.1f mm^2, %.1f GHz, %.0f GB/s\n",
+			b.Name, b.AreaMM2, b.FreqGHz, b.HBMBytesPerSec/1e9)
+		fmt.Printf("cycles     %d (%.3f ms)\n", res.Cycles, res.Seconds*1e3)
+		fmt.Printf("util       NTTU %.2f  BconvU %.2f  EW %.2f  overall %.2f\n",
+			res.PoolUtil[0], res.PoolUtil[1], res.PoolUtil[2], res.Overall)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "unknown design %q\n", name)
+	os.Exit(2)
+}

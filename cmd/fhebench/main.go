@@ -1,0 +1,61 @@
+// Command fhebench regenerates every table and figure of the paper's
+// evaluation section from the models in this repository.
+//
+// Usage:
+//
+//	fhebench               # print all reports
+//	fhebench -only table7  # one report
+//	fhebench -csv out/     # also write one CSV per report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"alchemist"
+)
+
+func main() {
+	var (
+		only   = flag.String("only", "", "print a single report by id (e.g. table7, fig6a)")
+		csvDir = flag.String("csv", "", "directory to write per-report CSV files into")
+		list   = flag.Bool("list", false, "list report ids and exit")
+	)
+	flag.Parse()
+
+	reports := alchemist.Reports()
+	if *list {
+		for _, r := range reports {
+			fmt.Printf("%-16s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	found := false
+	for _, r := range reports {
+		if *only != "" && r.ID != *only {
+			continue
+		}
+		found = true
+		fmt.Println(r.String())
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, r.ID+".csv")
+			if err := os.WriteFile(path, []byte(r.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+	if *only != "" && !found {
+		fmt.Fprintf(os.Stderr, "no report with id %q\n", *only)
+		os.Exit(2)
+	}
+}

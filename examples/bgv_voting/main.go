@@ -1,0 +1,88 @@
+// BGV voting: exact arithmetic FHE. Voters encrypt one-hot ballots over
+// Z_t; the tally server sums the ciphertexts and applies an encrypted
+// weighting — all modulo t with zero error (unlike approximate CKKS). This
+// demonstrates the second arithmetic FHE family the paper's unified
+// architecture serves (BFV/BGV), running on the same NTT/RNS/Meta-OP
+// substrate as CKKS.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"alchemist"
+	"alchemist/internal/bgv"
+)
+
+const (
+	candidates = 4
+	voters     = 100
+)
+
+func main() {
+	fhe, err := alchemist.NewBGV(alchemist.BGVTestParams(), 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := fhe.Context.Params
+	n := params.N()
+	level := params.MaxLevel()
+	rng := rand.New(rand.NewSource(4))
+
+	fmt.Printf("BGV: N=%d slots over Z_%d, %d levels\n", n, params.T, level+1)
+	fmt.Printf("tallying %d encrypted one-hot ballots for %d candidates...\n\n", voters, candidates)
+
+	// Each ballot: slot c = 1 for the chosen candidate, 0 elsewhere.
+	expected := make([]uint64, candidates)
+	var tally *bgv.Ciphertext
+	for v := 0; v < voters; v++ {
+		choice := rng.Intn(candidates)
+		expected[choice]++
+		ballot := make([]uint64, n)
+		ballot[choice] = 1
+		pt, err := fhe.Encoder.Encode(ballot, level)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ct := fhe.Encryptor.Encrypt(pt, level)
+		if tally == nil {
+			tally = ct
+		} else {
+			tally = fhe.Evaluator.Add(tally, ct)
+		}
+	}
+
+	// Homomorphic weighting: double-weight candidate 0's column (e.g. a
+	// 2-point voting rule) — an exact plaintext multiplication.
+	weights := make([]uint64, n)
+	for c := 0; c < candidates; c++ {
+		weights[c] = 1
+	}
+	weights[0] = 2
+	wPt, err := fhe.Encoder.Encode(weights, tally.Level)
+	if err != nil {
+		log.Fatal(err)
+	}
+	weighted := fhe.Evaluator.MulPlain(tally, wPt)
+
+	got := fhe.Encoder.Decode(fhe.Decryptor.DecryptPoly(weighted), weighted.Level)
+	fmt.Println("candidate  raw votes  weighted (decrypted)")
+	allExact := true
+	for c := 0; c < candidates; c++ {
+		w := expected[c]
+		if c == 0 {
+			w *= 2
+		}
+		exact := got[c] == w%params.T
+		if !exact {
+			allExact = false
+		}
+		fmt.Printf("    %d        %3d          %3d   exact=%v\n", c, expected[c], got[c], exact)
+	}
+	if !allExact {
+		log.Fatal("BGV tally mismatch")
+	}
+	fmt.Println("\nBGV arithmetic is exact mod t — no approximation error, by construction.")
+	fmt.Println("On the accelerator, BGV lowers to the same NTT/Bconv/DecompPolyMult Meta-OPs as CKKS.")
+}

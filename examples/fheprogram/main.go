@@ -1,0 +1,74 @@
+// FHE program builder: describe a deep encrypted computation at the
+// ciphertext level and let the compiler lower it to the accelerator's
+// operator graph — with automatic level tracking and bootstrap insertion
+// when the modulus chain runs out. This is the software stack a real
+// deployment would put above Alchemist.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"alchemist"
+	"alchemist/internal/area"
+	"alchemist/internal/trace"
+	"alchemist/internal/workload"
+)
+
+func main() {
+	shape := workload.AppShape()
+	p := workload.NewProgram("encrypted-analytics", shape)
+	p.EnableAutoBootstrap(workload.DefaultBootstrapConfig(), 26)
+
+	// An encrypted analytics kernel: degree-8 polynomial feature, inner
+	// product with encrypted weights, then a deep iterative refinement that
+	// exhausts the modulus chain and forces bootstrapping.
+	x := p.Input("features")
+	w := p.Input("weights")
+	poly := x
+	for i := 0; i < 3; i++ { // x^(2^3)
+		poly = p.Mul(poly, poly)
+	}
+	dot := p.Mul(poly, w)
+	acc := p.InnerSum(dot, 256)
+	for i := 0; i < 16; i++ { // deep refinement loop → auto-bootstraps
+		acc = p.Mul(acc, dot)
+	}
+	g, err := p.Graph()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	stats := g.Statistics()
+	fmt.Printf("program    %s compiled to %d ops (dependency depth %d)\n",
+		g.Name, stats.Ops, stats.MaxDepth)
+	kinds := make([]trace.Kind, 0, len(stats.ByKind))
+	for k := range stats.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		fmt.Printf("  %-15s %5d ops\n", k, stats.ByKind[k])
+	}
+	boots := 0
+	for _, op := range g.Ops {
+		if op.Label == "modraise" {
+			boots++
+		}
+	}
+	fmt.Printf("  auto-inserted bootstraps: %d\n\n", boots)
+
+	cfg := alchemist.DefaultArch()
+	res, err := alchemist.Simulate(cfg, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Alchemist  %.3f ms (%d cycles), utilization %.2f while computing\n",
+		res.Seconds*1e3, res.Cycles, res.ComputeUtilization)
+	fmt.Printf("           %d MB of keys/inputs streamed, %.0f mJ (model)\n",
+		res.StreamBytes>>20, 1e3*area.EnergyJoules(cfg, res.Seconds, res.Utilization))
+	lazy, eager := res.MultsTotal()
+	fmt.Printf("           Meta-OP lazy reduction saved %.1f%% of multiplications\n",
+		100*(1-float64(lazy)/float64(eager)))
+}

@@ -1,0 +1,78 @@
+// TFHE gates: build an encrypted 4-bit ripple-carry adder from bootstrapped
+// boolean gates (every gate refreshes noise with a programmable bootstrap),
+// then show the accelerator model's PBS throughput against the paper's
+// Figure 6(b).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"alchemist"
+	"alchemist/internal/tfhe"
+)
+
+func main() {
+	fmt.Println("generating TFHE keys (bootstrapping + key-switch)...")
+	start := time.Now()
+	s, err := alchemist.NewTFHE(alchemist.TFHEFastParams(), 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("keygen took %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	a, b := 11, 6 // 1011 + 0110 = 10001
+	fmt.Printf("encrypting %d and %d bitwise, adding under encryption:\n", a, b)
+	adder := tfhe.AdderCircuit(4)
+	gates, _ := adder.Gates()
+	inputs := append(encryptBits(s, a, 4), encryptBits(s, b, 4)...)
+
+	start = time.Now()
+	sum, err := adder.Evaluate(s, inputs, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sequential := time.Since(start)
+
+	start = time.Now()
+	if _, err := adder.Evaluate(s, inputs, 4); err != nil {
+		log.Fatal(err)
+	}
+	parallel := time.Since(start)
+
+	got := decryptBits(s, sum)
+	fmt.Printf("  %d + %d = %d (expected %d)\n", a, b, got, a+b)
+	fmt.Printf("  %d bootstrapped gates: %v sequential, %v with 4 workers\n\n",
+		gates, sequential.Round(time.Millisecond), parallel.Round(time.Millisecond))
+
+	// Accelerator model: PBS throughput (Figure 6b).
+	for set := 1; set <= 2; set++ {
+		g := alchemist.Workloads().TFHEPBS(set, 128)
+		res, err := alchemist.Simulate(alchemist.DefaultArch(), g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Alchemist model, PBS set %d: %.0f PBS/s (batch of 128, util %.2f)\n",
+			set, 128/res.Seconds, res.ComputeUtilization)
+	}
+	fmt.Println("paper: ~1600x over Concrete (CPU), ~105x over NuFHE (GPU), 7x over TFHE ASICs")
+}
+
+func encryptBits(s *tfhe.Scheme, v, n int) []*tfhe.LweSample {
+	out := make([]*tfhe.LweSample, n)
+	for i := 0; i < n; i++ {
+		out[i] = s.EncryptBool(v>>i&1 == 1)
+	}
+	return out
+}
+
+func decryptBits(s *tfhe.Scheme, bits []*tfhe.LweSample) int {
+	v := 0
+	for i, c := range bits {
+		if s.DecryptBool(c) {
+			v |= 1 << i
+		}
+	}
+	return v
+}

@@ -1,0 +1,45 @@
+package alchemist
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestExamplesRunEndToEnd executes every example main with `go run`,
+// asserting clean exits — the examples are the library's integration tests
+// against the public API.
+func TestExamplesRunEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples take ~20s of real FHE; skipped with -short")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 7 {
+		t.Fatalf("expected at least 7 examples, found %d", len(entries))
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			ctxPath := filepath.Join("examples", name)
+			cmd := exec.Command("go", "run", "./"+ctxPath)
+			cmd.Env = os.Environ()
+			start := time.Now()
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed after %v: %v\n%s",
+					name, time.Since(start), err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("example %s printed nothing", name)
+			}
+		})
+	}
+}

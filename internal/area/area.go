@@ -1,0 +1,65 @@
+// Package area models silicon area and power for Alchemist configurations,
+// reproducing the paper's Table 5 breakdown (14 nm, Design Compiler +
+// CACTI) at the default design point and scaling analytically for the
+// ablation sweeps and performance-per-area comparisons.
+package area
+
+import "alchemist/internal/arch"
+
+// Published 14 nm component constants (Table 5).
+const (
+	CoreMM2         = 0.043  // one Meta-OP core (8 mult + 8 add lanes + regs)
+	LocalSRAMMM2    = 0.427  // 512 KB local scratchpad
+	UnitOverheadMM2 = 0.003  // computing-unit glue (1.118 - 16·0.043 - 0.427)
+	TransposeRFMM2  = 6.380  // transpose register file at 128 units
+	SharedSRAMMM2   = 1.801  // 2 MB shared memory
+	MemInterfaceMM2 = 29.801 // 2× HBM2 PHYs
+	TotalPowerWatts = 77.9
+	SRAMMM2PerMB    = LocalSRAMMM2 / 0.5 // CACTI-style density ≈0.854 mm²/MB
+	HBMPHYPerTBs    = MemInterfaceMM2    // PHY area per 1 TB/s (2 stacks)
+)
+
+// Breakdown is a Table 5-style area report.
+type Breakdown struct {
+	CoreCluster   float64 // all cores of one unit
+	LocalSRAM     float64 // one local scratchpad
+	ComputingUnit float64 // cluster + scratchpad + glue
+	AllUnits      float64
+	TransposeRF   float64
+	SharedMemory  float64
+	MemInterface  float64
+	Total         float64
+}
+
+// Estimate returns the area breakdown for a configuration. At
+// arch.Default() it reproduces the published numbers exactly (±0.1%); other
+// configurations scale linearly in cores, SRAM capacity, transpose width and
+// bandwidth.
+func Estimate(cfg arch.Config) Breakdown {
+	laneScale := float64(cfg.Lanes) / 8 // core area tracks lane width
+	coreCluster := float64(cfg.CoresPerUnit) * CoreMM2 * laneScale
+	localSRAM := float64(cfg.LocalScratchpadBytes) / (1 << 20) * SRAMMM2PerMB
+	unit := coreCluster + localSRAM + UnitOverheadMM2
+	all := float64(cfg.Units) * unit
+	transpose := TransposeRFMM2 * float64(cfg.Units) / 128 * laneScale
+	shared := float64(cfg.SharedMemoryBytes) / (1 << 20) * SharedSRAMMM2 / 2
+	mem := HBMPHYPerTBs * cfg.HBMBytesPerSec / 1e12
+	return Breakdown{
+		CoreCluster:   coreCluster,
+		LocalSRAM:     localSRAM,
+		ComputingUnit: unit,
+		AllUnits:      all,
+		TransposeRF:   transpose,
+		SharedMemory:  shared,
+		MemInterface:  mem,
+		Total:         all + transpose + shared + mem,
+	}
+}
+
+// PerfPerArea returns a throughput-per-mm² figure of merit (1/seconds/mm²).
+func PerfPerArea(seconds, areaMM2 float64) float64 {
+	if seconds <= 0 || areaMM2 <= 0 {
+		return 0
+	}
+	return 1 / seconds / areaMM2
+}

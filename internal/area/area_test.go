@@ -1,0 +1,99 @@
+package area
+
+import (
+	"math"
+	"testing"
+
+	"alchemist/internal/arch"
+)
+
+func within(got, want, tol float64) bool {
+	return math.Abs(got-want) <= tol*want
+}
+
+func TestTable5Reproduction(t *testing.T) {
+	b := Estimate(arch.Default())
+	// Table 5 published values.
+	if !within(b.CoreCluster, 16*0.043, 0.001) {
+		t.Errorf("core cluster %.3f, want %.3f", b.CoreCluster, 16*0.043)
+	}
+	if !within(b.LocalSRAM, 0.427, 0.001) {
+		t.Errorf("local SRAM %.3f, want 0.427", b.LocalSRAM)
+	}
+	if !within(b.ComputingUnit, 1.118, 0.01) {
+		t.Errorf("computing unit %.3f, want 1.118", b.ComputingUnit)
+	}
+	if !within(b.AllUnits, 143.104, 0.01) {
+		t.Errorf("128 units %.3f, want 143.104", b.AllUnits)
+	}
+	if !within(b.TransposeRF, 6.380, 0.001) {
+		t.Errorf("transpose RF %.3f, want 6.380", b.TransposeRF)
+	}
+	if !within(b.SharedMemory, 1.801, 0.001) {
+		t.Errorf("shared memory %.3f, want 1.801", b.SharedMemory)
+	}
+	if !within(b.MemInterface, 29.801, 0.001) {
+		t.Errorf("mem interface %.3f, want 29.801", b.MemInterface)
+	}
+	if !within(b.Total, 181.086, 0.01) {
+		t.Errorf("total %.3f, want 181.086", b.Total)
+	}
+}
+
+func TestAreaScalesWithConfig(t *testing.T) {
+	base := Estimate(arch.Default())
+	half := arch.Default()
+	half.Units = 64
+	hb := Estimate(half)
+	if hb.Total >= base.Total {
+		t.Error("fewer units must shrink the die")
+	}
+	if !within(hb.AllUnits, base.AllUnits/2, 0.001) {
+		t.Errorf("unit area should halve: %.3f vs %.3f", hb.AllUnits, base.AllUnits/2)
+	}
+	wide := arch.Default()
+	wide.Lanes = 16
+	wb := Estimate(wide)
+	if wb.Total <= base.Total {
+		t.Error("wider lanes must grow the die")
+	}
+}
+
+func TestPowerModel(t *testing.T) {
+	cfg := arch.Default()
+	// The paper's 77.9 W average at representative (0.86) utilization.
+	if p := Power(cfg, 0.86); !within(p, 77.9, 0.001) {
+		t.Errorf("power at 0.86 util = %.1f W, want 77.9", p)
+	}
+	if Power(cfg, 0) < StaticWatts*0.99 {
+		t.Error("idle power below the static floor")
+	}
+	if Power(cfg, 1.0) <= Power(cfg, 0.5) {
+		t.Error("power must grow with utilization")
+	}
+	// Clamping.
+	if Power(cfg, -1) != Power(cfg, 0) || Power(cfg, 2) != Power(cfg, 1) {
+		t.Error("utilization clamping broken")
+	}
+	// Energy: 1 ms at 77.9 W ≈ 77.9 mJ.
+	if e := EnergyJoules(cfg, 1e-3, 0.86); !within(e, 0.0779, 0.001) {
+		t.Errorf("energy %.5f J, want 0.0779", e)
+	}
+	// Smaller configs draw less.
+	small := cfg
+	small.Units = 64
+	if Power(small, 0.86) >= Power(cfg, 0.86) {
+		t.Error("half the units should draw less power")
+	}
+}
+
+func TestPerfPerArea(t *testing.T) {
+	if PerfPerArea(0, 100) != 0 || PerfPerArea(1, 0) != 0 {
+		t.Error("degenerate inputs must return 0")
+	}
+	a := PerfPerArea(0.001, 181)
+	b := PerfPerArea(0.002, 181)
+	if a <= b {
+		t.Error("faster must mean more perf/area")
+	}
+}

@@ -1,0 +1,39 @@
+package area
+
+import "alchemist/internal/arch"
+
+// Power model: the paper reports 77.9 W average for the default design
+// point. We split that into a static floor (leakage + clocks + PHY) and a
+// dynamic part proportional to mult-lane activity, calibrated so a fully
+// representative workload (utilization ≈ 0.86) draws the published average.
+
+const (
+	// StaticWatts is the activity-independent floor at the default design
+	// point (SRAM leakage, clock tree, HBM PHYs).
+	StaticWatts = 25.0
+	// dynamicWattsAtFull is the dynamic power with every mult lane busy at
+	// the default design point, calibrated so 0.86 utilization gives 77.9 W:
+	// 25 + 0.86·x = 77.9 → x ≈ 61.5.
+	dynamicWattsAtFull = (77.9 - StaticWatts) / 0.86
+)
+
+// Power returns the estimated draw (watts) of a configuration running at
+// the given mult-lane utilization. Static power scales with area, dynamic
+// power with active lanes.
+func Power(cfg arch.Config, utilization float64) float64 {
+	if utilization < 0 {
+		utilization = 0
+	} else if utilization > 1 {
+		utilization = 1
+	}
+	ref := Estimate(arch.Default()).Total
+	scale := Estimate(cfg).Total / ref
+	laneScale := float64(cfg.TotalLanes()) / float64(arch.Default().TotalLanes())
+	return StaticWatts*scale + dynamicWattsAtFull*utilization*laneScale
+}
+
+// EnergyJoules returns the energy of a run: seconds at the utilization-
+// dependent power.
+func EnergyJoules(cfg arch.Config, seconds, utilization float64) float64 {
+	return Power(cfg, utilization) * seconds
+}

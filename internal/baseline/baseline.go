@@ -1,0 +1,192 @@
+// Package baseline models the modularized FHE accelerators the paper
+// compares against (F1, BTS, ARK, CraterLake, SHARP for arithmetic FHE;
+// Matcha, Strix for logic FHE) and carries the published reference numbers
+// used in Tables 6–7 and Figure 6.
+//
+// The structural difference from Alchemist: a modular design owns separate
+// FU pools (NTT units, base-conversion units, element-wise engines), so when
+// a workload's operator mix departs from the pool ratio, whole pools idle —
+// the utilization-mismatch mechanism of Figures 1 and 7(b). Each pool is
+// modelled as a number of modmul-equivalent lanes; the same trace graphs the
+// Alchemist simulator consumes are list-scheduled over the pools and the
+// shared HBM stream.
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"alchemist/internal/trace"
+)
+
+// Pool identifies an FU class in a modular design.
+type Pool int
+
+const (
+	PoolNTT Pool = iota
+	PoolBconv
+	PoolEW
+	numPools
+)
+
+func (p Pool) String() string {
+	switch p {
+	case PoolNTT:
+		return "NTTU"
+	case PoolBconv:
+		return "BconvU"
+	case PoolEW:
+		return "EW"
+	default:
+		return fmt.Sprintf("Pool(%d)", int(p))
+	}
+}
+
+// Config describes a modular accelerator.
+type Config struct {
+	Name       string
+	Arithmetic bool // supports CKKS-class workloads
+	Logic      bool // supports TFHE-class workloads
+
+	FreqGHz        float64
+	HBMBytesPerSec float64
+	OnChipMB       float64
+	AreaMM2        float64 // 14nm-scaled die area
+
+	// Lanes per pool, in modmul-equivalents per cycle.
+	Lanes [numPools]int
+}
+
+// TotalLanes sums the pools.
+func (c Config) TotalLanes() int {
+	t := 0
+	for _, l := range c.Lanes {
+		t += l
+	}
+	return t
+}
+
+// PoolOf maps an operator kind to the FU pool that executes it in a modular
+// design.
+func PoolOf(k trace.Kind) Pool {
+	switch k {
+	case trace.KindNTT, trace.KindINTT:
+		return PoolNTT
+	case trace.KindBconv:
+		return PoolBconv
+	default:
+		return PoolEW
+	}
+}
+
+// OpWork returns the op's demand in modmul-equivalent lane-cycles for a
+// modular (eager-reduction) design.
+func OpWork(op *trace.Op) float64 {
+	n := float64(op.N)
+	ch := float64(op.Channels) * float64(op.Polys)
+	switch op.Kind {
+	case trace.KindNTT, trace.KindINTT:
+		return n / 2 * math.Log2(n) * ch
+	case trace.KindBconv:
+		// per-source scaling plus the src×dst accumulation.
+		return (float64(op.SrcChannels) + float64(op.SrcChannels)*float64(op.Channels)) *
+			n * float64(op.Polys)
+	case trace.KindDecompPolyMult:
+		return float64(op.Dnum) * n * ch
+	case trace.KindEWMult, trace.KindEWMulSub:
+		return n * ch
+	case trace.KindEWAdd:
+		return n * ch / 2 // adders are cheap relative to modmul lanes
+	case trace.KindAutomorphism:
+		return n * ch / 4 // permutation network pass
+	default:
+		return 0
+	}
+}
+
+// Result is a baseline simulation outcome.
+type Result struct {
+	Name    string
+	Cycles  int64
+	Seconds float64
+
+	PoolBusy [numPools]float64 // busy lane-cycles per pool
+	PoolUtil [numPools]float64 // busy fraction over the makespan
+	Overall  float64           // lane-weighted mean utilization
+
+	ComputeCycles int64
+	MemCycles     int64
+	MemBound      bool
+}
+
+// Simulate list-schedules the graph over the design's FU pools and HBM
+// stream (same streaming semantics as the Alchemist model: in-order,
+// double-buffered, op start gated on its stream).
+func Simulate(cfg Config, g *trace.Graph) (Result, error) {
+	if err := g.Validate(); err != nil {
+		return Result{}, err
+	}
+	res := Result{Name: cfg.Name}
+	bytesPerCycle := cfg.HBMBytesPerSec / (cfg.FreqGHz * 1e9)
+
+	finish := make([]int64, len(g.Ops))
+	var poolFree [numPools]int64
+	var memFree int64
+
+	for _, op := range g.Ops {
+		pool := PoolOf(op.Kind)
+		lanes := cfg.Lanes[pool]
+		if lanes == 0 {
+			return Result{}, fmt.Errorf("baseline %s: no %v lanes for op %s",
+				cfg.Name, pool, op.Label)
+		}
+		work := OpWork(op)
+		dur := int64(math.Ceil(work / float64(lanes)))
+		if dur < 1 {
+			dur = 1
+		}
+
+		var streamDone int64
+		if op.StreamBytes > 0 {
+			memFree += int64(math.Ceil(float64(op.StreamBytes) / bytesPerCycle))
+			streamDone = memFree
+			res.MemCycles = memFree
+		}
+		ready := int64(0)
+		for _, d := range op.Deps {
+			if finish[d] > ready {
+				ready = finish[d]
+			}
+		}
+		start := ready
+		if poolFree[pool] > start {
+			start = poolFree[pool]
+		}
+		if streamDone > start {
+			start = streamDone
+		}
+		end := start + dur
+		poolFree[pool] = end
+		finish[op.ID] = end
+		res.PoolBusy[pool] += work
+		res.ComputeCycles += dur
+		if end > res.Cycles {
+			res.Cycles = end
+		}
+	}
+	res.Seconds = float64(res.Cycles) / (cfg.FreqGHz * 1e9)
+	res.MemBound = res.MemCycles > res.Cycles-res.MemCycles
+	var weighted, totalLanes float64
+	for p := Pool(0); p < numPools; p++ {
+		if cfg.Lanes[p] == 0 {
+			continue
+		}
+		res.PoolUtil[p] = res.PoolBusy[p] / (float64(cfg.Lanes[p]) * float64(res.Cycles))
+		weighted += res.PoolUtil[p] * float64(cfg.Lanes[p])
+		totalLanes += float64(cfg.Lanes[p])
+	}
+	if totalLanes > 0 {
+		res.Overall = weighted / totalLanes
+	}
+	return res, nil
+}

@@ -1,0 +1,200 @@
+package baseline
+
+import (
+	"testing"
+
+	"alchemist/internal/arch"
+	"alchemist/internal/sim"
+	"alchemist/internal/trace"
+	"alchemist/internal/workload"
+)
+
+func alchemistSeconds(t testing.TB, g *trace.Graph) float64 {
+	t.Helper()
+	res, err := sim.Simulate(arch.Default(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Seconds
+}
+
+func baselineSeconds(t testing.TB, cfg Config, g *trace.Graph) (float64, Result) {
+	t.Helper()
+	res, err := Simulate(cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Seconds, res
+}
+
+func TestFig6aSpeedupsWithinBand(t *testing.T) {
+	// The paper's average speedups over {bootstrapping, HELR-1024}:
+	// BTS 18.4×, ARK 6.1×, CraterLake 3.7×, SHARP 2.0×. The model must land
+	// within ±25% of each.
+	s := workload.AppShape()
+	boot := workload.Bootstrap(s, workload.DefaultBootstrapConfig())
+	helr := workload.HELRBlock(s, workload.DefaultHELRConfig(), workload.DefaultBootstrapConfig())
+	aBoot := alchemistSeconds(t, boot)
+	aHelr := alchemistSeconds(t, helr)
+
+	for _, cfg := range ArithmeticBaselines() {
+		bBoot, _ := baselineSeconds(t, cfg, boot)
+		bHelr, _ := baselineSeconds(t, cfg, helr)
+		avg := (bBoot/aBoot + bHelr/aHelr) / 2
+		want := Fig6aSpeedups[cfg.Name]
+		if avg < want*0.75 || avg > want*1.25 {
+			t.Errorf("%s: model speedup %.2f×, paper %.1f×", cfg.Name, avg, want)
+		}
+	}
+}
+
+func TestSHARPPerAppSpeedups(t *testing.T) {
+	// Paper: 1.85× on bootstrapping, 2.07× on HELR vs SHARP.
+	s := workload.AppShape()
+	boot := workload.Bootstrap(s, workload.DefaultBootstrapConfig())
+	helr := workload.HELRBlock(s, workload.DefaultHELRConfig(), workload.DefaultBootstrapConfig())
+	sharp := SHARP()
+	bb, _ := baselineSeconds(t, sharp, boot)
+	bh, _ := baselineSeconds(t, sharp, helr)
+	if r := bb / alchemistSeconds(t, boot); r < 1.4 || r > 2.4 {
+		t.Errorf("bootstrap vs SHARP: %.2f×, paper 1.85×", r)
+	}
+	if r := bh / alchemistSeconds(t, helr); r < 1.5 || r > 2.6 {
+		t.Errorf("HELR vs SHARP: %.2f×, paper 2.07×", r)
+	}
+}
+
+func TestFig6bTFHESpeedup(t *testing.T) {
+	// Paper: 7.0× average over the TFHE ASICs across both parameter sets.
+	p1 := workload.PBSBatch(workload.PBSSetI(), 128)
+	p2 := workload.PBSBatch(workload.PBSSetII(), 128)
+	a1, a2 := alchemistSeconds(t, p1), alchemistSeconds(t, p2)
+	var sum float64
+	var n int
+	for _, cfg := range LogicBaselines() {
+		b1, _ := baselineSeconds(t, cfg, p1)
+		b2, _ := baselineSeconds(t, cfg, p2)
+		sum += b1/a1 + b2/a2
+		n += 2
+	}
+	avg := sum / float64(n)
+	if avg < 7.0*0.7 || avg > 7.0*1.3 {
+		t.Errorf("TFHE ASIC average speedup %.2f×, paper 7.0×", avg)
+	}
+}
+
+func TestF1LoLaSpeedup(t *testing.T) {
+	lola := workload.LoLaMNIST(workload.DefaultLoLaConfig(false))
+	b, _ := baselineSeconds(t, F1(), lola)
+	if r := b / alchemistSeconds(t, lola); r < 2.5 || r > 4.5 {
+		t.Errorf("LoLa vs F1: %.2f×, paper >3×", r)
+	}
+}
+
+func TestUtilizationMismatchStory(t *testing.T) {
+	// Fig. 7(b): every modular design's overall FU utilization on
+	// bootstrapping sits far below Alchemist's ≈0.85 compute utilization,
+	// and the per-pool spread is wide (the mismatch mechanism).
+	s := workload.AppShape()
+	boot := workload.Bootstrap(s, workload.DefaultBootstrapConfig())
+	aRes, err := sim.Simulate(arch.Default(), boot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range ArithmeticBaselines() {
+		_, res := baselineSeconds(t, cfg, boot)
+		if res.Overall >= aRes.ComputeUtilization {
+			t.Errorf("%s overall util %.2f should be below Alchemist %.2f",
+				cfg.Name, res.Overall, aRes.ComputeUtilization)
+		}
+		if res.Overall > 0.60 {
+			t.Errorf("%s overall util %.2f implausibly high for a modular design", cfg.Name, res.Overall)
+		}
+		lo, hi := 1.0, 0.0
+		for p := Pool(0); p < numPools; p++ {
+			if cfg.Lanes[p] == 0 {
+				continue
+			}
+			if res.PoolUtil[p] < lo {
+				lo = res.PoolUtil[p]
+			}
+			if res.PoolUtil[p] > hi {
+				hi = res.PoolUtil[p]
+			}
+		}
+		if hi-lo < 0.05 {
+			t.Errorf("%s: pool utils too uniform (%.2f..%.2f); mismatch should show", cfg.Name, lo, hi)
+		}
+	}
+}
+
+func TestLogicOnlyDesignsRejectCKKS(t *testing.T) {
+	s := workload.AppShape()
+	g := workload.Cmult(s)
+	if _, err := Simulate(Matcha(), g); err == nil {
+		t.Fatal("Matcha has no Bconv lanes; CKKS graphs must error")
+	}
+}
+
+func TestOpWorkShapes(t *testing.T) {
+	ntt := &trace.Op{Kind: trace.KindNTT, N: 1024, Channels: 2, Polys: 3}
+	if w := OpWork(ntt); w != 1024.0/2*10*6 {
+		t.Errorf("NTT work %v", w)
+	}
+	bc := &trace.Op{Kind: trace.KindBconv, N: 64, SrcChannels: 4, Channels: 8, Polys: 2}
+	if w := OpWork(bc); w != float64((4+4*8)*64*2) {
+		t.Errorf("Bconv work %v", w)
+	}
+	dp := &trace.Op{Kind: trace.KindDecompPolyMult, N: 64, Channels: 8, Dnum: 3, Polys: 2}
+	if w := OpWork(dp); w != float64(3*64*8*2) {
+		t.Errorf("DecompPolyMult work %v", w)
+	}
+}
+
+func TestPublishedTablesConsistent(t *testing.T) {
+	for _, row := range Table7() {
+		if row.Alchemist <= row.CPU {
+			t.Errorf("%s: accelerator slower than CPU?", row.Op)
+		}
+		gotSpeedup := row.Alchemist / row.CPU
+		if gotSpeedup < row.SpeedupX*0.98 || gotSpeedup > row.SpeedupX*1.02 {
+			t.Errorf("%s: table speedup column %.0f inconsistent with %.0f",
+				row.Op, row.SpeedupX, gotSpeedup)
+		}
+	}
+	if len(Table6()) != 5 {
+		t.Error("Table 6 must have 5 designs")
+	}
+	for name, v := range Fig6aSpeedups {
+		if v <= 1 {
+			t.Errorf("Fig6a %s speedup %v", name, v)
+		}
+	}
+}
+
+func TestQuickBaselineMonotonicity(t *testing.T) {
+	// More lanes can never slow a modular design down.
+	g := workload.Bootstrap(workload.AppShape(), workload.DefaultBootstrapConfig())
+	base := SHARP()
+	res, err := Simulate(base, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := base
+	for p := Pool(0); p < numPools; p++ {
+		big.Lanes[p] *= 2
+	}
+	res2, err := Simulate(big, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Cycles > res.Cycles {
+		t.Fatalf("doubling lanes slowed SHARP: %d -> %d", res.Cycles, res2.Cycles)
+	}
+	// Utilization stays in [0, 1].
+	for p := Pool(0); p < numPools; p++ {
+		if res.PoolUtil[p] < 0 || res.PoolUtil[p] > 1.0001 {
+			t.Fatalf("pool %v utilization %v out of range", p, res.PoolUtil[p])
+		}
+	}
+}

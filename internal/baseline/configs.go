@@ -1,0 +1,85 @@
+package baseline
+
+// Accelerator configurations. Frequencies, bandwidths, on-chip capacities
+// and areas follow the paper's Table 6 (and the respective papers); the FU
+// lane splits are reconstructions from the published block diagrams, scaled
+// so each design's total modmul throughput is consistent with its area and
+// the per-FU utilizations the paper quotes (SHARP: NTTU 0.70, BconvU 0.26,
+// EW 0.64 on HELR-1024; CraterLake: 0.42 overall on bootstrapping).
+
+// F1 is the first programmable FHE ASIC (MICRO'21): no bootstrapping-scale
+// parameters, NTT-heavy FU mix.
+func F1() Config {
+	return Config{
+		Name: "F1", Arithmetic: true,
+		FreqGHz: 1.0, HBMBytesPerSec: 1e12, OnChipMB: 64, AreaMM2: 151.4,
+		Lanes: [numPools]int{PoolNTT: 1792, PoolBconv: 256, PoolEW: 1024},
+	}
+}
+
+// BTS (ISCA'22): bootstrappable, large SRAM, comparatively low compute
+// density.
+func BTS() Config {
+	return Config{
+		Name: "BTS", Arithmetic: true,
+		FreqGHz: 1.2, HBMBytesPerSec: 1e12, OnChipMB: 512, AreaMM2: 747.2, // 373.6 mm² at 7 nm, 14 nm-scaled
+		Lanes: [numPools]int{PoolNTT: 240, PoolBconv: 320, PoolEW: 120},
+	}
+}
+
+// ARK (MICRO'22): runtime evk generation, larger FU budget.
+func ARK() Config {
+	return Config{
+		Name: "ARK", Arithmetic: true,
+		FreqGHz: 1.0, HBMBytesPerSec: 1e12, OnChipMB: 512, AreaMM2: 836.6, // 418.3 mm² at 7 nm, 14 nm-scaled
+		Lanes: [numPools]int{PoolNTT: 824, PoolBconv: 1368, PoolEW: 408},
+	}
+}
+
+// CraterLake (ISCA'22): 2.4 TB/s off-chip, 256 MB on-chip, unbounded-depth
+// support; NTT-dominant mix (CRBs) leaving other units under-used on
+// Bconv-heavy phases.
+func CraterLake() Config {
+	return Config{
+		Name: "CraterLake", Arithmetic: true,
+		FreqGHz: 1.0, HBMBytesPerSec: 2.4e12, OnChipMB: 256, AreaMM2: 472.3,
+		Lanes: [numPools]int{PoolNTT: 1280, PoolBconv: 2304, PoolEW: 720},
+	}
+}
+
+// SHARP (ISCA'23): 36-bit words, 1 TB/s, the paper's closest competitor.
+func SHARP() Config {
+	return Config{
+		Name: "SHARP", Arithmetic: true,
+		FreqGHz: 1.0, HBMBytesPerSec: 1e12, OnChipMB: 180, AreaMM2: 379,
+		Lanes: [numPools]int{PoolNTT: 2304, PoolBconv: 6528, PoolEW: 1152},
+	}
+}
+
+// Matcha (DAC'22): TFHE programmable-bootstrapping ASIC.
+func Matcha() Config {
+	return Config{
+		Name: "Matcha", Logic: true,
+		FreqGHz: 2.0, HBMBytesPerSec: 6.4e11, OnChipMB: 4, AreaMM2: 33.6,
+		Lanes: [numPools]int{PoolNTT: 264, PoolBconv: 0, PoolEW: 194},
+	}
+}
+
+// Strix (MICRO'23): streaming TFHE architecture with two-level batching.
+func Strix() Config {
+	return Config{
+		Name: "Strix", Logic: true,
+		FreqGHz: 1.2, HBMBytesPerSec: 3e11, OnChipMB: 26, AreaMM2: 56.4,
+		Lanes: [numPools]int{PoolNTT: 1408, PoolBconv: 0, PoolEW: 1088},
+	}
+}
+
+// ArithmeticBaselines returns the CKKS-capable designs in Figure 6(a) order.
+func ArithmeticBaselines() []Config {
+	return []Config{BTS(), ARK(), CraterLake(), SHARP()}
+}
+
+// LogicBaselines returns the TFHE designs of Figure 6(b).
+func LogicBaselines() []Config {
+	return []Config{Matcha(), Strix()}
+}

@@ -1,0 +1,106 @@
+package baseline
+
+// Published reference values carried verbatim from the paper, used by the
+// benchmark harness to print paper-vs-model comparisons.
+
+// Table7Row is one basic-operator row of Table 7 (operations per second).
+type Table7Row struct {
+	Op        string
+	CPU       float64 // Intel Xeon Gold 6234 @3.3 GHz, 1 thread
+	GPU       float64 // [20]; 0 = not reported
+	Poseidon  float64 // FPGA [15]
+	Alchemist float64
+	SpeedupX  float64 // Alchemist vs CPU, as printed in the paper
+}
+
+// Table7 reproduces the published throughput table (N=2^16, L=44, dnum=4).
+func Table7() []Table7Row {
+	return []Table7Row{
+		{"Pmult", 38.14, 7407, 14647, 946970, 24829},
+		{"Hadd", 35.56, 4807, 13310, 710227, 19973},
+		{"Keyswitch", 0.4, 0, 312, 7246, 18115},
+		{"Cmult", 0.38, 57, 273, 7143, 18785},
+		{"Rotation", 0.39, 61, 302, 7179, 18377},
+	}
+}
+
+// Fig6aSpeedups are the paper's average speedups of Alchemist over each
+// arithmetic-FHE accelerator across {fully-packed bootstrapping, HELR-1024}.
+var Fig6aSpeedups = map[string]float64{
+	"BTS":        18.4,
+	"ARK":        6.1,
+	"CraterLake": 3.7,
+	"SHARP":      2.0,
+}
+
+// Fig6aPerfPerArea are the paper's performance-per-area improvements.
+var Fig6aPerfPerArea = map[string]float64{
+	"BTS":        76.1,
+	"ARK":        28.4,
+	"CraterLake": 9.4,
+	"SHARP":      3.79,
+}
+
+// SHARPSpecific are the per-application speedups the paper quotes vs SHARP.
+var SHARPSpecific = map[string]float64{
+	"bootstrap": 1.85,
+	"helr":      2.07,
+}
+
+// Fig6bSpeedups are the paper's TFHE PBS throughput ratios.
+var Fig6bSpeedups = map[string]float64{
+	"Concrete": 1600, // CPU
+	"NuFHE":    105,  // GPU
+	"ASIC-avg": 7.0,  // vs Matcha + Strix on average
+}
+
+// Fig7bUtilization carries the utilization rates of Figure 7(b).
+var Fig7bUtilization = struct {
+	AlchemistNTT, AlchemistBconv, AlchemistDecomp, AlchemistOverall float64
+	SHARPBoot, SHARPHELR                                            float64
+	SHARPNTTU, SHARPBconvU, SHARPEW                                 float64
+	CraterLakeBoot, CraterLakeMNIST                                 float64
+}{
+	AlchemistNTT: 0.85, AlchemistBconv: 0.89, AlchemistDecomp: 0.87, AlchemistOverall: 0.86,
+	SHARPBoot: 0.55, SHARPHELR: 0.52,
+	SHARPNTTU: 0.70, SHARPBconvU: 0.26, SHARPEW: 0.64,
+	CraterLakeBoot: 0.42, CraterLakeMNIST: 0.38,
+}
+
+// Fig7aMultReduction are the paper's multiplication-overhead reductions from
+// the Meta-OP transformation.
+var Fig7aMultReduction = map[string]float64{
+	"tfhe-pbs":       0.034,
+	"cmult-l24":      0.233,
+	"bootstrap-l44+": 0.371,
+}
+
+// LoLaEncryptedMs is the paper's encrypted-weight LoLa-MNIST latency (ms).
+const LoLaEncryptedMs = 0.11
+
+// F1LoLaSpeedup is the paper's claim vs F1 on LoLa-MNIST ("over 3×").
+const F1LoLaSpeedup = 3.0
+
+// Table6Row is one column of the paper's resource-usage table.
+type Table6Row struct {
+	Name          string
+	Arithmetic    bool
+	Logic         bool
+	OffChipGBs    float64
+	OnChipMB      float64
+	OnChipTBs     float64 // 0 = not reported
+	FreqGHz       float64
+	AreaMM2       float64 // as reported
+	AreaScaledMM2 float64 // 14nm-scaled
+}
+
+// Table6 reproduces the published accelerator-resource comparison.
+func Table6() []Table6Row {
+	return []Table6Row{
+		{"Matcha", false, true, 640, 4, 0, 2.0, 36.96, 33.6},
+		{"Strix", false, true, 300, 26, 0, 1.2, 141.37, 56.4},
+		{"CraterLake", true, false, 2400, 256, 84, 1.0, 472.3, 472.3},
+		{"SHARP", true, false, 1000, 180, 72, 1.0, 178.8, 379},
+		{"Alchemist", true, true, 1000, 66, 66, 1.0, 181.1, 181.1},
+	}
+}

@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestAllReportsGenerate(t *testing.T) {
+	for _, r := range All() {
+		if r.ID == "" || r.Title == "" {
+			t.Errorf("report missing identity: %+v", r)
+		}
+		if len(r.Rows) == 0 {
+			t.Errorf("%s: no rows", r.ID)
+		}
+		for _, row := range r.Rows {
+			if len(row) != len(r.Headers) {
+				t.Errorf("%s: row width %d != header width %d", r.ID, len(row), len(r.Headers))
+			}
+		}
+		if !strings.Contains(r.String(), r.Title) {
+			t.Errorf("%s: text rendering broken", r.ID)
+		}
+		csv := r.CSV()
+		if lines := strings.Count(csv, "\n"); lines != len(r.Rows)+1 {
+			t.Errorf("%s: CSV has %d lines, want %d", r.ID, lines, len(r.Rows)+1)
+		}
+	}
+}
+
+func cell(r *Report, rowLabel, header string) string {
+	col := -1
+	for i, h := range r.Headers {
+		if h == header {
+			col = i
+		}
+	}
+	if col < 0 {
+		return ""
+	}
+	for _, row := range r.Rows {
+		if row[0] == rowLabel {
+			return row[col]
+		}
+	}
+	return ""
+}
+
+func parseX(s string) float64 {
+	s = strings.TrimSuffix(s, "x")
+	v, _ := strconv.ParseFloat(s, 64)
+	return v
+}
+
+func TestTable7ModelWithinTolerance(t *testing.T) {
+	r := Table7()
+	for _, row := range r.Rows {
+		ratio := parseX(strings.TrimSuffix(row[len(row)-1], "x"))
+		if ratio < 0.85 || ratio > 1.15 {
+			t.Errorf("Table 7 %s: model/paper ratio %v out of band", row[0], ratio)
+		}
+	}
+}
+
+func TestFig6aAverageSpeedups(t *testing.T) {
+	r := Figure6a()
+	want := map[int]float64{2: 18.4, 3: 6.1, 4: 3.7, 5: 2.0} // columns of the avg row
+	for _, row := range r.Rows {
+		if row[0] != "avg speedup" {
+			continue
+		}
+		for col, paper := range want {
+			got := parseX(row[col])
+			if got < paper*0.75 || got > paper*1.25 {
+				t.Errorf("Fig6a avg col %d: %.2f vs paper %.1f", col, got, paper)
+			}
+		}
+	}
+}
+
+func TestFig6aPerfPerAreaBands(t *testing.T) {
+	r := Figure6aPerfArea()
+	targets := map[string]float64{"BTS": 76.1, "ARK": 28.4, "CraterLake": 9.4, "SHARP": 3.79}
+	for name, paper := range targets {
+		got := parseX(cell(r, name, "model perf/area gain"))
+		if got < paper*0.7 || got > paper*1.3 {
+			t.Errorf("%s perf/area gain %.1f vs paper %.1f", name, got, paper)
+		}
+	}
+}
+
+func TestFig7bAlchemistTaskUtilizations(t *testing.T) {
+	r := Figure7b()
+	// Paper: NTT 0.85, Bconv 0.89, DecompPolyMult 0.87 on Alchemist.
+	for _, row := range r.Rows {
+		if row[0] != "Alchemist" {
+			continue
+		}
+		ntt, _ := strconv.ParseFloat(row[2], 64)
+		bconv, _ := strconv.ParseFloat(row[3], 64)
+		decomp, _ := strconv.ParseFloat(row[4], 64)
+		if ntt < 0.80 || ntt > 0.95 {
+			t.Errorf("Alchemist NTT util %v, paper 0.85", ntt)
+		}
+		if bconv < 0.84 || bconv > 0.94 {
+			t.Errorf("Alchemist Bconv util %v, paper 0.89", bconv)
+		}
+		if decomp < 0.82 || decomp > 0.92 {
+			t.Errorf("Alchemist Decomp util %v, paper 0.87", decomp)
+		}
+	}
+}
+
+func TestTable5Exact(t *testing.T) {
+	r := Table5()
+	for _, row := range r.Rows {
+		if row[1] != row[2] {
+			t.Errorf("Table 5 %s: model %s != paper %s", row[0], row[1], row[2])
+		}
+	}
+}
+
+func TestFig1SharesSumTo100(t *testing.T) {
+	r := Figure1()
+	for _, row := range r.Rows {
+		var sum float64
+		for _, c := range row[1:5] {
+			v, _ := strconv.ParseFloat(c, 64)
+			sum += v
+		}
+		if sum < 98 || sum > 102 {
+			t.Errorf("Fig1 %s: shares sum to %v", row[0], sum)
+		}
+	}
+}
+
+func TestAblationLaneWidthPeaksAt8(t *testing.T) {
+	r := AblationLaneWidth()
+	best, bestJ := 0.0, 0
+	for _, row := range r.Rows {
+		v, _ := strconv.ParseFloat(row[4], 64)
+		if v > best {
+			best = v
+			j, _ := strconv.Atoi(row[0])
+			bestJ = j
+		}
+	}
+	if bestJ > 8 {
+		t.Errorf("lane-width ablation peaks at j=%d, paper DSE picked 8", bestJ)
+	}
+}
+
+func TestAblationSRAMNoSpillAtDesignPoint(t *testing.T) {
+	r := AblationSRAMSize()
+	for _, row := range r.Rows {
+		if row[0] == "512" {
+			if row[3] != "0" {
+				t.Errorf("512 KB/unit should have no spill, got %s MB", row[3])
+			}
+		}
+	}
+}

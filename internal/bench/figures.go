@@ -1,0 +1,354 @@
+package bench
+
+import (
+	"alchemist/internal/arch"
+	"alchemist/internal/area"
+	"alchemist/internal/baseline"
+	"alchemist/internal/sim"
+	"alchemist/internal/trace"
+	"alchemist/internal/workload"
+)
+
+// fig1Workloads returns the Figure 1 workload set in paper order.
+func fig1Workloads() []*trace.Graph {
+	s := workload.PaperShape()
+	app := workload.AppShape()
+	gs := []*trace.Graph{
+		workload.PBSBatch(workload.PBSSetI(), 128),
+	}
+	for _, l := range []int{2, 8, 16, 24} {
+		gs = append(gs, workload.Cmult(s.WithChannels(l)))
+	}
+	b24 := workload.DefaultBootstrapConfig()
+	b24.StartChannels = 24
+	b24.Hoisting = false
+	b44 := workload.DefaultBootstrapConfig()
+	b44.Hoisting = false
+	b44h := workload.DefaultBootstrapConfig()
+	gs = append(gs,
+		renamed(workload.Bootstrap(app, b24), "BSP-L=24"),
+		renamed(workload.Bootstrap(app, b44), "BSP-L=44"),
+		renamed(workload.Bootstrap(app, b44h), "BSP-L=44+"),
+	)
+	gs[0].Name = "TFHE-PBS"
+	for i, l := range []int{2, 8, 16, 24} {
+		gs[1+i].Name = f("Cmult-L=%d", l)
+	}
+	return gs
+}
+
+func renamed(g *trace.Graph, name string) *trace.Graph {
+	g.Name = name
+	return g
+}
+
+// Figure1 regenerates the operator-ratio bars and the per-accelerator
+// utilization line of Figure 1.
+func Figure1() *Report {
+	r := &Report{
+		ID:    "fig1",
+		Title: "Operator ratio in the algorithm and overall hardware utilization",
+		Headers: []string{"Workload", "NTT%", "Bconv%", "Decomp%", "Other%",
+			"Alchemist", "BTS", "ARK", "CLAKE", "SHARP", "Matcha", "Strix"},
+	}
+	designs := append(baseline.ArithmeticBaselines(), baseline.LogicBaselines()...)
+	for _, g := range fig1Workloads() {
+		shares := sim.ClassShares(g)
+		ares, err := sim.Simulate(arch.Default(), g)
+		if err != nil {
+			panic(err)
+		}
+		row := []string{g.Name,
+			f("%.0f", 100*shares[trace.ClassNTT]),
+			f("%.0f", 100*shares[trace.ClassBconv]),
+			f("%.0f", 100*shares[trace.ClassDecompPolyMult]),
+			f("%.0f", 100*shares[trace.ClassOther]),
+			f("%.2f", ares.ComputeUtilization)}
+		isTFHE := g.Name == "TFHE-PBS"
+		for _, d := range designs {
+			// Per Table 6, each specialized design only supports its own
+			// scheme class (the unified architecture's whole point).
+			if (isTFHE && !d.Logic) || (!isTFHE && !d.Arithmetic) {
+				row = append(row, "-")
+				continue
+			}
+			if bres, err := baseline.Simulate(d, g); err == nil {
+				row = append(row, f("%.2f", bres.Overall))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		r.AddRow(row...)
+	}
+	r.Notes = append(r.Notes,
+		"operator shares are fractions of eager multiplications (the paper's 'operator ratio in the algorithm')",
+		"utilization = FU-busy fraction; Alchemist stays high across all mixes, modular designs swing")
+	return r
+}
+
+// appResult bundles one Figure 6(a) application row.
+type appResult struct {
+	name  string
+	graph *trace.Graph
+}
+
+// Figure6a regenerates the CKKS application comparison.
+func Figure6a() *Report {
+	r := &Report{
+		ID:    "fig6a",
+		Title: "CKKS applications: Alchemist vs prior accelerators",
+		Headers: []string{"App", "Alchemist(ms)", "BTS", "ARK", "CLAKE", "SHARP",
+			"paper avg", "model avg"},
+	}
+	app := workload.AppShape()
+	apps := []appResult{
+		{"bootstrap", workload.Bootstrap(app, workload.DefaultBootstrapConfig())},
+		{"helr-1024(block)", workload.HELRBlock(app, workload.DefaultHELRConfig(), workload.DefaultBootstrapConfig())},
+	}
+	cfg := arch.Default()
+	sums := map[string]float64{}
+	for _, a := range apps {
+		ares, err := sim.Simulate(cfg, a.graph)
+		if err != nil {
+			panic(err)
+		}
+		row := []string{a.name, f("%.3f", ares.Seconds*1e3)}
+		for _, bc := range baseline.ArithmeticBaselines() {
+			bres, err := baseline.Simulate(bc, a.graph)
+			if err != nil {
+				panic(err)
+			}
+			sp := bres.Seconds / ares.Seconds
+			sums[bc.Name] += sp
+			row = append(row, f("%.2fx", sp))
+		}
+		row = append(row, "-", "-")
+		r.AddRow(row...)
+	}
+	// Average speedup row, model vs paper.
+	avgRow := []string{"avg speedup", "-"}
+	for _, bc := range baseline.ArithmeticBaselines() {
+		avgRow = append(avgRow, f("%.2fx", sums[bc.Name]/float64(len(apps))))
+	}
+	avgRow = append(avgRow, "18.4/6.1/3.7/2.0x", "see cols")
+	r.AddRow(avgRow...)
+
+	// LoLa-MNIST rows.
+	for _, enc := range []bool{false, true} {
+		g := workload.LoLaMNIST(workload.DefaultLoLaConfig(enc))
+		ares, err := sim.Simulate(cfg, g)
+		if err != nil {
+			panic(err)
+		}
+		name := "lola-mnist(plain)"
+		extra := "-"
+		if enc {
+			name = "lola-mnist(enc)"
+			extra = f("paper: %.2fms", baseline.LoLaEncryptedMs)
+		} else {
+			if f1res, err := baseline.Simulate(baseline.F1(), g); err == nil {
+				extra = f("F1 %.2fx (paper >3x)", f1res.Seconds/ares.Seconds)
+			}
+		}
+		r.AddRow(name, f("%.4f", ares.Seconds*1e3), "-", "-", "-", "-", extra, "-")
+	}
+	return r
+}
+
+// Figure6aPerfArea regenerates the performance-per-area comparison.
+func Figure6aPerfArea() *Report {
+	r := &Report{
+		ID:      "fig6a-ppa",
+		Title:   "Performance per area on {bootstrap, HELR}",
+		Headers: []string{"Design", "area mm^2", "model perf/area gain", "paper"},
+	}
+	app := workload.AppShape()
+	apps := []*trace.Graph{
+		workload.Bootstrap(app, workload.DefaultBootstrapConfig()),
+		workload.HELRBlock(app, workload.DefaultHELRConfig(), workload.DefaultBootstrapConfig()),
+	}
+	alchArea := area.Estimate(arch.Default()).Total
+	var alchPPA []float64
+	for _, g := range apps {
+		res, err := sim.Simulate(arch.Default(), g)
+		if err != nil {
+			panic(err)
+		}
+		alchPPA = append(alchPPA, area.PerfPerArea(res.Seconds, alchArea))
+	}
+	r.AddRow("Alchemist", f("%.1f", alchArea), "1.00x (ref)", "-")
+	for _, bc := range baseline.ArithmeticBaselines() {
+		var gain float64
+		for i, g := range apps {
+			bres, err := baseline.Simulate(bc, g)
+			if err != nil {
+				panic(err)
+			}
+			gain += alchPPA[i] / area.PerfPerArea(bres.Seconds, bc.AreaMM2)
+		}
+		gain /= float64(len(apps))
+		r.AddRow(bc.Name, f("%.1f", bc.AreaMM2), f("%.1fx", gain),
+			f("%.1fx", baseline.Fig6aPerfPerArea[bc.Name]))
+	}
+	r.Notes = append(r.Notes, "gain = Alchemist (perf/mm^2) / design (perf/mm^2), averaged over both apps")
+	return r
+}
+
+// Figure6b regenerates the TFHE PBS comparison.
+func Figure6b() *Report {
+	r := &Report{
+		ID:    "fig6b",
+		Title: "TFHE programmable bootstrapping throughput",
+		Headers: []string{"Design", "SetI PBS/s", "SetII PBS/s", "speedup SetI",
+			"speedup SetII"},
+	}
+	cfg := arch.Default()
+	batch := 128
+	g1 := workload.PBSBatch(workload.PBSSetI(), batch)
+	g2 := workload.PBSBatch(workload.PBSSetII(), batch)
+	a1, err := sim.Simulate(cfg, g1)
+	if err != nil {
+		panic(err)
+	}
+	a2, err := sim.Simulate(cfg, g2)
+	if err != nil {
+		panic(err)
+	}
+	t1 := float64(batch) / a1.Seconds
+	t2 := float64(batch) / a2.Seconds
+	r.AddRow("Alchemist", f("%.0f", t1), f("%.0f", t2), "1.00x", "1.00x")
+	for _, bc := range baseline.LogicBaselines() {
+		b1, err := baseline.Simulate(bc, g1)
+		if err != nil {
+			panic(err)
+		}
+		b2, err := baseline.Simulate(bc, g2)
+		if err != nil {
+			panic(err)
+		}
+		r.AddRow(bc.Name, f("%.0f", float64(batch)/b1.Seconds),
+			f("%.0f", float64(batch)/b2.Seconds),
+			f("%.2fx", b1.Seconds/a1.Seconds), f("%.2fx", b2.Seconds/a2.Seconds))
+	}
+	r.AddRow("Concrete(CPU, derived)", f("%.0f", t1/baseline.Fig6bSpeedups["Concrete"]), "-",
+		f("%.0fx", baseline.Fig6bSpeedups["Concrete"]), "-")
+	r.AddRow("NuFHE(GPU, derived)", f("%.0f", t1/baseline.Fig6bSpeedups["NuFHE"]), "-",
+		f("%.0fx", baseline.Fig6bSpeedups["NuFHE"]), "-")
+	r.Notes = append(r.Notes,
+		"paper claims ~1600x vs Concrete, ~105x vs NuFHE and 7.0x avg vs the TFHE ASICs",
+		"live Go TFHE gate bootstrapping is measured in BenchmarkCPUGateBootstrap")
+	return r
+}
+
+// Figure7a regenerates the multiplication-overhead comparison.
+func Figure7a() *Report {
+	r := &Report{
+		ID:    "fig7a",
+		Title: "Computation overhead w/ and w/o (MjAj)nRj",
+		Headers: []string{"Workload", "eager mults", "MetaOP mults", "model reduction",
+			"paper reduction"},
+	}
+	s := workload.PaperShape()
+	app := workload.AppShape()
+	cases := []struct {
+		name  string
+		graph *trace.Graph
+		paper float64
+	}{
+		{"TFHE-PBS", workload.PBSBatch(workload.PBSSetI(), 128), 0.034},
+		{"Cmult-L=24", workload.Cmult(s.WithChannels(24)), 0.233},
+		{"BSP-L=44+", workload.Bootstrap(app, workload.DefaultBootstrapConfig()), 0.371},
+	}
+	for _, c := range cases {
+		res, err := sim.Simulate(arch.Default(), c.graph)
+		if err != nil {
+			panic(err)
+		}
+		lazy, eager := res.MultsTotal()
+		r.AddRow(c.name, f("%d", eager), f("%d", lazy),
+			f("%.1f%%", 100*(1-float64(lazy)/float64(eager))),
+			f("%.1f%%", 100*c.paper))
+	}
+	r.Notes = append(r.Notes,
+		"the radix-4 Meta-OP reduction micro-costs are underdetermined by the paper;",
+		"our consistent 2-cycle-reduction model shifts the TFHE point (see EXPERIMENTS.md)")
+	return r
+}
+
+// Figure7b regenerates the utilization comparison.
+func Figure7b() *Report {
+	r := &Report{
+		ID:    "fig7b",
+		Title: "Utilization rates (FU-busy): Alchemist vs SHARP vs CraterLake",
+		Headers: []string{"Design", "workload", "NTT", "Bconv/KSH", "EW/Decomp",
+			"overall", "paper overall"},
+	}
+	app := workload.AppShape()
+	boot := workload.Bootstrap(app, workload.DefaultBootstrapConfig())
+	helr := workload.HELRBlock(app, workload.DefaultHELRConfig(), workload.DefaultBootstrapConfig())
+	mnist := workload.LoLaMNIST(workload.DefaultLoLaConfig(false))
+
+	ab, err := sim.Simulate(arch.Default(), boot)
+	if err != nil {
+		panic(err)
+	}
+	ah, err := sim.Simulate(arch.Default(), helr)
+	if err != nil {
+		panic(err)
+	}
+	r.AddRow("Alchemist", "bootstrap",
+		f("%.2f", ab.ClassUtilization(trace.ClassNTT)),
+		f("%.2f", ab.ClassUtilization(trace.ClassBconv)),
+		f("%.2f", ab.ClassUtilization(trace.ClassDecompPolyMult)),
+		f("%.2f", ab.ComputeUtilization), "0.86")
+	r.AddRow("Alchemist", "helr",
+		f("%.2f", ah.ClassUtilization(trace.ClassNTT)),
+		f("%.2f", ah.ClassUtilization(trace.ClassBconv)),
+		f("%.2f", ah.ClassUtilization(trace.ClassDecompPolyMult)),
+		f("%.2f", ah.ComputeUtilization), "0.86")
+
+	sharp := baseline.SHARP()
+	for name, g := range map[string]*trace.Graph{"bootstrap": boot, "helr": helr} {
+		res, err := baseline.Simulate(sharp, g)
+		if err != nil {
+			panic(err)
+		}
+		paper := baseline.Fig7bUtilization.SHARPBoot
+		if name == "helr" {
+			paper = baseline.Fig7bUtilization.SHARPHELR
+		}
+		r.AddRow("SHARP", name,
+			f("%.2f", res.PoolUtil[baseline.PoolNTT]),
+			f("%.2f", res.PoolUtil[baseline.PoolBconv]),
+			f("%.2f", res.PoolUtil[baseline.PoolEW]),
+			f("%.2f", res.Overall), f("%.2f", paper))
+	}
+	clake := baseline.CraterLake()
+	for name, g := range map[string]*trace.Graph{"bootstrap": boot, "mnist": mnist} {
+		res, err := baseline.Simulate(clake, g)
+		if err != nil {
+			panic(err)
+		}
+		paper := baseline.Fig7bUtilization.CraterLakeBoot
+		if name == "mnist" {
+			paper = baseline.Fig7bUtilization.CraterLakeMNIST
+		}
+		r.AddRow("CraterLake", name,
+			f("%.2f", res.PoolUtil[baseline.PoolNTT]),
+			f("%.2f", res.PoolUtil[baseline.PoolBconv]),
+			f("%.2f", res.PoolUtil[baseline.PoolEW]),
+			f("%.2f", res.Overall), f("%.2f", paper))
+	}
+	return r
+}
+
+// All returns every regenerated report in paper order.
+func All() []*Report {
+	return []*Report{
+		Figure1(), Table2(), Table3(), Table4(), Table5(), Table6(), Table7(),
+		Figure6a(), Figure6aPerfArea(), Figure6b(), Figure7a(), Figure7b(),
+		AblationLaneWidth(), AblationLazyReduction(), AblationDataLayout(),
+		AblationUnitCount(), AblationSRAMSize(), AblationWordSize(),
+		Validation(), CrossSchemeReport(), Energy(), KeySizes(),
+	}
+}

@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"alchemist/internal/trace"
+	"alchemist/internal/workload"
+)
+
+// KeySizes reports the key-material footprints at the paper's parameter
+// points — the quantities that drive the streaming side of the performance
+// model (the keyswitch-class rows of Table 7 are bound by exactly these).
+func KeySizes() *Report {
+	r := &Report{
+		ID:      "keysizes",
+		Title:   "Key-material footprints at the evaluation parameters",
+		Headers: []string{"Key", "parameters", "size", "notes"},
+	}
+	s := workload.PaperShape()
+	app := workload.AppShape()
+	n := s.N()
+	mb := func(b int64) string { return f("%.1f MB", float64(b)/(1<<20)) }
+
+	ctBytes := 2 * trace.PolyBytes(n, s.Channels, 1, s.WordBits)
+	r.AddRow("CKKS ciphertext", "N=2^16, 44 ch", mb(ctBytes), "2 polys")
+	r.AddRow("CKKS evk (full)", "dnum=4, K=12", mb(s.EvkBytes(s.Channels)),
+		"streamed per keyswitch (Table 7)")
+	r.AddRow("CKKS evk (seed-expanded)", "dnum=4, K=12", mb(app.EvkBytes(app.Channels)),
+		"b-halves only (application schedules)")
+	r.AddRow("CKKS evk at L=24", "dnum=4, K=12", mb(s.EvkBytes(24)),
+		"keys shrink with level")
+
+	p1 := workload.PBSSetI()
+	bkBytes := int64(p1.NLwe) * p1.BKRowBytes()
+	kskBytes := int64(p1.N*p1.KsT) * int64(p1.NLwe+1) * 4
+	r.AddRow("TFHE bootstrapping key", p1.Name, mb(bkBytes),
+		f("%d TRGSW rows, broadcast across the batch", p1.NLwe))
+	r.AddRow("TFHE key-switch key", p1.Name, mb(kskBytes), "32-bit words")
+	p2 := workload.PBSSetII()
+	r.AddRow("TFHE bootstrapping key", p2.Name, mb(int64(p2.NLwe)*p2.BKRowBytes()), "")
+
+	r.Notes = append(r.Notes,
+		"one full CKKS evk does not fit the 64+2 MB scratchpad — the root cause of the evk-streaming bound",
+		"a seed-expanded evk at reduced level does fit, enabling the EvalMod rlk caching the app schedules use")
+	return r
+}

@@ -1,0 +1,99 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation from the models in this repository, formatted as aligned text
+// and CSV. cmd/fhebench drives it from the command line; bench_test.go wraps
+// each generator in a testing.B benchmark.
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is one regenerated table or figure.
+type Report struct {
+	ID      string // e.g. "table7", "fig6a"
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (r *Report) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// String renders an aligned text table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Headers))
+	for i, h := range r.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the report as comma-separated values.
+func (r *Report) CSV() string {
+	var b strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	row := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteByte('\n')
+	}
+	row(r.Headers)
+	for _, rw := range r.Rows {
+		row(rw)
+	}
+	return b.String()
+}
+
+func f(format string, args ...interface{}) string { return fmt.Sprintf(format, args...) }
+
+func ratio(a, b float64) string {
+	if b == 0 {
+		return "-"
+	}
+	return f("%.2fx", a/b)
+}

@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"alchemist/internal/arch"
+	"alchemist/internal/area"
+	"alchemist/internal/baseline"
+	"alchemist/internal/metaop"
+	"alchemist/internal/sim"
+	"alchemist/internal/trace"
+	"alchemist/internal/workload"
+)
+
+// Table2 regenerates the DecompPolyMult transformation costs.
+func Table2() *Report {
+	r := &Report{
+		ID:      "table2",
+		Title:   "Transformation of DecompPolyMult (raw multiplications)",
+		Headers: []string{"dnum", "N", "origin 3*dnum*N", "MetaOP (dnum+2)*N", "saving"},
+	}
+	n := 65536
+	for _, dnum := range []int{1, 2, 3, 4, 6, 8} {
+		origin := metaop.DecompPolyMultMults(dnum, n, false)
+		lazy := metaop.DecompPolyMultMults(dnum, n, true)
+		r.AddRow(f("%d", dnum), f("%d", n), f("%d", origin), f("%d", lazy),
+			f("%.1f%%", 100*(1-float64(lazy)/float64(origin))))
+	}
+	r.Notes = append(r.Notes, "saving approaches 3x as dnum grows (paper Table 2)")
+	return r
+}
+
+// Table3 regenerates the ModUp transformation costs.
+func Table3() *Report {
+	r := &Report{
+		ID:      "table3",
+		Title:   "Transformation of ModUp (raw multiplications)",
+		Headers: []string{"L", "K", "N", "origin (3KL+3L)N", "MetaOP (KL+3L+2K)N", "saving"},
+	}
+	n := 65536
+	for _, c := range []struct{ l, k int }{{2, 2}, {4, 4}, {11, 12}, {22, 12}, {44, 12}} {
+		origin := metaop.ModupMults(c.l, c.k, n, false)
+		lazy := metaop.ModupMults(c.l, c.k, n, true)
+		r.AddRow(f("%d", c.l), f("%d", c.k), f("%d", n), f("%d", origin), f("%d", lazy),
+			f("%.1f%%", 100*(1-float64(lazy)/float64(origin))))
+	}
+	return r
+}
+
+// Table4 regenerates the access-pattern table.
+func Table4() *Report {
+	r := &Report{
+		ID:      "table4",
+		Title:   "Data access pattern of the three operations",
+		Headers: []string{"Computation", "Slots", "Channel", "Dnum_group"},
+	}
+	r.AddRow("(I)NTT", "yes", "-", "-")
+	r.AddRow("DecompPolyMult", "-", "-", "yes")
+	r.AddRow("Modup/down", "-", "yes", "-")
+	r.Notes = append(r.Notes,
+		"patterns are enforced by metaop.Lower*: see metaop.AccessPattern")
+	return r
+}
+
+// Table5 regenerates the area breakdown from the analytical model.
+func Table5() *Report {
+	b := area.Estimate(arch.Default())
+	r := &Report{
+		ID:      "table5",
+		Title:   "Area breakdown of Alchemist (mm^2, 14nm)",
+		Headers: []string{"Component", "model", "paper"},
+	}
+	r.AddRow("1x Core Cluster (16x CORE)", f("%.3f", b.CoreCluster), "0.688")
+	r.AddRow("1x Local SRAM", f("%.3f", b.LocalSRAM), "0.427")
+	r.AddRow("1x Computing Unit", f("%.3f", b.ComputingUnit), "1.118")
+	r.AddRow("128x Computing Unit", f("%.3f", b.AllUnits), "143.104")
+	r.AddRow("Register file for transpose", f("%.3f", b.TransposeRF), "6.380")
+	r.AddRow("Shared memory", f("%.3f", b.SharedMemory), "1.801")
+	r.AddRow("Memory interface (2x HBM2 PHY)", f("%.3f", b.MemInterface), "29.801")
+	r.AddRow("Total", f("%.3f", b.Total), "181.086")
+	return r
+}
+
+// Table6 regenerates the accelerator resource comparison.
+func Table6() *Report {
+	r := &Report{
+		ID:    "table6",
+		Title: "Resource usage in FHE accelerators",
+		Headers: []string{"Design", "AC", "LC", "off-chip BW", "on-chip cap",
+			"freq", "area(14nm)"},
+	}
+	for _, row := range baseline.Table6() {
+		ac, lc := "-", "-"
+		if row.Arithmetic {
+			ac = "yes"
+		}
+		if row.Logic {
+			lc = "yes"
+		}
+		r.AddRow(row.Name, ac, lc, f("%.0f GB/s", row.OffChipGBs),
+			f("%.0f MB", row.OnChipMB), f("%.1f GHz", row.FreqGHz),
+			f("%.1f mm^2", row.AreaScaledMM2))
+	}
+	b := area.Estimate(arch.Default())
+	r.Notes = append(r.Notes,
+		f("Alchemist row cross-checked against the area model: %.1f mm^2", b.Total))
+	return r
+}
+
+// Table7 regenerates the basic-operator throughput comparison.
+func Table7() *Report {
+	r := &Report{
+		ID:    "table7",
+		Title: "Throughput for basic operators (ops/s), N=2^16, L=44, dnum=4",
+		Headers: []string{"Op", "CPU(paper)", "GPU(paper)", "Poseidon(paper)",
+			"Alchemist(paper)", "Alchemist(model)", "model/paper"},
+	}
+	s := workload.PaperShape()
+	cfg := arch.Default()
+	reps := 4
+	model := map[string]float64{}
+	single := func(g *trace.Graph) float64 {
+		res, err := sim.Simulate(cfg, g)
+		if err != nil {
+			panic(err)
+		}
+		return 1 / res.Seconds
+	}
+	through := func(g *trace.Graph) float64 {
+		res, err := sim.Simulate(cfg, g)
+		if err != nil {
+			panic(err)
+		}
+		return float64(reps) / res.Seconds
+	}
+	model["Pmult"] = single(workload.Pmult(s))
+	model["Hadd"] = single(workload.Hadd(s))
+	model["Keyswitch"] = through(workload.KeyswitchThroughput(s, reps))
+	model["Cmult"] = through(workload.CmultThroughput(s, reps))
+	model["Rotation"] = through(workload.RotationThroughput(s, reps))
+	for _, row := range baseline.Table7() {
+		gpu := "-"
+		if row.GPU > 0 {
+			gpu = f("%.0f", row.GPU)
+		}
+		m := model[row.Op]
+		r.AddRow(row.Op, f("%.2f", row.CPU), gpu, f("%.0f", row.Poseidon),
+			f("%.0f", row.Alchemist), f("%.0f", m), f("%.2f", m/row.Alchemist))
+	}
+	r.Notes = append(r.Notes,
+		"Pmult/Hadd are exact by the Meta-OP timing contract; keyswitch-class ops are evk-bandwidth-bound",
+		"live Go CPU latencies for the same operators are measured in bench_test.go (BenchmarkCPU*)")
+	return r
+}

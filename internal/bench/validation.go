@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"alchemist/internal/arch"
+	"alchemist/internal/area"
+	"alchemist/internal/baseline"
+	"alchemist/internal/sched"
+	"alchemist/internal/sim"
+	"alchemist/internal/trace"
+	"alchemist/internal/workload"
+)
+
+// Validation cross-checks the two independent performance models: the
+// aggregate simulator (internal/sim) and the per-unit instruction-stream
+// interpreter (internal/sched). Agreement within per-unit quantization
+// bounds is evidence the cycle counts are not an artifact of either model.
+func Validation() *Report {
+	r := &Report{
+		ID:    "validation",
+		Title: "Aggregate simulator vs per-unit instruction streams",
+		Headers: []string{"Workload", "aggregate cycles", "per-unit cycles",
+			"delta", "local phases", "imbalance"},
+	}
+	s := workload.PaperShape()
+	app := workload.AppShape()
+	cfg := arch.Default()
+	cases := []*trace.Graph{
+		workload.Pmult(s),
+		workload.Keyswitch(s),
+		workload.Cmult(s),
+		workload.Bootstrap(app, workload.DefaultBootstrapConfig()),
+		workload.PBSBatch(workload.PBSSetI(), 128),
+		workload.SchemeSwitch(app, workload.PBSSetI(), 128),
+	}
+	for _, g := range cases {
+		agg, err := sim.Simulate(cfg, g)
+		if err != nil {
+			panic(err)
+		}
+		prog, err := sched.Compile(cfg, g)
+		if err != nil {
+			panic(err)
+		}
+		per := sched.Execute(prog)
+		sum := sched.Summarize(prog)
+		r.AddRow(g.Name, f("%d", agg.Cycles), f("%d", per.Cycles),
+			f("%+.1f%%", 100*(float64(per.Cycles)/float64(agg.Cycles)-1)),
+			f("%d/%d", sum.LocalPhases, sum.Phases),
+			f("%.3f", per.Imbalance))
+	}
+	r.Notes = append(r.Notes,
+		"local phases = phases touching only private scratchpads (§5.3); the rest cross the transpose RF",
+		"imbalance = max/mean per-unit busy cycles (1.0 = the slot partitioning balances perfectly)")
+	return r
+}
+
+// CrossSchemeReport runs the hybrid CKKS→TFHE pipeline (the bridge of
+// internal/bridge as an accelerator workload) on Alchemist and every
+// baseline that can execute it.
+func CrossSchemeReport() *Report {
+	r := &Report{
+		ID:    "cross-scheme",
+		Title: "Cross-scheme pipeline (CKKS compute -> bridge -> TFHE PBS)",
+		Headers: []string{"Design", "runs?", "ms", "utilization",
+			"energy (model, mJ)"},
+	}
+	g := workload.SchemeSwitch(workload.AppShape(), workload.PBSSetI(), 128)
+	cfg := arch.Default()
+	res, err := sim.Simulate(cfg, g)
+	if err != nil {
+		panic(err)
+	}
+	r.AddRow("Alchemist", "yes", f("%.3f", res.Seconds*1e3),
+		f("%.2f", res.ComputeUtilization),
+		f("%.1f", 1e3*area.EnergyJoules(cfg, res.Seconds, res.Utilization)))
+	for _, bc := range append(baseline.ArithmeticBaselines(), baseline.LogicBaselines()...) {
+		bres, err := baseline.Simulate(bc, g)
+		if err != nil {
+			r.AddRow(bc.Name, "no ("+failureClass(bc)+")", "-", "-", "-")
+			continue
+		}
+		r.AddRow(bc.Name, "yes", f("%.3f", bres.Seconds*1e3), f("%.2f", bres.Overall), "-")
+	}
+	r.Notes = append(r.Notes,
+		"the TFHE-only ASICs have no Bconv datapath for the CKKS half — only the unified design runs the whole pipeline natively")
+	return r
+}
+
+func failureClass(c baseline.Config) string {
+	if c.Logic && !c.Arithmetic {
+		return "no Bconv datapath"
+	}
+	return "unsupported ops"
+}
+
+// Energy reports modelled energy per operation/application on Alchemist.
+func Energy() *Report {
+	r := &Report{
+		ID:      "energy",
+		Title:   "Energy model (77.9 W average at the paper's design point)",
+		Headers: []string{"Workload", "time", "avg power (W)", "energy"},
+	}
+	cfg := arch.Default()
+	app := workload.AppShape()
+	cases := []struct {
+		name string
+		g    *trace.Graph
+		per  float64 // divide for per-op metrics
+	}{
+		{"Cmult", workload.CmultThroughput(workload.PaperShape(), 4), 4},
+		{"bootstrap", workload.Bootstrap(app, workload.DefaultBootstrapConfig()), 1},
+		{"helr-block", workload.HELRBlock(app, workload.DefaultHELRConfig(), workload.DefaultBootstrapConfig()), 1},
+		{"pbs-batch128", workload.PBSBatch(workload.PBSSetI(), 128), 128},
+	}
+	for _, c := range cases {
+		res, err := sim.Simulate(cfg, c.g)
+		if err != nil {
+			panic(err)
+		}
+		p := area.Power(cfg, res.Utilization)
+		e := area.EnergyJoules(cfg, res.Seconds, res.Utilization) / c.per
+		r.AddRow(c.name, f("%.3g ms", res.Seconds*1e3/c.per), f("%.1f", p),
+			f("%.3g mJ", e*1e3))
+	}
+	return r
+}

@@ -1,0 +1,99 @@
+package bgv
+
+import "testing"
+
+func (h *harness) encryptBFV(tb testing.TB, slots []uint64) *BFVCiphertext {
+	tb.Helper()
+	pt, err := h.enc.EncodeBFV(slots, h.ctx.Params.MaxLevel())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return h.et.EncryptBFV(pt, h.ctx.Params.MaxLevel())
+}
+
+func TestBFVEncryptDecryptExact(t *testing.T) {
+	h := newHarness(t)
+	slots := randSlots(h.ctx.Params.N(), h.ctx.Params.T, 41)
+	ct := h.encryptBFV(t, slots)
+	assertEq(t, h.dt.DecryptBFV(h.enc, ct), slots, "bfv enc/dec")
+}
+
+func TestBFVAddExact(t *testing.T) {
+	h := newHarness(t)
+	tmod := h.ctx.Params.T
+	z1 := randSlots(h.ctx.Params.N(), tmod, 42)
+	z2 := randSlots(h.ctx.Params.N(), tmod, 43)
+	c1, c2 := h.encryptBFV(t, z1), h.encryptBFV(t, z2)
+	want := make([]uint64, len(z1))
+	for i := range z1 {
+		want[i] = (z1[i] + z2[i]) % tmod
+	}
+	assertEq(t, h.dt.DecryptBFV(h.enc, h.ev.AddBFV(c1, c2)), want, "bfv add")
+}
+
+func TestBFVMulPlainExact(t *testing.T) {
+	h := newHarness(t)
+	tmod := h.ctx.Params.T
+	z := randSlots(h.ctx.Params.N(), tmod, 44)
+	w := randSlots(h.ctx.Params.N(), tmod, 45)
+	ct := h.encryptBFV(t, z)
+	pt, err := h.enc.Encode(w, ct.Level) // unscaled plaintext
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]uint64, len(z))
+	for i := range z {
+		want[i] = z[i] * w[i] % tmod
+	}
+	assertEq(t, h.dt.DecryptBFV(h.enc, h.ev.MulPlainBFV(ct, pt)), want, "bfv pmult")
+}
+
+func TestBFVMulExact(t *testing.T) {
+	h := newHarness(t)
+	tmod := h.ctx.Params.T
+	z1 := randSlots(h.ctx.Params.N(), tmod, 46)
+	z2 := randSlots(h.ctx.Params.N(), tmod, 47)
+	c1, c2 := h.encryptBFV(t, z1), h.encryptBFV(t, z2)
+	prod, err := h.ev.MulBFV(c1, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]uint64, len(z1))
+	for i := range z1 {
+		want[i] = z1[i] * z2[i] % tmod
+	}
+	assertEq(t, h.dt.DecryptBFV(h.enc, prod), want, "bfv cmult")
+}
+
+func TestBFVMulDepthTwoScaleInvariant(t *testing.T) {
+	// BFV is scale-invariant: no rescaling between multiplications.
+	h := newHarness(t)
+	tmod := h.ctx.Params.T
+	z1 := randSlots(h.ctx.Params.N(), tmod, 48)
+	z2 := randSlots(h.ctx.Params.N(), tmod, 49)
+	z3 := randSlots(h.ctx.Params.N(), tmod, 50)
+	c1, c2, c3 := h.encryptBFV(t, z1), h.encryptBFV(t, z2), h.encryptBFV(t, z3)
+	p12, err := h.ev.MulBFV(c1, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p123, err := h.ev.MulBFV(p12, c3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]uint64, len(z1))
+	for i := range z1 {
+		want[i] = z1[i] * z2[i] % tmod * z3[i] % tmod
+	}
+	assertEq(t, h.dt.DecryptBFV(h.enc, p123), want, "bfv depth-2")
+}
+
+func TestBFVMissingRlk(t *testing.T) {
+	h := newHarness(t)
+	ev := NewEvaluator(h.ctx, nil)
+	z := randSlots(h.ctx.Params.N(), h.ctx.Params.T, 51)
+	ct := h.encryptBFV(t, z)
+	if _, err := ev.MulBFV(ct, ct); err == nil {
+		t.Fatal("expected missing-rlk error")
+	}
+}

@@ -1,0 +1,415 @@
+// Package bgv implements the BGV leveled arithmetic FHE scheme (the
+// modulus-switching sibling of BFV, the paper's other "arithmetic FHE"
+// example) on the same RNS/NTT substrate as CKKS. Messages are vectors over
+// Z_t packed into slots via the negacyclic NTT modulo t; homomorphic
+// arithmetic is exact modulo t.
+//
+// Structure mirrors internal/ckks: hybrid (dnum) key switching with the
+// same gadget, but with all ciphertext and key errors scaled by t and the
+// ModDown/rescale steps made t-exact (ring.ModDownExact plus the BGV
+// modulus-switch correction), so noise management never perturbs the
+// plaintext.
+package bgv
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+
+	"alchemist/internal/modmath"
+	"alchemist/internal/ring"
+)
+
+// Parameters describes a BGV instance.
+type Parameters struct {
+	LogN  int
+	T     uint64   // plaintext modulus: prime with t ≡ 1 (mod 2N)
+	Q     []uint64 // ciphertext chain; every q_i ≡ 1 (mod 2N·t)
+	P     []uint64 // special moduli;   every p_j ≡ 1 (mod 2N·t)
+	Dnum  int
+	Sigma float64
+}
+
+// N returns the ring degree.
+func (p Parameters) N() int { return 1 << p.LogN }
+
+// MaxLevel returns the top level.
+func (p Parameters) MaxLevel() int { return len(p.Q) - 1 }
+
+// Alpha returns the digit-group width.
+func (p Parameters) Alpha() int { return (len(p.Q) + p.Dnum - 1) / p.Dnum }
+
+// Validate checks structural consistency.
+func (p Parameters) Validate() error {
+	if p.LogN < 3 || p.LogN > 17 {
+		return fmt.Errorf("bgv: LogN out of range")
+	}
+	if !modmath.IsPrime(p.T) || (p.T-1)%uint64(2*p.N()) != 0 {
+		return fmt.Errorf("bgv: t=%d must be a prime ≡ 1 mod 2N", p.T)
+	}
+	for _, q := range append(append([]uint64{}, p.Q...), p.P...) {
+		if (q-1)%p.T != 0 {
+			return fmt.Errorf("bgv: modulus %d is not ≡ 1 mod t", q)
+		}
+	}
+	if p.Dnum < 1 || p.Dnum > len(p.Q) {
+		return fmt.Errorf("bgv: bad Dnum")
+	}
+	if len(p.P) == 0 {
+		return fmt.Errorf("bgv: need special moduli")
+	}
+	return nil
+}
+
+// GenParams generates a BGV parameter set: `levels`+1 chain primes and k
+// special primes of the given sizes, all ≡ 1 (mod 2N·t).
+func GenParams(logN, levels, dnum, k int, qBits, pBits uint64, t uint64) (Parameters, error) {
+	n2t := uint64(2) << uint(logN)
+	n2t *= t
+	need := map[uint64]int{qBits: levels + 1}
+	need[pBits] += k
+	pools := map[uint64][]uint64{}
+	for bits, count := range need {
+		ps, err := modmath.GenerateNTTPrimes(bits, n2t, count)
+		if err != nil {
+			return Parameters{}, err
+		}
+		pools[bits] = ps
+	}
+	q := pools[qBits][:levels+1]
+	pools[qBits] = pools[qBits][levels+1:]
+	p := pools[pBits][:k]
+	params := Parameters{LogN: logN, T: t, Q: q, P: p, Dnum: dnum, Sigma: 3.2}
+	return params, params.Validate()
+}
+
+// TestParams returns a fast functional set: N=2^7, t=65537, 5 levels,
+// per-prime digits (alpha=1) so P comfortably dominates the key-switch
+// noise.
+func TestParams() Parameters {
+	p, err := GenParams(7, 4, 5, 2, 45, 46, 65537)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Context holds the instantiated rings and converters.
+type Context struct {
+	Params Parameters
+	RQ, RP *ring.Ring
+	RT     *ring.SubRing // plaintext ring Z_t[X]/(X^N+1) for slot packing
+	Ext    *ring.Extender
+
+	groupToQ []*ring.BasisConverter
+	groupToP []*ring.BasisConverter
+
+	// pToQT converts the special basis P into [t, q_0, q_1, …] so the
+	// t-corrected ModDown can read the centered value modulo t.
+	pToQT *ring.BasisConverter
+	pModQ []uint64 // P mod q_i
+	pInvQ []uint64 // P^{-1} mod q_i
+}
+
+// NewContext instantiates a context.
+func NewContext(params Parameters) (*Context, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	rq, err := ring.NewRing(params.N(), params.Q)
+	if err != nil {
+		return nil, err
+	}
+	rp, err := ring.NewRing(params.N(), params.P)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := ring.NewSubRing(params.N(), params.T)
+	if err != nil {
+		return nil, err
+	}
+	ctx := &Context{Params: params, RQ: rq, RP: rp, RT: rt,
+		Ext: ring.NewExtender(rq, rp)}
+	alpha := params.Alpha()
+	for g := 0; g*alpha < len(params.Q); g++ {
+		hi := (g + 1) * alpha
+		if hi > len(params.Q) {
+			hi = len(params.Q)
+		}
+		src := params.Q[g*alpha : hi]
+		ctx.groupToQ = append(ctx.groupToQ, ring.NewBasisConverter(src, params.Q))
+		ctx.groupToP = append(ctx.groupToP, ring.NewBasisConverter(src, params.P))
+	}
+	ctx.pToQT = ring.NewBasisConverter(params.P,
+		append([]uint64{params.T}, params.Q...))
+	P := big.NewInt(1)
+	for _, p := range params.P {
+		P.Mul(P, new(big.Int).SetUint64(p))
+	}
+	tmp := new(big.Int)
+	for _, qi := range params.Q {
+		pq := tmp.Mod(P, new(big.Int).SetUint64(qi)).Uint64()
+		ctx.pModQ = append(ctx.pModQ, pq)
+		ctx.pInvQ = append(ctx.pInvQ, modmath.InvMod(pq, qi))
+	}
+	return ctx, nil
+}
+
+func (c *Context) groupRange(g int) (lo, hi int) {
+	alpha := c.Params.Alpha()
+	lo = g * alpha
+	hi = lo + alpha
+	if hi > len(c.Params.Q) {
+		hi = len(c.Params.Q)
+	}
+	return
+}
+
+func (c *Context) groupsAt(level int) int {
+	alpha := c.Params.Alpha()
+	return (level + alpha) / alpha
+}
+
+// Encoder packs Z_t vectors into plaintext polynomials via the NTT over t.
+type Encoder struct {
+	ctx *Context
+}
+
+// NewEncoder returns an encoder.
+func NewEncoder(ctx *Context) *Encoder { return &Encoder{ctx: ctx} }
+
+// Encode maps a slot vector (values mod t, length ≤ N) to a plaintext poly
+// over Q at the given level, with centered coefficient lift.
+func (e *Encoder) Encode(slots []uint64, level int) (*ring.Poly, error) {
+	n := e.ctx.Params.N()
+	if len(slots) > n {
+		return nil, fmt.Errorf("bgv: %d values exceed %d slots", len(slots), n)
+	}
+	t := e.ctx.Params.T
+	coeffs := make([]uint64, n)
+	for i, v := range slots {
+		coeffs[i] = v % t
+	}
+	e.ctx.RT.INTT(coeffs)
+	p := e.ctx.RQ.NewPoly(level)
+	for j := 0; j < n; j++ {
+		c := ring.SignedCoeff(coeffs[j], t) // centered lift
+		for i := 0; i <= level; i++ {
+			qi := e.ctx.RQ.Moduli[i]
+			if c >= 0 {
+				p.Coeffs[i][j] = uint64(c)
+			} else {
+				p.Coeffs[i][j] = qi - uint64(-c)
+			}
+		}
+	}
+	return p, nil
+}
+
+// Decode recovers the slot vector from a plaintext poly at the given level
+// (coefficients are CRT-reconstructed, centered and reduced mod t).
+func (e *Encoder) Decode(p *ring.Poly, level int) []uint64 {
+	n := e.ctx.Params.N()
+	t := e.ctx.Params.T
+	moduli := e.ctx.RQ.Moduli[:level+1]
+	q := e.ctx.RQ.Modulus(level)
+	half := new(big.Int).Rsh(q, 1)
+	tb := new(big.Int).SetUint64(t)
+	coeffs := make([]uint64, n)
+	res := make([]uint64, level+1)
+	for j := 0; j < n; j++ {
+		for i := 0; i <= level; i++ {
+			res[i] = p.Coeffs[i][j]
+		}
+		x := modmath.CRTReconstruct(res, moduli)
+		if x.Cmp(half) > 0 {
+			x.Sub(x, q)
+		}
+		x.Mod(x, tb)
+		if x.Sign() < 0 {
+			x.Add(x, tb)
+		}
+		coeffs[j] = x.Uint64()
+	}
+	e.ctx.RT.NTT(coeffs)
+	return coeffs
+}
+
+// Keys ------------------------------------------------------------------
+
+// SecretKey is a ternary secret over Q and P.
+type SecretKey struct{ Q, P *ring.Poly }
+
+// PublicKey is (-A·s + t·e, A).
+type PublicKey struct{ B, A *ring.Poly }
+
+// SwitchingKey mirrors the CKKS hybrid key with t-scaled errors.
+type SwitchingKey struct {
+	BQ, AQ []*ring.Poly
+	BP, AP []*ring.Poly
+}
+
+// KeyGenerator samples BGV keys.
+type KeyGenerator struct {
+	ctx *Context
+	rng *rand.Rand
+}
+
+// NewKeyGenerator returns a deterministic generator.
+func NewKeyGenerator(ctx *Context, seed int64) *KeyGenerator {
+	return &KeyGenerator{ctx: ctx, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (kg *KeyGenerator) signedTernary(n int) []int64 {
+	v := make([]int64, n)
+	for i := range v {
+		switch kg.rng.Intn(3) {
+		case 0:
+			v[i] = 1
+		case 1:
+			v[i] = -1
+		}
+	}
+	return v
+}
+
+func (kg *KeyGenerator) gaussian(n int) []int64 {
+	v := make([]int64, n)
+	for i := range v {
+		x := kg.rng.NormFloat64() * kg.ctx.Params.Sigma
+		if x > 19 {
+			x = 19
+		} else if x < -19 {
+			x = -19
+		}
+		v[i] = int64(x)
+	}
+	return v
+}
+
+func setSigned(r *ring.Ring, level int, v []int64, scale uint64) *ring.Poly {
+	p := r.NewPoly(level)
+	for i := 0; i <= level; i++ {
+		q := r.Moduli[i]
+		for j, x := range v {
+			xv := x * int64(scale)
+			if xv >= 0 {
+				p.Coeffs[i][j] = uint64(xv) % q
+			} else {
+				p.Coeffs[i][j] = q - uint64(-xv)%q
+			}
+		}
+	}
+	return p
+}
+
+func (kg *KeyGenerator) uniform(r *ring.Ring, level int) *ring.Poly {
+	p := r.NewPoly(level)
+	for i := 0; i <= level; i++ {
+		q := r.Moduli[i]
+		for j := range p.Coeffs[i] {
+			p.Coeffs[i][j] = kg.rng.Uint64() % q
+		}
+	}
+	return p
+}
+
+// GenSecretKey samples a ternary secret.
+func (kg *KeyGenerator) GenSecretKey() *SecretKey {
+	v := kg.signedTernary(kg.ctx.Params.N())
+	return &SecretKey{
+		Q: setSigned(kg.ctx.RQ, kg.ctx.RQ.MaxLevel(), v, 1),
+		P: setSigned(kg.ctx.RP, kg.ctx.RP.MaxLevel(), v, 1),
+	}
+}
+
+// GenPublicKey samples (-A·s + t·e, A).
+func (kg *KeyGenerator) GenPublicKey(sk *SecretKey) *PublicKey {
+	ctx := kg.ctx
+	level := ctx.RQ.MaxLevel()
+	a := kg.uniform(ctx.RQ, level)
+	e := setSigned(ctx.RQ, level, kg.gaussian(ctx.Params.N()), ctx.Params.T)
+	b := ctx.RQ.NewPoly(level)
+	ctx.RQ.MulPoly(level, a, sk.Q, b)
+	ctx.RQ.Neg(level, b, b)
+	ctx.RQ.Add(level, b, e, b)
+	return &PublicKey{B: b, A: a}
+}
+
+// GenSwitchingKey builds the hybrid key s' → s with t-scaled errors.
+func (kg *KeyGenerator) GenSwitchingKey(sPrime *ring.Poly, sk *SecretKey) *SwitchingKey {
+	ctx := kg.ctx
+	n := ctx.Params.N()
+	levelQ := ctx.RQ.MaxLevel()
+	levelP := ctx.RP.MaxLevel()
+	swk := &SwitchingKey{}
+	for g := range ctx.groupToQ {
+		aQ := kg.uniform(ctx.RQ, levelQ)
+		aP := kg.uniform(ctx.RP, levelP)
+		ev := kg.gaussian(n)
+		eQ := setSigned(ctx.RQ, levelQ, ev, ctx.Params.T)
+		eP := setSigned(ctx.RP, levelP, ev, ctx.Params.T)
+
+		bQ := ctx.RQ.NewPoly(levelQ)
+		ctx.RQ.MulPoly(levelQ, aQ, sk.Q, bQ)
+		ctx.RQ.Neg(levelQ, bQ, bQ)
+		ctx.RQ.Add(levelQ, bQ, eQ, bQ)
+		w := kg.gadgetFactor(g)
+		ws := ctx.RQ.NewPoly(levelQ)
+		for i := 0; i <= levelQ; i++ {
+			ctx.RQ.SubRings[i].MulScalar(sPrime.Coeffs[i], w[i], ws.Coeffs[i])
+		}
+		ctx.RQ.Add(levelQ, bQ, ws, bQ)
+
+		bP := ctx.RP.NewPoly(levelP)
+		ctx.RP.MulPoly(levelP, aP, sk.P, bP)
+		ctx.RP.Neg(levelP, bP, bP)
+		ctx.RP.Add(levelP, bP, eP, bP)
+
+		ctx.RQ.NTT(levelQ, bQ)
+		ctx.RQ.NTT(levelQ, aQ)
+		ctx.RP.NTT(levelP, bP)
+		ctx.RP.NTT(levelP, aP)
+		swk.BQ = append(swk.BQ, bQ)
+		swk.AQ = append(swk.AQ, aQ)
+		swk.BP = append(swk.BP, bP)
+		swk.AP = append(swk.AP, aP)
+	}
+	return swk
+}
+
+func (kg *KeyGenerator) gadgetFactor(g int) []uint64 {
+	ctx := kg.ctx
+	lo, hi := ctx.groupRange(g)
+	Q := big.NewInt(1)
+	for _, q := range ctx.Params.Q {
+		Q.Mul(Q, new(big.Int).SetUint64(q))
+	}
+	Dg := big.NewInt(1)
+	for _, q := range ctx.Params.Q[lo:hi] {
+		Dg.Mul(Dg, new(big.Int).SetUint64(q))
+	}
+	P := big.NewInt(1)
+	for _, p := range ctx.Params.P {
+		P.Mul(P, new(big.Int).SetUint64(p))
+	}
+	Qhat := new(big.Int).Div(Q, Dg)
+	inv := new(big.Int).ModInverse(new(big.Int).Mod(Qhat, Dg), Dg)
+	W := new(big.Int).Mul(P, Qhat)
+	W.Mul(W, inv)
+	out := make([]uint64, len(ctx.Params.Q))
+	tmp := new(big.Int)
+	for i, qi := range ctx.Params.Q {
+		out[i] = tmp.Mod(W, new(big.Int).SetUint64(qi)).Uint64()
+	}
+	return out
+}
+
+// GenRelinKey returns the s² → s key.
+func (kg *KeyGenerator) GenRelinKey(sk *SecretKey) *SwitchingKey {
+	ctx := kg.ctx
+	level := ctx.RQ.MaxLevel()
+	s2 := ctx.RQ.NewPoly(level)
+	ctx.RQ.MulPoly(level, sk.Q, sk.Q, s2)
+	return kg.GenSwitchingKey(s2, sk)
+}

@@ -1,0 +1,273 @@
+package bgv
+
+import (
+	"fmt"
+	"math/rand"
+
+	"alchemist/internal/modmath"
+	"alchemist/internal/ring"
+)
+
+// Ciphertext is a BGV ciphertext (B, A) with decryption (B + A·s) mod t.
+type Ciphertext struct {
+	B, A  *ring.Poly
+	Level int
+}
+
+// Encryptor encrypts under a public key.
+type Encryptor struct {
+	ctx *Context
+	pk  *PublicKey
+	rng *rand.Rand
+}
+
+// NewEncryptor returns an encryptor.
+func NewEncryptor(ctx *Context, pk *PublicKey, seed int64) *Encryptor {
+	return &Encryptor{ctx: ctx, pk: pk, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Encrypt encrypts a plaintext polynomial at the given level:
+// (u·pk.B + t·e0 + m, u·pk.A + t·e1).
+func (e *Encryptor) Encrypt(pt *ring.Poly, level int) *Ciphertext {
+	ctx := e.ctx
+	kg := &KeyGenerator{ctx: ctx, rng: e.rng}
+	n := ctx.Params.N()
+	u := setSigned(ctx.RQ, level, kg.signedTernary(n), 1)
+	e0 := setSigned(ctx.RQ, level, kg.gaussian(n), ctx.Params.T)
+	e1 := setSigned(ctx.RQ, level, kg.gaussian(n), ctx.Params.T)
+	b := ctx.RQ.NewPoly(level)
+	a := ctx.RQ.NewPoly(level)
+	ctx.RQ.MulPoly(level, e.pk.B, u, b)
+	ctx.RQ.MulPoly(level, e.pk.A, u, a)
+	ctx.RQ.Add(level, b, e0, b)
+	ctx.RQ.Add(level, b, pt, b)
+	ctx.RQ.Add(level, a, e1, a)
+	return &Ciphertext{B: b, A: a, Level: level}
+}
+
+// Decryptor decrypts with the secret key.
+type Decryptor struct {
+	ctx *Context
+	sk  *SecretKey
+}
+
+// NewDecryptor returns a decryptor.
+func NewDecryptor(ctx *Context, sk *SecretKey) *Decryptor {
+	return &Decryptor{ctx: ctx, sk: sk}
+}
+
+// DecryptPoly returns B + A·s at ct's level (reduce mod t to read the
+// message; Encoder.Decode does both).
+func (d *Decryptor) DecryptPoly(ct *Ciphertext) *ring.Poly {
+	out := d.ctx.RQ.NewPoly(ct.Level)
+	d.ctx.RQ.MulPoly(ct.Level, ct.A, d.sk.Q, out)
+	d.ctx.RQ.Add(ct.Level, out, ct.B, out)
+	return out
+}
+
+// Evaluator performs homomorphic operations.
+type Evaluator struct {
+	ctx *Context
+	rlk *SwitchingKey
+}
+
+// NewEvaluator returns an evaluator (rlk may be nil for additions).
+func NewEvaluator(ctx *Context, rlk *SwitchingKey) *Evaluator {
+	return &Evaluator{ctx: ctx, rlk: rlk}
+}
+
+func minLevel(a, b *Ciphertext) int {
+	if a.Level < b.Level {
+		return a.Level
+	}
+	return b.Level
+}
+
+// Add returns a + b.
+func (ev *Evaluator) Add(a, b *Ciphertext) *Ciphertext {
+	level := minLevel(a, b)
+	out := &Ciphertext{B: ev.ctx.RQ.NewPoly(level), A: ev.ctx.RQ.NewPoly(level), Level: level}
+	ev.ctx.RQ.Add(level, a.B, b.B, out.B)
+	ev.ctx.RQ.Add(level, a.A, b.A, out.A)
+	return out
+}
+
+// Sub returns a - b.
+func (ev *Evaluator) Sub(a, b *Ciphertext) *Ciphertext {
+	level := minLevel(a, b)
+	out := &Ciphertext{B: ev.ctx.RQ.NewPoly(level), A: ev.ctx.RQ.NewPoly(level), Level: level}
+	ev.ctx.RQ.Sub(level, a.B, b.B, out.B)
+	ev.ctx.RQ.Sub(level, a.A, b.A, out.A)
+	return out
+}
+
+// MulPlain returns ct ⊙ pt for a plaintext polynomial.
+func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *ring.Poly) *Ciphertext {
+	level := ct.Level
+	out := &Ciphertext{B: ev.ctx.RQ.NewPoly(level), A: ev.ctx.RQ.NewPoly(level), Level: level}
+	ev.ctx.RQ.MulPoly(level, ct.B, pt, out.B)
+	ev.ctx.RQ.MulPoly(level, ct.A, pt, out.A)
+	return out
+}
+
+// MulRelin returns a·b with relinearization. The product plaintext is
+// m_a·m_b mod t, exactly.
+func (ev *Evaluator) MulRelin(a, b *Ciphertext) (*Ciphertext, error) {
+	if ev.rlk == nil {
+		return nil, fmt.Errorf("bgv: relinearization key missing")
+	}
+	ctx := ev.ctx
+	rq := ctx.RQ
+	level := minLevel(a, b)
+
+	b1 := rq.Clone(level, a.B)
+	a1 := rq.Clone(level, a.A)
+	b2 := rq.Clone(level, b.B)
+	a2 := rq.Clone(level, b.A)
+	rq.NTT(level, b1)
+	rq.NTT(level, a1)
+	rq.NTT(level, b2)
+	rq.NTT(level, a2)
+
+	d0 := rq.NewPoly(level)
+	d1 := rq.NewPoly(level)
+	d2 := rq.NewPoly(level)
+	rq.MulCoeffs(level, b1, b2, d0)
+	rq.MulCoeffs(level, b1, a2, d1)
+	rq.MulCoeffsAndAdd(level, a1, b2, d1)
+	rq.MulCoeffs(level, a1, a2, d2)
+	rq.INTT(level, d0)
+	rq.INTT(level, d1)
+	rq.INTT(level, d2)
+
+	ksB, ksA := ev.keySwitch(level, d2, ev.rlk)
+	rq.Add(level, d0, ksB, d0)
+	rq.Add(level, d1, ksA, d1)
+	return &Ciphertext{B: d0, A: d1, Level: level}, nil
+}
+
+// keySwitch mirrors the CKKS hybrid key switch but uses the exact centered
+// ModDown so the division by P (≡ 1 mod t) leaves the plaintext untouched.
+func (ev *Evaluator) keySwitch(level int, c *ring.Poly, swk *SwitchingKey) (*ring.Poly, *ring.Poly) {
+	ctx := ev.ctx
+	rq, rp := ctx.RQ, ctx.RP
+	levelP := rp.MaxLevel()
+	groups := ctx.groupsAt(level)
+
+	accBQ := rq.NewPoly(level)
+	accAQ := rq.NewPoly(level)
+	accBP := rp.NewPoly(levelP)
+	accAP := rp.NewPoly(levelP)
+	dQ := rq.NewPoly(level)
+	dP := rp.NewPoly(levelP)
+
+	for g := 0; g < groups; g++ {
+		lo, hi := ctx.groupRange(g)
+		if hi > level+1 {
+			hi = level + 1
+		}
+		digits := c.Coeffs[lo:hi]
+		srcLevel := hi - lo - 1
+		ctx.groupToQ[g].ConvertN(srcLevel, digits, dQ.Coeffs, level+1)
+		ctx.groupToP[g].Convert(srcLevel, digits, dP.Coeffs)
+		rq.NTT(level, dQ)
+		rp.NTT(levelP, dP)
+		rq.MulCoeffsAndAdd(level, dQ, swk.BQ[g], accBQ)
+		rq.MulCoeffsAndAdd(level, dQ, swk.AQ[g], accAQ)
+		rp.MulCoeffsAndAdd(levelP, dP, swk.BP[g], accBP)
+		rp.MulCoeffsAndAdd(levelP, dP, swk.AP[g], accAP)
+	}
+	rq.INTT(level, accBQ)
+	rq.INTT(level, accAQ)
+	rp.INTT(levelP, accBP)
+	rp.INTT(levelP, accAP)
+
+	outB := rq.NewPoly(level)
+	outA := rq.NewPoly(level)
+	ev.modDownT(level, accBQ, accBP, outB)
+	ev.modDownT(level, accAQ, accAP, outA)
+	return outB, outA
+}
+
+// modDownT divides an accumulator over Q·P by P with the BGV t-correction:
+// the subtracted representative δ satisfies δ ≡ x (mod P) and δ ≡ 0 (mod t)
+// (δ = centered([x]_P) + P·w, w ≡ -[x]_P (mod t)), so the result stays
+// ≡ x (mod t) while noise only grows by ≤ t.
+func (ev *Evaluator) modDownT(level int, aQ, aP, out *ring.Poly) {
+	ctx := ev.ctx
+	n := ctx.Params.N()
+	t := ctx.Params.T
+	// Exact centered conversion into [t, q_0..q_level].
+	conv := make([][]uint64, level+2)
+	for i := range conv {
+		conv[i] = make([]uint64, n)
+	}
+	ctx.pToQT.ConvertExact(len(ctx.Params.P)-1, aP.Coeffs, conv, level+2, true)
+	convT := conv[0]
+	w := make([]uint64, n)
+	for k := 0; k < n; k++ {
+		w[k] = (t - convT[k]) % t // w ≡ -[x]_P (mod t); P ≡ 1 (mod t)
+	}
+	for i := 0; i <= level; i++ {
+		qi := ctx.RQ.Moduli[i]
+		pq := ctx.pModQ[i]
+		inv := ctx.pInvQ[i]
+		invS := modmath.ShoupPrecomp(inv, qi)
+		src, ci, dst := aQ.Coeffs[i], conv[i+1], out.Coeffs[i]
+		for k := 0; k < n; k++ {
+			delta := modmath.AddMod(ci[k], modmath.MulMod(w[k], pq, qi), qi)
+			d := modmath.SubMod(src[k], delta, qi)
+			dst[k] = modmath.MulModShoup(d, inv, invS, qi)
+		}
+	}
+}
+
+// Rescale performs the BGV modulus switch: divides the ciphertext by its
+// last modulus q_l (≡ 1 mod t) with a correction δ' ≡ [x]_{q_l} (mod q_l)
+// and ≡ 0 (mod t), shrinking noise by ≈ q_l without touching the plaintext.
+func (ev *Evaluator) Rescale(ct *Ciphertext) (*Ciphertext, error) {
+	if ct.Level == 0 {
+		return nil, fmt.Errorf("bgv: no level left to rescale")
+	}
+	ctx := ev.ctx
+	level := ct.Level
+	out := &Ciphertext{
+		B:     ctx.RQ.NewPoly(level - 1),
+		A:     ctx.RQ.NewPoly(level - 1),
+		Level: level - 1,
+	}
+	ev.modSwitchPoly(level, ct.B, out.B)
+	ev.modSwitchPoly(level, ct.A, out.A)
+	return out, nil
+}
+
+func (ev *Evaluator) modSwitchPoly(level int, in, out *ring.Poly) {
+	ctx := ev.ctx
+	t := int64(ctx.Params.T)
+	ql := ctx.RQ.Moduli[level]
+	n := ctx.Params.N()
+	// Per-channel inverse of q_l.
+	for i := 0; i < level; i++ {
+		qi := ctx.RQ.Moduli[i]
+		inv := modmath.InvMod(ql%qi, qi)
+		invS := modmath.ShoupPrecomp(inv, qi)
+		for k := 0; k < n; k++ {
+			// δ' = centered([x]_{q_l}) + q_l·w with w ≡ -δ (mod t); since
+			// q_l ≡ 1 (mod t), δ' ≡ 0 (mod t) and ≡ [x]_{q_l} (mod q_l).
+			dc := ring.SignedCoeff(in.Coeffs[level][k], ql)
+			w := (-dc) % t
+			if w < 0 {
+				w += t
+			}
+			delta := dc + int64(ql)*w // |δ'| < q_l·(t+1): fits int64 for 45-bit q_l, 17-bit t
+			var dmod uint64
+			if delta >= 0 {
+				dmod = uint64(delta) % qi
+			} else {
+				dmod = qi - uint64(-delta)%qi
+			}
+			d := modmath.SubMod(in.Coeffs[i][k], dmod, qi)
+			out.Coeffs[i][k] = modmath.MulModShoup(d, inv, invS, qi)
+		}
+	}
+}

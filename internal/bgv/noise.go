@@ -1,0 +1,52 @@
+package bgv
+
+import (
+	"math"
+	"math/big"
+
+	"alchemist/internal/modmath"
+)
+
+// NoiseBitsOf measures the ciphertext noise against the expected slot
+// values: the bit length of the largest centered coefficient of
+// (decrypt − encode(slots)). Decryption stays correct while this is below
+// log2(Q_level) - 1.
+func NoiseBitsOf(ctx *Context, dt *Decryptor, enc *Encoder, ct *Ciphertext, slots []uint64) float64 {
+	want, err := enc.Encode(slots, ct.Level)
+	if err != nil {
+		return math.Inf(1)
+	}
+	dec := dt.DecryptPoly(ct)
+	moduli := ctx.RQ.Moduli[:ct.Level+1]
+	q := ctx.RQ.Modulus(ct.Level)
+	half := new(big.Int).Rsh(q, 1)
+	res := make([]uint64, ct.Level+1)
+	worst := new(big.Int)
+	for j := 0; j < ctx.Params.N(); j++ {
+		for i := 0; i <= ct.Level; i++ {
+			res[i] = modmath.SubMod(dec.Coeffs[i][j], want.Coeffs[i][j], moduli[i])
+		}
+		x := modmath.CRTReconstruct(res, moduli)
+		if x.Cmp(half) > 0 {
+			x.Sub(x, q)
+			x.Neg(x)
+		}
+		if x.CmpAbs(worst) > 0 {
+			worst.Set(x)
+		}
+	}
+	if worst.Sign() == 0 {
+		return math.Inf(-1)
+	}
+	return float64(worst.BitLen())
+}
+
+// BudgetBits returns the remaining noise budget: log2(Q_level) minus the
+// measured noise bits.
+func BudgetBits(ctx *Context, level int, noiseBits float64) float64 {
+	bits := 0.0
+	for i := 0; i <= level; i++ {
+		bits += math.Log2(float64(ctx.Params.Q[i]))
+	}
+	return bits - noiseBits
+}

@@ -1,0 +1,49 @@
+package bgv
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNoiseGrowsWithDepthButStaysBudgeted(t *testing.T) {
+	h := newHarness(t)
+	tmod := h.ctx.Params.T
+	n := h.ctx.Params.N()
+	acc := randSlots(n, tmod, 31)
+	ct := h.encrypt(t, acc)
+
+	fresh := NoiseBitsOf(h.ctx, h.dt, h.enc, ct, acc)
+	if math.IsInf(fresh, 1) {
+		t.Fatal("noise measurement failed")
+	}
+	if b := BudgetBits(h.ctx, ct.Level, fresh); b < 50 {
+		t.Fatalf("fresh budget only %.0f bits", b)
+	}
+
+	z := randSlots(n, tmod, 32)
+	other := h.encrypt(t, z)
+	prod, err := h.ev.MulRelin(ct, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range acc {
+		acc[i] = acc[i] * z[i] % tmod
+	}
+	after := NoiseBitsOf(h.ctx, h.dt, h.enc, prod, acc)
+	if after <= fresh {
+		t.Fatalf("multiplication should grow noise: %.0f -> %.0f bits", fresh, after)
+	}
+	if b := BudgetBits(h.ctx, prod.Level, after); b < 1 {
+		t.Fatalf("budget exhausted after one mult: %.0f bits", b)
+	}
+
+	// Rescaling shrinks the noise (by ≈ log2 q_l).
+	res, err := h.ev.Rescale(prod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rescaled := NoiseBitsOf(h.ctx, h.dt, h.enc, res, acc)
+	if rescaled >= after-20 {
+		t.Fatalf("rescale should cut noise by ≈45 bits: %.0f -> %.0f", after, rescaled)
+	}
+}

@@ -1,0 +1,26 @@
+package bgv
+
+import "testing"
+
+func TestCiphertextSerializationRoundTrip(t *testing.T) {
+	h := newHarness(t)
+	slots := randSlots(h.ctx.Params.N(), h.ctx.Params.T, 91)
+	ct := h.encrypt(t, slots)
+	blob, err := ct.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Ciphertext
+	if err := back.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	assertEq(t, h.decrypt(&back), slots, "serialized decrypt")
+	if err := back.UnmarshalBinary(blob[:6]); err == nil {
+		t.Error("expected truncation rejection")
+	}
+	bad := append([]byte(nil), blob...)
+	bad[0] = 0x7F
+	if err := back.UnmarshalBinary(bad); err == nil {
+		t.Error("expected level-mismatch rejection")
+	}
+}

@@ -1,0 +1,207 @@
+package ckks
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"math/cmplx"
+
+	"alchemist/internal/modmath"
+	"alchemist/internal/ring"
+)
+
+// Encoder maps vectors of N/2 complex slots to ring elements through the
+// canonical embedding: slot k corresponds to evaluation of the message
+// polynomial at ζ^(5^k mod 2N), ζ = exp(iπ/N).
+type Encoder struct {
+	ctx      *Context
+	n        int          // slots = N/2
+	m        int          // 2N
+	roots    []complex128 // roots[k] = exp(2πi k / 2N), k ∈ [0, 2N)
+	rotGroup []int        // 5^j mod 2N
+}
+
+// NewEncoder builds an encoder for the context.
+func NewEncoder(ctx *Context) *Encoder {
+	n := ctx.Params.Slots()
+	m := 4 * n // 2N
+	e := &Encoder{ctx: ctx, n: n, m: m}
+	e.roots = make([]complex128, m+1)
+	for k := 0; k <= m; k++ {
+		angle := 2 * math.Pi * float64(k) / float64(m)
+		e.roots[k] = cmplx.Rect(1, angle)
+	}
+	e.rotGroup = make([]int, n)
+	fivePow := 1
+	for j := 0; j < n; j++ {
+		e.rotGroup[j] = fivePow
+		fivePow = fivePow * 5 % m
+	}
+	return e
+}
+
+// Encode packs values (≤ N/2 complex slots, zero-padded) into a fresh
+// coefficient-domain polynomial at the given level and scale.
+func (e *Encoder) Encode(values []complex128, level int, scale float64) (*ring.Poly, error) {
+	if len(values) > e.n {
+		return nil, fmt.Errorf("ckks: %d values exceed %d slots", len(values), e.n)
+	}
+	w := make([]complex128, e.n)
+	copy(w, values)
+	e.specialIFFT(w)
+	p := e.ctx.RQ.NewPoly(level)
+	for j := 0; j < e.n; j++ {
+		e.setCoeff(p, j, math.Round(real(w[j])*scale), level)
+		e.setCoeff(p, j+e.n, math.Round(imag(w[j])*scale), level)
+	}
+	return p, nil
+}
+
+// Decode reads slots back from a coefficient-domain polynomial.
+func (e *Encoder) Decode(p *ring.Poly, level int, scale float64) []complex128 {
+	w := make([]complex128, e.n)
+	for j := 0; j < e.n; j++ {
+		re := e.centeredCoeff(p, j, level)
+		im := e.centeredCoeff(p, j+e.n, level)
+		w[j] = complex(re/scale, im/scale)
+	}
+	e.specialFFT(w)
+	return w
+}
+
+// setCoeff writes the signed value v into coefficient j across levels 0..level.
+func (e *Encoder) setCoeff(p *ring.Poly, j int, v float64, level int) {
+	neg := v < 0
+	abs := uint64(math.Abs(v))
+	for i := 0; i <= level; i++ {
+		q := e.ctx.RQ.Moduli[i]
+		r := abs % q
+		if neg && r != 0 {
+			r = q - r
+		}
+		p.Coeffs[i][j] = r
+	}
+}
+
+// centeredCoeff reads coefficient j as a centered float, CRT-reconstructing
+// across levels 0..level so that coefficients larger than q_0 (e.g. after a
+// multiplication, before rescaling) decode correctly.
+func (e *Encoder) centeredCoeff(p *ring.Poly, j, level int) float64 {
+	if level == 0 {
+		return float64(ring.SignedCoeff(p.Coeffs[0][j], e.ctx.RQ.Moduli[0]))
+	}
+	moduli := e.ctx.RQ.Moduli[:level+1]
+	res := make([]uint64, level+1)
+	for i := range res {
+		res[i] = p.Coeffs[i][j]
+	}
+	x := modmath.CRTReconstruct(res, moduli)
+	q := e.ctx.RQ.Modulus(level)
+	half := new(big.Int).Rsh(q, 1)
+	if x.Cmp(half) > 0 {
+		x.Sub(x, q)
+	}
+	f, _ := new(big.Float).SetInt(x).Float64()
+	return f
+}
+
+// specialFFT evaluates the half-DFT used for decoding:
+// out[k] = Σ_j w[j] · ζ^(j · 5^k mod 2N). In-place, O(n log n).
+func (e *Encoder) specialFFT(vals []complex128) {
+	n := len(vals)
+	bitReverseComplex(vals)
+	for length := 2; length <= n; length <<= 1 {
+		lenh := length >> 1
+		lenq := length << 2
+		gap := e.m / lenq
+		for i := 0; i < n; i += length {
+			for j := 0; j < lenh; j++ {
+				idx := (e.rotGroup[j] % lenq) * gap
+				u := vals[i+j]
+				v := vals[i+j+lenh] * e.roots[idx]
+				vals[i+j] = u + v
+				vals[i+j+lenh] = u - v
+			}
+		}
+	}
+}
+
+// specialIFFT inverts specialFFT (encoding direction).
+func (e *Encoder) specialIFFT(vals []complex128) {
+	n := len(vals)
+	for length := n; length >= 2; length >>= 1 {
+		lenh := length >> 1
+		lenq := length << 2
+		gap := e.m / lenq
+		for i := 0; i < n; i += length {
+			for j := 0; j < lenh; j++ {
+				idx := (lenq - (e.rotGroup[j] % lenq)) * gap
+				u := vals[i+j] + vals[i+j+lenh]
+				v := (vals[i+j] - vals[i+j+lenh]) * e.roots[idx]
+				vals[i+j] = u
+				vals[i+j+lenh] = v
+			}
+		}
+	}
+	bitReverseComplex(vals)
+	inv := complex(1/float64(n), 0)
+	for i := range vals {
+		vals[i] *= inv
+	}
+}
+
+func bitReverseComplex(v []complex128) {
+	n := len(v)
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	for i := 0; i < n; i++ {
+		j := 0
+		x := i
+		for b := 0; b < bits; b++ {
+			j = j<<1 | (x & 1)
+			x >>= 1
+		}
+		if i < j {
+			v[i], v[j] = v[j], v[i]
+		}
+	}
+}
+
+// decodeDirect is the O(n·N) reference decode used to validate the FFT
+// network: z_k = (1/scale) · m(ζ^(5^k)) with centered coefficients.
+func (e *Encoder) decodeDirect(p *ring.Poly, level int, scale float64) []complex128 {
+	nCoeffs := 2 * e.n
+	coeffs := make([]float64, nCoeffs)
+	for j := 0; j < nCoeffs; j++ {
+		coeffs[j] = e.centeredCoeff(p, j, level)
+	}
+	out := make([]complex128, e.n)
+	for k := 0; k < e.n; k++ {
+		pk := e.rotGroup[k]
+		var acc complex128
+		for j := 0; j < nCoeffs; j++ {
+			acc += complex(coeffs[j], 0) * e.roots[(j*pk)%e.m]
+		}
+		out[k] = acc / complex(scale, 0)
+	}
+	return out
+}
+
+// encodeDirect is the O(n·N) reference encode:
+// m_j = round((2·scale/N) · Re( Σ_k z_k · ζ^(-j·5^k) )).
+func (e *Encoder) encodeDirect(values []complex128, level int, scale float64) *ring.Poly {
+	nCoeffs := 2 * e.n
+	p := e.ctx.RQ.NewPoly(level)
+	for j := 0; j < nCoeffs; j++ {
+		var acc complex128
+		for k := 0; k < e.n && k < len(values); k++ {
+			pk := e.rotGroup[k]
+			acc += values[k] * e.roots[(e.m-(j*pk)%e.m)%e.m]
+		}
+		v := math.Round(real(acc) * scale / float64(e.n))
+		e.setCoeff(p, j, v, level)
+	}
+	return p
+}

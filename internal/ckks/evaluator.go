@@ -1,0 +1,408 @@
+package ckks
+
+import (
+	"fmt"
+	"math/rand"
+
+	"alchemist/internal/ring"
+)
+
+// Ciphertext is a degree-1 CKKS ciphertext (B, A) over Q with decryption
+// B + A·s. Both polynomials are kept in the coefficient domain.
+type Ciphertext struct {
+	B, A  *ring.Poly
+	Level int
+	Scale float64
+}
+
+// CopyCt returns a deep copy.
+func (ctx *Context) CopyCt(ct *Ciphertext) *Ciphertext {
+	return &Ciphertext{
+		B:     ctx.RQ.Clone(ct.Level, ct.B),
+		A:     ctx.RQ.Clone(ct.Level, ct.A),
+		Level: ct.Level,
+		Scale: ct.Scale,
+	}
+}
+
+// Encryptor encrypts plaintext polynomials under a public key.
+type Encryptor struct {
+	ctx *Context
+	pk  *PublicKey
+	rng *rand.Rand
+}
+
+// NewEncryptor returns an encryptor with deterministic randomness.
+func NewEncryptor(ctx *Context, pk *PublicKey, seed int64) *Encryptor {
+	return &Encryptor{ctx: ctx, pk: pk, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Encrypt encrypts the coefficient-domain plaintext pt at its level:
+// (B, A) = (u·pk.B + e0 + pt, u·pk.A + e1).
+func (e *Encryptor) Encrypt(pt *ring.Poly, level int, scale float64) *Ciphertext {
+	ctx := e.ctx
+	n := ctx.Params.N()
+	kg := &KeyGenerator{ctx: ctx, rng: e.rng}
+	u := setSigned(ctx.RQ, level, kg.signedTernary(n, 2.0/3.0))
+	e0 := setSigned(ctx.RQ, level, kg.signedGaussian(n, ctx.Params.Sigma))
+	e1 := setSigned(ctx.RQ, level, kg.signedGaussian(n, ctx.Params.Sigma))
+
+	b := ctx.RQ.NewPoly(level)
+	a := ctx.RQ.NewPoly(level)
+	ctx.RQ.MulPoly(level, e.pk.B, u, b)
+	ctx.RQ.MulPoly(level, e.pk.A, u, a)
+	ctx.RQ.Add(level, b, e0, b)
+	ctx.RQ.Add(level, b, pt, b)
+	ctx.RQ.Add(level, a, e1, a)
+	return &Ciphertext{B: b, A: a, Level: level, Scale: scale}
+}
+
+// Decryptor decrypts ciphertexts with the secret key.
+type Decryptor struct {
+	ctx *Context
+	sk  *SecretKey
+}
+
+// NewDecryptor returns a decryptor.
+func NewDecryptor(ctx *Context, sk *SecretKey) *Decryptor {
+	return &Decryptor{ctx: ctx, sk: sk}
+}
+
+// DecryptPoly returns the plaintext polynomial B + A·s at ct's level.
+func (d *Decryptor) DecryptPoly(ct *Ciphertext) *ring.Poly {
+	ctx := d.ctx
+	out := ctx.RQ.NewPoly(ct.Level)
+	ctx.RQ.MulPoly(ct.Level, ct.A, d.sk.Q, out)
+	ctx.RQ.Add(ct.Level, out, ct.B, out)
+	return out
+}
+
+// Evaluator performs homomorphic operations using an evaluation key set.
+type Evaluator struct {
+	ctx *Context
+	eks *EvaluationKeySet
+}
+
+// NewEvaluator returns an evaluator. eks may be nil for key-free operations
+// (Add, MulPlain, Rescale).
+func NewEvaluator(ctx *Context, eks *EvaluationKeySet) *Evaluator {
+	return &Evaluator{ctx: ctx, eks: eks}
+}
+
+func (ev *Evaluator) alignLevels(a, b *Ciphertext) int {
+	if a.Level < b.Level {
+		return a.Level
+	}
+	return b.Level
+}
+
+// Add returns a + b (equal scales required).
+func (ev *Evaluator) Add(a, b *Ciphertext) (*Ciphertext, error) {
+	if err := sameScale(a, b); err != nil {
+		return nil, err
+	}
+	level := ev.alignLevels(a, b)
+	out := &Ciphertext{
+		B:     ev.ctx.RQ.NewPoly(level),
+		A:     ev.ctx.RQ.NewPoly(level),
+		Level: level,
+		Scale: a.Scale,
+	}
+	ev.ctx.RQ.Add(level, a.B, b.B, out.B)
+	ev.ctx.RQ.Add(level, a.A, b.A, out.A)
+	return out, nil
+}
+
+// Sub returns a - b (equal scales required).
+func (ev *Evaluator) Sub(a, b *Ciphertext) (*Ciphertext, error) {
+	if err := sameScale(a, b); err != nil {
+		return nil, err
+	}
+	level := ev.alignLevels(a, b)
+	out := &Ciphertext{
+		B:     ev.ctx.RQ.NewPoly(level),
+		A:     ev.ctx.RQ.NewPoly(level),
+		Level: level,
+		Scale: a.Scale,
+	}
+	ev.ctx.RQ.Sub(level, a.B, b.B, out.B)
+	ev.ctx.RQ.Sub(level, a.A, b.A, out.A)
+	return out, nil
+}
+
+func sameScale(a, b *Ciphertext) error {
+	ratio := a.Scale / b.Scale
+	if ratio < 0.999999 || ratio > 1.000001 {
+		return fmt.Errorf("ckks: scale mismatch %g vs %g", a.Scale, b.Scale)
+	}
+	return nil
+}
+
+// AddPlain returns ct + pt where pt is encoded at ct's scale.
+func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *ring.Poly) *Ciphertext {
+	out := ev.ctx.CopyCt(ct)
+	ev.ctx.RQ.Add(ct.Level, out.B, pt, out.B)
+	return out
+}
+
+// MulPlain returns ct ⊙ pt (the paper's Pmult). The output scale is the
+// product of the two scales; the caller typically rescales afterwards.
+func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *ring.Poly, ptScale float64) *Ciphertext {
+	ctx := ev.ctx
+	level := ct.Level
+	out := &Ciphertext{
+		B:     ctx.RQ.NewPoly(level),
+		A:     ctx.RQ.NewPoly(level),
+		Level: level,
+		Scale: ct.Scale * ptScale,
+	}
+	ctx.RQ.MulPoly(level, ct.B, pt, out.B)
+	ctx.RQ.MulPoly(level, ct.A, pt, out.A)
+	return out
+}
+
+// MulRelin returns a ⊙ b with relinearization (the paper's Cmult, before
+// rescaling).
+func (ev *Evaluator) MulRelin(a, b *Ciphertext) (*Ciphertext, error) {
+	if ev.eks == nil || ev.eks.Rlk == nil {
+		return nil, fmt.Errorf("ckks: relinearization key missing")
+	}
+	ctx := ev.ctx
+	level := ev.alignLevels(a, b)
+	rq := ctx.RQ
+
+	// Tensor in the NTT domain.
+	b1 := rq.Clone(level, a.B)
+	a1 := rq.Clone(level, a.A)
+	b2 := rq.Clone(level, b.B)
+	a2 := rq.Clone(level, b.A)
+	rq.NTT(level, b1)
+	rq.NTT(level, a1)
+	rq.NTT(level, b2)
+	rq.NTT(level, a2)
+
+	d0 := rq.NewPoly(level)
+	d1 := rq.NewPoly(level)
+	d2 := rq.NewPoly(level)
+	rq.MulCoeffs(level, b1, b2, d0)
+	rq.MulCoeffs(level, b1, a2, d1)
+	rq.MulCoeffsAndAdd(level, a1, b2, d1)
+	rq.MulCoeffs(level, a1, a2, d2)
+	rq.INTT(level, d0)
+	rq.INTT(level, d1)
+	rq.INTT(level, d2)
+
+	ksB, ksA := ev.KeySwitch(level, d2, ev.eks.Rlk)
+	rq.Add(level, d0, ksB, d0)
+	rq.Add(level, d1, ksA, d1)
+	return &Ciphertext{B: d0, A: d1, Level: level, Scale: a.Scale * b.Scale}, nil
+}
+
+// DropLevel returns ct restricted to the given (lower) level, leaving the
+// scale untouched.
+func (ev *Evaluator) DropLevel(ct *Ciphertext, level int) (*Ciphertext, error) {
+	if level > ct.Level || level < 0 {
+		return nil, fmt.Errorf("ckks: cannot drop from level %d to %d", ct.Level, level)
+	}
+	out := &Ciphertext{
+		B:     ev.ctx.RQ.Clone(level, ct.B),
+		A:     ev.ctx.RQ.Clone(level, ct.A),
+		Level: level,
+		Scale: ct.Scale,
+	}
+	return out, nil
+}
+
+// MulConst multiplies every slot by the complex constant c, consuming one
+// level (MulPlain by the constant vector + rescale).
+func (ev *Evaluator) MulConst(ct *Ciphertext, c complex128, enc *Encoder) (*Ciphertext, error) {
+	n := ev.ctx.Params.Slots()
+	z := make([]complex128, n)
+	for i := range z {
+		z[i] = c
+	}
+	pt, err := enc.Encode(z, ct.Level, ev.ctx.Params.Scale)
+	if err != nil {
+		return nil, err
+	}
+	return ev.Rescale(ev.MulPlain(ct, pt, ev.ctx.Params.Scale))
+}
+
+// Rescale divides the ciphertext by its last modulus, dropping one level
+// (the CKKS modulus-switching that keeps the scale stable).
+func (ev *Evaluator) Rescale(ct *Ciphertext) (*Ciphertext, error) {
+	if ct.Level == 0 {
+		return nil, fmt.Errorf("ckks: no level left to rescale")
+	}
+	ctx := ev.ctx
+	out := &Ciphertext{
+		B:     ctx.RQ.NewPoly(ct.Level - 1),
+		A:     ctx.RQ.NewPoly(ct.Level - 1),
+		Level: ct.Level - 1,
+		Scale: ct.Scale / float64(ctx.Params.Q[ct.Level]),
+	}
+	ctx.Ext.RescaleByLastModulus(ct.Level, ct.B, out.B)
+	ctx.Ext.RescaleByLastModulus(ct.Level, ct.A, out.A)
+	return out, nil
+}
+
+// Rotate rotates the slot vector by r steps (the paper's Rotation).
+func (ev *Evaluator) Rotate(ct *Ciphertext, r int) (*Ciphertext, error) {
+	k := ev.ctx.RQ.GaloisElementForRotation(r)
+	if ev.eks == nil {
+		return nil, fmt.Errorf("ckks: rotation key for step %d missing", r)
+	}
+	key, ok := ev.eks.Rot[k]
+	if !ok {
+		return nil, fmt.Errorf("ckks: rotation key for step %d missing", r)
+	}
+	return ev.applyGalois(ct, k, key)
+}
+
+// Conjugate applies complex conjugation to the slots.
+func (ev *Evaluator) Conjugate(ct *Ciphertext) (*Ciphertext, error) {
+	if ev.eks == nil || ev.eks.Conj == nil {
+		return nil, fmt.Errorf("ckks: conjugation key missing")
+	}
+	return ev.applyGalois(ct, ev.ctx.RQ.GaloisElementConjugate(), ev.eks.Conj)
+}
+
+func (ev *Evaluator) applyGalois(ct *Ciphertext, k uint64, key *SwitchingKey) (*Ciphertext, error) {
+	ctx := ev.ctx
+	level := ct.Level
+	bp := ctx.RQ.NewPoly(level)
+	ap := ctx.RQ.NewPoly(level)
+	ctx.RQ.Automorphism(level, ct.B, k, bp)
+	ctx.RQ.Automorphism(level, ct.A, k, ap)
+	ksB, ksA := ev.KeySwitch(level, ap, key)
+	ctx.RQ.Add(level, bp, ksB, bp)
+	return &Ciphertext{B: bp, A: ksA, Level: level, Scale: ct.Scale}, nil
+}
+
+// RotateHoisted rotates ct by every step in steps, sharing one ModUp
+// decomposition across all of them ("hoisting"): the expensive per-group
+// basis conversions run once, and each rotation only permutes the digits,
+// multiplies by its key and ModDowns. The automorphism commutes with the
+// RNS decomposition (it is a coefficient permutation), which is what makes
+// the sharing sound. This is the software counterpart of the BSP-L=n+
+// schedules in the accelerator model.
+func (ev *Evaluator) RotateHoisted(ct *Ciphertext, steps []int) (map[int]*Ciphertext, error) {
+	if ev.eks == nil {
+		return nil, fmt.Errorf("ckks: rotation keys missing")
+	}
+	ctx := ev.ctx
+	rq, rp := ctx.RQ, ctx.RP
+	level := ct.Level
+	levelP := rp.MaxLevel()
+	groups := ctx.GroupsAtLevel(level)
+
+	// Shared decomposition of the A polynomial (coefficient domain).
+	dQ := make([]*ring.Poly, groups)
+	dP := make([]*ring.Poly, groups)
+	for g := 0; g < groups; g++ {
+		lo, hi := ctx.GroupRange(g)
+		if hi > level+1 {
+			hi = level + 1
+		}
+		digits := ct.A.Coeffs[lo:hi]
+		srcLevel := hi - lo - 1
+		dQ[g] = rq.NewPoly(level)
+		dP[g] = rp.NewPoly(levelP)
+		ctx.groupToQ[g].ConvertN(srcLevel, digits, dQ[g].Coeffs, level+1)
+		ctx.groupToP[g].Convert(srcLevel, digits, dP[g].Coeffs)
+	}
+
+	out := make(map[int]*Ciphertext, len(steps))
+	permQ := rq.NewPoly(level)
+	permP := rp.NewPoly(levelP)
+	for _, step := range steps {
+		k := rq.GaloisElementForRotation(step)
+		key, ok := ev.eks.Rot[k]
+		if !ok {
+			return nil, fmt.Errorf("ckks: rotation key for step %d missing", step)
+		}
+		accBQ := rq.NewPoly(level)
+		accAQ := rq.NewPoly(level)
+		accBP := rp.NewPoly(levelP)
+		accAP := rp.NewPoly(levelP)
+		for g := 0; g < groups; g++ {
+			rq.Automorphism(level, dQ[g], k, permQ)
+			rp.Automorphism(levelP, dP[g], k, permP)
+			rq.NTT(level, permQ)
+			rp.NTT(levelP, permP)
+			rq.MulCoeffsAndAdd(level, permQ, key.BQ[g], accBQ)
+			rq.MulCoeffsAndAdd(level, permQ, key.AQ[g], accAQ)
+			rp.MulCoeffsAndAdd(levelP, permP, key.BP[g], accBP)
+			rp.MulCoeffsAndAdd(levelP, permP, key.AP[g], accAP)
+		}
+		rq.INTT(level, accBQ)
+		rq.INTT(level, accAQ)
+		rp.INTT(levelP, accBP)
+		rp.INTT(levelP, accAP)
+		outB := rq.NewPoly(level)
+		outA := rq.NewPoly(level)
+		ctx.Ext.ModDown(level, accBQ, accBP, outB)
+		ctx.Ext.ModDown(level, accAQ, accAP, outA)
+		// Add the rotated B part.
+		bp := rq.NewPoly(level)
+		rq.Automorphism(level, ct.B, k, bp)
+		rq.Add(level, bp, outB, bp)
+		out[step] = &Ciphertext{B: bp, A: outA, Level: level, Scale: ct.Scale}
+	}
+	return out, nil
+}
+
+// KeySwitch applies the hybrid key switch to the coefficient-domain
+// polynomial c at the given level, returning (B, A) over Q such that
+// B + A·s ≈ c·s'. This is the paper's Keyswitch primitive: per digit group a
+// ModUp (Bconv), the DecompPolyMult accumulation against the evk, and a
+// final ModDown.
+func (ev *Evaluator) KeySwitch(level int, c *ring.Poly, swk *SwitchingKey) (*ring.Poly, *ring.Poly) {
+	ctx := ev.ctx
+	rq, rp := ctx.RQ, ctx.RP
+	levelP := rp.MaxLevel()
+	groups := ctx.GroupsAtLevel(level)
+
+	accBQ := rq.NewPoly(level) // NTT domain accumulators
+	accAQ := rq.NewPoly(level)
+	accBP := rp.NewPoly(levelP)
+	accAP := rp.NewPoly(levelP)
+
+	dQ := rq.NewPoly(level)
+	dP := rp.NewPoly(levelP)
+
+	for g := 0; g < groups; g++ {
+		lo, hi := ctx.GroupRange(g)
+		if hi > level+1 {
+			hi = level + 1
+		}
+		digits := c.Coeffs[lo:hi] // residues of digit group g (coeff domain)
+		srcLevel := hi - lo - 1
+
+		// ModUp: extend the digit to the full Q_level ∪ P basis. The
+		// conversion is exact on the group's own channels (the overshoot
+		// u·D_g vanishes mod q_i | D_g), so converting everywhere is safe.
+		ctx.groupToQ[g].ConvertN(srcLevel, digits, dQ.Coeffs, level+1)
+		ctx.groupToP[g].Convert(srcLevel, digits, dP.Coeffs)
+
+		rq.NTT(level, dQ)
+		rp.NTT(levelP, dP)
+
+		// DecompPolyMult: accumulate digit ⊙ evk_g.
+		rq.MulCoeffsAndAdd(level, dQ, swk.BQ[g], accBQ)
+		rq.MulCoeffsAndAdd(level, dQ, swk.AQ[g], accAQ)
+		rp.MulCoeffsAndAdd(levelP, dP, swk.BP[g], accBP)
+		rp.MulCoeffsAndAdd(levelP, dP, swk.AP[g], accAP)
+	}
+
+	rq.INTT(level, accBQ)
+	rq.INTT(level, accAQ)
+	rp.INTT(levelP, accBP)
+	rp.INTT(levelP, accAP)
+
+	outB := rq.NewPoly(level)
+	outA := rq.NewPoly(level)
+	ctx.Ext.ModDown(level, accBQ, accBP, outB)
+	ctx.Ext.ModDown(level, accAQ, accAP, outA)
+	return outB, outA
+}

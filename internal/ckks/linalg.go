@@ -1,0 +1,208 @@
+package ckks
+
+import (
+	"fmt"
+
+	"alchemist/internal/ring"
+)
+
+// LinearTransform is a slot-space matrix encoded by its generalized
+// diagonals: Diags[d][j] = M[j][(j+d) mod n]. Evaluating it homomorphically
+// costs one rotation and one plaintext multiplication per non-zero diagonal
+// — the building block of LoLa-style dense layers and of the CoeffToSlot /
+// SlotToCoeff transforms in bootstrapping.
+type LinearTransform struct {
+	Diags map[int][]complex128
+	Scale float64
+}
+
+// NewLinearTransformFromMatrix extracts the non-zero diagonals of an
+// out×in matrix acting on the first `in` slots (out ≤ in required; the
+// result lands in the first `out` slots).
+func NewLinearTransformFromMatrix(m [][]complex128, slots int) (*LinearTransform, error) {
+	out := len(m)
+	if out == 0 {
+		return nil, fmt.Errorf("ckks: empty matrix")
+	}
+	in := len(m[0])
+	if in > slots {
+		return nil, fmt.Errorf("ckks: matrix width %d exceeds %d slots", in, slots)
+	}
+	// Entry M[j][c] needs x[c] to land in slot j, i.e. the rotation by
+	// d = (c - j) mod slots (the input is zero-padded, so wrapping is over
+	// the full slot vector).
+	lt := &LinearTransform{Diags: map[int][]complex128{}}
+	for j := 0; j < out; j++ {
+		for c := 0; c < in; c++ {
+			v := m[j][c]
+			if v == 0 {
+				continue
+			}
+			d := ((c-j)%slots + slots) % slots
+			if lt.Diags[d] == nil {
+				lt.Diags[d] = make([]complex128, slots)
+			}
+			lt.Diags[d][j] = v
+		}
+	}
+	return lt, nil
+}
+
+// Rotations returns the rotation steps the transform needs (for key
+// generation).
+func (lt *LinearTransform) Rotations() []int {
+	out := make([]int, 0, len(lt.Diags))
+	for d := range lt.Diags {
+		if d != 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// EvalLinearTransform applies the transform: Σ_d diag_d ⊙ rot(ct, d),
+// followed by a rescale. The evaluator must hold the rotation keys returned
+// by Rotations().
+func (ev *Evaluator) EvalLinearTransform(ct *Ciphertext, lt *LinearTransform, enc *Encoder) (*Ciphertext, error) {
+	var acc *Ciphertext
+	scale := ev.ctx.Params.Scale
+	for d, diag := range lt.Diags {
+		rotated := ct
+		if d != 0 {
+			var err error
+			rotated, err = ev.Rotate(ct, d)
+			if err != nil {
+				return nil, err
+			}
+		}
+		pt, err := enc.Encode(diag, rotated.Level, scale)
+		if err != nil {
+			return nil, err
+		}
+		term := ev.MulPlain(rotated, pt, scale)
+		if acc == nil {
+			acc = term
+		} else {
+			acc, err = ev.Add(acc, term)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if acc == nil {
+		return nil, fmt.Errorf("ckks: transform has no diagonals")
+	}
+	return ev.Rescale(acc)
+}
+
+// InnerSum folds the first n slots (n a power of two) so that slot 0 holds
+// their sum, using log2(n) rotations. Slots beyond n must be zero if only
+// the total is wanted.
+func (ev *Evaluator) InnerSum(ct *Ciphertext, n int) (*Ciphertext, error) {
+	if n <= 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("ckks: InnerSum width %d must be a power of two", n)
+	}
+	acc := ct
+	for step := n / 2; step >= 1; step >>= 1 {
+		rot, err := ev.Rotate(acc, step)
+		if err != nil {
+			return nil, err
+		}
+		acc, err = ev.Add(acc, rot)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// MeanVariance computes the mean and variance of the first n slots
+// homomorphically: mean = InnerSum(x)/n and var = InnerSum(x²)/n - mean².
+// Costs two levels; needs the power-of-two rotation keys up to n/2 and the
+// relinearization key.
+func (ev *Evaluator) MeanVariance(ct *Ciphertext, n int, enc *Encoder) (mean, variance *Ciphertext, err error) {
+	sum, err := ev.InnerSum(ct, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	mean, err = ev.MulConst(sum, complex(1/float64(n), 0), enc)
+	if err != nil {
+		return nil, nil, err
+	}
+	sq, err := ev.MulRelin(ct, ct)
+	if err != nil {
+		return nil, nil, err
+	}
+	sq, err = ev.Rescale(sq)
+	if err != nil {
+		return nil, nil, err
+	}
+	sqSum, err := ev.InnerSum(sq, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	meanSq, err := ev.MulConst(sqSum, complex(1/float64(n), 0), enc)
+	if err != nil {
+		return nil, nil, err
+	}
+	m2, err := ev.MulRelin(mean, mean)
+	if err != nil {
+		return nil, nil, err
+	}
+	m2, err = ev.Rescale(m2)
+	if err != nil {
+		return nil, nil, err
+	}
+	variance, err = ev.subApprox(meanSq, m2)
+	if err != nil {
+		return nil, nil, err
+	}
+	return mean, variance, nil
+}
+
+// EvalPolyHorner evaluates Σ coeffs[i]·x^i on the ciphertext with Horner's
+// rule: one Cmult + rescale per degree. coeffs[0] is the constant term.
+// Consumes len(coeffs)-1 levels.
+func (ev *Evaluator) EvalPolyHorner(ct *Ciphertext, coeffs []float64, enc *Encoder) (*Ciphertext, error) {
+	if len(coeffs) == 0 {
+		return nil, fmt.Errorf("ckks: empty polynomial")
+	}
+	n := ev.ctx.Params.Slots()
+	constVec := func(v float64, level int) (*ring.Poly, error) {
+		z := make([]complex128, n)
+		for i := range z {
+			z[i] = complex(v, 0)
+		}
+		return enc.Encode(z, level, ev.ctx.Params.Scale)
+	}
+	// acc = c_k
+	acc, err := func() (*Ciphertext, error) {
+		pt, err := constVec(coeffs[len(coeffs)-1], ct.Level)
+		if err != nil {
+			return nil, err
+		}
+		zero := ev.ctx.CopyCt(ct)
+		ev.ctx.RQ.Sub(ct.Level, zero.B, ct.B, zero.B) // zero ciphertext
+		ev.ctx.RQ.Sub(ct.Level, zero.A, ct.A, zero.A)
+		return ev.AddPlain(zero, pt), nil
+	}()
+	if err != nil {
+		return nil, err
+	}
+	for i := len(coeffs) - 2; i >= 0; i-- {
+		prod, err := ev.MulRelin(acc, ct)
+		if err != nil {
+			return nil, err
+		}
+		prod, err = ev.Rescale(prod)
+		if err != nil {
+			return nil, err
+		}
+		pt, err := constVec(coeffs[i], prod.Level)
+		if err != nil {
+			return nil, err
+		}
+		acc = ev.AddPlain(prod, pt)
+	}
+	return acc, nil
+}

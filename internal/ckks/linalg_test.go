@@ -1,0 +1,152 @@
+package ckks
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLinearTransformMatchesPlainMatVec(t *testing.T) {
+	params := TestParams()
+	ctx, err := NewContext(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := params.Slots()
+	in, out := 8, 4
+	rng := rand.New(rand.NewSource(51))
+	m := make([][]complex128, out)
+	for i := range m {
+		m[i] = make([]complex128, in)
+		for j := range m[i] {
+			m[i][j] = complex(rng.Float64()*2-1, 0)
+		}
+	}
+	lt, err := NewLinearTransformFromMatrix(m, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	enc := NewEncoder(ctx)
+	kg := NewKeyGenerator(ctx, 52)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	eks := kg.GenEvaluationKeySet(sk, lt.Rotations(), false)
+	et := NewEncryptor(ctx, pk, 53)
+	dt := NewDecryptor(ctx, sk)
+	ev := NewEvaluator(ctx, eks)
+
+	x := make([]complex128, slots)
+	for j := 0; j < in; j++ {
+		x[j] = complex(rng.Float64()*2-1, 0)
+	}
+	level := params.MaxLevel()
+	pt, _ := enc.Encode(x, level, params.Scale)
+	ct := et.Encrypt(pt, level, params.Scale)
+
+	res, err := ev.EvalLinearTransform(ct, lt, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := enc.Decode(dt.DecryptPoly(res), res.Level, res.Scale)
+	for i := 0; i < out; i++ {
+		var want complex128
+		for j := 0; j < in; j++ {
+			want += m[i][j] * x[j]
+		}
+		if d := got[i] - want; real(d)*real(d)+imag(d)*imag(d) > 1e-6 {
+			t.Fatalf("slot %d: got %v want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestLinearTransformErrors(t *testing.T) {
+	if _, err := NewLinearTransformFromMatrix(nil, 8); err == nil {
+		t.Fatal("expected empty-matrix error")
+	}
+	wide := [][]complex128{make([]complex128, 32)}
+	if _, err := NewLinearTransformFromMatrix(wide, 8); err == nil {
+		t.Fatal("expected too-wide error")
+	}
+}
+
+func TestInnerSum(t *testing.T) {
+	h := newHarness(t, []int{1, 2, 4, 8})
+	n := 16
+	slots := h.ctx.Params.Slots()
+	z := make([]complex128, slots)
+	var want complex128
+	for i := 0; i < n; i++ {
+		z[i] = complex(float64(i+1)/10, 0)
+		want += z[i]
+	}
+	ct := h.encrypt(t, z)
+	sum, err := h.ev.InnerSum(ct, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := h.decrypt(sum)
+	if d := got[0] - want; real(d)*real(d)+imag(d)*imag(d) > 1e-6 {
+		t.Fatalf("InnerSum: got %v want %v", got[0], want)
+	}
+	if _, err := h.ev.InnerSum(ct, 3); err == nil {
+		t.Fatal("expected power-of-two error")
+	}
+}
+
+func TestEvalPolyHorner(t *testing.T) {
+	h := newHarness(t, nil)
+	slots := h.ctx.Params.Slots()
+	z := make([]complex128, slots)
+	rng := rand.New(rand.NewSource(54))
+	for i := range z {
+		z[i] = complex(rng.Float64()*1.6-0.8, 0)
+	}
+	ct := h.encrypt(t, z)
+	// sigmoid-ish cubic: 0.5 + 0.15x - 0.0015x^3 over [-0.8, 0.8].
+	coeffs := []float64{0.5, 0.15, 0, -0.0015}
+	res, err := h.ev.EvalPolyHorner(ct, coeffs, h.enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := h.decrypt(res)
+	for i := range z {
+		x := real(z[i])
+		want := 0.5 + 0.15*x - 0.0015*x*x*x
+		if d := real(got[i]) - want; d > 1e-2 || d < -1e-2 {
+			t.Fatalf("slot %d: poly(%v) = %v want %v", i, x, real(got[i]), want)
+		}
+	}
+	if _, err := h.ev.EvalPolyHorner(ct, nil, h.enc); err == nil {
+		t.Fatal("expected empty-poly error")
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	h := newHarness(t, []int{1, 2, 4, 8})
+	n := 16
+	slots := h.ctx.Params.Slots()
+	z := make([]complex128, slots)
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := float64(i%5)/5 - 0.4
+		z[i] = complex(v, 0)
+		sum += v
+		sumSq += v * v
+	}
+	wantMean := sum / float64(n)
+	wantVar := sumSq/float64(n) - wantMean*wantMean
+
+	ct := h.encrypt(t, z)
+	mean, variance, err := h.ev.MeanVariance(ct, n, h.enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotMean := real(h.decrypt(mean)[0])
+	gotVar := real(h.decrypt(variance)[0])
+	if d := gotMean - wantMean; d > 1e-3 || d < -1e-3 {
+		t.Fatalf("mean %v want %v", gotMean, wantMean)
+	}
+	if d := gotVar - wantVar; d > 1e-3 || d < -1e-3 {
+		t.Fatalf("variance %v want %v", gotVar, wantVar)
+	}
+}

@@ -1,0 +1,37 @@
+package ckks
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Noise diagnostics: production FHE code budgets noise explicitly; these
+// helpers measure it against known plaintexts so applications (and our
+// tests) can verify headroom before levels run out.
+
+// SlotErrorBits returns log2 of the maximum slot error between the
+// decryption of ct and the expected values (math.Inf(-1) when exact).
+func SlotErrorBits(dt *Decryptor, enc *Encoder, ct *Ciphertext, want []complex128) float64 {
+	got := enc.Decode(dt.DecryptPoly(ct), ct.Level, ct.Scale)
+	worst := 0.0
+	for i := range want {
+		if d := cmplx.Abs(got[i] - want[i]); d > worst {
+			worst = d
+		}
+	}
+	if worst == 0 {
+		return math.Inf(-1)
+	}
+	return math.Log2(worst)
+}
+
+// BudgetBits returns the remaining multiplicative headroom of a ciphertext
+// in bits: log2(Q_level) - log2(scale). A Cmult consumes ≈ log2(scale) of
+// it; when it approaches log2(q0) the ciphertext must be bootstrapped.
+func BudgetBits(ctx *Context, ct *Ciphertext) float64 {
+	bits := 0.0
+	for i := 0; i <= ct.Level; i++ {
+		bits += math.Log2(float64(ctx.Params.Q[i]))
+	}
+	return bits - math.Log2(ct.Scale)
+}

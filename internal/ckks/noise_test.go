@@ -1,0 +1,43 @@
+package ckks
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSlotErrorAndBudgetDiagnostics(t *testing.T) {
+	h := newHarness(t, nil)
+	z := randomSlots(h.ctx.Params.Slots(), 41, 1.0)
+	ct := h.encrypt(t, z)
+
+	errBits := SlotErrorBits(h.dt, h.enc, ct, z)
+	if errBits > -18 {
+		t.Fatalf("fresh ciphertext error 2^%.1f too large", errBits)
+	}
+	budget := BudgetBits(h.ctx, ct)
+	// 1×55 + 5×40-bit primes at scale 2^40 → ≈ 215 bits of headroom.
+	if budget < 180 || budget > 230 {
+		t.Fatalf("budget %.0f bits implausible", budget)
+	}
+
+	prod, err := h.ev.MulRelin(ct, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.ev.Rescale(prod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]complex128, len(z))
+	for i := range want {
+		want[i] = z[i] * z[i]
+	}
+	errAfter := SlotErrorBits(h.dt, h.enc, res, want)
+	if errAfter <= errBits-1 {
+		t.Fatalf("multiplication should not shrink error: 2^%.1f -> 2^%.1f", errBits, errAfter)
+	}
+	if b := BudgetBits(h.ctx, res); b >= budget {
+		t.Fatalf("budget should shrink after mult+rescale: %.0f -> %.0f", budget, b)
+	}
+	_ = math.Pi
+}

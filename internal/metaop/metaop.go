@@ -1,0 +1,217 @@
+// Package metaop implements the paper's central abstraction: the Meta-OP
+// (M_j A_j)_n R_j (§4) — j parallel multiply–accumulate lanes iterated n
+// times followed by a lazy reduction realized with two extra multiply
+// cycles. It provides
+//
+//   - the lowering of every high-level polynomial operator (NTT, Bconv /
+//     ModUp / ModDown, DecompPolyMult, element-wise ops) into Meta-OP
+//     batches with their access patterns (Table 4), and
+//   - the multiplication-complexity accounting of Tables 2 and 3 and
+//     Figure 7(a), comparing eager ("origin") and lazy (Meta-OP) forms.
+//
+// The timing contract, validated against Table 7 of the paper: one Meta-OP
+// (M8A8)_nR8 occupies a core for n+2 cycles and retires 8 outputs.
+package metaop
+
+import "fmt"
+
+// J is the lane width of a Meta-OP. The paper's design-space exploration
+// fixes j = 8: larger widths under-fill the radix-8 NTT butterfly.
+const J = 8
+
+// AccessPattern is the scratchpad access pattern of a Meta-OP batch
+// (Table 4).
+type AccessPattern int
+
+const (
+	// PatternSlots: operands are neighbouring slots of one channel (NTT).
+	PatternSlots AccessPattern = iota
+	// PatternChannel: operands gather one slot across RNS channels
+	// (ModUp/ModDown/Bconv).
+	PatternChannel
+	// PatternDnumGroup: operands gather one slot across dnum digit groups
+	// (DecompPolyMult).
+	PatternDnumGroup
+)
+
+func (a AccessPattern) String() string {
+	switch a {
+	case PatternSlots:
+		return "slots"
+	case PatternChannel:
+		return "channel"
+	case PatternDnumGroup:
+		return "dnum_group"
+	default:
+		return fmt.Sprintf("pattern(%d)", int(a))
+	}
+}
+
+// Batch is a homogeneous group of Meta-OPs produced by lowering one
+// high-level operator.
+type Batch struct {
+	Pattern AccessPattern
+	Count   int64 // number of Meta-OPs in the batch
+	NAccum  int   // the Meta-OP's n (accumulation depth)
+	Cycles  int   // core cycles per Meta-OP
+	Mults   int64 // raw multiplier activations per Meta-OP (lazy form)
+	Label   string
+}
+
+// TotalCycles returns Count·Cycles, the core-cycle demand of the batch.
+func (b Batch) TotalCycles() int64 { return b.Count * int64(b.Cycles) }
+
+// TotalMults returns the raw multiplication demand of the batch.
+func (b Batch) TotalMults() int64 { return b.Count * b.Mults }
+
+// MetaCycles returns the pipeline occupancy of one (M_jA_j)_nR_j: n cycles
+// of multiply–accumulate plus 2 reduction cycles on the reused mult array.
+func MetaCycles(n int) int { return n + 2 }
+
+// RadixSplit decomposes logN into a radix-8 stages and b radix-4 stages
+// (logN = 3a + 2b), maximizing the radix-8 count as the paper's NTT mapping
+// does.
+func RadixSplit(logN int) (r8, r4 int) {
+	switch logN % 3 {
+	case 0:
+		return logN / 3, 0
+	case 1: // 3a+4: drop one radix-8 for two radix-4
+		return logN/3 - 1, 2
+	default: // 3a+2
+		return logN / 3, 1
+	}
+}
+
+// Log2 returns log2(n) for a power of two n.
+func Log2(n int) int {
+	l := 0
+	for 1<<l < n {
+		l++
+	}
+	return l
+}
+
+// LowerNTT lowers `polys`·`channels` NTTs (or INTTs) of degree n into
+// Meta-OP batches. Each radix-8 stage needs one (M8A8)_3R8 per 8 outputs
+// (24 multiply + 16 reduction activations = 40 mults, Fig. 4c); each
+// radix-4 stage one (M8A8)_2R8 covering two radix-4 butterflies (32 mults).
+func LowerNTT(n, channels, polys int) []Batch {
+	r8, r4 := RadixSplit(Log2(n))
+	groups := int64(n/J) * int64(channels) * int64(polys)
+	var out []Batch
+	if r8 > 0 {
+		out = append(out, Batch{
+			Pattern: PatternSlots,
+			Count:   groups * int64(r8),
+			NAccum:  3,
+			Cycles:  MetaCycles(3),
+			Mults:   40,
+			Label:   "ntt-radix8",
+		})
+	}
+	if r4 > 0 {
+		out = append(out, Batch{
+			Pattern: PatternSlots,
+			Count:   groups * int64(r4),
+			NAccum:  2,
+			Cycles:  MetaCycles(2),
+			Mults:   32,
+			Label:   "ntt-radix4",
+		})
+	}
+	return out
+}
+
+// LowerBconv lowers an RNS basis conversion from srcCh to dstCh channels of
+// degree-n polynomials (`polys` of them): the per-source-channel scaling by
+// q̂_i^{-1} (an element-wise modmul) followed by the per-target-channel
+// accumulation (M8A8)_{srcCh}R8 (Fig. 4b).
+func LowerBconv(n, srcCh, dstCh, polys int) []Batch {
+	perPoly := int64(n / J)
+	return []Batch{
+		{
+			Pattern: PatternChannel,
+			Count:   perPoly * int64(srcCh) * int64(polys),
+			NAccum:  1,
+			Cycles:  MetaCycles(1),
+			Mults:   3 * J, // full modmul per lane
+			Label:   "bconv-scale",
+		},
+		{
+			Pattern: PatternChannel,
+			Count:   perPoly * int64(dstCh) * int64(polys),
+			NAccum:  srcCh,
+			Cycles:  MetaCycles(srcCh),
+			Mults:   int64(srcCh+2) * J,
+			Label:   "bconv-acc",
+		},
+	}
+}
+
+// LowerDecompPolyMult lowers the evk inner product: for each of `channels`
+// RNS channels and `outPolys` output polynomials, accumulate dnum digit
+// products with a single deferred reduction: (M8A8)_{dnum}R8 (Fig. 4a).
+func LowerDecompPolyMult(n, channels, dnum, outPolys int) []Batch {
+	return []Batch{{
+		Pattern: PatternDnumGroup,
+		Count:   int64(n/J) * int64(channels) * int64(outPolys),
+		NAccum:  dnum,
+		Cycles:  MetaCycles(dnum),
+		Mults:   int64(dnum+2) * J,
+		Label:   "decomp-polymult",
+	}}
+}
+
+// LowerEWMult lowers an element-wise modular multiplication
+// ((M8A8)_1R8, 3 cycles per 8 lanes — the Table 7 Pmult contract).
+func LowerEWMult(n, channels, polys int) []Batch {
+	return []Batch{{
+		Pattern: PatternSlots,
+		Count:   int64(n/J) * int64(channels) * int64(polys),
+		NAccum:  1,
+		Cycles:  MetaCycles(1),
+		Mults:   3 * J,
+		Label:   "ew-mult",
+	}}
+}
+
+// LowerEWAdd lowers an element-wise modular addition. The add path takes 4
+// cycles per 8 lanes (add, conditional-subtract select), the rate that
+// reproduces Table 7's Hadd row exactly; it uses no multipliers.
+func LowerEWAdd(n, channels, polys int) []Batch {
+	return []Batch{{
+		Pattern: PatternSlots,
+		Count:   int64(n/J) * int64(channels) * int64(polys),
+		NAccum:  1,
+		Cycles:  4,
+		Mults:   0,
+		Label:   "ew-add",
+	}}
+}
+
+// LowerEWMulSub lowers the fused (a-b)·c^{-1} step of ModDown and rescale:
+// one subtract plus one modmul, 4 cycles per 8 lanes.
+func LowerEWMulSub(n, channels, polys int) []Batch {
+	return []Batch{{
+		Pattern: PatternSlots,
+		Count:   int64(n/J) * int64(channels) * int64(polys),
+		NAccum:  1,
+		Cycles:  4,
+		Mults:   3 * J,
+		Label:   "ew-mulsub",
+	}}
+}
+
+// LowerAutomorphism lowers a Galois automorphism: a pure on-chip
+// permutation pass (one read-modify-write cycle per 8 lanes, no
+// multipliers).
+func LowerAutomorphism(n, channels, polys int) []Batch {
+	return []Batch{{
+		Pattern: PatternSlots,
+		Count:   int64(n/J) * int64(channels) * int64(polys),
+		NAccum:  1,
+		Cycles:  1,
+		Mults:   0,
+		Label:   "automorphism",
+	}}
+}

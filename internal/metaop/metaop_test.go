@@ -1,0 +1,193 @@
+package metaop
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMetaCycles(t *testing.T) {
+	if MetaCycles(1) != 3 || MetaCycles(3) != 5 || MetaCycles(44) != 46 {
+		t.Fatal("Meta-OP cycle contract broken")
+	}
+}
+
+func TestRadixSplit(t *testing.T) {
+	for logN := 4; logN <= 17; logN++ {
+		r8, r4 := RadixSplit(logN)
+		if 3*r8+2*r4 != logN {
+			t.Fatalf("logN=%d: 3·%d + 2·%d != %d", logN, r8, r4, logN)
+		}
+		if r8 < 0 || r4 < 0 || r4 > 2 {
+			t.Fatalf("logN=%d: split (%d,%d) not canonical", logN, r8, r4)
+		}
+	}
+}
+
+func TestTable2DecompPolyMult(t *testing.T) {
+	// Table 2: origin 3·dnum·N vs Meta-OP (dnum+2)·N; ratio approaches 3×.
+	n := 65536
+	for _, dnum := range []int{1, 2, 3, 4, 8} {
+		origin := DecompPolyMultMults(dnum, n, false)
+		lazy := DecompPolyMultMults(dnum, n, true)
+		if origin != int64(3*dnum*n) {
+			t.Fatalf("dnum=%d: origin %d", dnum, origin)
+		}
+		if lazy != int64((dnum+2)*n) {
+			t.Fatalf("dnum=%d: lazy %d", dnum, lazy)
+		}
+		if dnum >= 2 && lazy >= origin {
+			t.Fatalf("dnum=%d: lazy form should win", dnum)
+		}
+	}
+	// Asymptotic 3× saving.
+	ratio := float64(DecompPolyMultMults(64, n, false)) / float64(DecompPolyMultMults(64, n, true))
+	if ratio < 2.8 || ratio > 3.0 {
+		t.Fatalf("asymptotic ratio %v, want ≈3", ratio)
+	}
+}
+
+func TestTable3Modup(t *testing.T) {
+	n := 65536
+	for _, tc := range []struct{ l, k int }{{1, 1}, {11, 12}, {44, 12}, {4, 4}} {
+		origin := ModupMults(tc.l, tc.k, n, false)
+		lazy := ModupMults(tc.l, tc.k, n, true)
+		if origin != int64(3*tc.k*tc.l+3*tc.l)*int64(n) {
+			t.Fatalf("L=%d K=%d origin %d", tc.l, tc.k, origin)
+		}
+		if lazy != int64(tc.k*tc.l+3*tc.l+2*tc.k)*int64(n) {
+			t.Fatalf("L=%d K=%d lazy %d", tc.l, tc.k, lazy)
+		}
+		// origin - lazy = 2K(L-1)·N: strict win for L ≥ 2, tie at L = 1.
+		if tc.l >= 2 && lazy >= origin {
+			t.Fatalf("L=%d K=%d lazy should win", tc.l, tc.k)
+		}
+		if tc.l == 1 && lazy != origin {
+			t.Fatalf("L=1: expected tie, got lazy=%d origin=%d", lazy, origin)
+		}
+	}
+}
+
+func TestNTTMultPremium(t *testing.T) {
+	// Fig. 4c: the Meta-OP NTT pays a small multiplication premium — exactly
+	// 40/36 ≈ 11% on pure radix-8 sizes, up to ~17% when radix-4 stages
+	// (32 vs 24 mults per 8 outputs) are mixed in.
+	for _, n := range []int{512, 4096, 32768, 65536} {
+		origin := NTTMults(n, false)
+		lazy := NTTMults(n, true)
+		premium := float64(lazy)/float64(origin) - 1
+		if premium < 0 || premium > 0.17 {
+			t.Fatalf("N=%d: premium %.3f outside [0, 0.17]", n, premium)
+		}
+	}
+	// Pure radix-8 case: exactly 40/36.
+	if p := float64(NTTMults(512, true)) / float64(NTTMults(512, false)); p < 1.110 || p > 1.112 {
+		t.Fatalf("N=512 premium %v, want 40/36", p)
+	}
+}
+
+func TestLowerNTTConsistency(t *testing.T) {
+	// Lowered batch mult totals must equal the closed-form count.
+	for _, n := range []int{1024, 16384, 65536} {
+		batches := LowerNTT(n, 3, 2)
+		if got, want := BatchMults(batches), 6*NTTMults(n, true); got != want {
+			t.Fatalf("N=%d: batch mults %d, closed form %d", n, got, want)
+		}
+		for _, b := range batches {
+			if b.Pattern != PatternSlots {
+				t.Fatalf("NTT must use the slots pattern")
+			}
+		}
+	}
+}
+
+func TestLowerBconvConsistency(t *testing.T) {
+	n, src, dst := 65536, 11, 45
+	batches := LowerBconv(n, src, dst, 1)
+	if got, want := BatchMults(batches), ModupMults(src, dst, n, true); got != want {
+		t.Fatalf("Bconv batch mults %d != Table 3 lazy %d", got, want)
+	}
+	for _, b := range batches {
+		if b.Pattern != PatternChannel {
+			t.Fatal("Bconv must use the channel pattern")
+		}
+	}
+}
+
+func TestLowerDecompPolyMultConsistency(t *testing.T) {
+	n, ch, dnum := 65536, 56, 4
+	batches := LowerDecompPolyMult(n, ch, dnum, 2)
+	want := 2 * int64(ch) * DecompPolyMultMults(dnum, n, true)
+	if got := BatchMults(batches); got != want {
+		t.Fatalf("DecompPolyMult batch mults %d != %d", got, want)
+	}
+	if batches[0].Pattern != PatternDnumGroup {
+		t.Fatal("DecompPolyMult must use the dnum_group pattern")
+	}
+}
+
+func TestTable7PmultContract(t *testing.T) {
+	// The headline validation: Pmult at N=2^16, 44 channels, 2 polys on
+	// 2048 cores must take exactly 1056 cycles → 946,970 ops/s, and Hadd
+	// 1408 cycles → 710,227 ops/s (Table 7).
+	const cores = 128 * 16
+	mult := LowerEWMult(65536, 44, 2)
+	var metaOps int64
+	for _, b := range mult {
+		metaOps += b.Count
+	}
+	cycles := (metaOps + cores - 1) / cores * int64(mult[0].Cycles)
+	if cycles != 1056 {
+		t.Fatalf("Pmult cycles %d, want 1056", cycles)
+	}
+	if ops := int64(1e9) / cycles; ops != 946969 && ops != 946970 {
+		t.Fatalf("Pmult throughput %d, want ≈946,970", ops)
+	}
+	add := LowerEWAdd(65536, 44, 2)
+	metaOps = 0
+	for _, b := range add {
+		metaOps += b.Count
+	}
+	cycles = (metaOps + cores - 1) / cores * int64(add[0].Cycles)
+	if cycles != 1408 {
+		t.Fatalf("Hadd cycles %d, want 1408", cycles)
+	}
+	if ops := int64(1e9) / cycles; ops != 710227 {
+		t.Fatalf("Hadd throughput %d, want 710,227", ops)
+	}
+}
+
+func TestQuickLazyNeverWorseExceptNTT(t *testing.T) {
+	f := func(dnum8, l6, k4 uint8) bool {
+		dnum := int(dnum8%16) + 2 // ≥ 2
+		l := int(l6%43) + 2       // ≥ 2 (strict ModUp win needs L ≥ 2)
+		k := int(k4%11) + 2       // ≥ 2 (strict ModDown win needs K ≥ 2)
+		n := 4096
+		if DecompPolyMultMults(dnum, n, true) >= DecompPolyMultMults(dnum, n, false) {
+			return false
+		}
+		if ModupMults(l, k, n, true) >= ModupMults(l, k, n, false) {
+			return false
+		}
+		if ModdownMults(l, k, n, true) >= ModdownMults(l, k, n, false) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBatchAccounting(t *testing.T) {
+	b := Batch{Count: 10, NAccum: 3, Cycles: 5, Mults: 40}
+	if b.TotalCycles() != 50 || b.TotalMults() != 400 {
+		t.Fatal("batch accounting wrong")
+	}
+	if PatternSlots.String() != "slots" || PatternChannel.String() != "channel" ||
+		PatternDnumGroup.String() != "dnum_group" {
+		t.Fatal("pattern names wrong")
+	}
+	if AccessPattern(9).String() == "" {
+		t.Fatal("unknown pattern should still print")
+	}
+}

@@ -1,0 +1,71 @@
+package metaop
+
+import "fmt"
+
+// Core pipeline micro-model (Fig. 5c/d): one unified core holds a
+// multiplication array, an addition array, an accumulation array and a
+// register array, each j lanes wide. A Meta-OP (M_jA_j)_nR_j runs in two
+// temporal parts: n cycles of multiply–accumulate (the pink region) and a
+// 2-cycle reduction that reuses the multiplication array for the Barrett
+// products (the green region). No dedicated modular-reduction unit exists —
+// the defining idea of the unified core.
+
+// UnitUse describes which arrays one pipeline cycle occupies.
+type UnitUse struct {
+	Cycle int
+	Mult  bool // multiplication array busy
+	Add   bool // addition array busy (recombination / accumulate)
+	Acc   bool // accumulation array busy
+	Label string
+}
+
+// CoreTrace is the cycle-by-cycle schedule of one Meta-OP on one core.
+type CoreTrace struct {
+	N        int
+	Schedule []UnitUse
+}
+
+// SimulateCore produces the schedule of (M_jA_j)_nR_j.
+func SimulateCore(n int) CoreTrace {
+	t := CoreTrace{N: n}
+	for c := 0; c < n; c++ {
+		t.Schedule = append(t.Schedule, UnitUse{
+			Cycle: c, Mult: true, Add: true, Acc: true,
+			Label: fmt.Sprintf("MA[%d]", c),
+		})
+	}
+	// Reduction: two Barrett product cycles on the reused mult array; the
+	// final conditional subtraction rides the add array of the second.
+	t.Schedule = append(t.Schedule,
+		UnitUse{Cycle: n, Mult: true, Add: false, Acc: true, Label: "R:qhat"},
+		UnitUse{Cycle: n + 1, Mult: true, Add: true, Acc: false, Label: "R:subsel"},
+	)
+	return t
+}
+
+// Cycles returns the schedule length (must equal MetaCycles(n)).
+func (t CoreTrace) Cycles() int { return len(t.Schedule) }
+
+// MultActivations returns lane-level multiplier activations across the
+// schedule (J lanes per busy cycle).
+func (t CoreTrace) MultActivations() int {
+	m := 0
+	for _, u := range t.Schedule {
+		if u.Mult {
+			m += J
+		}
+	}
+	return m
+}
+
+// MultArrayUtilization returns the mult-array busy fraction over the
+// Meta-OP — 1.0 by construction, the unified core's headline property.
+func (t CoreTrace) MultArrayUtilization() float64 {
+	busy := 0
+	for _, u := range t.Schedule {
+		if u.Mult {
+			busy++
+		}
+	}
+	return float64(busy) / float64(len(t.Schedule))
+}

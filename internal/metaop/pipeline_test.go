@@ -1,0 +1,53 @@
+package metaop
+
+import "testing"
+
+func TestCorePipelineTiming(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 8, 44} {
+		tr := SimulateCore(n)
+		if tr.Cycles() != MetaCycles(n) {
+			t.Fatalf("n=%d: pipeline %d cycles, contract %d", n, tr.Cycles(), MetaCycles(n))
+		}
+		// The mult array never idles: that is what makes the unified core's
+		// utilization high regardless of the operator mix.
+		if u := tr.MultArrayUtilization(); u != 1.0 {
+			t.Fatalf("n=%d: mult array utilization %v, want 1.0", n, u)
+		}
+	}
+}
+
+func TestCorePipelineMatchesLoweringMultCounts(t *testing.T) {
+	// The micro-model's multiplier activations must equal the macro
+	// lowering's per-Meta-OP mult counts for every operator type.
+	cases := []struct {
+		name    string
+		n       int
+		batchOf func() Batch
+	}{
+		{"ntt-radix8", 3, func() Batch { return LowerNTT(512, 1, 1)[0] }},
+		{"decomp-dnum4", 4, func() Batch { return LowerDecompPolyMult(512, 1, 4, 1)[0] }},
+		{"bconv-acc-L11", 11, func() Batch { return LowerBconv(512, 11, 1, 1)[1] }},
+		{"ew-mult", 1, func() Batch { return LowerEWMult(512, 1, 1)[0] }},
+	}
+	for _, c := range cases {
+		tr := SimulateCore(c.n)
+		b := c.batchOf()
+		if int64(tr.MultActivations()) != b.Mults {
+			t.Errorf("%s: pipeline %d mults, lowering says %d",
+				c.name, tr.MultActivations(), b.Mults)
+		}
+		if tr.Cycles() != b.Cycles {
+			t.Errorf("%s: pipeline %d cycles, lowering says %d",
+				c.name, tr.Cycles(), b.Cycles)
+		}
+	}
+}
+
+func TestRadix8FortyMults(t *testing.T) {
+	// The paper's Fig. 4(c) headline: a radix-8 butterfly via (M8A8)_3R8
+	// costs exactly 40 multiplications (24 MA + 16 reduction).
+	tr := SimulateCore(3)
+	if tr.MultActivations() != 40 {
+		t.Fatalf("radix-8 Meta-OP uses %d mults, paper says 40", tr.MultActivations())
+	}
+}

@@ -1,0 +1,35 @@
+package modmath
+
+import "testing"
+
+// FuzzReductionAgreement drives all four modular-multiplication paths with
+// arbitrary operands; they must always agree.
+func FuzzReductionAgreement(f *testing.F) {
+	f.Add(uint64(3), uint64(5), uint64(12289))
+	f.Add(uint64(0), uint64(0), uint64(97))
+	f.Add(^uint64(0), ^uint64(0), uint64(1152921504606846883))
+	f.Fuzz(func(t *testing.T, a, b, qSeed uint64) {
+		// Derive a valid odd modulus in (2, 2^62) from the seed.
+		q := qSeed%((1<<62)-3) + 3
+		if q%2 == 0 {
+			q++
+		}
+		a %= q
+		b %= q
+		want := MulMod(a, b, q)
+		if got := NewBarrett(q).MulMod(a, b); got != want {
+			t.Fatalf("Barrett(%d,%d) mod %d = %d want %d", a, b, q, got, want)
+		}
+		mt := NewMontgomery(q)
+		if got := mt.FromMont(mt.MulMod(mt.ToMont(a), mt.ToMont(b))); got != want {
+			t.Fatalf("Montgomery(%d,%d) mod %d = %d want %d", a, b, q, got, want)
+		}
+		if got := MulModShoup(a, b, ShoupPrecomp(b, q), q); got != want {
+			t.Fatalf("Shoup(%d,%d) mod %d = %d want %d", a, b, q, got, want)
+		}
+		lazy := MulModShoupLazy(a, b, ShoupPrecomp(b, q), q)
+		if lazy%q != want || lazy >= 2*q {
+			t.Fatalf("lazy Shoup(%d,%d) mod %d = %d out of contract", a, b, q, lazy)
+		}
+	})
+}

@@ -1,0 +1,145 @@
+// Package modmath provides modular arithmetic over word-sized prime moduli.
+//
+// It is the arithmetic substrate for the polynomial rings used by both the
+// arithmetic (CKKS) and logic (TFHE) FHE schemes in this repository. All
+// moduli are required to fit in 63 bits so that lazy-reduction variants and
+// Shoup multiplication remain correct; in practice the accelerator model uses
+// 36-bit words (following SHARP) and the software schemes use 36–62 bit
+// NTT-friendly primes.
+package modmath
+
+import "math/bits"
+
+// AddMod returns (a + b) mod q. It requires a, b < q.
+func AddMod(a, b, q uint64) uint64 {
+	s := a + b
+	if s >= q {
+		s -= q
+	}
+	return s
+}
+
+// SubMod returns (a - b) mod q. It requires a, b < q.
+func SubMod(a, b, q uint64) uint64 {
+	if a >= b {
+		return a - b
+	}
+	return a + q - b
+}
+
+// NegMod returns (-a) mod q. It requires a < q.
+func NegMod(a, q uint64) uint64 {
+	if a == 0 {
+		return 0
+	}
+	return q - a
+}
+
+// MulMod returns (a * b) mod q using a full 128-bit product. It requires
+// a, b < q (which guarantees the high product word is below q, so the
+// hardware divide cannot trap).
+func MulMod(a, b, q uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, r := bits.Div64(hi, lo, q)
+	return r
+}
+
+// PowMod returns a^e mod q by square-and-multiply.
+func PowMod(a, e, q uint64) uint64 {
+	if q == 1 {
+		return 0
+	}
+	r := uint64(1)
+	a %= q
+	for e > 0 {
+		if e&1 == 1 {
+			r = MulMod(r, a, q)
+		}
+		a = MulMod(a, a, q)
+		e >>= 1
+	}
+	return r
+}
+
+// InvMod returns the multiplicative inverse of a modulo prime q, i.e.
+// a^(q-2) mod q. The result is unspecified when a ≡ 0.
+func InvMod(a, q uint64) uint64 {
+	return PowMod(a, q-2, q)
+}
+
+// Barrett holds the precomputed state for Barrett reduction modulo a fixed
+// q < 2^63. The constant mu = floor(2^128 / q) is stored as two 64-bit words.
+//
+// The accelerator maps one Barrett-reduced modular multiplication to three
+// raw multiplications (one operand product plus two reduction products);
+// the Meta-OP mult accounting in internal/metaop relies on that 3:1 ratio.
+type Barrett struct {
+	Q    uint64
+	muHi uint64
+	muLo uint64
+}
+
+// NewBarrett precomputes Barrett state for modulus q. It panics unless
+// 1 < q < 2^62 (the bound keeps the correction loop overflow-free).
+func NewBarrett(q uint64) Barrett {
+	if q < 2 || q >= 1<<62 {
+		panic("modmath: Barrett modulus must satisfy 1 < q < 2^62")
+	}
+	// mu = floor(2^128 / q), computed by two-step long division of the
+	// base-2^64 numerator {1, 0, 0}.
+	q1, r1 := bits.Div64(1, 0, q) // floor(2^64 / q), 2^64 mod q
+	q0, _ := bits.Div64(r1, 0, q) // next quotient word
+	return Barrett{Q: q, muHi: q1, muLo: q0}
+}
+
+// Reduce reduces the 128-bit value (hi, lo) modulo q. It requires
+// hi*2^64 + lo < q^2 (always true for products of operands below q).
+func (b Barrett) Reduce(hi, lo uint64) uint64 {
+	// Estimate t = floor(x * mu / 2^128) where x = hi:lo and mu = muHi:muLo.
+	// Dropping the lo*muLo partial product makes the estimate short by at
+	// most 2, fixed by the correction loop below.
+	mhlHi, mhlLo := bits.Mul64(hi, b.muLo)
+	mlhHi, mlhLo := bits.Mul64(lo, b.muHi)
+	_, carry := bits.Add64(mhlLo, mlhLo, 0)
+	t, _ := bits.Add64(mhlHi, mlhHi, carry)
+	t += hi * b.muHi // weighted 2^128/2^128; quotient fits one word
+	r := lo - t*b.Q
+	for r >= b.Q {
+		r -= b.Q
+	}
+	return r
+}
+
+// MulMod returns (x * y) mod q via Barrett reduction. Requires x, y < q.
+func (b Barrett) MulMod(x, y uint64) uint64 {
+	hi, lo := bits.Mul64(x, y)
+	return b.Reduce(hi, lo)
+}
+
+// ShoupPrecomp returns floor(w * 2^64 / q), the Shoup precomputation for
+// multiplying by the fixed constant w modulo q. Requires w < q < 2^63.
+func ShoupPrecomp(w, q uint64) uint64 {
+	quo, _ := bits.Div64(w, 0, q)
+	return quo
+}
+
+// MulModShoup returns (a * w) mod q where wShoup = ShoupPrecomp(w, q).
+// This is the fast path used for twiddle-factor multiplication in the NTT.
+// Requires a < q < 2^63 and w < q.
+func MulModShoup(a, w, wShoup, q uint64) uint64 {
+	qHat, _ := bits.Mul64(a, wShoup)
+	r := a*w - qHat*q
+	if r >= q {
+		r -= q
+	}
+	return r
+}
+
+// MulModShoupLazy is MulModShoup without the final conditional subtraction:
+// the result lies in [0, 2q). It tolerates a < 4q (Harvey's lazy butterfly
+// domain) provided q < 2^62 — the software counterpart of the Meta-OP's
+// deferred reduction.
+func MulModShoupLazy(a, w, wShoup, q uint64) uint64 {
+	qHat, _ := bits.Mul64(a, wShoup)
+	return a*w - qHat*q
+}

@@ -1,0 +1,59 @@
+package modmath
+
+import "math/bits"
+
+// Montgomery holds precomputed state for Montgomery multiplication modulo an
+// odd q < 2^62. Values live in the Montgomery domain (x·2^64 mod q).
+type Montgomery struct {
+	Q    uint64
+	qInv uint64 // -q^{-1} mod 2^64
+	r2   uint64 // 2^128 mod q, for domain conversion
+}
+
+// NewMontgomery precomputes Montgomery state for odd modulus q.
+func NewMontgomery(q uint64) Montgomery {
+	if q < 3 || q&1 == 0 || q >= 1<<62 {
+		panic("modmath: Montgomery modulus must be odd and in (2, 2^62)")
+	}
+	// Newton iteration for q^{-1} mod 2^64.
+	inv := q // correct mod 2^3
+	for i := 0; i < 5; i++ {
+		inv *= 2 - q*inv
+	}
+	// r2 = (2^64 mod q)^2 mod q.
+	_, r := bits.Div64(1, 0, q)
+	r2 := MulMod(r, r, q)
+	return Montgomery{Q: q, qInv: -inv, r2: r2}
+}
+
+// redc performs Montgomery reduction of the 128-bit value (hi, lo),
+// returning (hi:lo) · 2^{-64} mod q.
+func (m Montgomery) redc(hi, lo uint64) uint64 {
+	u := lo * m.qInv
+	h, _ := bits.Mul64(u, m.Q)
+	// (hi:lo + u*q) / 2^64; the low word cancels by construction.
+	_, carry := bits.Add64(lo, u*m.Q, 0)
+	r, _ := bits.Add64(hi, h, carry)
+	if r >= m.Q {
+		r -= m.Q
+	}
+	return r
+}
+
+// ToMont converts x < q into the Montgomery domain.
+func (m Montgomery) ToMont(x uint64) uint64 {
+	hi, lo := bits.Mul64(x, m.r2)
+	return m.redc(hi, lo)
+}
+
+// FromMont converts x out of the Montgomery domain.
+func (m Montgomery) FromMont(x uint64) uint64 {
+	return m.redc(0, x)
+}
+
+// MulMod multiplies two Montgomery-domain values, returning a
+// Montgomery-domain result.
+func (m Montgomery) MulMod(x, y uint64) uint64 {
+	hi, lo := bits.Mul64(x, y)
+	return m.redc(hi, lo)
+}

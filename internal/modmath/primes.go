@@ -1,0 +1,166 @@
+package modmath
+
+import (
+	"fmt"
+	"sort"
+)
+
+// IsPrime reports whether n is prime, using the deterministic Miller–Rabin
+// witness set for 64-bit integers.
+func IsPrime(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	for _, p := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if n == p {
+			return true
+		}
+		if n%p == 0 {
+			return false
+		}
+	}
+	// n-1 = d * 2^s with d odd.
+	d := n - 1
+	s := 0
+	for d&1 == 0 {
+		d >>= 1
+		s++
+	}
+	// These bases are a proven deterministic witness set for n < 2^64.
+	for _, a := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		x := PowMod(a%n, d, n)
+		if x == 1 || x == n-1 {
+			continue
+		}
+		composite := true
+		for r := 1; r < s; r++ {
+			x = MulMod(x, x, n)
+			if x == n-1 {
+				composite = false
+				break
+			}
+		}
+		if composite {
+			return false
+		}
+	}
+	return true
+}
+
+// pollardRho returns a nontrivial factor of composite n > 1.
+func pollardRho(n uint64) uint64 {
+	if n%2 == 0 {
+		return 2
+	}
+	// Brent's cycle-finding variant with a deterministic seed schedule.
+	for c := uint64(1); ; c++ {
+		f := func(x uint64) uint64 { return AddMod(MulMod(x, x, n), c%n, n) }
+		x, y, d := uint64(2), uint64(2), uint64(1)
+		for d == 1 {
+			x = f(x)
+			y = f(f(y))
+			diff := SubMod(x, y, n)
+			if diff == 0 {
+				d = 0 // cycle without factor; retry with next c
+				break
+			}
+			d = gcd(diff, n)
+		}
+		if d != 0 && d != n {
+			return d
+		}
+	}
+}
+
+func gcd(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Factor returns the sorted distinct prime factors of n > 0.
+func Factor(n uint64) []uint64 {
+	if n <= 1 {
+		return nil
+	}
+	set := map[uint64]bool{}
+	var rec func(m uint64)
+	rec = func(m uint64) {
+		if m == 1 {
+			return
+		}
+		if IsPrime(m) {
+			set[m] = true
+			return
+		}
+		d := pollardRho(m)
+		rec(d)
+		rec(m / d)
+	}
+	rec(n)
+	out := make([]uint64, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PrimitiveRoot returns a generator of the multiplicative group Z_q^* for
+// prime q.
+func PrimitiveRoot(q uint64) uint64 {
+	if q == 2 {
+		return 1
+	}
+	phi := q - 1
+	factors := Factor(phi)
+	for g := uint64(2); ; g++ {
+		ok := true
+		for _, p := range factors {
+			if PowMod(g, phi/p, q) == 1 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return g
+		}
+	}
+}
+
+// RootOfUnity returns a primitive m-th root of unity modulo prime q.
+// It requires m | q-1.
+func RootOfUnity(m, q uint64) (uint64, error) {
+	if (q-1)%m != 0 {
+		return 0, fmt.Errorf("modmath: %d does not divide q-1 for q=%d", m, q)
+	}
+	g := PrimitiveRoot(q)
+	w := PowMod(g, (q-1)/m, q)
+	return w, nil
+}
+
+// GenerateNTTPrimes returns count distinct primes of (approximately) the given
+// bit size satisfying q ≡ 1 (mod 2N), searching downward from 2^bits. Such
+// primes admit a negacyclic NTT of length N.
+func GenerateNTTPrimes(bits, n2 uint64, count int) ([]uint64, error) {
+	if bits < 8 || bits > 61 {
+		return nil, fmt.Errorf("modmath: prime bit size %d out of range [8,61]", bits)
+	}
+	step := n2 // candidates are 1 mod 2N; n2 is 2N
+	// Start at the largest value ≡ 1 mod 2N below 2^bits.
+	top := (uint64(1) << bits) - 1
+	cand := top - (top-1)%step
+	var out []uint64
+	for cand > uint64(1)<<(bits-1) {
+		if IsPrime(cand) {
+			out = append(out, cand)
+			if len(out) == count {
+				return out, nil
+			}
+		}
+		cand -= step
+	}
+	return nil, fmt.Errorf("modmath: found only %d/%d NTT primes of %d bits for 2N=%d",
+		len(out), count, bits, n2)
+}

@@ -1,0 +1,73 @@
+package ring
+
+import "alchemist/internal/modmath"
+
+// Automorphism applies the Galois automorphism φ_k : X ↦ X^k (k odd,
+// invertible mod 2N) to a in the coefficient domain, writing the result to
+// out. out must not alias a. CKKS rotations by r slots use k = 5^r mod 2N;
+// conjugation uses k = 2N-1.
+func (r *Ring) Automorphism(level int, a *Poly, k uint64, out *Poly) {
+	n := uint64(r.N)
+	mask := 2*n - 1
+	k &= mask
+	for i := 0; i <= level; i++ {
+		q := r.Moduli[i]
+		src, dst := a.Coeffs[i], out.Coeffs[i]
+		for j := uint64(0); j < n; j++ {
+			m := (j * k) & mask
+			if m < n {
+				dst[m] = src[j]
+			} else {
+				dst[m-n] = modmath.NegMod(src[j], q)
+			}
+		}
+	}
+}
+
+// AutomorphismNTT applies φ_k directly in the (bit-reversed) NTT domain,
+// where it is a pure index permutation: output slot j evaluates the
+// polynomial at ψ^(e_j·k) with e_j = 2·brv(j)+1, so
+// out[j] = in[brv((e_j·k mod 2N - 1)/2)]. This is the hot path real
+// libraries use for rotations on NTT-resident ciphertexts; it is validated
+// against the coefficient-domain Automorphism in the tests.
+func (r *Ring) AutomorphismNTT(level int, a *Poly, k uint64, out *Poly) {
+	n := r.N
+	logN := log2(n)
+	mask := uint64(2*n - 1)
+	k &= mask
+	// The permutation depends only on N and k; compute once per call.
+	perm := make([]int, n)
+	for j := 0; j < n; j++ {
+		e := (2*uint64(bitrev(uint32(j), logN)) + 1) * k & mask
+		perm[j] = int(bitrev(uint32((e-1)/2), logN))
+	}
+	for i := 0; i <= level; i++ {
+		src, dst := a.Coeffs[i], out.Coeffs[i]
+		for j := 0; j < n; j++ {
+			dst[j] = src[perm[j]]
+		}
+	}
+}
+
+// GaloisElementForRotation returns the Galois element 5^steps mod 2N used to
+// rotate CKKS slot vectors by the given number of steps (negative steps
+// rotate the other way).
+func (r *Ring) GaloisElementForRotation(steps int) uint64 {
+	m := uint64(2 * r.N)
+	// Order of 5 in Z_{2N}^* is N/2; normalize steps into [0, N/2).
+	halfSlots := r.N / 2
+	s := ((steps % halfSlots) + halfSlots) % halfSlots
+	g := uint64(1)
+	base := uint64(5)
+	for e := s; e > 0; e >>= 1 {
+		if e&1 == 1 {
+			g = g * base % m
+		}
+		base = base * base % m
+	}
+	return g
+}
+
+// GaloisElementConjugate returns the Galois element 2N-1 (complex
+// conjugation of the CKKS slots).
+func (r *Ring) GaloisElementConjugate() uint64 { return uint64(2*r.N - 1) }

@@ -1,0 +1,172 @@
+package ring
+
+import (
+	"fmt"
+
+	"alchemist/internal/modmath"
+)
+
+// The 4-step (Bailey) NTT decomposes a length-N negacyclic NTT into
+// N/n1 row transforms of size n1 plus twiddles and transposes. Alchemist
+// uses it so that each computing unit only ever transforms the slots held in
+// its private scratchpad (§5.3): for N = 16384 and 128 units, the NTT
+// becomes two rounds of 128-point sub-NTTs with one transpose through the
+// transpose register file in between.
+//
+// This software implementation computes the natural-order negacyclic DFT
+//
+//	X[k] = Σ_j a[j] · ψ^(j(2k+1))
+//
+// and is validated against an O(N²) evaluation; the scheduler uses the same
+// step structure to derive instruction streams and transpose traffic.
+
+// FourStepNTT computes the natural-order negacyclic NTT of a with an
+// n1 × (N/n1) decomposition, returning a fresh slice. n1 must divide N.
+func (s *SubRing) FourStepNTT(a []uint64, n1 int) ([]uint64, error) {
+	n := s.N
+	if n1 <= 0 || n%n1 != 0 {
+		return nil, fmt.Errorf("ring: n1=%d does not divide N=%d", n1, n)
+	}
+	n2 := n / n1
+	if n1&(n1-1) != 0 || n2&(n2-1) != 0 {
+		return nil, fmt.Errorf("ring: 4-step tile sizes must be powers of two (n1=%d, n2=%d)", n1, n2)
+	}
+	q := s.Q
+	omega := modmath.MulMod(s.Psi, s.Psi, q) // primitive N-th root
+	omega1 := modmath.PowMod(omega, uint64(n2), q)
+	omega2 := modmath.PowMod(omega, uint64(n1), q)
+
+	// Pre-scale by ψ^j (negacyclic fold), laid out as T[j1][j2] = a[j1 + n1·j2].
+	t := make([][]uint64, n1)
+	psiPow := uint64(1)
+	scaled := make([]uint64, n)
+	for j := 0; j < n; j++ {
+		scaled[j] = modmath.MulMod(a[j], psiPow, q)
+		psiPow = modmath.MulMod(psiPow, s.Psi, q)
+	}
+	for j1 := 0; j1 < n1; j1++ {
+		t[j1] = make([]uint64, n2)
+		for j2 := 0; j2 < n2; j2++ {
+			t[j1][j2] = scaled[j1+n1*j2]
+		}
+	}
+	// Step 1: length-n2 cyclic NTT along each row (local to a unit).
+	for j1 := 0; j1 < n1; j1++ {
+		cyclicNTT(t[j1], q, omega2)
+	}
+	// Step 2: twiddle T[j1][k2] *= ω^(j1·k2).
+	for j1 := 0; j1 < n1; j1++ {
+		wRow := modmath.PowMod(omega, uint64(j1), q)
+		w := uint64(1)
+		for k2 := 0; k2 < n2; k2++ {
+			t[j1][k2] = modmath.MulMod(t[j1][k2], w, q)
+			w = modmath.MulMod(w, wRow, q)
+		}
+	}
+	// Step 3: transpose (through the transpose register file on hardware).
+	u := make([][]uint64, n2)
+	for k2 := 0; k2 < n2; k2++ {
+		u[k2] = make([]uint64, n1)
+		for j1 := 0; j1 < n1; j1++ {
+			u[k2][j1] = t[j1][k2]
+		}
+	}
+	// Step 4: length-n1 cyclic NTT along each transposed row.
+	for k2 := 0; k2 < n2; k2++ {
+		cyclicNTT(u[k2], q, omega1)
+	}
+	// Final gather: X[k2 + n2·k1] = U[k2][k1] (second transpose, making the
+	// output natural-order).
+	out := make([]uint64, n)
+	for k2 := 0; k2 < n2; k2++ {
+		for k1 := 0; k1 < n1; k1++ {
+			out[k2+n2*k1] = u[k2][k1]
+		}
+	}
+	return out, nil
+}
+
+// FourStepINTT inverts FourStepNTT (natural-order negacyclic DFT input).
+func (s *SubRing) FourStepINTT(x []uint64, n1 int) ([]uint64, error) {
+	n := s.N
+	if n1 <= 0 || n%n1 != 0 {
+		return nil, fmt.Errorf("ring: n1=%d does not divide N=%d", n1, n)
+	}
+	n2 := n / n1
+	q := s.Q
+	omegaInv := modmath.MulMod(s.PsiInv, s.PsiInv, q)
+	omega1Inv := modmath.PowMod(omegaInv, uint64(n2), q)
+	omega2Inv := modmath.PowMod(omegaInv, uint64(n1), q)
+
+	// Reverse the final gather: U[k2][k1] = X[k2 + n2·k1].
+	u := make([][]uint64, n2)
+	for k2 := 0; k2 < n2; k2++ {
+		u[k2] = make([]uint64, n1)
+		for k1 := 0; k1 < n1; k1++ {
+			u[k2][k1] = x[k2+n2*k1]
+		}
+	}
+	for k2 := 0; k2 < n2; k2++ {
+		cyclicNTT(u[k2], q, omega1Inv)
+	}
+	// Transpose and undo twiddles.
+	t := make([][]uint64, n1)
+	for j1 := 0; j1 < n1; j1++ {
+		t[j1] = make([]uint64, n2)
+		for k2 := 0; k2 < n2; k2++ {
+			t[j1][k2] = u[k2][j1]
+		}
+	}
+	for j1 := 0; j1 < n1; j1++ {
+		wRow := modmath.PowMod(omegaInv, uint64(j1), q)
+		w := uint64(1)
+		for k2 := 0; k2 < n2; k2++ {
+			t[j1][k2] = modmath.MulMod(t[j1][k2], w, q)
+			w = modmath.MulMod(w, wRow, q)
+		}
+	}
+	for j1 := 0; j1 < n1; j1++ {
+		cyclicNTT(t[j1], q, omega2Inv)
+	}
+	// Un-scale by ψ^{-j}/N and flatten.
+	out := make([]uint64, n)
+	nInv := modmath.InvMod(uint64(n), q)
+	psiPow := nInv
+	for j := 0; j < n; j++ {
+		j1, j2 := j%n1, j/n1
+		out[j] = modmath.MulMod(t[j1][j2], psiPow, q)
+		psiPow = modmath.MulMod(psiPow, s.PsiInv, q)
+	}
+	return out, nil
+}
+
+// cyclicNTT computes an in-place natural-order cyclic NTT of a with the
+// given primitive len(a)-th root of unity w (len(a) a power of two).
+func cyclicNTT(a []uint64, q, w uint64) {
+	n := len(a)
+	if n == 1 {
+		return
+	}
+	logN := log2(n)
+	// Bit-reverse permute, then iterative Cooley–Tukey.
+	for i := 0; i < n; i++ {
+		j := int(bitrev(uint32(i), logN))
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		wm := modmath.PowMod(w, uint64(n/size), q)
+		for start := 0; start < n; start += size {
+			wj := uint64(1)
+			for j := 0; j < half; j++ {
+				u := a[start+j]
+				v := modmath.MulMod(a[start+j+half], wj, q)
+				a[start+j] = modmath.AddMod(u, v, q)
+				a[start+j+half] = modmath.SubMod(u, v, q)
+				wj = modmath.MulMod(wj, wm, q)
+			}
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package ring
+
+import "testing"
+
+// FuzzPolyUnmarshal checks the wire-format parser never panics or
+// over-allocates on adversarial input.
+func FuzzPolyUnmarshal(f *testing.F) {
+	r, err := NewRing(16, []uint64{12289})
+	if err != nil {
+		f.Fatal(err)
+	}
+	p := randPoly(r, 0, 1)
+	blob, _ := p.MarshalBinary()
+	f.Add(blob)
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 16, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var q Poly
+		if err := q.UnmarshalBinary(data); err == nil {
+			// A successful parse must round-trip to identical bytes.
+			out, err := q.MarshalBinary()
+			if err != nil {
+				t.Fatalf("re-marshal failed after successful parse: %v", err)
+			}
+			if len(out) != len(data) {
+				t.Fatalf("asymmetric round trip: %d vs %d bytes", len(out), len(data))
+			}
+		}
+	})
+}

@@ -1,0 +1,48 @@
+package ring
+
+import "sync"
+
+// Channel-level parallelism: RNS channels are independent, so the Ring can
+// fan NTT work out across goroutines. Disabled by default — the paper's CPU
+// baseline is single-threaded — and enabled explicitly per Ring for
+// applications that want wall-clock speed.
+
+// SetWorkers sets the number of goroutines used by NTT/INTT (1 disables
+// parallelism; values above the channel count are clamped at use).
+func (r *Ring) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	r.workers = n
+}
+
+// forEachChannel runs fn(i) for i in [0, level] using the configured worker
+// count.
+func (r *Ring) forEachChannel(level int, fn func(i int)) {
+	w := r.workers
+	if w <= 1 || level == 0 {
+		for i := 0; i <= level; i++ {
+			fn(i)
+		}
+		return
+	}
+	if w > level+1 {
+		w = level + 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i <= level; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

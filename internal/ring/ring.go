@@ -1,0 +1,210 @@
+package ring
+
+import (
+	"fmt"
+	"math/big"
+
+	"alchemist/internal/modmath"
+)
+
+// Ring is an RNS polynomial ring: the direct product of SubRings sharing the
+// same degree N, one per RNS modulus. Operations take an explicit level l and
+// touch subrings 0..l, mirroring the leveled structure of CKKS; TFHE uses a
+// single-level ring.
+type Ring struct {
+	SubRings []*SubRing
+	N        int
+	Moduli   []uint64
+
+	// workers is the goroutine count for channel-parallel transforms
+	// (default 1 = single-threaded; see SetWorkers).
+	workers int
+}
+
+// NewRing builds an RNS ring of degree n over the given prime moduli.
+func NewRing(n int, moduli []uint64) (*Ring, error) {
+	if len(moduli) == 0 {
+		return nil, fmt.Errorf("ring: no moduli")
+	}
+	seen := map[uint64]bool{}
+	r := &Ring{N: n, Moduli: append([]uint64(nil), moduli...)}
+	for _, q := range moduli {
+		if seen[q] {
+			return nil, fmt.Errorf("ring: duplicate modulus %d", q)
+		}
+		seen[q] = true
+		s, err := NewSubRing(n, q)
+		if err != nil {
+			return nil, err
+		}
+		r.SubRings = append(r.SubRings, s)
+	}
+	return r, nil
+}
+
+// MaxLevel returns the highest valid level (len(moduli)-1).
+func (r *Ring) MaxLevel() int { return len(r.SubRings) - 1 }
+
+// Modulus returns the product of the moduli at levels 0..level as a big.Int.
+func (r *Ring) Modulus(level int) *big.Int {
+	m := big.NewInt(1)
+	for i := 0; i <= level; i++ {
+		m.Mul(m, new(big.Int).SetUint64(r.Moduli[i]))
+	}
+	return m
+}
+
+// Poly is an RNS polynomial: Coeffs[i][j] is coefficient j modulo moduli[i].
+type Poly struct {
+	Coeffs [][]uint64
+}
+
+// NewPoly allocates a zero polynomial with level+1 RNS components.
+func (r *Ring) NewPoly(level int) *Poly {
+	p := &Poly{Coeffs: make([][]uint64, level+1)}
+	backing := make([]uint64, (level+1)*r.N)
+	for i := range p.Coeffs {
+		p.Coeffs[i], backing = backing[:r.N:r.N], backing[r.N:]
+	}
+	return p
+}
+
+// Level returns the polynomial's level (number of RNS components - 1).
+func (p *Poly) Level() int { return len(p.Coeffs) - 1 }
+
+// CopyLevel copies src into dst at levels 0..level.
+func (r *Ring) CopyLevel(level int, src, dst *Poly) {
+	for i := 0; i <= level; i++ {
+		copy(dst.Coeffs[i], src.Coeffs[i])
+	}
+}
+
+// Clone returns a deep copy of p restricted to levels 0..level.
+func (r *Ring) Clone(level int, p *Poly) *Poly {
+	out := r.NewPoly(level)
+	r.CopyLevel(level, p, out)
+	return out
+}
+
+// Equal reports whether a and b agree at levels 0..level.
+func (r *Ring) Equal(level int, a, b *Poly) bool {
+	for i := 0; i <= level; i++ {
+		for j := 0; j < r.N; j++ {
+			if a.Coeffs[i][j] != b.Coeffs[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// NTT transforms p in place at levels 0..level (lazy-reduction kernel,
+// channel-parallel when SetWorkers enabled it).
+func (r *Ring) NTT(level int, p *Poly) {
+	r.forEachChannel(level, func(i int) {
+		r.SubRings[i].NTTLazy(p.Coeffs[i])
+	})
+}
+
+// INTT transforms p back to coefficient order in place at levels 0..level
+// (lazy-reduction kernel, channel-parallel when SetWorkers enabled it).
+func (r *Ring) INTT(level int, p *Poly) {
+	r.forEachChannel(level, func(i int) {
+		r.SubRings[i].INTTLazy(p.Coeffs[i])
+	})
+}
+
+// Add sets out = a + b at levels 0..level.
+func (r *Ring) Add(level int, a, b, out *Poly) {
+	for i := 0; i <= level; i++ {
+		r.SubRings[i].Add(a.Coeffs[i], b.Coeffs[i], out.Coeffs[i])
+	}
+}
+
+// Sub sets out = a - b at levels 0..level.
+func (r *Ring) Sub(level int, a, b, out *Poly) {
+	for i := 0; i <= level; i++ {
+		r.SubRings[i].Sub(a.Coeffs[i], b.Coeffs[i], out.Coeffs[i])
+	}
+}
+
+// Neg sets out = -a at levels 0..level.
+func (r *Ring) Neg(level int, a, out *Poly) {
+	for i := 0; i <= level; i++ {
+		r.SubRings[i].Neg(a.Coeffs[i], out.Coeffs[i])
+	}
+}
+
+// MulCoeffs sets out = a ⊙ b (pointwise, NTT domain) at levels 0..level.
+func (r *Ring) MulCoeffs(level int, a, b, out *Poly) {
+	for i := 0; i <= level; i++ {
+		r.SubRings[i].MulCoeffs(a.Coeffs[i], b.Coeffs[i], out.Coeffs[i])
+	}
+}
+
+// MulCoeffsAndAdd sets out += a ⊙ b (pointwise, NTT domain) at levels 0..level.
+func (r *Ring) MulCoeffsAndAdd(level int, a, b, out *Poly) {
+	for i := 0; i <= level; i++ {
+		r.SubRings[i].MulCoeffsAndAdd(a.Coeffs[i], b.Coeffs[i], out.Coeffs[i])
+	}
+}
+
+// MulScalar sets out = c·a at levels 0..level, c given as a uint64 applied in
+// every RNS channel.
+func (r *Ring) MulScalar(level int, a *Poly, c uint64, out *Poly) {
+	for i := 0; i <= level; i++ {
+		r.SubRings[i].MulScalar(a.Coeffs[i], c, out.Coeffs[i])
+	}
+}
+
+// MulScalarBig sets out = c·a at levels 0..level for a big.Int constant.
+func (r *Ring) MulScalarBig(level int, a *Poly, c *big.Int, out *Poly) {
+	tmp := new(big.Int)
+	for i := 0; i <= level; i++ {
+		qi := new(big.Int).SetUint64(r.Moduli[i])
+		ci := tmp.Mod(c, qi)
+		if ci.Sign() < 0 {
+			ci.Add(ci, qi)
+		}
+		r.SubRings[i].MulScalar(a.Coeffs[i], ci.Uint64(), out.Coeffs[i])
+	}
+}
+
+// MulPoly computes out = a·b in R_q at levels 0..level via NTT, leaving all
+// arguments in the coefficient domain. Scratch-allocating convenience used in
+// tests and reference paths.
+func (r *Ring) MulPoly(level int, a, b, out *Poly) {
+	an := r.Clone(level, a)
+	bn := r.Clone(level, b)
+	r.NTT(level, an)
+	r.NTT(level, bn)
+	r.MulCoeffs(level, an, bn, an)
+	r.INTT(level, an)
+	r.CopyLevel(level, an, out)
+}
+
+// PolyToBigCoeffs reconstructs coefficient j of p (levels 0..level) over the
+// full modulus via CRT. Reference path for tests.
+func (r *Ring) PolyToBigCoeffs(level int, p *Poly) []*big.Int {
+	moduli := r.Moduli[:level+1]
+	out := make([]*big.Int, r.N)
+	res := make([]uint64, level+1)
+	for j := 0; j < r.N; j++ {
+		for i := 0; i <= level; i++ {
+			res[i] = p.Coeffs[i][j]
+		}
+		out[j] = modmath.CRTReconstruct(res, moduli)
+	}
+	return out
+}
+
+// SetBigCoeffs sets p from full-precision coefficients (reduced mod each q_i).
+func (r *Ring) SetBigCoeffs(level int, coeffs []*big.Int, p *Poly) {
+	moduli := r.Moduli[:level+1]
+	for j := 0; j < r.N && j < len(coeffs); j++ {
+		res := modmath.CRTDecompose(coeffs[j], moduli)
+		for i := 0; i <= level; i++ {
+			p.Coeffs[i][j] = res[i]
+		}
+	}
+}

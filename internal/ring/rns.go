@@ -1,0 +1,209 @@
+package ring
+
+import (
+	"math/big"
+
+	"alchemist/internal/modmath"
+)
+
+// BasisConverter implements the RNS basis conversion of eq. (1) in the paper
+// (the HPS "fast basis conversion"):
+//
+//	Bconv([x]_Q, p_j) = ( Σ_{i=0}^{L-1} [[x]_{q_i} · q̂_i^{-1}]_{q_i} · q̂_i ) mod p_j
+//
+// where q̂_i = Q/q_i. The result equals x + u·Q for a small overshoot
+// 0 ≤ u < L; the FHE schemes absorb this (ModUp noise, ModDown division).
+// A converter is built once for a (source, target) moduli pair and supports
+// any source level (prefix of the source basis).
+type BasisConverter struct {
+	Src, Dst []uint64
+	// qiHatInv[l][i] = (Q_l/q_i)^{-1} mod q_i where Q_l = q_0…q_l.
+	qiHatInv      [][]uint64
+	qiHatInvShoup [][]uint64
+	// qiHat[l][i][j] = (Q_l/q_i) mod p_j.
+	qiHat      [][][]uint64
+	qiHatShoup [][][]uint64
+	// qModP[l][j] = Q_l mod p_j, lazily built for ConvertExact.
+	qModP [][]uint64
+}
+
+// NewBasisConverter precomputes conversion tables from basis src to basis dst.
+func NewBasisConverter(src, dst []uint64) *BasisConverter {
+	L := len(src)
+	bc := &BasisConverter{
+		Src:           append([]uint64(nil), src...),
+		Dst:           append([]uint64(nil), dst...),
+		qiHatInv:      make([][]uint64, L),
+		qiHatInvShoup: make([][]uint64, L),
+		qiHat:         make([][][]uint64, L),
+		qiHatShoup:    make([][][]uint64, L),
+	}
+	for l := 0; l < L; l++ {
+		Ql := big.NewInt(1)
+		for i := 0; i <= l; i++ {
+			Ql.Mul(Ql, new(big.Int).SetUint64(src[i]))
+		}
+		bc.qiHatInv[l] = make([]uint64, l+1)
+		bc.qiHatInvShoup[l] = make([]uint64, l+1)
+		bc.qiHat[l] = make([][]uint64, l+1)
+		bc.qiHatShoup[l] = make([][]uint64, l+1)
+		tmp := new(big.Int)
+		for i := 0; i <= l; i++ {
+			qi := new(big.Int).SetUint64(src[i])
+			hat := new(big.Int).Div(Ql, qi)
+			inv := tmp.Mod(hat, qi)
+			invU := modmath.InvMod(inv.Uint64(), src[i])
+			bc.qiHatInv[l][i] = invU
+			bc.qiHatInvShoup[l][i] = modmath.ShoupPrecomp(invU, src[i])
+			bc.qiHat[l][i] = make([]uint64, len(dst))
+			bc.qiHatShoup[l][i] = make([]uint64, len(dst))
+			for j, pj := range dst {
+				pjb := new(big.Int).SetUint64(pj)
+				h := new(big.Int).Mod(hat, pjb).Uint64()
+				bc.qiHat[l][i][j] = h
+				bc.qiHatShoup[l][i][j] = modmath.ShoupPrecomp(h, pj)
+			}
+		}
+	}
+	return bc
+}
+
+// Convert performs the basis conversion for every coefficient. in holds
+// srcLevel+1 channels over the source moduli (coefficient domain); out must
+// hold len(Dst) channels. Channels are independent slices of equal length.
+func (bc *BasisConverter) Convert(srcLevel int, in, out [][]uint64) {
+	bc.ConvertN(srcLevel, in, out, len(bc.Dst))
+}
+
+// ConvertN is Convert restricted to the first nDst target channels; the
+// hybrid key switch uses it to skip target moduli above the working level.
+func (bc *BasisConverter) ConvertN(srcLevel int, in, out [][]uint64, nDst int) {
+	n := len(in[0])
+	// Step 1 of Fig. 4(b): y_i = [x_i · q̂_i^{-1}]_{q_i}, per source channel.
+	y := make([][]uint64, srcLevel+1)
+	for i := 0; i <= srcLevel; i++ {
+		y[i] = make([]uint64, n)
+		qi := bc.Src[i]
+		inv, invS := bc.qiHatInv[srcLevel][i], bc.qiHatInvShoup[srcLevel][i]
+		src := in[i]
+		for k := 0; k < n; k++ {
+			y[i][k] = modmath.MulModShoup(src[k], inv, invS, qi)
+		}
+	}
+	// Step 2: for each target channel, accumulate y_i · q̂_i mod p_j.
+	// (On the accelerator this is a Meta-OP (M8A8)_L R8 per 8 outputs.)
+	for j, pj := range bc.Dst[:nDst] {
+		dst := out[j]
+		for k := 0; k < n; k++ {
+			dst[k] = 0
+		}
+		for i := 0; i <= srcLevel; i++ {
+			h, hs := bc.qiHat[srcLevel][i][j], bc.qiHatShoup[srcLevel][i][j]
+			yi := y[i]
+			for k := 0; k < n; k++ {
+				dst[k] = modmath.AddMod(dst[k], modmath.MulModShoup(yi[k]%pj, h, hs, pj), pj)
+			}
+		}
+	}
+}
+
+// Extender bundles the conversions needed by hybrid key switching between
+// basis Q = {q_0..q_L} and the special basis P = {p_0..p_K-1}: ModUp
+// (eq. 2), ModDown (eq. 3) and CKKS rescaling.
+type Extender struct {
+	RQ, RP *Ring // rings over Q and P (same degree)
+
+	qToP *BasisConverter
+	pToQ *BasisConverter
+
+	// pInv[i] = P^{-1} mod q_i, for ModDown.
+	pInv      []uint64
+	pInvShoup []uint64
+
+	// qlInv[l][i] = q_l^{-1} mod q_i (i < l), for rescaling by the last modulus.
+	qlInv      [][]uint64
+	qlInvShoup [][]uint64
+}
+
+// NewExtender builds an Extender for rings rQ (main basis) and rP (special
+// basis). Both must share the polynomial degree.
+func NewExtender(rQ, rP *Ring) *Extender {
+	e := &Extender{
+		RQ:   rQ,
+		RP:   rP,
+		qToP: NewBasisConverter(rQ.Moduli, rP.Moduli),
+		pToQ: NewBasisConverter(rP.Moduli, rQ.Moduli),
+	}
+	P := big.NewInt(1)
+	for _, p := range rP.Moduli {
+		P.Mul(P, new(big.Int).SetUint64(p))
+	}
+	e.pInv = make([]uint64, len(rQ.Moduli))
+	e.pInvShoup = make([]uint64, len(rQ.Moduli))
+	tmp := new(big.Int)
+	for i, qi := range rQ.Moduli {
+		pModQi := tmp.Mod(P, new(big.Int).SetUint64(qi)).Uint64()
+		e.pInv[i] = modmath.InvMod(pModQi, qi)
+		e.pInvShoup[i] = modmath.ShoupPrecomp(e.pInv[i], qi)
+	}
+	L := len(rQ.Moduli)
+	e.qlInv = make([][]uint64, L)
+	e.qlInvShoup = make([][]uint64, L)
+	for l := 1; l < L; l++ {
+		e.qlInv[l] = make([]uint64, l)
+		e.qlInvShoup[l] = make([]uint64, l)
+		for i := 0; i < l; i++ {
+			inv := modmath.InvMod(rQ.Moduli[l]%rQ.Moduli[i], rQ.Moduli[i])
+			e.qlInv[l][i] = inv
+			e.qlInvShoup[l][i] = modmath.ShoupPrecomp(inv, rQ.Moduli[i])
+		}
+	}
+	return e
+}
+
+// ModUp implements eq. (2): extends a (levels 0..level over Q, coefficient
+// domain) with K channels over P, writing them into outP (a P-basis poly).
+func (e *Extender) ModUp(level int, a *Poly, outP *Poly) {
+	e.qToP.Convert(level, a.Coeffs[:level+1], outP.Coeffs)
+}
+
+// ModDown implements eq. (3): given aQ over Q (levels 0..level) and aP over
+// the full special basis P, computes [ (a - Bconv(aP)) · P^{-1} ]_{q_i} into
+// out. All polynomials are in the coefficient domain.
+func (e *Extender) ModDown(level int, aQ, aP, out *Poly) {
+	n := e.RQ.N
+	conv := make([][]uint64, level+1)
+	for i := range conv {
+		conv[i] = make([]uint64, n)
+	}
+	e.pToQ.ConvertN(len(e.RP.Moduli)-1, aP.Coeffs, conv, level+1)
+	for i := 0; i <= level; i++ {
+		qi := e.RQ.Moduli[i]
+		inv, invS := e.pInv[i], e.pInvShoup[i]
+		src, c, dst := aQ.Coeffs[i], conv[i], out.Coeffs[i]
+		for k := 0; k < n; k++ {
+			d := modmath.SubMod(src[k], c[k], qi)
+			dst[k] = modmath.MulModShoup(d, inv, invS, qi)
+		}
+	}
+}
+
+// RescaleByLastModulus divides a (levels 0..level, coefficient domain) by
+// q_level with rounding, producing a poly at level-1:
+// out_i = (a_i - a_level) · q_level^{-1} mod q_i. This is the CKKS rescale.
+func (e *Extender) RescaleByLastModulus(level int, a, out *Poly) {
+	if level == 0 {
+		panic("ring: cannot rescale below level 0")
+	}
+	n := e.RQ.N
+	last := a.Coeffs[level]
+	for i := 0; i < level; i++ {
+		qi := e.RQ.Moduli[i]
+		inv, invS := e.qlInv[level][i], e.qlInvShoup[level][i]
+		src, dst := a.Coeffs[i], out.Coeffs[i]
+		for k := 0; k < n; k++ {
+			d := modmath.SubMod(src[k], last[k]%qi, qi)
+			dst[k] = modmath.MulModShoup(d, inv, invS, qi)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package ring
+
+import (
+	"math/big"
+
+	"alchemist/internal/modmath"
+)
+
+// Exact basis conversion (HPS floating-point correction): unlike Convert,
+// which returns x + u·Q for a small overshoot u, ConvertExact subtracts the
+// overshoot by estimating u = round(Σ y_i/q_i) in floating point. With
+// centered=true the result is the centered representative (x - Q when
+// x > Q/2), which the BGV ModDown needs so that key-switch noise does not
+// leak into the plaintext modulo t.
+//
+// The float estimate is exact unless the fractional sum lands within the
+// accumulated rounding error (≈2^-45 per term) of a half-integer, which the
+// schemes' noise distributions make vanishingly unlikely.
+
+// qModDst returns Q_l mod p_j for the converter's source prefix.
+func (bc *BasisConverter) qModDst(srcLevel, j int) uint64 {
+	// Computed on demand and cached.
+	if bc.qModP == nil {
+		bc.qModP = make([][]uint64, len(bc.Src))
+	}
+	if bc.qModP[srcLevel] == nil {
+		row := make([]uint64, len(bc.Dst))
+		q := big.NewInt(1)
+		for i := 0; i <= srcLevel; i++ {
+			q.Mul(q, new(big.Int).SetUint64(bc.Src[i]))
+		}
+		tmp := new(big.Int)
+		for jj, pj := range bc.Dst {
+			row[jj] = tmp.Mod(q, new(big.Int).SetUint64(pj)).Uint64()
+		}
+		bc.qModP[srcLevel] = row
+	}
+	return bc.qModP[srcLevel][j]
+}
+
+// ConvertExact performs the overshoot-free basis conversion into the first
+// nDst target channels.
+func (bc *BasisConverter) ConvertExact(srcLevel int, in, out [][]uint64, nDst int, centered bool) {
+	n := len(in[0])
+	y := make([][]uint64, srcLevel+1)
+	vs := make([]uint64, n) // overshoot u per coefficient
+	frac := make([]float64, n)
+	for i := 0; i <= srcLevel; i++ {
+		y[i] = make([]uint64, n)
+		qi := bc.Src[i]
+		inv, invS := bc.qiHatInv[srcLevel][i], bc.qiHatInvShoup[srcLevel][i]
+		src := in[i]
+		fq := float64(qi)
+		for k := 0; k < n; k++ {
+			yi := modmath.MulModShoup(src[k], inv, invS, qi)
+			y[i][k] = yi
+			frac[k] += float64(yi) / fq
+		}
+	}
+	for k := 0; k < n; k++ {
+		// frac ≈ (Σ y_i·q̂_i)/Q = u + value/Q with 0 ≤ u ≤ srcLevel+1.
+		if centered {
+			// u = round(frac): value - u·Q lands in (-Q/2, Q/2].
+			vs[k] = uint64(frac[k] + 0.5)
+		} else {
+			// u = floor(frac): value - u·Q lands in [0, Q).
+			vs[k] = uint64(frac[k])
+		}
+	}
+	for j := 0; j < nDst; j++ {
+		pj := bc.Dst[j]
+		dst := out[j]
+		qMod := bc.qModDst(srcLevel, j)
+		for k := 0; k < n; k++ {
+			dst[k] = 0
+		}
+		for i := 0; i <= srcLevel; i++ {
+			h, hs := bc.qiHat[srcLevel][i][j], bc.qiHatShoup[srcLevel][i][j]
+			yi := y[i]
+			for k := 0; k < n; k++ {
+				dst[k] = modmath.AddMod(dst[k], modmath.MulModShoup(yi[k]%pj, h, hs, pj), pj)
+			}
+		}
+		for k := 0; k < n; k++ {
+			// Subtract u·Q (mod p_j); with centering u was rounded, so the
+			// result is the centered representative.
+			sub := modmath.MulMod(vs[k]%pj, qMod, pj)
+			dst[k] = modmath.SubMod(dst[k], sub, pj)
+		}
+	}
+}
+
+// ModDownExact is ModDown with an exact, centered P→Q conversion: the
+// output equals (x - [x]_P^centered)·P^{-1} with no ±K overshoot error.
+// BGV key switching requires this so the correction stays ≡ 0 (mod t).
+func (e *Extender) ModDownExact(level int, aQ, aP, out *Poly) {
+	n := e.RQ.N
+	conv := make([][]uint64, level+1)
+	for i := range conv {
+		conv[i] = make([]uint64, n)
+	}
+	e.pToQ.ConvertExact(len(e.RP.Moduli)-1, aP.Coeffs, conv, level+1, true)
+	for i := 0; i <= level; i++ {
+		qi := e.RQ.Moduli[i]
+		inv, invS := e.pInv[i], e.pInvShoup[i]
+		src, c, dst := aQ.Coeffs[i], conv[i], out.Coeffs[i]
+		for k := 0; k < n; k++ {
+			d := modmath.SubMod(src[k], c[k], qi)
+			dst[k] = modmath.MulModShoup(d, inv, invS, qi)
+		}
+	}
+}

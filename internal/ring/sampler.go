@@ -1,0 +1,84 @@
+package ring
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Sampler draws polynomials from the distributions used by the FHE schemes.
+// It is seeded deterministically so tests and examples are reproducible; this
+// reproduction does not target cryptographic-strength randomness.
+type Sampler struct {
+	rng *rand.Rand
+	r   *Ring
+}
+
+// NewSampler returns a sampler over ring r with the given seed.
+func NewSampler(r *Ring, seed int64) *Sampler {
+	return &Sampler{rng: rand.New(rand.NewSource(seed)), r: r}
+}
+
+// Uniform fills p (levels 0..level) with independent uniform residues.
+func (s *Sampler) Uniform(level int, p *Poly) {
+	for i := 0; i <= level; i++ {
+		q := s.r.Moduli[i]
+		c := p.Coeffs[i]
+		for j := range c {
+			c[j] = s.rng.Uint64() % q
+		}
+	}
+}
+
+// Ternary fills p with coefficients from {-1, 0, 1}: zero with probability
+// 1-density, ±1 each with probability density/2. The same signed value is
+// written consistently across all RNS channels.
+func (s *Sampler) Ternary(level int, density float64, p *Poly) {
+	n := s.r.N
+	for j := 0; j < n; j++ {
+		u := s.rng.Float64()
+		var v int64
+		switch {
+		case u < density/2:
+			v = 1
+		case u < density:
+			v = -1
+		}
+		for i := 0; i <= level; i++ {
+			p.Coeffs[i][j] = signedToMod(v, s.r.Moduli[i])
+		}
+	}
+}
+
+// Gaussian fills p with a rounded Gaussian of the given standard deviation,
+// truncated at ±6σ, written consistently across RNS channels.
+func (s *Sampler) Gaussian(level int, sigma float64, p *Poly) {
+	n := s.r.N
+	bound := 6 * sigma
+	for j := 0; j < n; j++ {
+		x := s.rng.NormFloat64() * sigma
+		if x > bound {
+			x = bound
+		} else if x < -bound {
+			x = -bound
+		}
+		v := int64(math.Round(x))
+		for i := 0; i <= level; i++ {
+			p.Coeffs[i][j] = signedToMod(v, s.r.Moduli[i])
+		}
+	}
+}
+
+func signedToMod(v int64, q uint64) uint64 {
+	if v >= 0 {
+		return uint64(v) % q
+	}
+	return q - (uint64(-v) % q)
+}
+
+// SignedCoeff interprets residue x mod q as a centered value in (-q/2, q/2].
+func SignedCoeff(x, q uint64) int64 {
+	if x > q/2 {
+		return int64(x) - int64(q)
+	}
+	return int64(x)
+}

@@ -1,0 +1,62 @@
+package ring
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary serialization for polynomials: FHE ciphertexts and keys cross the
+// network in any deployment, so every transportable object implements
+// encoding.BinaryMarshaler / BinaryUnmarshaler.
+//
+// Poly wire format: uint32 level count, uint32 degree, then levels×N
+// little-endian uint64 coefficients.
+
+// MarshalBinary encodes the polynomial.
+func (p *Poly) MarshalBinary() ([]byte, error) {
+	if len(p.Coeffs) == 0 {
+		return nil, fmt.Errorf("ring: cannot marshal empty poly")
+	}
+	n := len(p.Coeffs[0])
+	out := make([]byte, 8+8*len(p.Coeffs)*n)
+	binary.LittleEndian.PutUint32(out[0:], uint32(len(p.Coeffs)))
+	binary.LittleEndian.PutUint32(out[4:], uint32(n))
+	off := 8
+	for _, ch := range p.Coeffs {
+		if len(ch) != n {
+			return nil, fmt.Errorf("ring: ragged channels")
+		}
+		for _, c := range ch {
+			binary.LittleEndian.PutUint64(out[off:], c)
+			off += 8
+		}
+	}
+	return out, nil
+}
+
+// UnmarshalBinary decodes into p (allocating the backing storage).
+func (p *Poly) UnmarshalBinary(data []byte) error {
+	if len(data) < 8 {
+		return fmt.Errorf("ring: poly header truncated")
+	}
+	levels := int(binary.LittleEndian.Uint32(data[0:]))
+	n := int(binary.LittleEndian.Uint32(data[4:]))
+	if levels <= 0 || n <= 0 || levels > 1<<16 || n > 1<<24 {
+		return fmt.Errorf("ring: implausible poly header (%d levels, N=%d)", levels, n)
+	}
+	want := 8 + 8*levels*n
+	if len(data) != want {
+		return fmt.Errorf("ring: poly payload is %d bytes, want %d", len(data), want)
+	}
+	backing := make([]uint64, levels*n)
+	p.Coeffs = make([][]uint64, levels)
+	off := 8
+	for i := range p.Coeffs {
+		p.Coeffs[i], backing = backing[:n:n], backing[n:]
+		for j := 0; j < n; j++ {
+			p.Coeffs[i][j] = binary.LittleEndian.Uint64(data[off:])
+			off += 8
+		}
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package ring
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPolySerializationRoundTrip(t *testing.T) {
+	r := testRing(t, 64, 3)
+	level := r.MaxLevel()
+	p := randPoly(r, level, 77)
+	blob, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Poly
+	if err := back.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Equal(level, p, &back) {
+		t.Fatal("poly serialization round trip failed")
+	}
+}
+
+func TestPolySerializationValidation(t *testing.T) {
+	var p Poly
+	if _, err := p.MarshalBinary(); err == nil {
+		t.Error("expected empty-poly error")
+	}
+	if err := p.UnmarshalBinary([]byte{1, 2}); err == nil {
+		t.Error("expected truncated-header error")
+	}
+	if err := p.UnmarshalBinary([]byte{1, 0, 0, 0, 8, 0, 0, 0, 1}); err == nil {
+		t.Error("expected payload-size error")
+	}
+	// Implausible headers must be rejected before allocation.
+	huge := make([]byte, 8)
+	huge[0], huge[1], huge[2], huge[3] = 0xFF, 0xFF, 0xFF, 0x7F
+	huge[4] = 8
+	if err := p.UnmarshalBinary(huge); err == nil {
+		t.Error("expected implausible-header rejection")
+	}
+}
+
+func TestQuickPolySerialization(t *testing.T) {
+	r := testRing(t, 32, 2)
+	f := func(seed int64) bool {
+		p := randPoly(r, r.MaxLevel(), seed)
+		blob, err := p.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var back Poly
+		if err := back.UnmarshalBinary(blob); err != nil {
+			return false
+		}
+		return r.Equal(r.MaxLevel(), p, &back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

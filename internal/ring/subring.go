@@ -1,0 +1,232 @@
+// Package ring implements negacyclic polynomial rings R_q = Z_q[X]/(X^N+1)
+// in residue-number-system (RNS) form, together with the polynomial kernels
+// both FHE schemes are built from: the number-theoretic transform (NTT), the
+// 4-step NTT used by the Alchemist data layout, RNS basis conversion (Bconv),
+// ModUp/ModDown, gadget decomposition, automorphisms and samplers.
+package ring
+
+import (
+	"fmt"
+
+	"alchemist/internal/modmath"
+)
+
+// SubRing is the ring Z_q[X]/(X^N+1) for one RNS modulus q, with the
+// precomputed NTT tables for negacyclic transforms of length N.
+type SubRing struct {
+	N int    // polynomial degree, a power of two
+	Q uint64 // prime modulus, q ≡ 1 (mod 2N)
+
+	Psi    uint64 // primitive 2N-th root of unity mod q
+	PsiInv uint64
+
+	// Twiddle tables in bit-reversed order (Longa–Naehrig layout), with
+	// Shoup precomputations for the fast constant-multiplication path.
+	psiRev         []uint64
+	psiRevShoup    []uint64
+	psiInvRev      []uint64
+	psiInvRevShoup []uint64
+
+	nInv      uint64 // N^{-1} mod q
+	nInvShoup uint64
+
+	barrett modmath.Barrett
+}
+
+// NewSubRing builds the subring of degree n (a power of two ≥ 2) modulo the
+// prime q, which must satisfy q ≡ 1 (mod 2n).
+func NewSubRing(n int, q uint64) (*SubRing, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("ring: degree %d is not a power of two ≥ 2", n)
+	}
+	if !modmath.IsPrime(q) {
+		return nil, fmt.Errorf("ring: modulus %d is not prime", q)
+	}
+	if (q-1)%uint64(2*n) != 0 {
+		return nil, fmt.Errorf("ring: modulus %d is not ≡ 1 mod 2N=%d", q, 2*n)
+	}
+	psi, err := modmath.RootOfUnity(uint64(2*n), q)
+	if err != nil {
+		return nil, err
+	}
+	s := &SubRing{
+		N:       n,
+		Q:       q,
+		Psi:     psi,
+		PsiInv:  modmath.InvMod(psi, q),
+		barrett: modmath.NewBarrett(q),
+	}
+	s.buildTables()
+	return s, nil
+}
+
+func (s *SubRing) buildTables() {
+	n := s.N
+	logN := log2(n)
+	s.psiRev = make([]uint64, n)
+	s.psiRevShoup = make([]uint64, n)
+	s.psiInvRev = make([]uint64, n)
+	s.psiInvRevShoup = make([]uint64, n)
+	pow, powInv := uint64(1), uint64(1)
+	for i := 0; i < n; i++ {
+		r := bitrev(uint32(i), logN)
+		s.psiRev[r] = pow
+		s.psiInvRev[r] = powInv
+		pow = modmath.MulMod(pow, s.Psi, s.Q)
+		powInv = modmath.MulMod(powInv, s.PsiInv, s.Q)
+	}
+	for i := 0; i < n; i++ {
+		s.psiRevShoup[i] = modmath.ShoupPrecomp(s.psiRev[i], s.Q)
+		s.psiInvRevShoup[i] = modmath.ShoupPrecomp(s.psiInvRev[i], s.Q)
+	}
+	s.nInv = modmath.InvMod(uint64(n), s.Q)
+	s.nInvShoup = modmath.ShoupPrecomp(s.nInv, s.Q)
+}
+
+func log2(n int) int {
+	l := 0
+	for 1<<l < n {
+		l++
+	}
+	return l
+}
+
+func bitrev(x uint32, bits int) uint32 {
+	var r uint32
+	for i := 0; i < bits; i++ {
+		r = r<<1 | (x & 1)
+		x >>= 1
+	}
+	return r
+}
+
+// NTT transforms coefficients p (natural order) into the NTT domain
+// (bit-reversed order) in place, using the negacyclic Cooley–Tukey DIT
+// network.
+func (s *SubRing) NTT(p []uint64) {
+	n, q := s.N, s.Q
+	t := n
+	for m := 1; m < n; m <<= 1 {
+		t >>= 1
+		for i := 0; i < m; i++ {
+			w := s.psiRev[m+i]
+			ws := s.psiRevShoup[m+i]
+			j1 := 2 * i * t
+			for j := j1; j < j1+t; j++ {
+				u := p[j]
+				v := modmath.MulModShoup(p[j+t], w, ws, q)
+				p[j] = modmath.AddMod(u, v, q)
+				p[j+t] = modmath.SubMod(u, v, q)
+			}
+		}
+	}
+}
+
+// INTT transforms p from the NTT domain (bit-reversed order) back to natural
+// coefficient order in place, using the Gentleman–Sande DIF network and the
+// final N^{-1} scaling.
+func (s *SubRing) INTT(p []uint64) {
+	n, q := s.N, s.Q
+	t := 1
+	for m := n; m > 1; m >>= 1 {
+		h := m >> 1
+		j1 := 0
+		for i := 0; i < h; i++ {
+			w := s.psiInvRev[h+i]
+			ws := s.psiInvRevShoup[h+i]
+			for j := j1; j < j1+t; j++ {
+				u := p[j]
+				v := p[j+t]
+				p[j] = modmath.AddMod(u, v, q)
+				p[j+t] = modmath.MulModShoup(modmath.SubMod(u, v, q), w, ws, q)
+			}
+			j1 += 2 * t
+		}
+		t <<= 1
+	}
+	for j := 0; j < n; j++ {
+		p[j] = modmath.MulModShoup(p[j], s.nInv, s.nInvShoup, q)
+	}
+}
+
+// MulCoeffs sets out = a ⊙ b pointwise mod q (any domain).
+func (s *SubRing) MulCoeffs(a, b, out []uint64) {
+	for i := range out {
+		out[i] = s.barrett.MulMod(a[i], b[i])
+	}
+}
+
+// MulCoeffsAndAdd sets out = out + a ⊙ b pointwise mod q.
+func (s *SubRing) MulCoeffsAndAdd(a, b, out []uint64) {
+	q := s.Q
+	for i := range out {
+		out[i] = modmath.AddMod(out[i], s.barrett.MulMod(a[i], b[i]), q)
+	}
+}
+
+// Add sets out = a + b pointwise mod q.
+func (s *SubRing) Add(a, b, out []uint64) {
+	q := s.Q
+	for i := range out {
+		out[i] = modmath.AddMod(a[i], b[i], q)
+	}
+}
+
+// Sub sets out = a - b pointwise mod q.
+func (s *SubRing) Sub(a, b, out []uint64) {
+	q := s.Q
+	for i := range out {
+		out[i] = modmath.SubMod(a[i], b[i], q)
+	}
+}
+
+// Neg sets out = -a pointwise mod q.
+func (s *SubRing) Neg(a, out []uint64) {
+	q := s.Q
+	for i := range out {
+		out[i] = modmath.NegMod(a[i], q)
+	}
+}
+
+// MulScalar sets out = c · a pointwise mod q.
+func (s *SubRing) MulScalar(a []uint64, c uint64, out []uint64) {
+	c %= s.Q
+	cs := modmath.ShoupPrecomp(c, s.Q)
+	for i := range out {
+		out[i] = modmath.MulModShoup(a[i], c, cs, s.Q)
+	}
+}
+
+// MulScalarAndAdd sets out = out + c · a pointwise mod q.
+func (s *SubRing) MulScalarAndAdd(a []uint64, c uint64, out []uint64) {
+	c %= s.Q
+	cs := modmath.ShoupPrecomp(c, s.Q)
+	q := s.Q
+	for i := range out {
+		out[i] = modmath.AddMod(out[i], modmath.MulModShoup(a[i], c, cs, q), q)
+	}
+}
+
+// NegacyclicConvolve computes the schoolbook negacyclic product of a and b
+// into out: out = a·b mod (X^N+1, q). O(N^2); reference implementation for
+// tests.
+func (s *SubRing) NegacyclicConvolve(a, b, out []uint64) {
+	n, q := s.N, s.Q
+	acc := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		ai := a[i]
+		if ai == 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			p := s.barrett.MulMod(ai, b[j])
+			k := i + j
+			if k < n {
+				acc[k] = modmath.AddMod(acc[k], p, q)
+			} else {
+				acc[k-n] = modmath.SubMod(acc[k-n], p, q)
+			}
+		}
+	}
+	copy(out, acc)
+}

@@ -1,0 +1,111 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"alchemist/internal/arch"
+	"alchemist/internal/sim"
+	"alchemist/internal/trace"
+)
+
+// randomGraph builds a random valid op DAG from a seed.
+func randomGraph(seed int64) *trace.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := &trace.Graph{Name: "random"}
+	nOps := 3 + rng.Intn(20)
+	degrees := []int{1024, 4096, 16384, 65536}
+	for i := 0; i < nOps; i++ {
+		n := degrees[rng.Intn(len(degrees))]
+		ch := 1 + rng.Intn(44)
+		polys := 1 + rng.Intn(3)
+		var op trace.Op
+		switch rng.Intn(7) {
+		case 0:
+			op = trace.Op{Kind: trace.KindNTT, N: n, Channels: ch, Polys: polys}
+		case 1:
+			op = trace.Op{Kind: trace.KindINTT, N: n, Channels: ch, Polys: polys}
+		case 2:
+			op = trace.Op{Kind: trace.KindBconv, N: n, SrcChannels: 1 + rng.Intn(12),
+				Channels: ch, Polys: polys}
+		case 3:
+			op = trace.Op{Kind: trace.KindDecompPolyMult, N: n, Channels: ch,
+				Dnum: 1 + rng.Intn(8), Polys: polys,
+				StreamBytes: int64(rng.Intn(1 << 26))}
+		case 4:
+			op = trace.Op{Kind: trace.KindEWMult, N: n, Channels: ch, Polys: polys}
+		case 5:
+			op = trace.Op{Kind: trace.KindEWAdd, N: n, Channels: ch, Polys: polys}
+		default:
+			op = trace.Op{Kind: trace.KindAutomorphism, N: n, Channels: ch, Polys: polys}
+		}
+		op.Label = "op"
+		var deps []int
+		for d := 0; d < i; d++ {
+			if rng.Intn(4) == 0 {
+				deps = append(deps, d)
+			}
+		}
+		g.Add(op, deps...)
+	}
+	return g
+}
+
+func TestQuickRandomGraphsAgreeAcrossModels(t *testing.T) {
+	cfg := arch.Default()
+	f := func(seed int64) bool {
+		g := randomGraph(seed)
+		agg, err := sim.Simulate(cfg, g)
+		if err != nil {
+			return false
+		}
+		prog, err := Compile(cfg, g)
+		if err != nil {
+			return false
+		}
+		per := Execute(prog)
+		// Quantization can only slow the per-unit model, never speed it up,
+		// and never by more than 15%.
+		ratio := float64(per.Cycles) / float64(agg.Cycles)
+		return ratio >= 0.999 && ratio < 1.15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSimInvariants(t *testing.T) {
+	cfg := arch.Default()
+	f := func(seed int64) bool {
+		g := randomGraph(seed)
+		res, err := sim.Simulate(cfg, g)
+		if err != nil {
+			return false
+		}
+		if res.Utilization < 0 || res.Utilization > 1.0001 {
+			return false
+		}
+		if res.ComputeUtilization < 0 || res.ComputeUtilization > 1.0001 {
+			return false
+		}
+		// Makespan covers both compute and memory demands.
+		if res.Cycles < res.MemCycles {
+			return false
+		}
+		if res.StreamBytes != g.TotalStreamBytes() {
+			return false
+		}
+		// Monotonicity: doubling cores never slows things down.
+		big := cfg
+		big.CoresPerUnit = cfg.CoresPerUnit * 2
+		res2, err := sim.Simulate(big, g)
+		if err != nil {
+			return false
+		}
+		return res2.Cycles <= res.Cycles
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,246 @@
+// Package sched compiles workload graphs into per-computing-unit Meta-OP
+// instruction streams, realizing the paper's data management (§5.3): every
+// polynomial is distributed across units by slot (Fig. 5b), each unit's
+// stream touches only its private scratchpad, and the only inter-unit
+// traffic is the transpose phase of the 4-step NTT.
+//
+// The compiled Program can be executed by the per-unit interpreter in this
+// package (Execute), which models each unit's 16 cores independently and is
+// cross-checked against the aggregate model in internal/sim.
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"alchemist/internal/arch"
+	"alchemist/internal/metaop"
+	"alchemist/internal/sim"
+	"alchemist/internal/trace"
+)
+
+// Instr is a run of identical Meta-OPs on one computing unit.
+type Instr struct {
+	Pattern metaop.AccessPattern
+	NAccum  int   // the Meta-OP's n
+	Cycles  int   // per Meta-OP
+	Count   int64 // identical Meta-OPs in this run
+	Label   string
+}
+
+// UnitStream is the ordered instruction stream of one computing unit within
+// a phase.
+type UnitStream struct {
+	Instrs []Instr
+}
+
+// MetaOps returns the total Meta-OP count of the stream.
+func (u UnitStream) MetaOps() int64 {
+	var t int64
+	for _, in := range u.Instrs {
+		t += in.Count
+	}
+	return t
+}
+
+// Phase is the compiled form of one graph op: per-unit streams plus the
+// non-compute effects (transpose crossing, HBM stream).
+type Phase struct {
+	OpID  int
+	Kind  trace.Kind
+	Label string
+
+	Units []UnitStream
+
+	// TransposeElems counts elements crossing the transpose register file
+	// after this phase's compute (non-local NTT passes only).
+	TransposeElems int64
+
+	// StreamBytes must arrive from HBM before the phase starts.
+	StreamBytes int64
+
+	Deps []int
+}
+
+// LocalOnly reports whether the phase touches only private scratchpads.
+func (p Phase) LocalOnly() bool { return p.TransposeElems == 0 }
+
+// Program is a compiled workload.
+type Program struct {
+	Cfg    arch.Config
+	Name   string
+	Phases []Phase
+}
+
+// Compile lowers every op of the graph into per-unit Meta-OP streams under
+// the slot-based partitioning.
+func Compile(cfg arch.Config, g *trace.Graph) (*Program, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Lanes != metaop.J {
+		return nil, fmt.Errorf("sched: lane width %d unsupported (Meta-OP lowering is j=%d)",
+			cfg.Lanes, metaop.J)
+	}
+	prog := &Program{Cfg: cfg, Name: g.Name}
+	units := cfg.Units
+	for _, op := range g.Ops {
+		ph := Phase{
+			OpID:  op.ID,
+			Kind:  op.Kind,
+			Label: op.Label,
+			Units: make([]UnitStream, units),
+			Deps:  append([]int(nil), op.Deps...),
+		}
+		ph.StreamBytes = op.StreamBytes
+		// Slot partitioning: every unit owns N/units slots of every channel
+		// of every dnum group (Fig. 5b), so Meta-OP counts split evenly;
+		// the remainder goes to the low-numbered units.
+		for _, b := range sim.Lower(op) {
+			per := b.Count / int64(units)
+			rem := b.Count % int64(units)
+			for u := 0; u < units; u++ {
+				c := per
+				if int64(u) < rem {
+					c++
+				}
+				if c == 0 {
+					continue
+				}
+				ph.Units[u].Instrs = append(ph.Units[u].Instrs, Instr{
+					Pattern: b.Pattern,
+					NAccum:  b.NAccum,
+					Cycles:  b.Cycles,
+					Count:   c,
+					Label:   b.Label,
+				})
+			}
+		}
+		if (op.Kind == trace.KindNTT || op.Kind == trace.KindINTT) &&
+			!op.Local && op.N > cfg.Units {
+			ph.TransposeElems = int64(op.N) * int64(op.Channels) * int64(op.Polys)
+		}
+		prog.Phases = append(prog.Phases, ph)
+	}
+	return prog, nil
+}
+
+// ExecResult is the outcome of per-unit execution.
+type ExecResult struct {
+	Cycles         int64
+	BusyLaneCycles int64
+	// Imbalance is the max/mean ratio of per-unit busy cycles (1.0 = ideal).
+	Imbalance float64
+	// PerUnitBusy is each unit's total occupied cycles.
+	PerUnitBusy []int64
+	// TransposeCycles is the total time spent in transpose phases.
+	TransposeCycles int64
+	// MemCycles is the total HBM streaming time.
+	MemCycles int64
+}
+
+// Execute interprets the program: each phase runs its unit streams in
+// parallel (a unit's cores consume its Meta-OPs 16 at a time), the phase
+// ends when the slowest unit and the transpose crossing finish, and HBM
+// streams gate phase starts exactly as in internal/sim.
+func Execute(p *Program) ExecResult {
+	cfg := p.Cfg
+	cores := int64(cfg.CoresPerUnit)
+	res := ExecResult{PerUnitBusy: make([]int64, cfg.Units)}
+	finish := make([]int64, len(p.Phases))
+	var computeFree, memFree int64
+
+	for i, ph := range p.Phases {
+		// Per-unit duration: cores inside a unit drain the stream in
+		// parallel runs of 16.
+		var longest int64
+		for u := range ph.Units {
+			var t int64
+			for _, in := range ph.Units[u].Instrs {
+				rounds := (in.Count + cores - 1) / cores
+				dt := rounds * int64(in.Cycles)
+				eff := sim.PatternEfficiency[in.Pattern]
+				t += int64(math.Ceil(float64(dt) / eff))
+			}
+			res.PerUnitBusy[u] += t
+			if t > longest {
+				longest = t
+			}
+		}
+		var transpose int64
+		if ph.TransposeElems > 0 {
+			transpose = (ph.TransposeElems + int64(cfg.TransposeLanesPerCycle) - 1) /
+				int64(cfg.TransposeLanesPerCycle)
+			res.TransposeCycles += transpose
+		}
+		var streamDone int64
+		if ph.StreamBytes > 0 {
+			memFree += int64(math.Ceil(float64(ph.StreamBytes) / cfg.HBMBytesPerCycle()))
+			streamDone = memFree
+			res.MemCycles = memFree
+		}
+		ready := int64(0)
+		for _, d := range ph.Deps {
+			if finish[d] > ready {
+				ready = finish[d]
+			}
+		}
+		start := ready
+		if computeFree > start {
+			start = computeFree
+		}
+		if streamDone > start {
+			start = streamDone
+		}
+		end := start + longest + transpose
+		computeFree = end
+		finish[i] = end
+		if end > res.Cycles {
+			res.Cycles = end
+		}
+	}
+	var sum, max int64
+	for _, b := range res.PerUnitBusy {
+		sum += b
+		if b > max {
+			max = b
+		}
+	}
+	if sum > 0 {
+		mean := float64(sum) / float64(len(res.PerUnitBusy))
+		res.Imbalance = float64(max) / mean
+	}
+	// Busy lane-cycles: every Meta-OP keeps its unit's lanes multiplying.
+	for _, ph := range p.Phases {
+		for _, us := range ph.Units {
+			for _, in := range us.Instrs {
+				res.BusyLaneCycles += in.Count * int64(in.Cycles) * int64(cfg.Lanes)
+			}
+		}
+	}
+	return res
+}
+
+// AccessSummary describes the scratchpad behaviour of a compiled program —
+// the §5.3 claim made checkable: how many phases are unit-local and how much
+// data crosses the transpose register file.
+type AccessSummary struct {
+	Phases         int
+	LocalPhases    int
+	TransposeElems int64
+}
+
+// Summarize reports the locality statistics of a program.
+func Summarize(p *Program) AccessSummary {
+	s := AccessSummary{Phases: len(p.Phases)}
+	for _, ph := range p.Phases {
+		if ph.LocalOnly() {
+			s.LocalPhases++
+		}
+		s.TransposeElems += ph.TransposeElems
+	}
+	return s
+}

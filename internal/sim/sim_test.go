@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"testing"
+
+	"alchemist/internal/arch"
+	"alchemist/internal/trace"
+)
+
+func pmultGraph() *trace.Graph {
+	g := &trace.Graph{Name: "pmult"}
+	g.Add(trace.Op{Kind: trace.KindEWMult, N: 65536, Channels: 44, Polys: 2, Label: "pmult"})
+	return g
+}
+
+func TestTable7PmultExact(t *testing.T) {
+	res, err := Simulate(arch.Default(), pmultGraph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 1056 {
+		t.Fatalf("Pmult cycles %d, want 1056 (Table 7)", res.Cycles)
+	}
+	ops := int64(1e9) / res.Cycles
+	if ops < 946969 || ops > 946971 {
+		t.Fatalf("Pmult throughput %d, want 946,970", ops)
+	}
+}
+
+func TestTable7HaddExact(t *testing.T) {
+	g := &trace.Graph{Name: "hadd"}
+	g.Add(trace.Op{Kind: trace.KindEWAdd, N: 65536, Channels: 44, Polys: 2, Label: "hadd"})
+	res, err := Simulate(arch.Default(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 1408 {
+		t.Fatalf("Hadd cycles %d, want 1408 (Table 7)", res.Cycles)
+	}
+	if ops := int64(1e9) / res.Cycles; ops != 710227 {
+		t.Fatalf("Hadd throughput %d, want 710,227", ops)
+	}
+}
+
+func TestStreamingMakesOpsMemoryBound(t *testing.T) {
+	g := &trace.Graph{Name: "stream"}
+	g.Add(trace.Op{Kind: trace.KindDecompPolyMult, N: 65536, Channels: 56, Dnum: 4,
+		Polys: 2, StreamBytes: 132 << 20, Label: "evk-mult"})
+	res, err := Simulate(arch.Default(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.MemBound {
+		t.Fatal("132 MB evk stream should dominate")
+	}
+	// ≈ 132 MB / 1000 B-per-cycle ≈ 138k cycles plus compute tail.
+	if res.Cycles < 130_000 || res.Cycles > 160_000 {
+		t.Fatalf("evk-bound op took %d cycles, want ≈140k", res.Cycles)
+	}
+}
+
+func TestDependenciesSerialize(t *testing.T) {
+	g := &trace.Graph{Name: "chain"}
+	a := g.Add(trace.Op{Kind: trace.KindEWMult, N: 65536, Channels: 44, Polys: 2, Label: "a"})
+	g.Add(trace.Op{Kind: trace.KindEWMult, N: 65536, Channels: 44, Polys: 2, Label: "b"}, a)
+	res, err := Simulate(arch.Default(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 2112 {
+		t.Fatalf("chained Pmults took %d cycles, want 2112", res.Cycles)
+	}
+}
+
+func TestNTTIncludesTranspose(t *testing.T) {
+	cfg := arch.Default()
+	g := &trace.Graph{Name: "ntt"}
+	g.Add(trace.Op{Kind: trace.KindNTT, N: 65536, Channels: 44, Polys: 1, Label: "ntt"})
+	res, err := Simulate(cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timings[0].TransposeCycles == 0 {
+		t.Fatal("global NTT must pay a transpose phase")
+	}
+	// Per-task NTT utilization should land near the paper's 0.85.
+	u := res.ClassUtilization(trace.ClassNTT)
+	if u < 0.80 || u > 0.92 {
+		t.Fatalf("NTT utilization %.3f, want ≈0.85", u)
+	}
+	// Local (batched TFHE) NTTs skip the transpose.
+	g2 := &trace.Graph{Name: "ntt-local"}
+	g2.Add(trace.Op{Kind: trace.KindNTT, N: 1024, Channels: 1, Polys: 768, Local: true, Label: "ntt"})
+	res2, err := Simulate(cfg, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Timings[0].TransposeCycles != 0 {
+		t.Fatal("local NTT must not pay a transpose phase")
+	}
+}
+
+func TestClassUtilizationBands(t *testing.T) {
+	// Fig. 7b: Bconv ≈ 0.89, DecompPolyMult ≈ 0.87 on long-running tasks.
+	cfg := arch.Default()
+	g := &trace.Graph{Name: "bconv"}
+	g.Add(trace.Op{Kind: trace.KindBconv, N: 65536, SrcChannels: 11, Channels: 45, Polys: 4, Label: "bconv"})
+	res, _ := Simulate(cfg, g)
+	if u := res.ClassUtilization(trace.ClassBconv); u < 0.82 || u > 0.95 {
+		t.Fatalf("Bconv utilization %.3f, want ≈0.89", u)
+	}
+	g2 := &trace.Graph{Name: "decomp"}
+	g2.Add(trace.Op{Kind: trace.KindDecompPolyMult, N: 65536, Channels: 56, Dnum: 4, Polys: 2, Label: "d"})
+	res2, _ := Simulate(cfg, g2)
+	if u := res2.ClassUtilization(trace.ClassDecompPolyMult); u < 0.80 || u > 0.93 {
+		t.Fatalf("DecompPolyMult utilization %.3f, want ≈0.87", u)
+	}
+}
+
+func TestClassShares(t *testing.T) {
+	g := &trace.Graph{Name: "mix"}
+	g.Add(trace.Op{Kind: trace.KindNTT, N: 4096, Channels: 4, Polys: 1, Label: "n"})
+	g.Add(trace.Op{Kind: trace.KindBconv, N: 4096, SrcChannels: 2, Channels: 4, Polys: 1, Label: "b"})
+	g.Add(trace.Op{Kind: trace.KindEWAdd, N: 4096, Channels: 4, Polys: 1, Label: "a"})
+	shares := ClassShares(g)
+	total := 0.0
+	for _, v := range shares {
+		total += v
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Fatalf("class shares sum to %v", total)
+	}
+	if shares[trace.ClassNTT] <= 0 || shares[trace.ClassBconv] <= 0 {
+		t.Fatal("NTT and Bconv must both contribute")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	bad := arch.Default()
+	bad.Units = 0
+	if _, err := Simulate(bad, pmultGraph()); err == nil {
+		t.Fatal("expected config error")
+	}
+	g := &trace.Graph{Name: "bad"}
+	g.Ops = append(g.Ops, &trace.Op{ID: 0, Kind: trace.KindNTT, N: 100, Channels: 1, Polys: 1})
+	if _, err := Simulate(arch.Default(), g); err == nil {
+		t.Fatal("expected graph error")
+	}
+}
+
+func TestMoreCoresNeverSlower(t *testing.T) {
+	g := &trace.Graph{Name: "mono"}
+	prev := g.Add(trace.Op{Kind: trace.KindNTT, N: 16384, Channels: 24, Polys: 2, Label: "ntt"})
+	g.Add(trace.Op{Kind: trace.KindDecompPolyMult, N: 16384, Channels: 24, Dnum: 3, Polys: 2, Label: "d"}, prev)
+	base := arch.Default()
+	small := base
+	small.Units = 64
+	rb, err := Simulate(base, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Simulate(small, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Cycles > rs.Cycles {
+		t.Fatalf("128 units (%d cycles) slower than 64 units (%d cycles)", rb.Cycles, rs.Cycles)
+	}
+}

@@ -1,0 +1,218 @@
+package tfhe
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Scheme bundles the keys and precomputations for gate evaluation and
+// programmable bootstrapping.
+type Scheme struct {
+	Params Params
+	PM     *PolyMultiplier
+
+	LweKey   *LweKey   // level-0 key (dimension NLwe)
+	TrlweKey *TrlweKey // ring key
+	dec      decomposer
+
+	// Bootstrapping key: one TRGSW encryption of each level-0 key bit.
+	BK []*TrgswNTT
+	// Key-switch key from the extracted (k·N) key back to the level-0 key:
+	// ksk[i][j] = LWE( s_ext[i] · 2^(32-(j+1)·BaseBits) ).
+	KSK [][]*LweSample
+
+	rng *rand.Rand
+}
+
+// NewScheme generates all keys for the given parameters.
+func NewScheme(p Params, seed int64) (*Scheme, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	pm, err := NewPolyMultiplier(p.N)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := &Scheme{
+		Params:   p,
+		PM:       pm,
+		rng:      rng,
+		dec:      newDecomposer(p),
+		LweKey:   NewLweKey(p.NLwe, rng),
+		TrlweKey: NewTrlweKey(p, pm, rng),
+	}
+	// Bootstrapping key.
+	s.BK = make([]*TrgswNTT, p.NLwe)
+	for i := 0; i < p.NLwe; i++ {
+		s.BK[i] = s.TrlweKey.EncryptTrgsw(p, s.LweKey.S[i], rng)
+	}
+	// Key-switch key.
+	ext := s.TrlweKey.ExtractedLweKey()
+	s.KSK = s.GenKeySwitchKey(ext.S)
+	return s, nil
+}
+
+// GenKeySwitchKey builds a key-switch key from an arbitrary source secret
+// (signed coefficients) down to this scheme's level-0 LWE key:
+// ksk[i][j] = LWE( src[i] · 2^(32-(j+1)·BaseBits) ). Cross-scheme bridges
+// use this to switch samples extracted under a CKKS ring key.
+func (s *Scheme) GenKeySwitchKey(src []int32) [][]*LweSample {
+	p := s.Params
+	ksk := make([][]*LweSample, len(src))
+	for i := range src {
+		ksk[i] = make([]*LweSample, p.KsT)
+		for j := 0; j < p.KsT; j++ {
+			mu := Torus(src[i]) << uint(32-(j+1)*p.KsBaseBits)
+			ksk[i][j] = s.LweKey.Encrypt(mu, p.LweSigma, s.rng)
+		}
+	}
+	return ksk
+}
+
+// EncryptBool encrypts a boolean with the gate encoding μ = ±1/8.
+func (s *Scheme) EncryptBool(b bool) *LweSample {
+	mu := TorusFromDouble(-0.125)
+	if b {
+		mu = TorusFromDouble(0.125)
+	}
+	return s.LweKey.Encrypt(mu, s.Params.LweSigma, s.rng)
+}
+
+// DecryptBool decrypts a gate-encoded sample.
+func (s *Scheme) DecryptBool(c *LweSample) bool { return s.LweKey.DecryptBool(c) }
+
+// modSwitch maps a torus element to Z_{2N} with rounding.
+func modSwitch(a Torus, twoN int) int {
+	return int((uint64(a)*uint64(twoN) + (1 << 31)) >> 32 & uint64(twoN-1))
+}
+
+// BlindRotate homomorphically computes X^{-phase(ct)} · tv, where the phase
+// is discretized to Z_{2N}. This is the paper's dominant TFHE kernel: n
+// CMux iterations, each an external product of (k+1)·l NTTs plus the
+// pointwise DecompPolyMult accumulation.
+func (s *Scheme) BlindRotate(ct *LweSample, tv TorusPoly) *TrlweSample {
+	p := s.Params
+	twoN := 2 * p.N
+	bTilde := modSwitch(ct.B, twoN)
+	// acc = X^{-b̃} · (0, tv).
+	acc := NewTrlweSample(p.N, p.K)
+	tv.MonomialMulTo(twoN-bTilde, acc.B)
+	for i := 0; i < p.NLwe; i++ {
+		aTilde := modSwitch(ct.A[i], twoN)
+		if aTilde == 0 {
+			continue
+		}
+		rotated := acc.MonomialMul(aTilde)
+		acc = CMux(p, s.PM, s.dec, s.BK[i], rotated, acc)
+	}
+	return acc
+}
+
+// KeySwitch switches an extracted LWE sample (dimension k·N) down to the
+// level-0 key using the decompose-and-scale variant.
+func (s *Scheme) KeySwitch(c *LweSample) (*LweSample, error) {
+	if len(c.A) != s.Params.K*s.Params.N {
+		return nil, fmt.Errorf("tfhe: key switch input dimension %d, want %d",
+			len(c.A), s.Params.K*s.Params.N)
+	}
+	return s.KeySwitchWith(s.KSK, c)
+}
+
+// KeySwitchWith switches an LWE sample of arbitrary dimension len(ksk) to
+// the level-0 key using the given key-switch key.
+func (s *Scheme) KeySwitchWith(ksk [][]*LweSample, c *LweSample) (*LweSample, error) {
+	p := s.Params
+	if len(c.A) != len(ksk) {
+		return nil, fmt.Errorf("tfhe: key switch input dimension %d, ksk covers %d", len(c.A), len(ksk))
+	}
+	out := NewLweSample(p.NLwe)
+	out.B = c.B
+	base := Torus(1) << uint(p.KsBaseBits)
+	half := int32(base / 2)
+	mask := base - 1
+	var offset Torus
+	for j := 1; j <= p.KsT; j++ {
+		offset += (base / 2) << uint(32-j*p.KsBaseBits)
+	}
+	for i, a := range c.A {
+		at := a + offset
+		for j := 0; j < p.KsT; j++ {
+			shift := uint(32 - (j+1)*p.KsBaseBits)
+			d := int32((at>>shift)&mask) - half
+			if d == 0 {
+				continue
+			}
+			k := ksk[i][j].Copy()
+			k.MulScalarTo(d)
+			out.SubTo(k)
+		}
+	}
+	return out, nil
+}
+
+// Bootstrap performs a full programmable bootstrap: blind rotation over the
+// test vector, sample extraction, and key switch back to the level-0 key.
+// The output encrypts tv-dependent values with fresh noise.
+func (s *Scheme) Bootstrap(ct *LweSample, tv TorusPoly) (*LweSample, error) {
+	acc := s.BlindRotate(ct, tv)
+	ext := SampleExtract(acc)
+	return s.KeySwitch(ext)
+}
+
+// BootstrapBatch runs independent programmable bootstraps concurrently —
+// the CPU counterpart of the accelerator's batch-of-128 PBS schedule (all
+// key material is read-only, so the fan-out is race-free).
+func (s *Scheme) BootstrapBatch(cts []*LweSample, tv TorusPoly, workers int) ([]*LweSample, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	out := make([]*LweSample, len(cts))
+	errs := make([]error, len(cts))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, ct := range cts {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, ct *LweSample) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[i], errs[i] = s.Bootstrap(ct, tv)
+		}(i, ct)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// GateTestVector returns the constant test vector with value mu, which maps
+// phases in (-1/4, 1/4) to +mu and the opposite half-torus to -mu.
+func (s *Scheme) GateTestVector(mu Torus) TorusPoly {
+	tv := make(TorusPoly, s.Params.N)
+	for i := range tv {
+		tv[i] = mu
+	}
+	return tv
+}
+
+// LUT builds a test vector for a function over a 2^msgBits message space
+// (negacyclic PBS convention: inputs must stay in the upper half-torus
+// handled by the caller's encoding).
+func (s *Scheme) LUT(msgBits int, f func(x int) Torus) TorusPoly {
+	n := s.Params.N
+	tv := make(TorusPoly, n)
+	buckets := 1 << uint(msgBits)
+	per := n / buckets
+	for x := 0; x < buckets; x++ {
+		v := f(x)
+		for j := 0; j < per; j++ {
+			tv[x*per+j] = v
+		}
+	}
+	return tv
+}

@@ -1,0 +1,232 @@
+package tfhe
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Boolean circuit evaluation: the paper's intro frames logic FHE as
+// evaluating "arbitrary functions represented as boolean circuits". Circuit
+// is a small netlist builder; Evaluate runs every gate with bootstrapping,
+// optionally fanning independent gates of the same level out across
+// goroutines (gates only depend on earlier wires, so a simple wavefront
+// schedule is race-free).
+
+// GateOp is a two-input boolean operation (NotOp uses only A).
+type GateOp int
+
+const (
+	AndOp GateOp = iota
+	OrOp
+	XorOp
+	NandOp
+	NorOp
+	XnorOp
+	NotOp
+)
+
+func (op GateOp) String() string {
+	switch op {
+	case AndOp:
+		return "AND"
+	case OrOp:
+		return "OR"
+	case XorOp:
+		return "XOR"
+	case NandOp:
+		return "NAND"
+	case NorOp:
+		return "NOR"
+	case XnorOp:
+		return "XNOR"
+	case NotOp:
+		return "NOT"
+	default:
+		return fmt.Sprintf("GateOp(%d)", int(op))
+	}
+}
+
+// Wire identifies a circuit net.
+type Wire int
+
+type gate struct {
+	op   GateOp
+	a, b Wire
+	out  Wire
+}
+
+// Circuit is a boolean netlist over encrypted wires.
+type Circuit struct {
+	nInputs int
+	nWires  int
+	gates   []gate
+	outputs []Wire
+}
+
+// NewCircuit starts a circuit with the given number of input wires.
+func NewCircuit(inputs int) *Circuit {
+	return &Circuit{nInputs: inputs, nWires: inputs}
+}
+
+// Input returns the i-th input wire.
+func (c *Circuit) Input(i int) Wire {
+	if i < 0 || i >= c.nInputs {
+		panic(fmt.Sprintf("tfhe: input %d out of range", i))
+	}
+	return Wire(i)
+}
+
+// Gate appends a gate and returns its output wire.
+func (c *Circuit) Gate(op GateOp, a, b Wire) Wire {
+	if int(a) >= c.nWires || int(b) >= c.nWires || a < 0 || b < 0 {
+		panic("tfhe: gate input wire not yet defined")
+	}
+	out := Wire(c.nWires)
+	c.nWires++
+	c.gates = append(c.gates, gate{op: op, a: a, b: b, out: out})
+	return out
+}
+
+// Not appends an inverter (free: no bootstrap).
+func (c *Circuit) Not(a Wire) Wire { return c.Gate(NotOp, a, a) }
+
+// Output marks a wire as a circuit output.
+func (c *Circuit) Output(w Wire) { c.outputs = append(c.outputs, w) }
+
+// Gates returns the bootstrapped-gate count (NOT gates are free).
+func (c *Circuit) Gates() (bootstrapped, free int) {
+	for _, g := range c.gates {
+		if g.op == NotOp {
+			free++
+		} else {
+			bootstrapped++
+		}
+	}
+	return
+}
+
+// Evaluate runs the circuit on encrypted inputs with `workers` goroutines
+// evaluating independent gates concurrently (1 = sequential). Returns the
+// output wires' ciphertexts in Output order.
+func (c *Circuit) Evaluate(s *Scheme, inputs []*LweSample, workers int) ([]*LweSample, error) {
+	if len(inputs) != c.nInputs {
+		return nil, fmt.Errorf("tfhe: circuit expects %d inputs, got %d", c.nInputs, len(inputs))
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	wires := make([]*LweSample, c.nWires)
+	copy(wires, inputs)
+
+	// Wavefront schedule: a gate is ready when both inputs are materialized.
+	remaining := append([]gate(nil), c.gates...)
+	for len(remaining) > 0 {
+		var wave, later []gate
+		for _, g := range remaining {
+			if wires[g.a] != nil && wires[g.b] != nil {
+				wave = append(wave, g)
+			} else {
+				later = append(later, g)
+			}
+		}
+		if len(wave) == 0 {
+			return nil, fmt.Errorf("tfhe: circuit has an unreachable gate")
+		}
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var firstErr error
+		sem := make(chan struct{}, workers)
+		for _, g := range wave {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(g gate) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				out, err := evalGate(s, g, wires[g.a], wires[g.b])
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+					return
+				}
+				wires[g.out] = out
+			}(g)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		remaining = later
+	}
+	outs := make([]*LweSample, len(c.outputs))
+	for i, w := range c.outputs {
+		if wires[w] == nil {
+			return nil, fmt.Errorf("tfhe: output wire %d never driven", w)
+		}
+		outs[i] = wires[w]
+	}
+	return outs, nil
+}
+
+func evalGate(s *Scheme, g gate, a, b *LweSample) (*LweSample, error) {
+	switch g.op {
+	case AndOp:
+		return s.AND(a, b)
+	case OrOp:
+		return s.OR(a, b)
+	case XorOp:
+		return s.XOR(a, b)
+	case NandOp:
+		return s.NAND(a, b)
+	case NorOp:
+		return s.NOR(a, b)
+	case XnorOp:
+		return s.XNOR(a, b)
+	case NotOp:
+		return s.NOT(a), nil
+	default:
+		return nil, fmt.Errorf("tfhe: unknown gate op %v", g.op)
+	}
+}
+
+// AdderCircuit builds an n-bit ripple-carry adder: inputs a0..a(n-1),
+// b0..b(n-1); outputs sum0..sum(n-1), carry.
+func AdderCircuit(n int) *Circuit {
+	c := NewCircuit(2 * n)
+	carry := Wire(-1)
+	for i := 0; i < n; i++ {
+		a, b := c.Input(i), c.Input(n+i)
+		axb := c.Gate(XorOp, a, b)
+		if carry < 0 {
+			c.Output(axb)
+			carry = c.Gate(AndOp, a, b)
+			continue
+		}
+		sum := c.Gate(XorOp, axb, carry)
+		c.Output(sum)
+		and1 := c.Gate(AndOp, a, b)
+		and2 := c.Gate(AndOp, axb, carry)
+		carry = c.Gate(OrOp, and1, and2)
+	}
+	c.Output(carry)
+	return c
+}
+
+// ComparatorCircuit builds an n-bit a > b comparator.
+func ComparatorCircuit(n int) *Circuit {
+	c := NewCircuit(2 * n)
+	gt := Wire(-1)
+	for i := 0; i < n; i++ { // LSB to MSB
+		a, b := c.Input(i), c.Input(n+i)
+		aNotB := c.Gate(AndOp, a, c.Not(b))
+		if gt < 0 {
+			gt = aNotB
+			continue
+		}
+		eq := c.Gate(XnorOp, a, b)
+		keep := c.Gate(AndOp, eq, gt)
+		gt = c.Gate(OrOp, aNotB, keep)
+	}
+	c.Output(gt)
+	return c
+}

@@ -1,0 +1,109 @@
+package tfhe
+
+import "testing"
+
+func encryptBits(s *Scheme, v, n int) []*LweSample {
+	out := make([]*LweSample, n)
+	for i := 0; i < n; i++ {
+		out[i] = s.EncryptBool(v>>i&1 == 1)
+	}
+	return out
+}
+
+func decryptBits(s *Scheme, bits []*LweSample) int {
+	v := 0
+	for i, c := range bits {
+		if s.DecryptBool(c) {
+			v |= 1 << i
+		}
+	}
+	return v
+}
+
+func TestAdderCircuit(t *testing.T) {
+	s := getScheme(t)
+	c := AdderCircuit(3)
+	boots, free := c.Gates()
+	if boots == 0 || free != 0 {
+		t.Fatalf("adder gate census: %d bootstrapped, %d free", boots, free)
+	}
+	for _, tc := range [][2]int{{3, 5}, {7, 7}, {0, 6}, {5, 0}} {
+		a, b := tc[0], tc[1]
+		inputs := append(encryptBits(s, a, 3), encryptBits(s, b, 3)...)
+		outs, err := c.Evaluate(s, inputs, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := decryptBits(s, outs); got != a+b {
+			t.Fatalf("%d + %d = %d", a, b, got)
+		}
+	}
+}
+
+func TestComparatorCircuit(t *testing.T) {
+	s := getScheme(t)
+	c := ComparatorCircuit(3)
+	for _, tc := range [][2]int{{5, 3}, {3, 5}, {4, 4}, {7, 0}, {0, 7}} {
+		a, b := tc[0], tc[1]
+		inputs := append(encryptBits(s, a, 3), encryptBits(s, b, 3)...)
+		outs, err := c.Evaluate(s, inputs, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := s.DecryptBool(outs[0]), a > b; got != want {
+			t.Fatalf("compare(%d, %d) = %v", a, b, got)
+		}
+	}
+}
+
+func TestCircuitParallelMatchesSequential(t *testing.T) {
+	s := getScheme(t)
+	c := AdderCircuit(2)
+	inputs := append(encryptBits(s, 2, 2), encryptBits(s, 3, 2)...)
+	seq, err := c.Evaluate(s, inputs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := c.Evaluate(s, inputs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decryptBits(s, seq) != decryptBits(s, par) {
+		t.Fatal("parallel and sequential evaluation disagree")
+	}
+	if decryptBits(s, seq) != 5 {
+		t.Fatalf("2+3 = %d", decryptBits(s, seq))
+	}
+}
+
+func TestCircuitValidation(t *testing.T) {
+	s := getScheme(t)
+	c := NewCircuit(2)
+	c.Output(c.Gate(AndOp, c.Input(0), c.Input(1)))
+	if _, err := c.Evaluate(s, []*LweSample{s.EncryptBool(true)}, 1); err == nil {
+		t.Fatal("expected input-count error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on undefined wire")
+		}
+	}()
+	c.Gate(AndOp, Wire(99), Wire(0))
+}
+
+func TestNotGatesAreFree(t *testing.T) {
+	c := NewCircuit(1)
+	c.Output(c.Not(c.Input(0)))
+	boots, free := c.Gates()
+	if boots != 0 || free != 1 {
+		t.Fatalf("NOT census: %d bootstrapped, %d free", boots, free)
+	}
+	s := getScheme(t)
+	outs, err := c.Evaluate(s, []*LweSample{s.EncryptBool(true)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DecryptBool(outs[0]) {
+		t.Fatal("NOT(true) should be false")
+	}
+}

@@ -1,0 +1,110 @@
+package tfhe
+
+import "testing"
+
+func TestIntEncryptDecryptRoundTrip(t *testing.T) {
+	s := getScheme(t)
+	for _, bits := range []int{1, 2, 3} {
+		for m := 0; m < 1<<uint(bits); m++ {
+			ct, err := s.EncryptInt(m, bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := s.DecryptInt(ct, bits); got != m {
+				t.Fatalf("bits=%d: round trip %d -> %d", bits, m, got)
+			}
+		}
+	}
+	if _, err := s.EncryptInt(8, 3); err == nil {
+		t.Error("expected out-of-range rejection")
+	}
+	if _, err := s.EncryptInt(1, 0); err == nil {
+		t.Error("expected width rejection")
+	}
+}
+
+func TestIntAdditionIsHomomorphic(t *testing.T) {
+	s := getScheme(t)
+	bits := 3
+	c1, _ := s.EncryptInt(3, bits)
+	c2, _ := s.EncryptInt(4, bits)
+	if got := s.DecryptInt(s.AddInt(c1, c2), bits); got != 7 {
+		t.Fatalf("3+4 = %d", got)
+	}
+}
+
+func TestEvalIntLUTSquareMod8(t *testing.T) {
+	s := getScheme(t)
+	bits := 3
+	sq := func(x int) int { return x * x }
+	for m := 0; m < 8; m++ {
+		ct, _ := s.EncryptInt(m, bits)
+		out, err := s.EvalIntLUT(ct, bits, sq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := s.DecryptInt(out, bits), m*m%8; got != want {
+			t.Fatalf("square LUT: f(%d) = %d, want %d", m, got, want)
+		}
+	}
+}
+
+func TestEvalIntLUTChained(t *testing.T) {
+	// PBS refreshes noise, so LUTs chain indefinitely: compute
+	// min(2·m, 7) then +1 mod 8 on the result.
+	s := getScheme(t)
+	bits := 3
+	double := func(x int) int {
+		v := 2 * x
+		if v > 7 {
+			v = 7
+		}
+		return v
+	}
+	inc := func(x int) int { return (x + 1) % 8 }
+	for _, m := range []int{0, 2, 3, 5, 7} {
+		ct, _ := s.EncryptInt(m, bits)
+		mid, err := s.EvalIntLUT(ct, bits, double)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := s.EvalIntLUT(mid, bits, inc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := inc(double(m))
+		if got := s.DecryptInt(out, bits); got != want {
+			t.Fatalf("chained LUT on %d: got %d want %d", m, got, want)
+		}
+	}
+}
+
+func TestEvalIntLUTAfterAddition(t *testing.T) {
+	// The motivating pattern: linear ops free, non-linear via PBS.
+	s := getScheme(t)
+	bits := 3
+	relu4 := func(x int) int { // max(x-4, 0)
+		if x < 4 {
+			return 0
+		}
+		return x - 4
+	}
+	c1, _ := s.EncryptInt(2, bits)
+	c2, _ := s.EncryptInt(4, bits)
+	sum := s.AddInt(c1, c2) // 6
+	out, err := s.EvalIntLUT(sum, bits, relu4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.DecryptInt(out, bits); got != 2 {
+		t.Fatalf("relu4(2+4) = %d, want 2", got)
+	}
+}
+
+func TestEvalIntLUTValidation(t *testing.T) {
+	s := getScheme(t)
+	ct, _ := s.EncryptInt(1, 2)
+	if _, err := s.EvalIntLUT(ct, 0, func(x int) int { return x }); err == nil {
+		t.Error("expected width rejection")
+	}
+}

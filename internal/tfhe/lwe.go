@@ -1,0 +1,120 @@
+package tfhe
+
+import (
+	"math"
+	"math/rand"
+)
+
+// LweSample is an LWE ciphertext (A, B) with phase B - <A, s>.
+type LweSample struct {
+	A []Torus
+	B Torus
+}
+
+// NewLweSample allocates a zero sample of dimension n.
+func NewLweSample(n int) *LweSample {
+	return &LweSample{A: make([]Torus, n)}
+}
+
+// Copy returns a deep copy.
+func (c *LweSample) Copy() *LweSample {
+	out := &LweSample{A: append([]Torus(nil), c.A...), B: c.B}
+	return out
+}
+
+// AddTo sets c += o.
+func (c *LweSample) AddTo(o *LweSample) {
+	for i := range c.A {
+		c.A[i] += o.A[i]
+	}
+	c.B += o.B
+}
+
+// SubTo sets c -= o.
+func (c *LweSample) SubTo(o *LweSample) {
+	for i := range c.A {
+		c.A[i] -= o.A[i]
+	}
+	c.B -= o.B
+}
+
+// Neg negates the sample in place.
+func (c *LweSample) Neg() {
+	for i := range c.A {
+		c.A[i] = -c.A[i]
+	}
+	c.B = -c.B
+}
+
+// MulScalarTo sets c = v·c for a small signed scalar.
+func (c *LweSample) MulScalarTo(v int32) {
+	s := Torus(v)
+	for i := range c.A {
+		c.A[i] *= s
+	}
+	c.B *= s
+}
+
+// LweKey is a binary LWE secret key.
+type LweKey struct {
+	S []int32
+}
+
+// rngTorus draws a uniform torus element.
+func rngTorus(rng *rand.Rand) Torus { return Torus(rng.Uint32()) }
+
+// gaussianTorus draws a rounded Gaussian torus error with standard deviation
+// sigma (fraction of the torus).
+func gaussianTorus(rng *rand.Rand, sigma float64) Torus {
+	return Torus(int32(math.Round(rng.NormFloat64() * sigma * 4294967296.0)))
+}
+
+// NewLweKey samples a binary key of dimension n.
+func NewLweKey(n int, rng *rand.Rand) *LweKey {
+	k := &LweKey{S: make([]int32, n)}
+	for i := range k.S {
+		k.S[i] = int32(rng.Intn(2))
+	}
+	return k
+}
+
+// Encrypt encrypts the torus message mu under key k with noise sigma.
+func (k *LweKey) Encrypt(mu Torus, sigma float64, rng *rand.Rand) *LweSample {
+	n := len(k.S)
+	c := NewLweSample(n)
+	var dot Torus
+	for i := 0; i < n; i++ {
+		c.A[i] = rngTorus(rng)
+		if k.S[i] == 1 {
+			dot += c.A[i]
+		}
+	}
+	c.B = dot + mu + gaussianTorus(rng, sigma)
+	return c
+}
+
+// Phase returns B - <A, s>.
+func (k *LweKey) Phase(c *LweSample) Torus {
+	var dot Torus
+	for i, s := range k.S {
+		if s == 1 {
+			dot += c.A[i]
+		}
+	}
+	return c.B - dot
+}
+
+// DecryptBool decodes a gate-encoded sample (μ = ±1/8) to a boolean.
+func (k *LweKey) DecryptBool(c *LweSample) bool {
+	return int32(k.Phase(c)) > 0
+}
+
+// TorusFromDouble converts a real value in [-0.5, 0.5) to the torus.
+func TorusFromDouble(d float64) Torus {
+	return Torus(int64(math.Round(d * 4294967296.0)))
+}
+
+// DoubleFromTorus converts a torus element to its centered real value.
+func DoubleFromTorus(t Torus) float64 {
+	return float64(int32(t)) / 4294967296.0
+}

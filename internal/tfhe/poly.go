@@ -1,0 +1,157 @@
+package tfhe
+
+import (
+	"fmt"
+
+	"alchemist/internal/modmath"
+	"alchemist/internal/ring"
+)
+
+// TorusPoly is a polynomial over the discretized torus, negacyclic modulo
+// X^N + 1.
+type TorusPoly []Torus
+
+// IntPoly is a polynomial with small signed integer coefficients (gadget
+// digits or the binary secret key).
+type IntPoly []int32
+
+// AddTo sets p += q (torus addition is uint32 wrap-around).
+func (p TorusPoly) AddTo(q TorusPoly) {
+	for i := range p {
+		p[i] += q[i]
+	}
+}
+
+// SubTo sets p -= q.
+func (p TorusPoly) SubTo(q TorusPoly) {
+	for i := range p {
+		p[i] -= q[i]
+	}
+}
+
+// MonomialMulTo sets out = X^e · p (negacyclic), 0 ≤ e < 2N. out must not
+// alias p.
+func (p TorusPoly) MonomialMulTo(e int, out TorusPoly) {
+	n := len(p)
+	e &= 2*n - 1
+	for j := 0; j < n; j++ {
+		t := j + e
+		v := p[j]
+		if t >= 2*n {
+			t -= 2 * n
+		}
+		if t >= n {
+			t -= n
+			v = -v
+		}
+		out[t] = v
+	}
+}
+
+// PolyMultiplier computes exact negacyclic products intPoly × torusPoly via
+// a single 61-bit prime NTT. Both the decomposed digits (|d| ≤ Bg/2) and the
+// centered torus values (|t| < 2^31) fit the prime with room for the
+// N-term accumulation, so the integer convolution is exact and reducing it
+// modulo 2^32 yields the torus result.
+type PolyMultiplier struct {
+	N   int
+	sub *ring.SubRing
+}
+
+// NewPolyMultiplier builds a multiplier for degree n.
+func NewPolyMultiplier(n int) (*PolyMultiplier, error) {
+	primes, err := modmath.GenerateNTTPrimes(61, uint64(2*n), 1)
+	if err != nil {
+		return nil, fmt.Errorf("tfhe: %w", err)
+	}
+	sub, err := ring.NewSubRing(n, primes[0])
+	if err != nil {
+		return nil, err
+	}
+	return &PolyMultiplier{N: n, sub: sub}, nil
+}
+
+// Q returns the NTT prime.
+func (pm *PolyMultiplier) Q() uint64 { return pm.sub.Q }
+
+// IntToNTT lifts an integer polynomial into the NTT domain.
+func (pm *PolyMultiplier) IntToNTT(p IntPoly) []uint64 {
+	q := pm.sub.Q
+	out := make([]uint64, pm.N)
+	for i, v := range p {
+		if v >= 0 {
+			out[i] = uint64(v)
+		} else {
+			out[i] = q - uint64(-int64(v))
+		}
+	}
+	pm.sub.NTTLazy(out)
+	return out
+}
+
+// TorusToNTT lifts a torus polynomial (centered interpretation) into the NTT
+// domain.
+func (pm *PolyMultiplier) TorusToNTT(p TorusPoly) []uint64 {
+	q := pm.sub.Q
+	out := make([]uint64, pm.N)
+	for i, v := range p {
+		sv := int64(int32(v)) // centered in [-2^31, 2^31)
+		if sv >= 0 {
+			out[i] = uint64(sv)
+		} else {
+			out[i] = q - uint64(-sv)
+		}
+	}
+	pm.sub.NTTLazy(out)
+	return out
+}
+
+// MulAcc accumulates a ⊙ b (NTT domain) into acc.
+func (pm *PolyMultiplier) MulAcc(a, b, acc []uint64) {
+	pm.sub.MulCoeffsAndAdd(a, b, acc)
+}
+
+// FromNTT converts an NTT-domain accumulator back to a torus polynomial:
+// INTT, center modulo the prime, then wrap modulo 2^32.
+func (pm *PolyMultiplier) FromNTT(acc []uint64) TorusPoly {
+	tmp := append([]uint64(nil), acc...)
+	pm.sub.INTTLazy(tmp)
+	q := pm.sub.Q
+	out := make(TorusPoly, pm.N)
+	for i, v := range tmp {
+		out[i] = Torus(ring.SignedCoeff(v, q)) // wraps mod 2^32
+	}
+	return out
+}
+
+// MulIntTorus returns the negacyclic product a·b (a integer digits, b torus).
+// Convenience wrapper used by key generation and reference tests.
+func (pm *PolyMultiplier) MulIntTorus(a IntPoly, b TorusPoly) TorusPoly {
+	an := pm.IntToNTT(a)
+	bn := pm.TorusToNTT(b)
+	acc := make([]uint64, pm.N)
+	pm.MulAcc(an, bn, acc)
+	return pm.FromNTT(acc)
+}
+
+// mulIntTorusRef is the O(N²) schoolbook reference used in tests.
+func mulIntTorusRef(a IntPoly, b TorusPoly) TorusPoly {
+	n := len(a)
+	out := make(TorusPoly, n)
+	for i := 0; i < n; i++ {
+		if a[i] == 0 {
+			continue
+		}
+		ai := Torus(a[i]) // two's-complement wrap is exactly torus scaling
+		for j := 0; j < n; j++ {
+			k := i + j
+			p := ai * b[j]
+			if k < n {
+				out[k] += p
+			} else {
+				out[k-n] -= p
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+package tfhe
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// LweSample wire format: uint32 dimension, A words, B word (little-endian
+// uint32s).
+
+// MarshalBinary encodes the sample.
+func (c *LweSample) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 4+4*len(c.A)+4)
+	binary.LittleEndian.PutUint32(out[0:], uint32(len(c.A)))
+	off := 4
+	for _, a := range c.A {
+		binary.LittleEndian.PutUint32(out[off:], a)
+		off += 4
+	}
+	binary.LittleEndian.PutUint32(out[off:], c.B)
+	return out, nil
+}
+
+// UnmarshalBinary decodes into c.
+func (c *LweSample) UnmarshalBinary(data []byte) error {
+	if len(data) < 8 {
+		return fmt.Errorf("tfhe: sample truncated")
+	}
+	n := int(binary.LittleEndian.Uint32(data[0:]))
+	if n < 0 || n > 1<<24 || len(data) != 4+4*n+4 {
+		return fmt.Errorf("tfhe: sample payload is %d bytes for dimension %d", len(data), n)
+	}
+	c.A = make([]Torus, n)
+	off := 4
+	for i := range c.A {
+		c.A[i] = binary.LittleEndian.Uint32(data[off:])
+		off += 4
+	}
+	c.B = binary.LittleEndian.Uint32(data[off:])
+	return nil
+}

@@ -1,0 +1,32 @@
+package tfhe
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLweSampleSerializationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	key := NewLweKey(321, rng)
+	ct := key.Encrypt(TorusFromDouble(0.125), 1e-7, rng)
+	blob, err := ct.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back LweSample
+	if err := back.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if back.B != ct.B || len(back.A) != len(ct.A) {
+		t.Fatal("sample metadata lost")
+	}
+	if !key.DecryptBool(&back) {
+		t.Fatal("deserialized sample decrypts wrong")
+	}
+	if err := back.UnmarshalBinary(blob[:5]); err == nil {
+		t.Error("expected truncation rejection")
+	}
+	if err := back.UnmarshalBinary(append(blob, 0)); err == nil {
+		t.Error("expected size-mismatch rejection")
+	}
+}

@@ -1,0 +1,251 @@
+package tfhe
+
+import "math/rand"
+
+// TrlweSample is a ring-LWE ciphertext (A_0..A_{k-1}, B) over the torus with
+// phase B - Σ A_i·s_i.
+type TrlweSample struct {
+	A []TorusPoly // k mask polynomials
+	B TorusPoly
+}
+
+// NewTrlweSample allocates a zero sample.
+func NewTrlweSample(n, k int) *TrlweSample {
+	s := &TrlweSample{A: make([]TorusPoly, k), B: make(TorusPoly, n)}
+	for i := range s.A {
+		s.A[i] = make(TorusPoly, n)
+	}
+	return s
+}
+
+// Copy returns a deep copy.
+func (s *TrlweSample) Copy() *TrlweSample {
+	out := &TrlweSample{A: make([]TorusPoly, len(s.A)), B: append(TorusPoly(nil), s.B...)}
+	for i := range s.A {
+		out.A[i] = append(TorusPoly(nil), s.A[i]...)
+	}
+	return out
+}
+
+// AddTo sets s += o.
+func (s *TrlweSample) AddTo(o *TrlweSample) {
+	for i := range s.A {
+		s.A[i].AddTo(o.A[i])
+	}
+	s.B.AddTo(o.B)
+}
+
+// SubTo sets s -= o.
+func (s *TrlweSample) SubTo(o *TrlweSample) {
+	for i := range s.A {
+		s.A[i].SubTo(o.A[i])
+	}
+	s.B.SubTo(o.B)
+}
+
+// MonomialMul returns X^e · s (negacyclic rotation of every component).
+func (s *TrlweSample) MonomialMul(e int) *TrlweSample {
+	n := len(s.B)
+	out := NewTrlweSample(n, len(s.A))
+	for i := range s.A {
+		s.A[i].MonomialMulTo(e, out.A[i])
+	}
+	s.B.MonomialMulTo(e, out.B)
+	return out
+}
+
+// TrlweKey is a binary ring key (k polynomials).
+type TrlweKey struct {
+	S  []IntPoly
+	pm *PolyMultiplier
+	// sNTT caches the NTT of each key polynomial for fast encryption.
+	sNTT [][]uint64
+}
+
+// NewTrlweKey samples a binary TRLWE key.
+func NewTrlweKey(p Params, pm *PolyMultiplier, rng *rand.Rand) *TrlweKey {
+	k := &TrlweKey{pm: pm}
+	for i := 0; i < p.K; i++ {
+		s := make(IntPoly, p.N)
+		for j := range s {
+			s[j] = int32(rng.Intn(2))
+		}
+		k.S = append(k.S, s)
+		k.sNTT = append(k.sNTT, pm.IntToNTT(s))
+	}
+	return k
+}
+
+// Encrypt encrypts the torus polynomial mu with noise sigma.
+func (k *TrlweKey) Encrypt(mu TorusPoly, sigma float64, rng *rand.Rand) *TrlweSample {
+	n := k.pm.N
+	s := NewTrlweSample(n, len(k.S))
+	acc := make([]uint64, n)
+	for i := range k.S {
+		for j := 0; j < n; j++ {
+			s.A[i][j] = rngTorus(rng)
+		}
+		k.pm.MulAcc(k.pm.TorusToNTT(s.A[i]), k.sNTT[i], acc)
+	}
+	dot := k.pm.FromNTT(acc)
+	for j := 0; j < n; j++ {
+		s.B[j] = dot[j] + mu[j] + gaussianTorus(rng, sigma)
+	}
+	return s
+}
+
+// Phase returns B - Σ A_i·s_i.
+func (k *TrlweKey) Phase(s *TrlweSample) TorusPoly {
+	n := k.pm.N
+	acc := make([]uint64, n)
+	for i := range k.S {
+		k.pm.MulAcc(k.pm.TorusToNTT(s.A[i]), k.sNTT[i], acc)
+	}
+	dot := k.pm.FromNTT(acc)
+	out := append(TorusPoly(nil), s.B...)
+	out.SubTo(dot)
+	return out
+}
+
+// ExtractedLweKey returns the LWE key of dimension k·N matching
+// SampleExtract.
+func (k *TrlweKey) ExtractedLweKey() *LweKey {
+	n := k.pm.N
+	out := &LweKey{S: make([]int32, len(k.S)*n)}
+	for i := range k.S {
+		copy(out.S[i*n:], k.S[i])
+	}
+	return out
+}
+
+// SampleExtract extracts the constant coefficient of a TRLWE phase as an LWE
+// sample of dimension k·N.
+func SampleExtract(s *TrlweSample) *LweSample {
+	n := len(s.B)
+	k := len(s.A)
+	out := NewLweSample(k * n)
+	for i := 0; i < k; i++ {
+		out.A[i*n] = s.A[i][0]
+		for j := 1; j < n; j++ {
+			out.A[i*n+j] = -s.A[i][n-j]
+		}
+	}
+	out.B = s.B[0]
+	return out
+}
+
+// Gadget decomposition -------------------------------------------------------
+
+// decomposer performs the signed base-2^BgBits decomposition of torus values
+// into L digits in [-Bg/2, Bg/2).
+type decomposer struct {
+	l      int
+	bgBits int
+	halfBg int32
+	mask   Torus
+	offset Torus
+}
+
+func newDecomposer(p Params) decomposer {
+	d := decomposer{
+		l:      p.L,
+		bgBits: p.BgBits,
+		halfBg: int32(p.Bg() / 2),
+		mask:   p.Bg() - 1,
+	}
+	for j := 1; j <= p.L; j++ {
+		d.offset += (p.Bg() / 2) << uint(32-j*p.BgBits)
+	}
+	return d
+}
+
+// decompose writes the L digit polynomials of p into out (each length N).
+func (d decomposer) decompose(p TorusPoly, out []IntPoly) {
+	for i, v := range p {
+		vt := v + d.offset
+		for j := 0; j < d.l; j++ {
+			shift := uint(32 - (j+1)*d.bgBits)
+			out[j][i] = int32((vt>>shift)&d.mask) - d.halfBg
+		}
+	}
+}
+
+// TRGSW ----------------------------------------------------------------------
+
+// TrgswNTT is a TRGSW ciphertext with every row stored in the NTT domain,
+// ready for external products: rows[r][c] is component c of row r.
+type TrgswNTT struct {
+	rows [][][]uint64
+}
+
+// EncryptTrgsw encrypts the small integer message m (typically a key bit)
+// as a TRGSW sample in the NTT domain.
+func (k *TrlweKey) EncryptTrgsw(p Params, m int32, rng *rand.Rand) *TrgswNTT {
+	n := p.N
+	kk := p.K
+	zero := make(TorusPoly, n)
+	g := &TrgswNTT{}
+	for i := 0; i <= kk; i++ { // which component carries the gadget
+		for j := 0; j < p.L; j++ {
+			row := k.Encrypt(zero, p.BkSigma, rng)
+			gval := Torus(m) << uint(32-(j+1)*p.BgBits)
+			if i < kk {
+				row.A[i][0] += gval
+			} else {
+				row.B[0] += gval
+			}
+			var comps [][]uint64
+			for c := 0; c < kk; c++ {
+				comps = append(comps, k.pm.TorusToNTT(row.A[c]))
+			}
+			comps = append(comps, k.pm.TorusToNTT(row.B))
+			g.rows = append(g.rows, comps)
+		}
+	}
+	return g
+}
+
+// ExternalProduct computes g ⊡ s ≈ TRLWE(m_g · m_s).
+func ExternalProduct(p Params, pm *PolyMultiplier, dec decomposer, g *TrgswNTT, s *TrlweSample) *TrlweSample {
+	n, kk := p.N, p.K
+	digits := make([]IntPoly, p.L)
+	for j := range digits {
+		digits[j] = make(IntPoly, n)
+	}
+	acc := make([][]uint64, kk+1)
+	for c := range acc {
+		acc[c] = make([]uint64, n)
+	}
+	row := 0
+	for i := 0; i <= kk; i++ {
+		var comp TorusPoly
+		if i < kk {
+			comp = s.A[i]
+		} else {
+			comp = s.B
+		}
+		dec.decompose(comp, digits)
+		for j := 0; j < p.L; j++ {
+			dNTT := pm.IntToNTT(digits[j])
+			for c := 0; c <= kk; c++ {
+				pm.MulAcc(dNTT, g.rows[row][c], acc[c])
+			}
+			row++
+		}
+	}
+	out := NewTrlweSample(n, kk)
+	for c := 0; c < kk; c++ {
+		out.A[c] = pm.FromNTT(acc[c])
+	}
+	out.B = pm.FromNTT(acc[kk])
+	return out
+}
+
+// CMux returns d0 + g ⊡ (d1 - d0): selects d1 when g encrypts 1, d0 when 0.
+func CMux(p Params, pm *PolyMultiplier, dec decomposer, g *TrgswNTT, d1, d0 *TrlweSample) *TrlweSample {
+	diff := d1.Copy()
+	diff.SubTo(d0)
+	res := ExternalProduct(p, pm, dec, g, diff)
+	res.AddTo(d0)
+	return res
+}

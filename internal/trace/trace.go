@@ -1,0 +1,198 @@
+// Package trace defines the scheme-agnostic operation graphs exchanged
+// between the FHE workload generators and the accelerator simulators: a DAG
+// of high-level polynomial operators (NTT, Bconv, DecompPolyMult,
+// element-wise ops, automorphisms) annotated with their shapes and HBM
+// streaming demands.
+package trace
+
+import "fmt"
+
+// Kind identifies a high-level polynomial operator.
+type Kind int
+
+const (
+	KindNTT Kind = iota
+	KindINTT
+	KindBconv          // RNS basis conversion (ModUp/ModDown cores)
+	KindDecompPolyMult // digit × evk inner product accumulation
+	KindEWMult         // element-wise modular multiplication
+	KindEWAdd          // element-wise modular addition
+	KindEWMulSub       // fused (a-b)·c, the ModDown/rescale fix-up
+	KindAutomorphism   // Galois permutation
+	numKinds
+)
+
+var kindNames = [...]string{
+	"NTT", "INTT", "Bconv", "DecompPolyMult", "EWMult", "EWAdd", "EWMulSub", "Automorphism",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Kinds returns every operator kind (for report iteration).
+func Kinds() []Kind {
+	out := make([]Kind, numKinds)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// Class groups kinds into the paper's Figure 1 operator classes.
+type Class int
+
+const (
+	ClassNTT Class = iota
+	ClassBconv
+	ClassDecompPolyMult
+	ClassOther
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassNTT:
+		return "NTT"
+	case ClassBconv:
+		return "Bconv"
+	case ClassDecompPolyMult:
+		return "DecompPolyMult"
+	default:
+		return "Other"
+	}
+}
+
+// ClassOf maps an operator kind to its Figure 1 class.
+func ClassOf(k Kind) Class {
+	switch k {
+	case KindNTT, KindINTT:
+		return ClassNTT
+	case KindBconv:
+		return ClassBconv
+	case KindDecompPolyMult:
+		return ClassDecompPolyMult
+	default:
+		return ClassOther
+	}
+}
+
+// Op is one high-level operator instance in a workload graph.
+type Op struct {
+	ID    int
+	Kind  Kind
+	Label string
+
+	N        int // polynomial degree
+	Channels int // RNS channels processed (Bconv: target channels)
+	Polys    int // number of polynomials
+
+	SrcChannels int // Bconv only: source channels (the Meta-OP n)
+	Dnum        int // DecompPolyMult only: accumulation depth
+
+	// StreamBytes is data that must be fetched from HBM before/while this
+	// op runs (evaluation keys, bootstrapping keys, fresh operands).
+	StreamBytes int64
+
+	// Local marks transforms whose data is private to one computing unit
+	// (e.g. batched TFHE blind-rotation NTTs), needing no transpose phase.
+	Local bool
+
+	Deps []int
+}
+
+// Graph is a DAG of operators. Ops are stored in a valid topological order
+// (dependencies always have smaller IDs).
+type Graph struct {
+	Name string
+	Ops  []*Op
+}
+
+// Add appends an op, assigning its ID, and returns the ID. Dependencies must
+// already be in the graph.
+func (g *Graph) Add(op Op, deps ...int) int {
+	op.ID = len(g.Ops)
+	for _, d := range deps {
+		if d < 0 || d >= op.ID {
+			panic(fmt.Sprintf("trace: dep %d out of range for op %d", d, op.ID))
+		}
+	}
+	op.Deps = append(op.Deps, deps...)
+	g.Ops = append(g.Ops, &op)
+	return op.ID
+}
+
+// Validate checks topological ordering and shape sanity.
+func (g *Graph) Validate() error {
+	for i, op := range g.Ops {
+		if op.ID != i {
+			return fmt.Errorf("trace: op %d has ID %d", i, op.ID)
+		}
+		if op.N <= 0 || op.N&(op.N-1) != 0 {
+			return fmt.Errorf("trace: op %d (%s) degree %d not a power of two", i, op.Label, op.N)
+		}
+		if op.Channels <= 0 || op.Polys <= 0 {
+			return fmt.Errorf("trace: op %d (%s) has empty shape", i, op.Label)
+		}
+		if op.Kind == KindBconv && op.SrcChannels <= 0 {
+			return fmt.Errorf("trace: Bconv op %d missing SrcChannels", i)
+		}
+		if op.Kind == KindDecompPolyMult && op.Dnum <= 0 {
+			return fmt.Errorf("trace: DecompPolyMult op %d missing Dnum", i)
+		}
+		for _, d := range op.Deps {
+			if d >= i {
+				return fmt.Errorf("trace: op %d depends on later op %d", i, d)
+			}
+		}
+	}
+	return nil
+}
+
+// TotalStreamBytes sums the HBM streaming demand of the graph.
+func (g *Graph) TotalStreamBytes() int64 {
+	var total int64
+	for _, op := range g.Ops {
+		total += op.StreamBytes
+	}
+	return total
+}
+
+// Tail returns the ID of the last op added (convenience for chain-building).
+func (g *Graph) Tail() int { return len(g.Ops) - 1 }
+
+// PolyBytes returns the footprint of `polys` degree-n polynomials over
+// `channels` RNS channels at the given word size in bits.
+func PolyBytes(n, channels, polys, wordBits int) int64 {
+	return int64(n) * int64(channels) * int64(polys) * int64(wordBits) / 8
+}
+
+// Stats summarizes a graph's structure.
+type Stats struct {
+	Ops         int
+	ByKind      map[Kind]int
+	MaxDepth    int   // longest dependency chain (in ops)
+	StreamBytes int64 // total HBM demand
+}
+
+// Statistics computes structural statistics of the graph.
+func (g *Graph) Statistics() Stats {
+	s := Stats{Ops: len(g.Ops), ByKind: map[Kind]int{}, StreamBytes: g.TotalStreamBytes()}
+	depth := make([]int, len(g.Ops))
+	for _, op := range g.Ops {
+		s.ByKind[op.Kind]++
+		d := 1
+		for _, dep := range op.Deps {
+			if depth[dep]+1 > d {
+				d = depth[dep] + 1
+			}
+		}
+		depth[op.ID] = d
+		if d > s.MaxDepth {
+			s.MaxDepth = d
+		}
+	}
+	return s
+}

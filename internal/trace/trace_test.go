@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAssignsIDsAndDeps(t *testing.T) {
+	g := &Graph{Name: "t"}
+	a := g.Add(Op{Kind: KindNTT, N: 16, Channels: 1, Polys: 1})
+	b := g.Add(Op{Kind: KindEWMult, N: 16, Channels: 1, Polys: 1}, a)
+	if a != 0 || b != 1 {
+		t.Fatalf("ids %d,%d", a, b)
+	}
+	if g.Tail() != b {
+		t.Fatal("Tail wrong")
+	}
+	if len(g.Ops[1].Deps) != 1 || g.Ops[1].Deps[0] != a {
+		t.Fatal("deps wrong")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddPanicsOnForwardDep(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on forward dependency")
+		}
+	}()
+	g := &Graph{}
+	g.Add(Op{Kind: KindNTT, N: 16, Channels: 1, Polys: 1}, 3)
+}
+
+func TestValidateCatchesBadShapes(t *testing.T) {
+	cases := []Op{
+		{Kind: KindNTT, N: 15, Channels: 1, Polys: 1},            // degree not pow2
+		{Kind: KindNTT, N: 16, Channels: 0, Polys: 1},            // no channels
+		{Kind: KindNTT, N: 16, Channels: 1, Polys: 0},            // no polys
+		{Kind: KindBconv, N: 16, Channels: 2, Polys: 1},          // missing src
+		{Kind: KindDecompPolyMult, N: 16, Channels: 2, Polys: 1}, // missing dnum
+	}
+	for i, op := range cases {
+		g := &Graph{}
+		g.Add(op)
+		if err := g.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestValidateCatchesCorruptedGraph(t *testing.T) {
+	g := &Graph{}
+	g.Add(Op{Kind: KindNTT, N: 16, Channels: 1, Polys: 1})
+	g.Ops[0].ID = 5
+	if err := g.Validate(); err == nil {
+		t.Fatal("expected ID mismatch error")
+	}
+	g2 := &Graph{}
+	g2.Add(Op{Kind: KindNTT, N: 16, Channels: 1, Polys: 1})
+	g2.Add(Op{Kind: KindNTT, N: 16, Channels: 1, Polys: 1})
+	g2.Ops[0].Deps = []int{1} // forward dep snuck in post-hoc
+	if err := g2.Validate(); err == nil {
+		t.Fatal("expected forward-dep error")
+	}
+}
+
+func TestKindAndClassNames(t *testing.T) {
+	for _, k := range Kinds() {
+		if k.String() == "" {
+			t.Errorf("kind %d has no name", int(k))
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Error("unknown kind should print numerically")
+	}
+	if ClassOf(KindNTT) != ClassNTT || ClassOf(KindINTT) != ClassNTT {
+		t.Error("NTT class mapping")
+	}
+	if ClassOf(KindBconv) != ClassBconv {
+		t.Error("Bconv class mapping")
+	}
+	if ClassOf(KindDecompPolyMult) != ClassDecompPolyMult {
+		t.Error("DecompPolyMult class mapping")
+	}
+	for _, k := range []Kind{KindEWMult, KindEWAdd, KindEWMulSub, KindAutomorphism} {
+		if ClassOf(k) != ClassOther {
+			t.Errorf("%v should map to Other", k)
+		}
+	}
+	for _, c := range []Class{ClassNTT, ClassBconv, ClassDecompPolyMult, ClassOther} {
+		if c.String() == "" {
+			t.Errorf("class %d has no name", int(c))
+		}
+	}
+}
+
+func TestPolyBytes(t *testing.T) {
+	// 36-bit words: 4.5 bytes each.
+	if got := PolyBytes(65536, 56, 2, 36); got != 2*56*65536*9/2 {
+		t.Fatalf("PolyBytes = %d", got)
+	}
+	f := func(logN uint8, ch, polys uint8) bool {
+		n := 1 << (logN%10 + 1)
+		c := int(ch%8) + 1
+		p := int(polys%4) + 1
+		return PolyBytes(n, c, p, 64) == int64(n*c*p*8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTotalStreamBytes(t *testing.T) {
+	g := &Graph{}
+	g.Add(Op{Kind: KindNTT, N: 16, Channels: 1, Polys: 1, StreamBytes: 100})
+	g.Add(Op{Kind: KindNTT, N: 16, Channels: 1, Polys: 1, StreamBytes: 50})
+	if g.TotalStreamBytes() != 150 {
+		t.Fatal("stream sum wrong")
+	}
+}
+
+func TestStatistics(t *testing.T) {
+	g := &Graph{}
+	a := g.Add(Op{Kind: KindNTT, N: 16, Channels: 1, Polys: 1, StreamBytes: 10})
+	b := g.Add(Op{Kind: KindBconv, N: 16, SrcChannels: 1, Channels: 2, Polys: 1}, a)
+	g.Add(Op{Kind: KindNTT, N: 16, Channels: 1, Polys: 1, StreamBytes: 5}, b)
+	g.Add(Op{Kind: KindEWAdd, N: 16, Channels: 1, Polys: 1}) // independent
+	s := g.Statistics()
+	if s.Ops != 4 || s.MaxDepth != 3 || s.StreamBytes != 15 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.ByKind[KindNTT] != 2 || s.ByKind[KindBconv] != 1 || s.ByKind[KindEWAdd] != 1 {
+		t.Fatalf("kind histogram wrong: %v", s.ByKind)
+	}
+}

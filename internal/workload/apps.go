@@ -1,0 +1,370 @@
+package workload
+
+import (
+	"fmt"
+
+	"alchemist/internal/trace"
+)
+
+// BootstrapConfig parameterizes the fully-packed CKKS bootstrapping graph.
+// The structure follows the ARK/SHARP pipeline the paper benchmarks against:
+// ModRaise, CoeffToSlot (BSGS linear transforms with hoisted baby-step
+// rotations), EvalMod (BSGS polynomial evaluation of the scaled sine), and
+// SlotToCoeff.
+type BootstrapConfig struct {
+	StartChannels int  // channels right after ModRaise
+	C2SLevels     int  // matrices in CoeffToSlot (radix decomposition)
+	S2CLevels     int  // matrices in SlotToCoeff
+	DiagsPerLevel int  // non-zero diagonals per matrix level
+	BSGSBaby      int  // baby-step count b (giant = diags/b)
+	EvalModCmults int  // ciphertext mults in EvalMod
+	EvalModPmults int  // plaintext mults in EvalMod
+	EvalModLevels int  // levels consumed by EvalMod
+	Hoisting      bool // share ModUp across baby-step rotations (BSP-L=n+)
+}
+
+// DefaultBootstrapConfig returns the paper's deep benchmark: fully-packed
+// bootstrapping at L = 44 with ModUp hoisting (double-hoisted BSGS linear
+// transforms, as in ARK/SHARP).
+func DefaultBootstrapConfig() BootstrapConfig {
+	return BootstrapConfig{
+		StartChannels: 44,
+		C2SLevels:     2,
+		S2CLevels:     2,
+		DiagsPerLevel: 16,
+		BSGSBaby:      4,
+		EvalModCmults: 10,
+		EvalModPmults: 8,
+		EvalModLevels: 8,
+		Hoisting:      true,
+	}
+}
+
+// appendLinearLevel appends one BSGS matrix–vector level of CoeffToSlot or
+// SlotToCoeff and returns (final op, channels after the level's rescale).
+//
+// With hoisting enabled it uses the double-hoisted form: the input is
+// decomposed once (one ModUp); every baby rotation permutes the digits,
+// multiplies by its evk and its plaintext diagonal in the extended basis and
+// accumulates there, so each giant step pays a single ModDown.
+func appendLinearLevel(g *trace.Graph, s CKKSShape, ch, dep int, cfg BootstrapConfig, label string) (int, int) {
+	n := s.N()
+	baby := cfg.BSGSBaby
+	giant := (cfg.DiagsPerLevel + baby - 1) / baby
+
+	if !cfg.Hoisting {
+		// Eager form: every diagonal is a full rotation + Pmult.
+		acc := -1
+		for gs := 0; gs < giant; gs++ {
+			var sum int
+			for i := 0; i < baby; i++ {
+				r := appendRotation(g, s, ch, dep, fmt.Sprintf("%s/g%d-rot%d", label, gs, i))
+				pm := g.Add(trace.Op{Kind: trace.KindEWMult, N: n, Channels: ch, Polys: 2,
+					Label: fmt.Sprintf("%s/g%d-diag%d", label, gs, i)}, r)
+				if i == 0 {
+					sum = pm
+				} else {
+					sum = g.Add(trace.Op{Kind: trace.KindEWAdd, N: n, Channels: ch, Polys: 2,
+						Label: fmt.Sprintf("%s/g%d-add%d", label, gs, i)}, sum, pm)
+				}
+			}
+			if acc < 0 {
+				acc = sum
+			} else {
+				acc = g.Add(trace.Op{Kind: trace.KindEWAdd, N: n, Channels: ch, Polys: 2,
+					Label: fmt.Sprintf("%s/acc%d", label, gs)}, acc, sum)
+			}
+		}
+		out := appendRescale(g, s, ch, acc, label)
+		return out, ch - 1
+	}
+
+	// Double-hoisted form. One ModUp:
+	intt := g.Add(trace.Op{Kind: trace.KindINTT, N: n, Channels: ch, Polys: 1,
+		Label: label + "/hoist-intt"}, dep)
+	groups := s.GroupsAt(ch)
+	alpha := s.Alpha()
+	var nttIDs []int
+	for grp := 0; grp < groups; grp++ {
+		size := alpha
+		if (grp+1)*alpha > ch {
+			size = ch - grp*alpha
+		}
+		dst := ch - size + s.K
+		bc := g.Add(trace.Op{Kind: trace.KindBconv, N: n, SrcChannels: size, Channels: dst,
+			Polys: 1, Label: fmt.Sprintf("%s/hoist-modup%d", label, grp)}, intt)
+		ntt := g.Add(trace.Op{Kind: trace.KindNTT, N: n, Channels: dst, Polys: 1,
+			Label: fmt.Sprintf("%s/hoist-modup%d-ntt", label, grp)}, bc)
+		nttIDs = append(nttIDs, ntt)
+	}
+	// Baby-rotated copies in the extended (QP) basis, computed once: permute
+	// the shared digits and multiply by each baby rotation key.
+	rotatedQP := make([]int, baby)
+	for i := 0; i < baby; i++ {
+		perm := g.Add(trace.Op{Kind: trace.KindAutomorphism, N: n, Channels: ch + s.K,
+			Polys: groups, Label: fmt.Sprintf("%s/b%d-perm", label, i)}, nttIDs...)
+		rotatedQP[i] = g.Add(trace.Op{Kind: trace.KindDecompPolyMult, N: n, Channels: ch + s.K,
+			Dnum: groups, Polys: 2, StreamBytes: s.EvkBytes(ch),
+			Label: fmt.Sprintf("%s/b%d-decomp", label, i)}, perm)
+	}
+	acc := -1
+	for gs := 0; gs < giant; gs++ {
+		var sum int
+		for i := 0; i < baby; i++ {
+			pm := g.Add(trace.Op{Kind: trace.KindEWMult, N: n, Channels: ch + s.K, Polys: 2,
+				Label: fmt.Sprintf("%s/g%d-b%d-diag", label, gs, i)}, rotatedQP[i])
+			if i == 0 {
+				sum = pm
+			} else {
+				sum = g.Add(trace.Op{Kind: trace.KindEWAdd, N: n, Channels: ch + s.K, Polys: 2,
+					Label: fmt.Sprintf("%s/g%d-b%d-add", label, gs, i)}, sum, pm)
+			}
+		}
+		md := appendModDown(g, s, ch, sum, fmt.Sprintf("%s/g%d", label, gs))
+		if gs > 0 {
+			md = appendRotation(g, s, ch, md, fmt.Sprintf("%s/giant%d", label, gs))
+		}
+		if acc < 0 {
+			acc = md
+		} else {
+			acc = g.Add(trace.Op{Kind: trace.KindEWAdd, N: n, Channels: ch, Polys: 2,
+				Label: fmt.Sprintf("%s/acc%d", label, gs)}, acc, md)
+		}
+	}
+	out := appendRescale(g, s, ch, acc, label)
+	return out, ch - 1
+}
+
+// appendEvalMod appends the homomorphic modular-reduction approximation:
+// a chain of EvalModCmults ciphertext multiplications of which the first
+// EvalModLevels each consume a level (BSGS power reuse keeps the remainder
+// at their level), plus the plaintext (Chebyshev coefficient) mults.
+func appendEvalMod(g *trace.Graph, s CKKSShape, ch, dep int, cfg BootstrapConfig) (int, int) {
+	cur := dep
+	for i := 0; i < cfg.EvalModCmults; i++ {
+		// The relinearization key is one key reused across the whole chain;
+		// with seed expansion its streamed half fits the 64 MB scratchpad,
+		// so only the first use pays HBM traffic.
+		stream := int64(0)
+		if i == 0 {
+			stream = s.EvkBytes(ch)
+		}
+		if i < cfg.EvalModLevels && ch > 2 {
+			tensor := g.Add(trace.Op{Kind: trace.KindEWMult, N: s.N(), Channels: ch, Polys: 4,
+				Label: fmt.Sprintf("evalmod/c%d-tensor", i)}, cur)
+			d1 := g.Add(trace.Op{Kind: trace.KindEWAdd, N: s.N(), Channels: ch, Polys: 1,
+				Label: fmt.Sprintf("evalmod/c%d-tensor-add", i)}, tensor)
+			ks := appendKeySwitchCoreStream(g, s, ch, d1, fmt.Sprintf("evalmod/c%d-relin", i), stream)
+			add := g.Add(trace.Op{Kind: trace.KindEWAdd, N: s.N(), Channels: ch, Polys: 2,
+				Label: fmt.Sprintf("evalmod/c%d-add", i)}, ks)
+			cur = appendRescale(g, s, ch, add, fmt.Sprintf("evalmod/c%d", i))
+			ch--
+		} else {
+			// Same-level multiplication (reused power): tensor + relin only.
+			tensor := g.Add(trace.Op{Kind: trace.KindEWMult, N: s.N(), Channels: ch, Polys: 4,
+				Label: fmt.Sprintf("evalmod/c%d-tensor", i)}, cur)
+			ks := appendKeySwitchCoreStream(g, s, ch, tensor, fmt.Sprintf("evalmod/c%d-relin", i), stream)
+			cur = g.Add(trace.Op{Kind: trace.KindEWAdd, N: s.N(), Channels: ch, Polys: 2,
+				Label: fmt.Sprintf("evalmod/c%d-add", i)}, ks)
+		}
+	}
+	for i := 0; i < cfg.EvalModPmults; i++ {
+		cur = g.Add(trace.Op{Kind: trace.KindEWMult, N: s.N(), Channels: ch, Polys: 2,
+			Label: fmt.Sprintf("evalmod/pmult%d", i)}, cur)
+	}
+	return cur, ch
+}
+
+// Bootstrap returns the fully-packed bootstrapping graph.
+func Bootstrap(s CKKSShape, cfg BootstrapConfig) *trace.Graph {
+	g := &trace.Graph{Name: fmt.Sprintf("bootstrap-L%d-hoist%v", cfg.StartChannels, cfg.Hoisting)}
+	n := s.N()
+	ch := cfg.StartChannels
+	// ModRaise: extend the exhausted ciphertext (2 channels) to the full
+	// chain: Bconv + NTT over both polys.
+	seed := g.Add(trace.Op{Kind: trace.KindEWAdd, N: n, Channels: 2, Polys: 2, Label: "input"})
+	raise := g.Add(trace.Op{Kind: trace.KindBconv, N: n, SrcChannels: 2, Channels: ch, Polys: 2,
+		Label: "modraise"}, seed)
+	cur := g.Add(trace.Op{Kind: trace.KindNTT, N: n, Channels: ch, Polys: 2,
+		Label: "modraise-ntt"}, raise)
+	for lvl := 0; lvl < cfg.C2SLevels; lvl++ {
+		cur, ch = appendLinearLevel(g, s, ch, cur, cfg, fmt.Sprintf("c2s%d", lvl))
+	}
+	cur, ch = appendEvalMod(g, s, ch, cur, cfg)
+	for lvl := 0; lvl < cfg.S2CLevels; lvl++ {
+		cur, ch = appendLinearLevel(g, s, ch, cur, cfg, fmt.Sprintf("s2c%d", lvl))
+	}
+	return g
+}
+
+// HELRConfig parameterizes one 1024-batch HELR (homomorphic logistic
+// regression) training iteration, following the benchmark setup of the
+// paper (same as SHARP): batched gradient computation with rotations for
+// the feature-sum reductions and a degree-3 sigmoid approximation, with
+// bootstrapping amortized over a block of iterations.
+type HELRConfig struct {
+	StartChannels  int
+	Features       int // 256
+	Batch          int // 1024
+	SigmoidCmults  int // degree-3 polynomial: 2 mults + scaling
+	BootstrapEvery int // iterations per bootstrap
+}
+
+// DefaultHELRConfig returns the paper's HELR-1024 setup.
+func DefaultHELRConfig() HELRConfig {
+	return HELRConfig{
+		StartChannels:  24,
+		Features:       256,
+		Batch:          1024,
+		SigmoidCmults:  3,
+		BootstrapEvery: 5,
+	}
+}
+
+// HELRIteration returns the graph of one HELR training iteration (without
+// bootstrapping).
+func HELRIteration(s CKKSShape, cfg HELRConfig) *trace.Graph {
+	g := &trace.Graph{Name: "helr-iteration"}
+	appendHELRIteration(g, s, cfg, -1)
+	return g
+}
+
+func appendHELRIteration(g *trace.Graph, s CKKSShape, cfg HELRConfig, dep int) int {
+	n := s.N()
+	ch := cfg.StartChannels
+	var cur int
+	if dep < 0 {
+		cur = g.Add(trace.Op{Kind: trace.KindEWAdd, N: n, Channels: ch, Polys: 2, Label: "input"})
+	} else {
+		cur = dep
+	}
+	// Inner product X·w: one Cmult then log2(features) rotate-and-add.
+	cur, ch = appendCmult(g, s, ch, cur, "helr/xw")
+	for r := 1; r < cfg.Features; r <<= 1 {
+		rot := appendRotation(g, s, ch, cur, fmt.Sprintf("helr/sum-rot%d", r))
+		cur = g.Add(trace.Op{Kind: trace.KindEWAdd, N: n, Channels: ch, Polys: 2,
+			Label: fmt.Sprintf("helr/sum-add%d", r)}, cur, rot)
+	}
+	// Sigmoid approximation.
+	for i := 0; i < cfg.SigmoidCmults; i++ {
+		cur, ch = appendCmult(g, s, ch, cur, fmt.Sprintf("helr/sigmoid%d", i))
+	}
+	// Gradient: multiply by X (Pmult) and batch-sum rotations.
+	cur = g.Add(trace.Op{Kind: trace.KindEWMult, N: n, Channels: ch, Polys: 2,
+		Label: "helr/grad-pmult"}, cur)
+	for r := 1; r < cfg.Batch/cfg.Features; r <<= 1 {
+		rot := appendRotation(g, s, ch, cur, fmt.Sprintf("helr/grad-rot%d", r))
+		cur = g.Add(trace.Op{Kind: trace.KindEWAdd, N: n, Channels: ch, Polys: 2,
+			Label: fmt.Sprintf("helr/grad-add%d", r)}, cur, rot)
+	}
+	// Weight update.
+	return g.Add(trace.Op{Kind: trace.KindEWAdd, N: n, Channels: ch, Polys: 2,
+		Label: "helr/update"}, cur)
+}
+
+// HELRBlock returns BootstrapEvery iterations followed by one bootstrap —
+// the unit whose per-iteration average the paper reports.
+func HELRBlock(s CKKSShape, cfg HELRConfig, boot BootstrapConfig) *trace.Graph {
+	g := &trace.Graph{Name: "helr-block"}
+	dep := -1
+	for i := 0; i < cfg.BootstrapEvery; i++ {
+		dep = appendHELRIteration(g, s, cfg, dep)
+	}
+	// Bootstrap the model ciphertext (append inline, dependent on dep).
+	bg := Bootstrap(s, boot)
+	offset := len(g.Ops)
+	for _, op := range bg.Ops {
+		o := *op
+		o.ID = offset + op.ID
+		o.Deps = nil
+		for _, d := range op.Deps {
+			o.Deps = append(o.Deps, d+offset)
+		}
+		if len(op.Deps) == 0 {
+			o.Deps = append(o.Deps, dep)
+		}
+		g.Ops = append(g.Ops, &o)
+	}
+	return g
+}
+
+// LoLaConfig parameterizes the LoLa-MNIST inference benchmark: a shallow
+// CKKS network (conv → square → dense → square → dense) at N = 2^13.
+type LoLaConfig struct {
+	Shape            CKKSShape
+	Layer1Mults      int // convolution taps expressed as diagonal mults
+	Layer1Rotations  int
+	Layer2Mults      int
+	Layer2Rotations  int
+	OutputMults      int
+	OutputRotations  int
+	EncryptedWeights bool // weights as ciphertexts (Cmult) vs plaintexts (Pmult)
+}
+
+// DefaultLoLaConfig returns the LoLa-MNIST shape used by F1/CraterLake.
+func DefaultLoLaConfig(encrypted bool) LoLaConfig {
+	return LoLaConfig{
+		Shape:            CKKSShape{LogN: 13, Channels: 8, Dnum: 2, K: 2, WordBits: 36},
+		Layer1Mults:      25, // 5×5 convolution taps
+		Layer1Rotations:  12,
+		Layer2Mults:      32,
+		Layer2Rotations:  10,
+		OutputMults:      10,
+		OutputRotations:  4,
+		EncryptedWeights: encrypted,
+	}
+}
+
+// LoLaMNIST returns the inference graph.
+func LoLaMNIST(cfg LoLaConfig) *trace.Graph {
+	s := cfg.Shape
+	n := s.N()
+	name := "lola-mnist-plain"
+	if cfg.EncryptedWeights {
+		name = "lola-mnist-encrypted"
+	}
+	g := &trace.Graph{Name: name}
+	ch := s.Channels
+	cur := g.Add(trace.Op{Kind: trace.KindEWAdd, N: n, Channels: ch, Polys: 2, Label: "input"})
+
+	layer := func(mults, rots int, label string) {
+		var acc int = cur
+		for i := 0; i < rots; i++ {
+			acc = appendRotation(g, s, ch, acc, fmt.Sprintf("%s/rot%d", label, i))
+		}
+		for i := 0; i < mults; i++ {
+			if cfg.EncryptedWeights {
+				// ct × ct weight: tensor + relin (levels managed coarsely).
+				tensor := g.Add(trace.Op{Kind: trace.KindEWMult, N: n, Channels: ch, Polys: 4,
+					Label: fmt.Sprintf("%s/cmul%d", label, i)}, acc)
+				ks := appendKeySwitchCore(g, s, ch, tensor, fmt.Sprintf("%s/relin%d", label, i))
+				acc = g.Add(trace.Op{Kind: trace.KindEWAdd, N: n, Channels: ch, Polys: 2,
+					Label: fmt.Sprintf("%s/acc%d", label, i)}, ks)
+			} else {
+				pm := g.Add(trace.Op{Kind: trace.KindEWMult, N: n, Channels: ch, Polys: 2,
+					Label: fmt.Sprintf("%s/pmul%d", label, i)}, acc)
+				acc = g.Add(trace.Op{Kind: trace.KindEWAdd, N: n, Channels: ch, Polys: 2,
+					Label: fmt.Sprintf("%s/acc%d", label, i)}, acc, pm)
+			}
+		}
+		cur = acc
+	}
+
+	layer(cfg.Layer1Mults, cfg.Layer1Rotations, "conv")
+	cur, ch = appendCmult(g, s, ch, cur, "act1") // square activation
+	layer(cfg.Layer2Mults, cfg.Layer2Rotations, "dense1")
+	cur, ch = appendCmult(g, s, ch, cur, "act2")
+	layer(cfg.OutputMults, cfg.OutputRotations, "dense2")
+	_ = cur
+	return g
+}
+
+// CmultAtLevels returns the Figure 1 level sweep: Cmult graphs at
+// L ∈ levels.
+func CmultAtLevels(s CKKSShape, levels []int) []*trace.Graph {
+	out := make([]*trace.Graph, 0, len(levels))
+	for _, l := range levels {
+		out = append(out, Cmult(s.WithChannels(l)))
+	}
+	return out
+}

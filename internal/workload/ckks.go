@@ -1,0 +1,278 @@
+// Package workload generates the operation graphs for every benchmark in
+// the paper's evaluation: the basic CKKS operators of Table 7, the CKKS
+// applications of Figure 6(a) (LoLa-MNIST, fully-packed bootstrapping,
+// HELR-1024), the TFHE programmable bootstrapping of Figure 6(b), and the
+// operator-ratio workloads of Figure 1.
+package workload
+
+import (
+	"fmt"
+
+	"alchemist/internal/trace"
+)
+
+// CKKSShape carries the paper-scale CKKS dimensions used by the graph
+// builders (no ring is instantiated at this size).
+type CKKSShape struct {
+	LogN     int
+	Channels int // RNS channels at the working level (Table 7 uses 44)
+	Dnum     int
+	K        int // special moduli
+	WordBits int
+
+	// SeedExpandedEvk halves evk streaming: the uniform a-halves of
+	// switching keys are regenerated on-chip from seeds (the standard
+	// ARK/SHARP compression), so only the b-halves cross HBM. The Table 7
+	// microbenchmarks stream full keys; the application schedules enable
+	// this.
+	SeedExpandedEvk bool
+}
+
+// PaperShape is the Table 7 / Figure 6 parameter point, following SHARP:
+// N = 2^16, 44 working channels of 36-bit words, dnum = 4, K = 12.
+func PaperShape() CKKSShape {
+	return CKKSShape{LogN: 16, Channels: 44, Dnum: 4, K: 12, WordBits: 36}
+}
+
+// N returns the ring degree.
+func (s CKKSShape) N() int { return 1 << s.LogN }
+
+// Alpha returns the digit-group width ceil(Channels/Dnum) at full level.
+func (s CKKSShape) Alpha() int { return (s.Channels + s.Dnum - 1) / s.Dnum }
+
+// GroupsAt returns the number of active digit groups at ch working channels.
+func (s CKKSShape) GroupsAt(ch int) int {
+	a := s.Alpha()
+	return (ch + a - 1) / a
+}
+
+// EvkBytes returns the streaming footprint of one switching key at ch
+// working channels: groups × 2 polynomials over (ch + K) channels (halved
+// when the key's a-halves are seed-expanded on-chip).
+func (s CKKSShape) EvkBytes(ch int) int64 {
+	polys := int64(2)
+	if s.SeedExpandedEvk {
+		polys = 1
+	}
+	return int64(s.GroupsAt(ch)) * polys * trace.PolyBytes(s.N(), ch+s.K, 1, s.WordBits)
+}
+
+// AppShape returns the shape used by the application benchmarks
+// (Fig. 6): the Table 7 dimensions with seed-expanded key streaming.
+func AppShape() CKKSShape {
+	s := PaperShape()
+	s.SeedExpandedEvk = true
+	return s
+}
+
+// WithChannels returns a copy of the shape at a different working level.
+func (s CKKSShape) WithChannels(ch int) CKKSShape {
+	s.Channels = ch
+	return s
+}
+
+// Pmult returns the Table 7 plaintext-multiplication graph (operands
+// on-chip resident, as in the paper's throughput setup).
+func Pmult(s CKKSShape) *trace.Graph {
+	g := &trace.Graph{Name: fmt.Sprintf("pmult-N%d-L%d", s.N(), s.Channels)}
+	g.Add(trace.Op{Kind: trace.KindEWMult, N: s.N(), Channels: s.Channels, Polys: 2, Label: "pmult"})
+	return g
+}
+
+// Hadd returns the Table 7 homomorphic-addition graph.
+func Hadd(s CKKSShape) *trace.Graph {
+	g := &trace.Graph{Name: fmt.Sprintf("hadd-N%d-L%d", s.N(), s.Channels)}
+	g.Add(trace.Op{Kind: trace.KindEWAdd, N: s.N(), Channels: s.Channels, Polys: 2, Label: "hadd"})
+	return g
+}
+
+// appendKeySwitchCore appends the hybrid key switch of one polynomial
+// (already in the NTT domain): INTT, per-group ModUp (Bconv + NTT),
+// DecompPolyMult against the streamed evk, and ModDown. It returns the ID
+// of the final op (the switched (B,A) pair ready in the NTT domain).
+func appendKeySwitchCore(g *trace.Graph, s CKKSShape, ch int, dep int, label string) int {
+	return appendKeySwitchCoreStream(g, s, ch, dep, label, s.EvkBytes(ch))
+}
+
+// appendKeySwitchCoreStream is appendKeySwitchCore with an explicit key
+// stream size; pass 0 when the key is already resident in the scratchpad
+// (e.g. the relinearization key reused across an EvalMod chain).
+func appendKeySwitchCoreStream(g *trace.Graph, s CKKSShape, ch int, dep int, label string, streamBytes int64) int {
+	n := s.N()
+	intt := g.Add(trace.Op{Kind: trace.KindINTT, N: n, Channels: ch, Polys: 1,
+		Label: label + "/intt"}, dep)
+	groups := s.GroupsAt(ch)
+	alpha := s.Alpha()
+	var nttIDs []int
+	for grp := 0; grp < groups; grp++ {
+		size := alpha
+		if (grp+1)*alpha > ch {
+			size = ch - grp*alpha
+		}
+		dst := ch - size + s.K
+		bc := g.Add(trace.Op{Kind: trace.KindBconv, N: n, SrcChannels: size, Channels: dst,
+			Polys: 1, Label: fmt.Sprintf("%s/modup%d", label, grp)}, intt)
+		ntt := g.Add(trace.Op{Kind: trace.KindNTT, N: n, Channels: dst, Polys: 1,
+			Label: fmt.Sprintf("%s/modup%d-ntt", label, grp)}, bc)
+		nttIDs = append(nttIDs, ntt)
+	}
+	dp := g.Add(trace.Op{Kind: trace.KindDecompPolyMult, N: n, Channels: ch + s.K,
+		Dnum: groups, Polys: 2, StreamBytes: streamBytes,
+		Label: label + "/decomp-polymult"}, nttIDs...)
+	return appendModDown(g, s, ch, dp, label)
+}
+
+// appendModDown appends the ModDown of a 2-poly accumulator over QP.
+func appendModDown(g *trace.Graph, s CKKSShape, ch int, dep int, label string) int {
+	n := s.N()
+	intt := g.Add(trace.Op{Kind: trace.KindINTT, N: n, Channels: s.K, Polys: 2,
+		Label: label + "/moddown-intt"}, dep)
+	bc := g.Add(trace.Op{Kind: trace.KindBconv, N: n, SrcChannels: s.K, Channels: ch,
+		Polys: 2, Label: label + "/moddown-bconv"}, intt)
+	ntt := g.Add(trace.Op{Kind: trace.KindNTT, N: n, Channels: ch, Polys: 2,
+		Label: label + "/moddown-ntt"}, bc)
+	return g.Add(trace.Op{Kind: trace.KindEWMulSub, N: n, Channels: ch, Polys: 2,
+		Label: label + "/moddown-fix"}, ntt)
+}
+
+// appendRescale appends the rescale by the last modulus (level drop).
+func appendRescale(g *trace.Graph, s CKKSShape, ch int, dep int, label string) int {
+	n := s.N()
+	intt := g.Add(trace.Op{Kind: trace.KindINTT, N: n, Channels: 1, Polys: 2,
+		Label: label + "/rescale-intt"}, dep)
+	return g.Add(trace.Op{Kind: trace.KindEWMulSub, N: n, Channels: ch - 1, Polys: 2,
+		Label: label + "/rescale"}, intt)
+}
+
+// Keyswitch returns the Table 7 key-switch graph.
+func Keyswitch(s CKKSShape) *trace.Graph {
+	g := &trace.Graph{Name: fmt.Sprintf("keyswitch-N%d-L%d", s.N(), s.Channels)}
+	seed := g.Add(trace.Op{Kind: trace.KindEWAdd, N: s.N(), Channels: s.Channels, Polys: 1,
+		Label: "input"})
+	appendKeySwitchCore(g, s, s.Channels, seed, "ks")
+	return g
+}
+
+// appendCmult appends a full ciphertext multiplication (tensor, relinearize,
+// rescale) and returns the final op ID and the new channel count.
+func appendCmult(g *trace.Graph, s CKKSShape, ch int, dep int, label string) (int, int) {
+	n := s.N()
+	tensor := g.Add(trace.Op{Kind: trace.KindEWMult, N: n, Channels: ch, Polys: 4,
+		Label: label + "/tensor"}, dep)
+	d1 := g.Add(trace.Op{Kind: trace.KindEWAdd, N: n, Channels: ch, Polys: 1,
+		Label: label + "/tensor-add"}, tensor)
+	ks := appendKeySwitchCore(g, s, ch, d1, label+"/relin")
+	add := g.Add(trace.Op{Kind: trace.KindEWAdd, N: n, Channels: ch, Polys: 2,
+		Label: label + "/relin-add"}, ks)
+	out := appendRescale(g, s, ch, add, label)
+	return out, ch - 1
+}
+
+// Cmult returns the Table 7 ciphertext-multiplication graph.
+func Cmult(s CKKSShape) *trace.Graph {
+	g := &trace.Graph{Name: fmt.Sprintf("cmult-N%d-L%d", s.N(), s.Channels)}
+	seed := g.Add(trace.Op{Kind: trace.KindEWAdd, N: s.N(), Channels: s.Channels, Polys: 1,
+		Label: "input"})
+	appendCmult(g, s, s.Channels, seed, "cmult")
+	return g
+}
+
+// appendRotation appends a slot rotation (automorphism + key switch).
+func appendRotation(g *trace.Graph, s CKKSShape, ch int, dep int, label string) int {
+	n := s.N()
+	rot := g.Add(trace.Op{Kind: trace.KindAutomorphism, N: n, Channels: ch, Polys: 2,
+		Label: label + "/automorph"}, dep)
+	ks := appendKeySwitchCore(g, s, ch, rot, label)
+	return g.Add(trace.Op{Kind: trace.KindEWAdd, N: n, Channels: ch, Polys: 1,
+		Label: label + "/add-b"}, ks)
+}
+
+// Rotation returns the Table 7 rotation graph.
+func Rotation(s CKKSShape) *trace.Graph {
+	g := &trace.Graph{Name: fmt.Sprintf("rotation-N%d-L%d", s.N(), s.Channels)}
+	seed := g.Add(trace.Op{Kind: trace.KindEWAdd, N: s.N(), Channels: s.Channels, Polys: 1,
+		Label: "input"})
+	appendRotation(g, s, s.Channels, seed, "rot")
+	return g
+}
+
+// appendHoistedRotations appends r rotations of one ciphertext sharing a
+// single ModUp ("ModUp hoisting", the BSP-L=n+ variant of Fig. 1): the
+// decomposition is computed once, each rotation then permutes the digits and
+// runs its own DecompPolyMult + ModDown. Returns the final op IDs, one per
+// rotation.
+func appendHoistedRotations(g *trace.Graph, s CKKSShape, ch int, dep int, r int, label string) []int {
+	n := s.N()
+	intt := g.Add(trace.Op{Kind: trace.KindINTT, N: n, Channels: ch, Polys: 1,
+		Label: label + "/hoist-intt"}, dep)
+	groups := s.GroupsAt(ch)
+	alpha := s.Alpha()
+	var nttIDs []int
+	for grp := 0; grp < groups; grp++ {
+		size := alpha
+		if (grp+1)*alpha > ch {
+			size = ch - grp*alpha
+		}
+		dst := ch - size + s.K
+		bc := g.Add(trace.Op{Kind: trace.KindBconv, N: n, SrcChannels: size, Channels: dst,
+			Polys: 1, Label: fmt.Sprintf("%s/hoist-modup%d", label, grp)}, intt)
+		ntt := g.Add(trace.Op{Kind: trace.KindNTT, N: n, Channels: dst, Polys: 1,
+			Label: fmt.Sprintf("%s/hoist-modup%d-ntt", label, grp)}, bc)
+		nttIDs = append(nttIDs, ntt)
+	}
+	outs := make([]int, r)
+	for i := 0; i < r; i++ {
+		perm := g.Add(trace.Op{Kind: trace.KindAutomorphism, N: n, Channels: ch + s.K,
+			Polys: groups, Label: fmt.Sprintf("%s/rot%d-perm", label, i)}, nttIDs...)
+		dp := g.Add(trace.Op{Kind: trace.KindDecompPolyMult, N: n, Channels: ch + s.K,
+			Dnum: groups, Polys: 2, StreamBytes: s.EvkBytes(ch),
+			Label: fmt.Sprintf("%s/rot%d-decomp", label, i)}, perm)
+		outs[i] = appendModDown(g, s, ch, dp, fmt.Sprintf("%s/rot%d", label, i))
+	}
+	return outs
+}
+
+// Repeat builds a graph holding `reps` independent copies of the builder's
+// output, modelling back-to-back throughput execution (streams and compute
+// pipeline across instances).
+func Repeat(reps int, build func(*trace.Graph, int)) *trace.Graph {
+	g := &trace.Graph{}
+	for i := 0; i < reps; i++ {
+		build(g, i)
+	}
+	return g
+}
+
+// KeyswitchThroughput returns `reps` independent key switches for
+// steady-state throughput measurement.
+func KeyswitchThroughput(s CKKSShape, reps int) *trace.Graph {
+	g := Repeat(reps, func(g *trace.Graph, i int) {
+		seed := g.Add(trace.Op{Kind: trace.KindEWAdd, N: s.N(), Channels: s.Channels,
+			Polys: 1, Label: fmt.Sprintf("input%d", i)})
+		appendKeySwitchCore(g, s, s.Channels, seed, fmt.Sprintf("ks%d", i))
+	})
+	g.Name = fmt.Sprintf("keyswitch-x%d", reps)
+	return g
+}
+
+// CmultThroughput returns `reps` independent Cmults.
+func CmultThroughput(s CKKSShape, reps int) *trace.Graph {
+	g := Repeat(reps, func(g *trace.Graph, i int) {
+		seed := g.Add(trace.Op{Kind: trace.KindEWAdd, N: s.N(), Channels: s.Channels,
+			Polys: 1, Label: fmt.Sprintf("input%d", i)})
+		appendCmult(g, s, s.Channels, seed, fmt.Sprintf("cmult%d", i))
+	})
+	g.Name = fmt.Sprintf("cmult-x%d", reps)
+	return g
+}
+
+// RotationThroughput returns `reps` independent rotations.
+func RotationThroughput(s CKKSShape, reps int) *trace.Graph {
+	g := Repeat(reps, func(g *trace.Graph, i int) {
+		seed := g.Add(trace.Op{Kind: trace.KindEWAdd, N: s.N(), Channels: s.Channels,
+			Polys: 1, Label: fmt.Sprintf("input%d", i)})
+		appendRotation(g, s, s.Channels, seed, fmt.Sprintf("rot%d", i))
+	})
+	g.Name = fmt.Sprintf("rotation-x%d", reps)
+	return g
+}

@@ -1,0 +1,217 @@
+package workload
+
+import (
+	"fmt"
+
+	"alchemist/internal/trace"
+)
+
+// Program is a small FHE-program builder: applications describe their
+// computation as ciphertext-level operations (Mul, Rotate, Add, …) and the
+// builder lowers them to the operator graph the accelerator models consume,
+// tracking levels, inserting rescales, accounting evk streams, and
+// optionally bootstrapping automatically when levels run out — the software
+// stack above an FHE accelerator (cf. the hardware-agnostic scheduling the
+// paper cites as [16]).
+type Program struct {
+	g     *trace.Graph
+	s     CKKSShape
+	boot  *BootstrapConfig // nil = error out when levels exhaust
+	nCT   int
+	err   error
+	inMin int // channels below which Mul forces a bootstrap/error
+}
+
+// CT is a handle to a ciphertext inside a program.
+type CT struct {
+	id    int // producing op
+	ch    int // working channels (level+... in shape terms)
+	valid bool
+}
+
+// Channels reports the handle's working channel count (its level headroom).
+func (c CT) Channels() int { return c.ch }
+
+// NewProgram starts a program at the given shape.
+func NewProgram(name string, s CKKSShape) *Program {
+	return &Program{
+		g:     &trace.Graph{Name: name},
+		s:     s,
+		inMin: 3,
+	}
+}
+
+// EnableAutoBootstrap makes Mul insert a bootstrap when the operand's
+// channels fall to minChannels.
+func (p *Program) EnableAutoBootstrap(cfg BootstrapConfig, minChannels int) {
+	p.boot = &cfg
+	if minChannels > 2 {
+		p.inMin = minChannels
+	}
+}
+
+// Err returns the first builder error (operations after an error are no-ops).
+func (p *Program) Err() error { return p.err }
+
+func (p *Program) fail(format string, args ...interface{}) CT {
+	if p.err == nil {
+		p.err = fmt.Errorf(format, args...)
+	}
+	return CT{}
+}
+
+// Input introduces a fresh ciphertext streamed from HBM.
+func (p *Program) Input(label string) CT {
+	if p.err != nil {
+		return CT{}
+	}
+	ch := p.s.Channels
+	id := p.g.Add(trace.Op{Kind: trace.KindEWAdd, N: p.s.N(), Channels: ch, Polys: 2,
+		StreamBytes: 2 * trace.PolyBytes(p.s.N(), ch, 1, p.s.WordBits),
+		Label:       "input/" + label})
+	p.nCT++
+	return CT{id: id, ch: ch, valid: true}
+}
+
+func (p *Program) check(cts ...CT) bool {
+	if p.err != nil {
+		return false
+	}
+	for _, c := range cts {
+		if !c.valid {
+			p.fail("prog: operation on an invalid ciphertext handle")
+			return false
+		}
+	}
+	return true
+}
+
+// align drops the higher-level operand to the lower one.
+func align(a, b CT) int {
+	if a.ch < b.ch {
+		return a.ch
+	}
+	return b.ch
+}
+
+// Add returns a + b.
+func (p *Program) Add(a, b CT) CT {
+	if !p.check(a, b) {
+		return CT{}
+	}
+	ch := align(a, b)
+	id := p.g.Add(trace.Op{Kind: trace.KindEWAdd, N: p.s.N(), Channels: ch, Polys: 2,
+		Label: "add"}, a.id, b.id)
+	return CT{id: id, ch: ch, valid: true}
+}
+
+// MulPlain multiplies by a plaintext (one level).
+func (p *Program) MulPlain(a CT, label string) CT {
+	if !p.check(a) {
+		return CT{}
+	}
+	if a.ch < 2 {
+		return p.fail("prog: MulPlain at %d channels", a.ch)
+	}
+	pm := p.g.Add(trace.Op{Kind: trace.KindEWMult, N: p.s.N(), Channels: a.ch, Polys: 2,
+		Label: "pmult/" + label}, a.id)
+	out := appendRescale(p.g, p.s, a.ch, pm, "pmult/"+label)
+	return CT{id: out, ch: a.ch - 1, valid: true}
+}
+
+// Mul returns a·b with relinearization and rescale (one level), inserting a
+// bootstrap first when auto-bootstrap is enabled and levels are exhausted.
+func (p *Program) Mul(a, b CT) CT {
+	if !p.check(a, b) {
+		return CT{}
+	}
+	ch := align(a, b)
+	if ch <= p.inMin {
+		if p.boot == nil {
+			return p.fail("prog: out of levels at %d channels (enable auto-bootstrap)", ch)
+		}
+		a = p.Bootstrap(a)
+		b = p.Bootstrap(b)
+		if p.err != nil {
+			return CT{}
+		}
+		ch = align(a, b)
+	}
+	tensor := p.g.Add(trace.Op{Kind: trace.KindEWMult, N: p.s.N(), Channels: ch, Polys: 4,
+		Label: "cmult/tensor"}, a.id, b.id)
+	d1 := p.g.Add(trace.Op{Kind: trace.KindEWAdd, N: p.s.N(), Channels: ch, Polys: 1,
+		Label: "cmult/tensor-add"}, tensor)
+	ks := appendKeySwitchCore(p.g, p.s, ch, d1, "cmult/relin")
+	add := p.g.Add(trace.Op{Kind: trace.KindEWAdd, N: p.s.N(), Channels: ch, Polys: 2,
+		Label: "cmult/relin-add"}, ks)
+	out := appendRescale(p.g, p.s, ch, add, "cmult")
+	return CT{id: out, ch: ch - 1, valid: true}
+}
+
+// Rotate rotates the slots (a key switch; no level consumed).
+func (p *Program) Rotate(a CT, steps int) CT {
+	if !p.check(a) {
+		return CT{}
+	}
+	id := appendRotation(p.g, p.s, a.ch, a.id, fmt.Sprintf("rot%+d", steps))
+	return CT{id: id, ch: a.ch, valid: true}
+}
+
+// InnerSum folds the first n slots with log2(n) rotate-and-adds.
+func (p *Program) InnerSum(a CT, n int) CT {
+	if !p.check(a) {
+		return CT{}
+	}
+	if n <= 0 || n&(n-1) != 0 {
+		return p.fail("prog: InnerSum width %d must be a power of two", n)
+	}
+	cur := a
+	for step := n / 2; step >= 1; step >>= 1 {
+		r := p.Rotate(cur, step)
+		cur = p.Add(cur, r)
+		if p.err != nil {
+			return CT{}
+		}
+	}
+	return cur
+}
+
+// Bootstrap refreshes the ciphertext to the shape's start channels.
+func (p *Program) Bootstrap(a CT) CT {
+	if !p.check(a) {
+		return CT{}
+	}
+	cfg := DefaultBootstrapConfig()
+	if p.boot != nil {
+		cfg = *p.boot
+	}
+	bg := Bootstrap(p.s, cfg)
+	offset := len(p.g.Ops)
+	for _, op := range bg.Ops {
+		o := *op
+		o.ID = offset + op.ID
+		o.Deps = nil
+		for _, d := range op.Deps {
+			o.Deps = append(o.Deps, d+offset)
+		}
+		if len(op.Deps) == 0 {
+			o.Deps = append(o.Deps, a.id)
+		}
+		p.g.Ops = append(p.g.Ops, &o)
+	}
+	// The bootstrap graph ends below its start channels by the pipeline's
+	// own consumption; recompute from the final op.
+	last := p.g.Ops[len(p.g.Ops)-1]
+	return CT{id: last.ID, ch: last.Channels, valid: true}
+}
+
+// Graph finalizes the program.
+func (p *Program) Graph() (*trace.Graph, error) {
+	if p.err != nil {
+		return nil, p.err
+	}
+	if err := p.g.Validate(); err != nil {
+		return nil, err
+	}
+	return p.g, nil
+}

@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"alchemist/internal/arch"
+	"alchemist/internal/sim"
+	"alchemist/internal/trace"
+)
+
+func TestProgramBuildsValidGraph(t *testing.T) {
+	p := NewProgram("poly-eval", AppShape())
+	x := p.Input("x")
+	w := p.Input("w")
+	xx := p.Mul(x, x)
+	xw := p.Mul(xx, w)
+	sum := p.InnerSum(xw, 8)
+	_ = p.Add(sum, sum)
+	g, err := p.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Simulate(arch.Default(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 {
+		t.Fatal("empty program")
+	}
+}
+
+func TestProgramLevelTracking(t *testing.T) {
+	p := NewProgram("levels", AppShape())
+	x := p.Input("x")
+	start := x.Channels()
+	y := p.Mul(x, x)
+	if y.Channels() != start-1 {
+		t.Fatalf("Mul should drop one channel: %d -> %d", start, y.Channels())
+	}
+	z := p.MulPlain(y, "const")
+	if z.Channels() != start-2 {
+		t.Fatalf("MulPlain should drop one channel: got %d", z.Channels())
+	}
+	r := p.Rotate(z, 3)
+	if r.Channels() != z.Channels() {
+		t.Fatal("Rotate must not consume a level")
+	}
+	if p.Err() != nil {
+		t.Fatal(p.Err())
+	}
+}
+
+func TestProgramExhaustionWithoutBootstrap(t *testing.T) {
+	s := AppShape()
+	s.Channels = 5
+	p := NewProgram("exhaust", s)
+	x := p.Input("x")
+	for i := 0; i < 5; i++ {
+		x = p.Mul(x, x)
+	}
+	if _, err := p.Graph(); err == nil {
+		t.Fatal("expected out-of-levels error")
+	}
+	if !strings.Contains(p.Err().Error(), "out of levels") {
+		t.Fatalf("unexpected error: %v", p.Err())
+	}
+}
+
+func TestProgramAutoBootstrap(t *testing.T) {
+	s := AppShape()
+	p := NewProgram("deep", s)
+	p.EnableAutoBootstrap(DefaultBootstrapConfig(), 26)
+	x := p.Input("x")
+	// Drive well past the level budget; auto-bootstrap must kick in.
+	for i := 0; i < 25; i++ {
+		x = p.Mul(x, x)
+	}
+	g, err := p.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The graph must contain at least one ModRaise (bootstrap signature).
+	boots := 0
+	for _, op := range g.Ops {
+		if op.Label == "modraise" {
+			boots++
+		}
+	}
+	if boots == 0 {
+		t.Fatal("auto-bootstrap never fired")
+	}
+	res, err := sim.Simulate(arch.Default(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 {
+		t.Fatal("no work simulated")
+	}
+}
+
+func TestProgramMatchesHandwrittenCmult(t *testing.T) {
+	// A single program Mul must cost the same as the handwritten Cmult
+	// graph (minus the input streaming).
+	s := PaperShape()
+	p := NewProgram("one-mult", s)
+	x := p.Input("x")
+	y := p.Input("y")
+	p.Mul(x, y)
+	g, err := p.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	progRes, err := sim.Simulate(arch.Default(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	handRes, err := sim.Simulate(arch.Default(), Cmult(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(progRes.Cycles) / float64(handRes.Cycles)
+	if ratio < 0.95 || ratio > 1.40 {
+		t.Fatalf("program Cmult %d vs handwritten %d (ratio %.2f)",
+			progRes.Cycles, handRes.Cycles, ratio)
+	}
+}
+
+func TestProgramInvalidHandles(t *testing.T) {
+	p := NewProgram("bad", AppShape())
+	var zero CT
+	p.Add(zero, zero)
+	if p.Err() == nil {
+		t.Fatal("expected invalid-handle error")
+	}
+	p2 := NewProgram("bad2", AppShape())
+	x := p2.Input("x")
+	p2.InnerSum(x, 3)
+	if p2.Err() == nil {
+		t.Fatal("expected power-of-two error")
+	}
+}
+
+func TestProgramInputStreams(t *testing.T) {
+	p := NewProgram("io", PaperShape())
+	p.Input("x")
+	g, err := p.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.TotalStreamBytes() == 0 {
+		t.Fatal("inputs must stream from HBM")
+	}
+	var kinds []trace.Kind
+	for _, op := range g.Ops {
+		kinds = append(kinds, op.Kind)
+	}
+	if len(kinds) != 1 || kinds[0] != trace.KindEWAdd {
+		t.Fatalf("unexpected ops for bare input: %v", kinds)
+	}
+}

@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"fmt"
+
+	"alchemist/internal/trace"
+)
+
+// PBSShape carries the TFHE programmable-bootstrapping dimensions.
+type PBSShape struct {
+	Name     string
+	N        int // ring degree
+	K        int // TRLWE mask count
+	L        int // gadget digits
+	NLwe     int // LWE dimension (blind-rotation iterations)
+	KsT      int // key-switch digits
+	WordBits int
+}
+
+// PBSSetI is the paper's first TFHE evaluation set (TFHE-lib standard).
+func PBSSetI() PBSShape {
+	return PBSShape{Name: "SetI", N: 1024, K: 1, L: 3, NLwe: 630, KsT: 8, WordBits: 36}
+}
+
+// PBSSetII is the second evaluation set (larger ring, deeper gadget).
+func PBSSetII() PBSShape {
+	return PBSShape{Name: "SetII", N: 2048, K: 1, L: 4, NLwe: 742, KsT: 8, WordBits: 36}
+}
+
+// BKRowBytes returns the stream footprint of one blind-rotation key element
+// (a TRGSW sample): (k+1)·l rows of (k+1) degree-N polynomials. It is
+// broadcast to all units, so a batch shares one fetch.
+func (p PBSShape) BKRowBytes() int64 {
+	rows := (p.K + 1) * p.L
+	return int64(rows) * trace.PolyBytes(p.N, 1, p.K+1, p.WordBits)
+}
+
+// PBSBatch returns the graph of `batch` programmable bootstrappings executed
+// in lockstep (the paper's throughput configuration: one PBS per computing
+// unit, the bootstrapping key streamed once per iteration and broadcast).
+// The blind rotation serializes its NLwe CMux iterations; batching provides
+// the parallelism.
+func PBSBatch(p PBSShape, batch int) *trace.Graph {
+	g := &trace.Graph{Name: fmt.Sprintf("tfhe-pbs-%s-x%d", p.Name, batch)}
+	kp1 := p.K + 1
+	accPolys := kp1 * batch
+	digitPolys := kp1 * p.L * batch
+
+	// Test-vector initialization: the X^{-b̃} monomial rotation.
+	cur := g.Add(trace.Op{Kind: trace.KindAutomorphism, N: p.N, Channels: 1, Polys: accPolys,
+		Local: true, Label: "tv-init"})
+	for i := 0; i < p.NLwe; i++ {
+		rot := g.Add(trace.Op{Kind: trace.KindAutomorphism, N: p.N, Channels: 1, Polys: accPolys,
+			Local: true, Label: fmt.Sprintf("cmux%d/rotate", i)}, cur)
+		diff := g.Add(trace.Op{Kind: trace.KindEWAdd, N: p.N, Channels: 1, Polys: accPolys,
+			Local: true, Label: fmt.Sprintf("cmux%d/diff", i)}, rot)
+		dec := g.Add(trace.Op{Kind: trace.KindEWAdd, N: p.N, Channels: 1, Polys: digitPolys,
+			Local: true, Label: fmt.Sprintf("cmux%d/decompose", i)}, diff)
+		ntt := g.Add(trace.Op{Kind: trace.KindNTT, N: p.N, Channels: 1, Polys: digitPolys,
+			Local: true, Label: fmt.Sprintf("cmux%d/ntt", i)}, dec)
+		dp := g.Add(trace.Op{Kind: trace.KindDecompPolyMult, N: p.N, Channels: 1,
+			Dnum: kp1 * p.L, Polys: accPolys, StreamBytes: p.BKRowBytes(),
+			Local: true, Label: fmt.Sprintf("cmux%d/extprod", i)}, ntt)
+		intt := g.Add(trace.Op{Kind: trace.KindINTT, N: p.N, Channels: 1, Polys: accPolys,
+			Local: true, Label: fmt.Sprintf("cmux%d/intt", i)}, dp)
+		cur = g.Add(trace.Op{Kind: trace.KindEWAdd, N: p.N, Channels: 1, Polys: accPolys,
+			Local: true, Label: fmt.Sprintf("cmux%d/acc", i)}, intt)
+	}
+	// Sample extraction is a relabeling; the LWE key switch accumulates
+	// k·N·t digit products into each of the (NLwe+1) output words — a long
+	// dnum-group accumulation: k·t·(NLwe+1) products per output ring slot.
+	// The key-switch key (k·N·t LWE samples of 32-bit words) streams once
+	// per batch.
+	kskBytes := int64(p.K*p.N*p.KsT) * int64(p.NLwe+1) * 4
+	g.Add(trace.Op{Kind: trace.KindDecompPolyMult, N: p.N, Channels: 1, Polys: batch,
+		Dnum: p.K * p.KsT * (p.NLwe + 1), StreamBytes: kskBytes,
+		Local: true, Label: "lwe-keyswitch"}, cur)
+	return g
+}
+
+// SchemeSwitch returns the accelerator-side graph of a Pegasus-style
+// CKKS→TFHE bridge (internal/bridge): a SlotToCoeff pass (BSGS linear
+// transform with hoisted rotations), per-value LWE extraction and key
+// switch, then a batch of TFHE programmable bootstraps binarizing the
+// results — the full cross-scheme pipeline as one workload.
+func SchemeSwitch(s CKKSShape, p PBSShape, values int) *trace.Graph {
+	g := &trace.Graph{Name: fmt.Sprintf("scheme-switch-x%d", values)}
+	n := s.N()
+	ch := s.Channels
+	seed := g.Add(trace.Op{Kind: trace.KindEWAdd, N: n, Channels: ch, Polys: 2,
+		Label: "ckks-input"})
+	// SlotToCoeff: one hoisted BSGS level over the full slot width.
+	outs := appendHoistedRotations(g, s, ch, seed, 8, "s2c")
+	acc := outs[0]
+	for i, o := range outs[1:] {
+		acc = g.Add(trace.Op{Kind: trace.KindEWAdd, N: n, Channels: ch, Polys: 2,
+			Label: fmt.Sprintf("s2c/acc%d", i)}, acc, o)
+	}
+	// Drop to the last modulus and extract `values` LWE samples; the TFHE
+	// key switch accumulates N digit products per extracted value.
+	extract := g.Add(trace.Op{Kind: trace.KindAutomorphism, N: n, Channels: 1, Polys: values,
+		Local: true, Label: "lwe-extract"}, acc)
+	ks := g.Add(trace.Op{Kind: trace.KindDecompPolyMult, N: p.N, Channels: 1,
+		Polys: values, Dnum: p.KsT * (p.NLwe + 1),
+		StreamBytes: int64(n*p.KsT) * int64(p.NLwe+1) * 4,
+		Local:       true, Label: "bridge-keyswitch"}, extract)
+	// One PBS per value (batched across units).
+	pbs := PBSBatch(p, values)
+	offset := len(g.Ops)
+	for _, op := range pbs.Ops {
+		o := *op
+		o.ID = offset + op.ID
+		o.Deps = nil
+		for _, d := range op.Deps {
+			o.Deps = append(o.Deps, d+offset)
+		}
+		if len(op.Deps) == 0 {
+			o.Deps = append(o.Deps, ks)
+		}
+		g.Ops = append(g.Ops, &o)
+	}
+	return g
+}
+
+// CrossScheme returns the paper's motivating mixed workload: CKKS Cmults
+// interleaved with TFHE PBS batches, exercising both operator mixes on one
+// accelerator.
+func CrossScheme(s CKKSShape, p PBSShape, cmults, pbsBatches, batch int) *trace.Graph {
+	g := &trace.Graph{Name: "cross-scheme"}
+	seed := g.Add(trace.Op{Kind: trace.KindEWAdd, N: s.N(), Channels: s.Channels, Polys: 1,
+		Label: "ckks-input"})
+	dep := seed
+	for i := 0; i < cmults; i++ {
+		dep, _ = appendCmult(g, s, s.Channels, dep, fmt.Sprintf("mix-cmult%d", i))
+	}
+	for b := 0; b < pbsBatches; b++ {
+		pg := PBSBatch(p, batch)
+		offset := len(g.Ops)
+		for _, op := range pg.Ops {
+			o := *op
+			o.ID = offset + op.ID
+			o.Deps = nil
+			for _, d := range op.Deps {
+				o.Deps = append(o.Deps, d+offset)
+			}
+			g.Ops = append(g.Ops, &o)
+		}
+	}
+	return g
+}
