@@ -1,0 +1,140 @@
+// Command alchemist-vet runs the repo-specific static-analysis gate over the
+// module: the arithmetic (raw-mod), randomness (weak-rand), architecture
+// provenance (arch-const) and panic-discipline rules that ordinary go vet
+// cannot see. See internal/lint for the engine and DESIGN.md for the rule
+// rationale.
+//
+// Usage:
+//
+//	go run ./cmd/alchemist-vet ./...
+//	go run ./cmd/alchemist-vet ./internal/ring ./internal/tfhe
+//	go run ./cmd/alchemist-vet -rules
+//
+// Exit status is 1 when any finding is reported, 0 on a clean tree.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"alchemist/internal/lint"
+)
+
+func main() {
+	rules := flag.Bool("rules", false, "list the rules and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: alchemist-vet [-rules] [packages]\n\npackages default to ./...; patterns may be import paths or ./relative paths, with an optional /... suffix\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+	runner := lint.NewRunner(loader)
+
+	if *rules {
+		for _, a := range runner.Analyzers {
+			fmt.Printf("%-12s %s\n", a.Name(), a.Doc())
+		}
+		fmt.Printf("%-12s %s\n", "directive", "every //alchemist:allow directive must name a known rule and give a reason")
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	paths, err := resolvePatterns(root, loader.ModulePath, patterns)
+	if err != nil {
+		fatal(err)
+	}
+	findings, err := runner.Run(paths)
+	if err != nil {
+		fatal(err)
+	}
+	for _, f := range findings {
+		rel := f
+		if r, err := filepath.Rel(root, f.Pos.Filename); err == nil {
+			rel.Pos.Filename = r
+		}
+		fmt.Printf("%s\n    hint: %s\n", rel, f.Hint)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "alchemist-vet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// resolvePatterns expands each pattern into module import paths.
+func resolvePatterns(root, module string, patterns []string) ([]string, error) {
+	all, err := lint.DiscoverPackages(root, module)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+		}
+		// Normalize ./relative patterns to import paths.
+		switch {
+		case pat == "." || pat == "":
+			pat = module
+		case strings.HasPrefix(pat, "./"):
+			pat = module + "/" + strings.TrimPrefix(pat, "./")
+		case !strings.HasPrefix(pat, module):
+			pat = module + "/" + pat
+		}
+		matched := false
+		for _, p := range all {
+			if p == pat || (recursive && (pat == module || strings.HasPrefix(p, pat+"/"))) {
+				add(p)
+				matched = true
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("alchemist-vet: pattern %q matched no packages", pat)
+		}
+	}
+	return out, nil
+}
+
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("alchemist-vet: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

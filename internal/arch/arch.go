@@ -7,6 +7,20 @@ package arch
 
 import "fmt"
 
+// Paper design-point constants (§5, Table 5). These are the single source of
+// truth for the architecture's shape: re-hardcoding the raw numbers outside
+// this package (or internal/area) trips alchemist-vet's
+// arch-constant-provenance rule. Derive from Default() or reference these
+// names instead.
+const (
+	// PaperUnits is the number of computing units in the paper design.
+	PaperUnits = 128
+	// PaperCoresPerUnit is the number of unified Meta-OP cores per unit.
+	PaperCoresPerUnit = 16
+	// PaperLanes is the Meta-OP lane width j in (M8A8)_nR8.
+	PaperLanes = 8
+)
+
 // Config is an Alchemist instance. Default() reproduces the paper's design
 // point; the ablation benches sweep the fields.
 type Config struct {
@@ -30,9 +44,9 @@ type Config struct {
 // Default returns the paper's design point.
 func Default() Config {
 	return Config{
-		Units:                  128,
-		CoresPerUnit:           16,
-		Lanes:                  8,
+		Units:                  PaperUnits,
+		CoresPerUnit:           PaperCoresPerUnit,
+		Lanes:                  PaperLanes,
 		FreqGHz:                1.0,
 		LocalScratchpadBytes:   512 << 10,
 		SharedMemoryBytes:      2 << 20,

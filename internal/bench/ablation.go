@@ -1,3 +1,5 @@
+//alchemist:allow panic bench regenerates paper artifacts; any simulation or model failure is fatal by design
+
 package bench
 
 import (

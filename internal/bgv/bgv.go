@@ -14,9 +14,9 @@ package bgv
 import (
 	"fmt"
 	"math/big"
-	"math/rand"
 
 	"alchemist/internal/modmath"
+	"alchemist/internal/prng"
 	"alchemist/internal/ring"
 )
 
@@ -44,11 +44,13 @@ func (p Parameters) Validate() error {
 	if p.LogN < 3 || p.LogN > 17 {
 		return fmt.Errorf("bgv: LogN out of range")
 	}
-	if !modmath.IsPrime(p.T) || (p.T-1)%uint64(2*p.N()) != 0 {
+	// 2N is a power of two, so t ≡ 1 (mod 2N) reduces to a mask.
+	if !modmath.IsPrime(p.T) || (p.T-1)&uint64(2*p.N()-1) != 0 {
 		return fmt.Errorf("bgv: t=%d must be a prime ≡ 1 mod 2N", p.T)
 	}
+	bt := modmath.NewBarrett(p.T)
 	for _, q := range append(append([]uint64{}, p.Q...), p.P...) {
-		if (q-1)%p.T != 0 {
+		if bt.ReduceWord(q-1) != 0 {
 			return fmt.Errorf("bgv: modulus %d is not ≡ 1 mod t", q)
 		}
 	}
@@ -85,7 +87,8 @@ func GenParams(logN, levels, dnum, k int, qBits, pBits uint64, t uint64) (Parame
 
 // TestParams returns a fast functional set: N=2^7, t=65537, 5 levels,
 // per-prime digits (alpha=1) so P comfortably dominates the key-switch
-// noise.
+// noise. Panics if the fixed generation recipe fails (it cannot, short of a
+// regression in GenParams).
 func TestParams() Parameters {
 	p, err := GenParams(7, 4, 5, 2, 45, 46, 65537)
 	if err != nil {
@@ -188,7 +191,7 @@ func (e *Encoder) Encode(slots []uint64, level int) (*ring.Poly, error) {
 	t := e.ctx.Params.T
 	coeffs := make([]uint64, n)
 	for i, v := range slots {
-		coeffs[i] = v % t
+		coeffs[i] = e.ctx.RT.ReduceWord(v)
 	}
 	e.ctx.RT.INTT(coeffs)
 	p := e.ctx.RQ.NewPoly(level)
@@ -252,12 +255,12 @@ type SwitchingKey struct {
 // KeyGenerator samples BGV keys.
 type KeyGenerator struct {
 	ctx *Context
-	rng *rand.Rand
+	rng prng.Source
 }
 
 // NewKeyGenerator returns a deterministic generator.
 func NewKeyGenerator(ctx *Context, seed int64) *KeyGenerator {
-	return &KeyGenerator{ctx: ctx, rng: rand.New(rand.NewSource(seed))}
+	return &KeyGenerator{ctx: ctx, rng: prng.New(seed)}
 }
 
 func (kg *KeyGenerator) signedTernary(n int) []int64 {
@@ -292,12 +295,7 @@ func setSigned(r *ring.Ring, level int, v []int64, scale uint64) *ring.Poly {
 	for i := 0; i <= level; i++ {
 		q := r.Moduli[i]
 		for j, x := range v {
-			xv := x * int64(scale)
-			if xv >= 0 {
-				p.Coeffs[i][j] = uint64(xv) % q
-			} else {
-				p.Coeffs[i][j] = q - uint64(-xv)%q
-			}
+			p.Coeffs[i][j] = modmath.ReduceSigned(x*int64(scale), q)
 		}
 	}
 	return p
@@ -308,7 +306,7 @@ func (kg *KeyGenerator) uniform(r *ring.Ring, level int) *ring.Poly {
 	for i := 0; i <= level; i++ {
 		q := r.Moduli[i]
 		for j := range p.Coeffs[i] {
-			p.Coeffs[i][j] = kg.rng.Uint64() % q
+			p.Coeffs[i][j] = prng.UniformMod(kg.rng, q)
 		}
 	}
 	return p

@@ -2,9 +2,9 @@ package bgv
 
 import (
 	"fmt"
-	"math/rand"
 
 	"alchemist/internal/modmath"
+	"alchemist/internal/prng"
 	"alchemist/internal/ring"
 )
 
@@ -18,12 +18,12 @@ type Ciphertext struct {
 type Encryptor struct {
 	ctx *Context
 	pk  *PublicKey
-	rng *rand.Rand
+	rng prng.Source
 }
 
 // NewEncryptor returns an encryptor.
 func NewEncryptor(ctx *Context, pk *PublicKey, seed int64) *Encryptor {
-	return &Encryptor{ctx: ctx, pk: pk, rng: rand.New(rand.NewSource(seed))}
+	return &Encryptor{ctx: ctx, pk: pk, rng: prng.New(seed)}
 }
 
 // Encrypt encrypts a plaintext polynomial at the given level:
@@ -206,7 +206,7 @@ func (ev *Evaluator) modDownT(level int, aQ, aP, out *ring.Poly) {
 	convT := conv[0]
 	w := make([]uint64, n)
 	for k := 0; k < n; k++ {
-		w[k] = (t - convT[k]) % t // w ≡ -[x]_P (mod t); P ≡ 1 (mod t)
+		w[k] = modmath.NegMod(convT[k], t) // w ≡ -[x]_P (mod t); P ≡ 1 (mod t)
 	}
 	for i := 0; i <= level; i++ {
 		qi := ctx.RQ.Moduli[i]
@@ -249,7 +249,7 @@ func (ev *Evaluator) modSwitchPoly(level int, in, out *ring.Poly) {
 	// Per-channel inverse of q_l.
 	for i := 0; i < level; i++ {
 		qi := ctx.RQ.Moduli[i]
-		inv := modmath.InvMod(ql%qi, qi)
+		inv := modmath.InvMod(ctx.RQ.SubRings[i].ReduceWord(ql), qi)
 		invS := modmath.ShoupPrecomp(inv, qi)
 		for k := 0; k < n; k++ {
 			// δ' = centered([x]_{q_l}) + q_l·w with w ≡ -δ (mod t); since
@@ -260,12 +260,7 @@ func (ev *Evaluator) modSwitchPoly(level int, in, out *ring.Poly) {
 				w += t
 			}
 			delta := dc + int64(ql)*w // |δ'| < q_l·(t+1): fits int64 for 45-bit q_l, 17-bit t
-			var dmod uint64
-			if delta >= 0 {
-				dmod = uint64(delta) % qi
-			} else {
-				dmod = qi - uint64(-delta)%qi
-			}
+			dmod := modmath.ReduceSigned(delta, qi)
 			d := modmath.SubMod(in.Coeffs[i][k], dmod, qi)
 			out.Coeffs[i][k] = modmath.MulModShoup(d, inv, invS, qi)
 		}

@@ -344,9 +344,9 @@ func (bt *Bootstrapper) modRaise(ct *Ciphertext, target int) *Ciphertext {
 		vb := ct.B.Coeffs[0][j]
 		va := ct.A.Coeffs[0][j]
 		for i := 0; i <= target; i++ {
-			qi := ctx.Params.Q[i]
-			out.B.Coeffs[i][j] = vb % qi
-			out.A.Coeffs[i][j] = va % qi
+			sub := ctx.RQ.SubRings[i]
+			out.B.Coeffs[i][j] = sub.ReduceWord(vb)
+			out.A.Coeffs[i][j] = sub.ReduceWord(va)
 		}
 	}
 	return out

@@ -75,7 +75,7 @@ func (e *Encoder) setCoeff(p *ring.Poly, j int, v float64, level int) {
 	abs := uint64(math.Abs(v))
 	for i := 0; i <= level; i++ {
 		q := e.ctx.RQ.Moduli[i]
-		r := abs % q
+		r := e.ctx.RQ.SubRings[i].ReduceWord(abs)
 		if neg && r != 0 {
 			r = q - r
 		}

@@ -2,8 +2,8 @@ package ckks
 
 import (
 	"fmt"
-	"math/rand"
 
+	"alchemist/internal/prng"
 	"alchemist/internal/ring"
 )
 
@@ -29,12 +29,12 @@ func (ctx *Context) CopyCt(ct *Ciphertext) *Ciphertext {
 type Encryptor struct {
 	ctx *Context
 	pk  *PublicKey
-	rng *rand.Rand
+	rng prng.Source
 }
 
 // NewEncryptor returns an encryptor with deterministic randomness.
 func NewEncryptor(ctx *Context, pk *PublicKey, seed int64) *Encryptor {
-	return &Encryptor{ctx: ctx, pk: pk, rng: rand.New(rand.NewSource(seed))}
+	return &Encryptor{ctx: ctx, pk: pk, rng: prng.New(seed)}
 }
 
 // Encrypt encrypts the coefficient-domain plaintext pt at its level:

@@ -2,8 +2,9 @@ package ckks
 
 import (
 	"math/big"
-	"math/rand"
 
+	"alchemist/internal/modmath"
+	"alchemist/internal/prng"
 	"alchemist/internal/ring"
 )
 
@@ -44,13 +45,13 @@ type EvaluationKeySet struct {
 // KeyGenerator samples keys for a context.
 type KeyGenerator struct {
 	ctx *Context
-	rng *rand.Rand
+	rng prng.Source
 }
 
 // NewKeyGenerator returns a deterministic key generator (test-grade
 // randomness; see Sampler).
 func NewKeyGenerator(ctx *Context, seed int64) *KeyGenerator {
-	return &KeyGenerator{ctx: ctx, rng: rand.New(rand.NewSource(seed))}
+	return &KeyGenerator{ctx: ctx, rng: prng.New(seed)}
 }
 
 // signedVector samples n values from {-1,0,1} with the given density.
@@ -92,11 +93,7 @@ func setSigned(r *ring.Ring, level int, v []int64) *ring.Poly {
 	for i := 0; i <= level; i++ {
 		q := r.Moduli[i]
 		for j, x := range v {
-			if x >= 0 {
-				p.Coeffs[i][j] = uint64(x) % q
-			} else {
-				p.Coeffs[i][j] = q - uint64(-x)%q
-			}
+			p.Coeffs[i][j] = modmath.ReduceSigned(x, q)
 		}
 	}
 	return p
@@ -108,7 +105,7 @@ func (kg *KeyGenerator) uniformPoly(r *ring.Ring, level int) *ring.Poly {
 	for i := 0; i <= level; i++ {
 		q := r.Moduli[i]
 		for j := range p.Coeffs[i] {
-			p.Coeffs[i][j] = kg.rng.Uint64() % q
+			p.Coeffs[i][j] = prng.UniformMod(kg.rng, q)
 		}
 	}
 	return p

@@ -126,7 +126,8 @@ func GenParams(logN, levels, dnum, k int, firstBits, scaleBits, specialBits uint
 }
 
 // TestParams returns a small parameter set for fast functional tests:
-// N = 2^11, 5 levels of 40-bit scale, dnum = 3.
+// N = 2^11, 5 levels of 40-bit scale, dnum = 3. Panics if the fixed
+// generation recipe fails (it cannot, short of a regression in GenParams).
 func TestParams() Parameters {
 	p, err := GenParams(11, 5, 3, 2, 55, 40, 55)
 	if err != nil {

@@ -223,7 +223,6 @@ func TestKeySwitchContract(t *testing.T) {
 	swk := h.kg.GenSwitchingKey(sk2.Q, h.sk)
 
 	c := ctx.RQ.NewPoly(level)
-	NewKeyGenerator(ctx, 777).rng.Seed(777)
 	sampler := NewKeyGenerator(ctx, 777)
 	c = sampler.uniformPoly(ctx.RQ, level)
 

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+)
+
+// ArchConst implements the arch-constant-provenance rule: the paper's
+// design-point numbers (128 computing units, 16 Meta-OP cores per unit,
+// 2048 total cores) must not be re-hardcoded outside internal/arch and
+// internal/area. A bare 128 bound to a name like "units" drifts silently
+// when the ablation benches sweep the real configuration; deriving from
+// arch.Default() (or the arch.Paper* constants) keeps every layer honest.
+//
+// The rule fires when one of the magic values is bound — by assignment,
+// declaration, or composite-literal key — to an architecture-flavored name
+// (unit/core/lane/metaop/cycle), so ordinary uses of 128 as a ring degree
+// or buffer size stay quiet.
+type ArchConst struct {
+	// Exempt lists import-path substrings where the constants live.
+	Exempt []string
+	// Values maps each protected literal to its sanctioned source.
+	Values map[int64]string
+	// NameRE matches architecture-flavored identifiers.
+	NameRE *regexp.Regexp
+}
+
+// NewArchConst returns the rule with the paper's Table 5 design point.
+func NewArchConst(module string) *ArchConst {
+	return &ArchConst{
+		Exempt: []string{module + "/internal/arch", module + "/internal/area"},
+		Values: map[int64]string{
+			128:  "arch.PaperUnits",
+			16:   "arch.PaperCoresPerUnit",
+			2048: "arch.PaperUnits * arch.PaperCoresPerUnit",
+		},
+		NameRE: regexp.MustCompile(`(?i)unit|core|lane|metaop|meta_op|cycle`),
+	}
+}
+
+func (*ArchConst) Name() string { return "arch-const" }
+
+func (*ArchConst) Doc() string {
+	return "paper architecture constants (128 units, 16 cores) must come from internal/arch, not magic numbers"
+}
+
+func (a *ArchConst) Check(p *Package, report func(Finding)) {
+	if matchAny(p.PkgPath, a.Exempt) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.ValueSpec:
+				for i, name := range e.Names {
+					if i < len(e.Values) {
+						a.checkBinding(p, name.Name, e.Values[i], report)
+					}
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range e.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || i >= len(e.Rhs) {
+						continue
+					}
+					a.checkBinding(p, id.Name, e.Rhs[i], report)
+				}
+			case *ast.KeyValueExpr:
+				if id, ok := e.Key.(*ast.Ident); ok {
+					a.checkBinding(p, id.Name, e.Value, report)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (a *ArchConst) checkBinding(p *Package, name string, value ast.Expr, report func(Finding)) {
+	lit, ok := value.(*ast.BasicLit)
+	if !ok || lit.Kind != token.INT {
+		return
+	}
+	v, err := strconv.ParseInt(lit.Value, 0, 64)
+	if err != nil {
+		return
+	}
+	src, magic := a.Values[v]
+	if !magic || !a.NameRE.MatchString(name) {
+		return
+	}
+	if p.Allowed(a.Name(), lit.Pos()) {
+		return
+	}
+	report(Finding{
+		Pos:  p.Fset.Position(lit.Pos()),
+		Rule: a.Name(),
+		Msg:  fmt.Sprintf("paper constant %d re-hardcoded as %q outside internal/arch", v, name),
+		Hint: fmt.Sprintf("derive from arch.Default() or reference %s, or annotate //alchemist:allow arch-const <reason>", src),
+	})
+}

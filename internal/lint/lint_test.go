@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixtureRunner returns a runner whose rules treat the fixture package as
+// in scope (the production scope lists the real scheme packages).
+func fixtureRunner(t *testing.T, l *Loader, fixture string) *Runner {
+	t.Helper()
+	wr := NewWeakRand("alchemist")
+	wr.Scope = append(wr.Scope, "fixture/"+fixture)
+	rm := NewRawMod("alchemist")
+	rm.Scope = append(rm.Scope, "fixture/"+fixture)
+	return &Runner{
+		Loader:    l,
+		Analyzers: []Analyzer{wr, rm, NewArchConst("alchemist"), NewPanicDisc("alchemist")},
+	}
+}
+
+// renderFindings formats findings with basenames so goldens are
+// machine-independent.
+func renderFindings(fs []Finding) string {
+	if len(fs) == 0 {
+		return "clean\n"
+	}
+	var b strings.Builder
+	for _, f := range fs {
+		fmt.Fprintf(&b, "%s:%d:%d: [%s] %s\n", filepath.Base(f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
+	}
+	return b.String()
+}
+
+func TestFixturesGolden(t *testing.T) {
+	fixtures := []string{"weakrand", "rawmod", "archconst", "panicdisc", "directive"}
+	for _, name := range fixtures {
+		t.Run(name, func(t *testing.T) {
+			l, err := NewLoader(repoRoot(t))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pkg, err := l.LoadDir(filepath.Join("testdata", "src", name), "fixture/"+name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := renderFindings(fixtureRunner(t, l, name).CheckPackage(pkg))
+			goldenPath := filepath.Join("testdata", name+".golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden (run go test -run Golden -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("findings mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestFixturesFire asserts each of the four analyzers actually fires on its
+// fixture — the golden files can't silently go stale to "clean".
+func TestFixturesFire(t *testing.T) {
+	expect := map[string]string{
+		"weakrand":  "weak-rand",
+		"rawmod":    "raw-mod",
+		"archconst": "arch-const",
+		"panicdisc": "panic",
+		"directive": "directive",
+	}
+	for name, rule := range expect {
+		l, err := NewLoader(repoRoot(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkg, err := l.LoadDir(filepath.Join("testdata", "src", name), "fixture/"+name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fired := false
+		for _, f := range fixtureRunner(t, l, name).CheckPackage(pkg) {
+			if f.Rule == rule {
+				fired = true
+			}
+		}
+		if !fired {
+			t.Errorf("fixture %s: rule %s did not fire", name, rule)
+		}
+	}
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestRepoClean is the merge gate: the default rule set must report zero
+// findings on the whole repository. If this fails, either fix the flagged
+// site or annotate it with a reasoned //alchemist:allow directive.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the full module; skipped in -short mode")
+	}
+	root := repoRoot(t)
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := DiscoverPackages(root, l.ModulePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("discovered only %d packages — loader scope looks broken: %v", len(pkgs), pkgs)
+	}
+	findings, err := NewRunner(l).Run(pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s\n    hint: %s", f, f.Hint)
+	}
+}

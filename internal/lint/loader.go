@@ -1,0 +1,180 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks packages. Module-internal import paths are
+// resolved against the module tree on disk (the stdlib source importer only
+// understands GOROOT/GOPATH, not modules); everything else — i.e. the
+// standard library, the only external dependency this repo permits — is
+// delegated to the compiler's source importer.
+type Loader struct {
+	Fset       *token.FileSet
+	ModulePath string
+	ModuleDir  string
+
+	std  types.Importer
+	pkgs map[string]*Package // loaded module-internal packages by import path
+}
+
+// NewLoader creates a loader rooted at moduleDir, reading the module path
+// from go.mod.
+func NewLoader(moduleDir string) (*Loader, error) {
+	data, err := os.ReadFile(filepath.Join(moduleDir, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading go.mod: %w", err)
+	}
+	module := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			module = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if module == "" {
+		return nil, fmt.Errorf("lint: no module line in %s/go.mod", moduleDir)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		ModulePath: module,
+		ModuleDir:  moduleDir,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       map[string]*Package{},
+	}, nil
+}
+
+// Import implements types.Importer, routing module-internal paths to the
+// module tree and everything else to the source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// Load parses and type-checks the module-internal package with the given
+// import path (results are cached).
+func (l *Loader) Load(importPath string) (*Package, error) {
+	if p, ok := l.pkgs[importPath]; ok {
+		return p, nil
+	}
+	rel := strings.TrimPrefix(strings.TrimPrefix(importPath, l.ModulePath), "/")
+	dir := filepath.Join(l.ModuleDir, filepath.FromSlash(rel))
+	p, err := l.loadDir(dir, importPath)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[importPath] = p
+	return p, nil
+}
+
+// LoadDir parses and type-checks the package in dir under the given import
+// path, without touching the module cache. Used by tests to load fixture
+// packages from testdata.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	return l.loadDir(dir, importPath)
+}
+
+func (l *Loader) loadDir(dir, importPath string) (*Package, error) {
+	names, err := goSourceFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go source files in %s", dir)
+	}
+	p := &Package{PkgPath: importPath, Fset: l.Fset}
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", name, err)
+		}
+		p.Files = append(p.Files, f)
+		p.parseDirectives(f)
+	}
+	p.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(importPath, l.Fset, p.Files, p.Info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, err)
+	}
+	p.Types = tpkg
+	return p, nil
+}
+
+// goSourceFiles lists the non-test Go files in dir, sorted for determinism.
+// Test files are outside the gate's scope by design: the invariants protect
+// library code, and tests may inject any randomness or arithmetic they need.
+func goSourceFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// DiscoverPackages walks the module tree and returns the import paths of all
+// packages containing at least one non-test Go file. testdata and dot
+// directories are skipped, matching the go tool's convention.
+func DiscoverPackages(moduleDir, modulePath string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(moduleDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != moduleDir && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		names, err := goSourceFiles(path)
+		if err != nil || len(names) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(moduleDir, path)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			out = append(out, modulePath)
+		} else {
+			out = append(out, modulePath+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	sort.Strings(out)
+	return out, err
+}

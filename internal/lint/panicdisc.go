@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PanicDisc implements the panic-discipline rule: exported functions and
+// methods in library packages must not panic silently. A panic is legitimate
+// only as a validated-precondition contract, and a contract must be visible:
+// either the function is a Must* helper (the Go convention for
+// panic-on-error), or its doc comment says it panics, or the site carries an
+// //alchemist:allow panic <reason> directive. Everything else should return
+// an error — a library that panics on bad input takes down the whole serving
+// process the ROADMAP is building toward.
+type PanicDisc struct{}
+
+// NewPanicDisc returns the rule (main packages are skipped automatically).
+func NewPanicDisc(string) *PanicDisc { return &PanicDisc{} }
+
+func (*PanicDisc) Name() string { return "panic" }
+
+func (*PanicDisc) Doc() string {
+	return "exported library functions may panic only with a documented contract (doc says \"panics\" or name is Must*)"
+}
+
+func (d *PanicDisc) Check(p *Package, report func(Finding)) {
+	if p.Types != nil && p.Types.Name() == "main" {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			if strings.HasPrefix(fn.Name.Name, "Must") {
+				continue
+			}
+			if fn.Doc != nil && strings.Contains(strings.ToLower(fn.Doc.Text()), "panic") {
+				continue
+			}
+			funcLine := fn.Pos()
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				// Confirm it is the builtin, not a shadowing identifier.
+				if obj := p.Info.Uses[id]; obj != nil {
+					if _, isBuiltin := obj.(*types.Builtin); !isBuiltin {
+						return true
+					}
+				}
+				if p.Allowed(d.Name(), call.Pos()) || p.Allowed(d.Name(), funcLine) {
+					return true
+				}
+				report(Finding{
+					Pos:  p.Fset.Position(call.Pos()),
+					Rule: d.Name(),
+					Msg:  "panic in exported " + fn.Name.Name + " without a documented contract",
+					Hint: "return an error, document the panic in the doc comment, rename to Must*, or annotate //alchemist:allow panic <reason>",
+				})
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"sort"
+)
+
+// DefaultAnalyzers returns the full rule set for a module.
+func DefaultAnalyzers(module string) []Analyzer {
+	return []Analyzer{
+		NewWeakRand(module),
+		NewRawMod(module),
+		NewArchConst(module),
+		NewPanicDisc(module),
+	}
+}
+
+// Runner drives a set of analyzers over packages.
+type Runner struct {
+	Loader    *Loader
+	Analyzers []Analyzer
+}
+
+// NewRunner returns a runner with the default rule set for the loader's
+// module.
+func NewRunner(l *Loader) *Runner {
+	return &Runner{Loader: l, Analyzers: DefaultAnalyzers(l.ModulePath)}
+}
+
+// Run loads each import path and applies every analyzer, returning findings
+// sorted by position. Directive hygiene (unknown rules, missing reasons) is
+// checked as a built-in fifth rule.
+func (r *Runner) Run(importPaths []string) ([]Finding, error) {
+	known := map[string]bool{}
+	for _, a := range r.Analyzers {
+		known[a.Name()] = true
+	}
+	var findings []Finding
+	report := func(f Finding) { findings = append(findings, f) }
+	for _, path := range importPaths {
+		pkg, err := r.Loader.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range r.Analyzers {
+			a.Check(pkg, report)
+		}
+		pkg.checkDirectives(known, report)
+	}
+	SortFindings(findings)
+	return findings, nil
+}
+
+// CheckPackage applies the runner's analyzers to an already-loaded package
+// (fixture tests use this with LoadDir).
+func (r *Runner) CheckPackage(pkg *Package) []Finding {
+	known := map[string]bool{}
+	for _, a := range r.Analyzers {
+		known[a.Name()] = true
+	}
+	var findings []Finding
+	report := func(f Finding) { findings = append(findings, f) }
+	for _, a := range r.Analyzers {
+		a.Check(pkg, report)
+	}
+	pkg.checkDirectives(known, report)
+	SortFindings(findings)
+	return findings
+}
+
+// SortFindings orders findings by file, line, column, then rule.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+}

@@ -1,0 +1,36 @@
+// Package archconst is a fixture for the arch-constant-provenance rule.
+package archconst
+
+// config mimics re-hardcoding the paper's design point.
+type config struct {
+	Units int
+	Cores int
+}
+
+// BadConfig re-hardcodes 128 units and 16 cores (both flagged).
+func BadConfig() config {
+	return config{
+		Units: 128,
+		Cores: 16,
+	}
+}
+
+// BadLocals binds the magic values to arch-flavored names (flagged).
+func BadLocals() int {
+	units := 128
+	totalCores := 2048
+	return units + totalCores
+}
+
+// InnocentUses keeps the same values under non-architectural names (quiet).
+func InnocentUses() int {
+	ringDegree := 128
+	batch := 16
+	return ringDegree + batch
+}
+
+// Annotated carries a reasoned directive.
+func Annotated() int {
+	coreEstimate := 2048 //alchemist:allow arch-const fixture demonstrates a reasoned exemption
+	return coreEstimate
+}

@@ -1,0 +1,13 @@
+// Package directive is a fixture for allow-directive hygiene: unknown rule
+// names and missing reasons are themselves findings.
+package directive
+
+// BadRule references a rule that does not exist.
+func BadRule(a, q uint64) uint64 {
+	return a % q //alchemist:allow no-such-rule this rule name is wrong
+}
+
+// NoReason omits the mandatory justification.
+func NoReason(a, q uint64) uint64 {
+	return a % q //alchemist:allow raw-mod
+}

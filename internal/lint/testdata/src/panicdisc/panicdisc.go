@@ -1,0 +1,44 @@
+// Package panicdisc is a fixture for the panic-discipline rule.
+package panicdisc
+
+// Undocumented rejects negative input the hard way, without saying so
+// in its contract (flagged).
+func Undocumented(x int) int {
+	if x < 0 {
+		panic("negative")
+	}
+	return x
+}
+
+// Documented validates its precondition. Panics if x is negative.
+func Documented(x int) int {
+	if x < 0 {
+		panic("negative")
+	}
+	return x
+}
+
+// MustParse follows the Must* convention (quiet).
+func MustParse(x int) int {
+	if x < 0 {
+		panic("negative")
+	}
+	return x
+}
+
+// unexported helpers may panic freely (quiet).
+func unexported(x int) int {
+	if x < 0 {
+		panic("negative")
+	}
+	return x
+}
+
+// Annotated carries a reasoned directive on the call site.
+func Annotated(x int) int {
+	if x < 0 {
+		//alchemist:allow panic fixture demonstrates a reasoned exemption
+		panic("negative")
+	}
+	return unexported(x)
+}

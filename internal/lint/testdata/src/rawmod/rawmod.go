@@ -1,0 +1,22 @@
+// Package rawmod is a fixture for the raw-mod rule.
+package rawmod
+
+// BadMod uses a raw % on uint64 operands (flagged).
+func BadMod(a, q uint64) uint64 { return a % q }
+
+// BadModAssign uses %= on uint64 (flagged).
+func BadModAssign(a, q uint64) uint64 {
+	a %= q
+	return a
+}
+
+// IntMod reduces int operands — out of scope for the rule.
+func IntMod(a, q int) int { return a % q }
+
+// PowerOfTwo reduces by a constant power of two — compiles to a mask, exempt.
+func PowerOfTwo(a uint64) uint64 { return a % 4096 }
+
+// Annotated carries a reasoned directive.
+func Annotated(a, q uint64) uint64 {
+	return a % q //alchemist:allow raw-mod fixture demonstrates a reasoned exemption
+}

@@ -1,0 +1,8 @@
+package weakrand
+
+import (
+	"math/rand" //alchemist:allow weak-rand fixture demonstrates a reasoned exemption
+)
+
+// DrawAllowed uses the annotated import.
+func DrawAllowed(rng *rand.Rand) uint64 { return rng.Uint64() }

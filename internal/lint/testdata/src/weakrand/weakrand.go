@@ -1,0 +1,11 @@
+// Package weakrand is a fixture for the weak-rand rule: one bare math/rand
+// import (flagged) and one annotated use via a file that the test treats as
+// in scope.
+package weakrand
+
+import (
+	"math/rand"
+)
+
+// Draw returns a pseudo-random value from an injected generator.
+func Draw(rng *rand.Rand) uint64 { return rng.Uint64() }

@@ -5,7 +5,7 @@ import "math/big"
 // CRTReconstruct returns the unique x in [0, prod(moduli)) with
 // x ≡ residues[i] (mod moduli[i]) for all i, as a big.Int. The moduli must be
 // pairwise coprime. It is the reference implementation used to validate the
-// RNS basis-conversion (Bconv) kernels.
+// RNS basis-conversion (Bconv) kernels. Panics if the slice lengths differ.
 func CRTReconstruct(residues, moduli []uint64) *big.Int {
 	if len(residues) != len(moduli) {
 		panic("modmath: residue/modulus length mismatch")

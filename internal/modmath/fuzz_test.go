@@ -8,16 +8,31 @@ func FuzzReductionAgreement(f *testing.F) {
 	f.Add(uint64(3), uint64(5), uint64(12289))
 	f.Add(uint64(0), uint64(0), uint64(97))
 	f.Add(^uint64(0), ^uint64(0), uint64(1152921504606846883))
+	// Boundary corpus: moduli at the very top of the 2^62 reducer bound,
+	// operands at the extremes of the word.
+	f.Add(uint64(1)<<63, uint64(1)<<62, (uint64(1)<<62)-60)
+	f.Add((uint64(1)<<62)-1, uint64(3), (uint64(1)<<62)-4)
+	f.Add(uint64(1), ^uint64(0)>>1, uint64(2305843009213693951)) // Mersenne 2^61-1
+	f.Add(^uint64(0), uint64(1), uint64(4611686018427387847))
 	f.Fuzz(func(t *testing.T, a, b, qSeed uint64) {
 		// Derive a valid odd modulus in (2, 2^62) from the seed.
 		q := qSeed%((1<<62)-3) + 3
 		if q%2 == 0 {
 			q++
 		}
+		// The single-word fold must agree with % on the raw (unreduced)
+		// inputs before they are clamped below q.
+		br := NewBarrett(q)
+		if got := br.ReduceWord(a); got != a%q {
+			t.Fatalf("ReduceWord(%d) mod %d = %d want %d", a, q, got, a%q)
+		}
+		if got := br.ReduceWord(b); got != b%q {
+			t.Fatalf("ReduceWord(%d) mod %d = %d want %d", b, q, got, b%q)
+		}
 		a %= q
 		b %= q
 		want := MulMod(a, b, q)
-		if got := NewBarrett(q).MulMod(a, b); got != want {
+		if got := br.MulMod(a, b); got != want {
 			t.Fatalf("Barrett(%d,%d) mod %d = %d want %d", a, b, q, got, want)
 		}
 		mt := NewMontgomery(q)

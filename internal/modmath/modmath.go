@@ -116,6 +116,42 @@ func (b Barrett) MulMod(x, y uint64) uint64 {
 	return b.Reduce(hi, lo)
 }
 
+// ReduceWord reduces an arbitrary 64-bit value modulo q. This is the
+// single-word Barrett fold the kernels use when a residue crosses from one
+// RNS channel into another (Bconv step 2, rescale correction, CKKS mod
+// raise) — the sanctioned replacement for a raw % in hot-path code.
+//
+// The quotient estimate t = floor(x·muHi / 2^64) with muHi = floor(2^64/q)
+// satisfies t ∈ {Q-1, Q} for the true quotient Q, so one conditional
+// subtraction completes the reduction.
+func (b Barrett) ReduceWord(x uint64) uint64 {
+	t, _ := bits.Mul64(x, b.muHi)
+	r := x - t*b.Q
+	if r >= b.Q {
+		r -= b.Q
+	}
+	return r
+}
+
+// ReduceSigned embeds a signed value into [0, q): v mod q with the sign
+// folded in. It is the shared implementation behind the schemes' signed
+// coefficient lifts (ternary secrets, Gaussian noise, centered plaintexts),
+// so callers don't each re-derive the negative-operand % dance.
+func ReduceSigned(v int64, q uint64) uint64 {
+	if v >= 0 {
+		u := uint64(v)
+		if u < q {
+			return u
+		}
+		return u % q
+	}
+	u := uint64(-v) % q
+	if u == 0 {
+		return 0
+	}
+	return q - u
+}
+
 // ShoupPrecomp returns floor(w * 2^64 / q), the Shoup precomputation for
 // multiplying by the fixed constant w modulo q. Requires w < q < 2^63.
 func ShoupPrecomp(w, q uint64) uint64 {

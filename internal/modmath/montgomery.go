@@ -10,7 +10,8 @@ type Montgomery struct {
 	r2   uint64 // 2^128 mod q, for domain conversion
 }
 
-// NewMontgomery precomputes Montgomery state for odd modulus q.
+// NewMontgomery precomputes Montgomery state for odd modulus q. It panics
+// unless q is odd and in (2, 2^62).
 func NewMontgomery(q uint64) Montgomery {
 	if q < 3 || q&1 == 0 || q >= 1<<62 {
 		panic("modmath: Montgomery modulus must be odd and in (2, 2^62)")

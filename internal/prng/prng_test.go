@@ -1,0 +1,103 @@
+package prng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("nearby seeds produced %d/1000 identical outputs", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(9)
+	counts := make([]int, 7)
+	for i := 0; i < 70000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Fatalf("Intn(7): value %d drawn %d/70000 times, want ~10000", v, c)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestUniformMod(t *testing.T) {
+	r := New(11)
+	for _, q := range []uint64{1, 2, 3, 5, 1 << 16, 65537, (1 << 62) - 57} {
+		for i := 0; i < 2000; i++ {
+			v := UniformMod(r, q)
+			if v >= q {
+				t.Fatalf("UniformMod(%d) = %d", q, v)
+			}
+		}
+	}
+	// Unbiasedness smoke test for a worst-case modulus (just above a power
+	// of two, so naive masking would reject ~50% and naive %-folding would
+	// double-weight the low range).
+	q := uint64(1<<16 + 1)
+	low := 0
+	for i := 0; i < 100000; i++ {
+		if UniformMod(r, q) < q/2 {
+			low++
+		}
+	}
+	if low < 48500 || low > 51500 {
+		t.Fatalf("UniformMod(%d): %d/100000 in lower half, want ~50000", q, low)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(13)
+	n := 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("NormFloat64 mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("NormFloat64 variance = %v, want ~1", variance)
+	}
+}

@@ -53,7 +53,8 @@ func (r *Ring) AutomorphismNTT(level int, a *Poly, k uint64, out *Poly) {
 // rotate CKKS slot vectors by the given number of steps (negative steps
 // rotate the other way).
 func (r *Ring) GaloisElementForRotation(steps int) uint64 {
-	m := uint64(2 * r.N)
+	// 2N is a power of two, so reduction mod 2N is a mask (no divider).
+	mask := uint64(2*r.N) - 1
 	// Order of 5 in Z_{2N}^* is N/2; normalize steps into [0, N/2).
 	halfSlots := r.N / 2
 	s := ((steps % halfSlots) + halfSlots) % halfSlots
@@ -61,9 +62,9 @@ func (r *Ring) GaloisElementForRotation(steps int) uint64 {
 	base := uint64(5)
 	for e := s; e > 0; e >>= 1 {
 		if e&1 == 1 {
-			g = g * base % m
+			g = g * base & mask
 		}
-		base = base * base % m
+		base = base * base & mask
 	}
 	return g
 }

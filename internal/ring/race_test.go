@@ -1,0 +1,141 @@
+package ring
+
+import (
+	"sync"
+	"testing"
+
+	"alchemist/internal/modmath"
+	"alchemist/internal/prng"
+)
+
+// Race stress tests: a single Ring's precomputed tables (twiddles, Barrett
+// and Montgomery state) are shared read-only across goroutines, and the
+// channel-parallel NTT fans work out internally. Run under -race these
+// exercise both layers of concurrency at once.
+
+func raceRing(t *testing.T) *Ring {
+	t.Helper()
+	const n = 256
+	primes, err := modmath.GenerateNTTPrimes(40, uint64(2*n), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRing(n, primes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestConcurrentNTTSharedRing hammers one worker-enabled Ring from many
+// goroutines, each transforming its own polynomial. The NTT's internal
+// fan-out nests inside the outer goroutines, so worker bookkeeping bugs
+// (shared scratch, non-reentrant channel pools) show up as races or
+// round-trip corruption.
+func TestConcurrentNTTSharedRing(t *testing.T) {
+	r := raceRing(t)
+	r.SetWorkers(4)
+	level := r.MaxLevel()
+
+	const goroutines = 8
+	const rounds = 20
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := NewSampler(r, int64(1000+g))
+			p := r.NewPoly(level)
+			s.Uniform(level, p)
+			want := r.Clone(level, p)
+			for i := 0; i < rounds; i++ {
+				r.NTT(level, p)
+				r.INTT(level, p)
+			}
+			if !r.Equal(level, want, p) {
+				errs <- "NTT/INTT round trip corrupted under concurrency"
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// TestConcurrentMulPolySharedRing exercises the full negacyclic convolution
+// (forward transforms, pointwise Shoup products, inverse transform) from
+// concurrent goroutines sharing one Ring.
+func TestConcurrentMulPolySharedRing(t *testing.T) {
+	r := raceRing(t)
+	r.SetWorkers(2)
+	level := r.MaxLevel()
+
+	const goroutines = 6
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := NewSampler(r, int64(2000+g))
+			a := r.NewPoly(level)
+			one := r.NewPoly(level)
+			out := r.NewPoly(level)
+			s.Uniform(level, a)
+			for i := range one.Coeffs {
+				one.Coeffs[i][0] = 1 // multiplicative identity
+			}
+			for i := 0; i < 10; i++ {
+				r.MulPoly(level, a, one, out)
+			}
+			if !r.Equal(level, a, out) {
+				errs <- "a * 1 != a under concurrent MulPoly"
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// TestConcurrentSamplersIndependent verifies per-goroutine samplers over a
+// shared ring are independent: identical seeds must reproduce identical
+// streams regardless of interleaving with other goroutines.
+func TestConcurrentSamplersIndependent(t *testing.T) {
+	r := raceRing(t)
+	level := r.MaxLevel()
+
+	ref := r.NewPoly(level)
+	NewSampler(r, 7).Uniform(level, ref)
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p := r.NewPoly(level)
+			q := r.NewPoly(level)
+			s := NewSamplerFromSource(r, prng.New(7))
+			noise := NewSampler(r, int64(g))
+			for i := 0; i < 5; i++ {
+				noise.Gaussian(level, 3.2, q) // interleaved traffic
+			}
+			s.Uniform(level, p)
+			if !r.Equal(level, ref, p) {
+				errs <- "seeded sampler stream diverged across goroutines"
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}

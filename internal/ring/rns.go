@@ -25,6 +25,9 @@ type BasisConverter struct {
 	qiHatShoup [][][]uint64
 	// qModP[l][j] = Q_l mod p_j, lazily built for ConvertExact.
 	qModP [][]uint64
+	// dstRed[j] is the Barrett state for p_j, used to fold source-channel
+	// residues into the target channel without a raw %.
+	dstRed []modmath.Barrett
 }
 
 // NewBasisConverter precomputes conversion tables from basis src to basis dst.
@@ -37,6 +40,10 @@ func NewBasisConverter(src, dst []uint64) *BasisConverter {
 		qiHatInvShoup: make([][]uint64, L),
 		qiHat:         make([][][]uint64, L),
 		qiHatShoup:    make([][][]uint64, L),
+		dstRed:        make([]modmath.Barrett, len(dst)),
+	}
+	for j, pj := range dst {
+		bc.dstRed[j] = modmath.NewBarrett(pj)
 	}
 	for l := 0; l < L; l++ {
 		Ql := big.NewInt(1)
@@ -94,6 +101,7 @@ func (bc *BasisConverter) ConvertN(srcLevel int, in, out [][]uint64, nDst int) {
 	// (On the accelerator this is a Meta-OP (M8A8)_L R8 per 8 outputs.)
 	for j, pj := range bc.Dst[:nDst] {
 		dst := out[j]
+		red := bc.dstRed[j]
 		for k := 0; k < n; k++ {
 			dst[k] = 0
 		}
@@ -101,7 +109,7 @@ func (bc *BasisConverter) ConvertN(srcLevel int, in, out [][]uint64, nDst int) {
 			h, hs := bc.qiHat[srcLevel][i][j], bc.qiHatShoup[srcLevel][i][j]
 			yi := y[i]
 			for k := 0; k < n; k++ {
-				dst[k] = modmath.AddMod(dst[k], modmath.MulModShoup(yi[k]%pj, h, hs, pj), pj)
+				dst[k] = modmath.AddMod(dst[k], modmath.MulModShoup(red.ReduceWord(yi[k]), h, hs, pj), pj)
 			}
 		}
 	}
@@ -153,7 +161,7 @@ func NewExtender(rQ, rP *Ring) *Extender {
 		e.qlInv[l] = make([]uint64, l)
 		e.qlInvShoup[l] = make([]uint64, l)
 		for i := 0; i < l; i++ {
-			inv := modmath.InvMod(rQ.Moduli[l]%rQ.Moduli[i], rQ.Moduli[i])
+			inv := modmath.InvMod(rQ.SubRings[i].ReduceWord(rQ.Moduli[l]), rQ.Moduli[i])
 			e.qlInv[l][i] = inv
 			e.qlInvShoup[l][i] = modmath.ShoupPrecomp(inv, rQ.Moduli[i])
 		}
@@ -191,6 +199,7 @@ func (e *Extender) ModDown(level int, aQ, aP, out *Poly) {
 // RescaleByLastModulus divides a (levels 0..level, coefficient domain) by
 // q_level with rounding, producing a poly at level-1:
 // out_i = (a_i - a_level) · q_level^{-1} mod q_i. This is the CKKS rescale.
+// Panics if level == 0 (there is no modulus left to drop).
 func (e *Extender) RescaleByLastModulus(level int, a, out *Poly) {
 	if level == 0 {
 		panic("ring: cannot rescale below level 0")
@@ -199,10 +208,11 @@ func (e *Extender) RescaleByLastModulus(level int, a, out *Poly) {
 	last := a.Coeffs[level]
 	for i := 0; i < level; i++ {
 		qi := e.RQ.Moduli[i]
+		sub := e.RQ.SubRings[i]
 		inv, invS := e.qlInv[level][i], e.qlInvShoup[level][i]
 		src, dst := a.Coeffs[i], out.Coeffs[i]
 		for k := 0; k < n; k++ {
-			d := modmath.SubMod(src[k], last[k]%qi, qi)
+			d := modmath.SubMod(src[k], sub.ReduceWord(last[k]), qi)
 			dst[k] = modmath.MulModShoup(d, inv, invS, qi)
 		}
 	}

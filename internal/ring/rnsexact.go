@@ -69,6 +69,7 @@ func (bc *BasisConverter) ConvertExact(srcLevel int, in, out [][]uint64, nDst in
 	}
 	for j := 0; j < nDst; j++ {
 		pj := bc.Dst[j]
+		red := bc.dstRed[j]
 		dst := out[j]
 		qMod := bc.qModDst(srcLevel, j)
 		for k := 0; k < n; k++ {
@@ -78,13 +79,13 @@ func (bc *BasisConverter) ConvertExact(srcLevel int, in, out [][]uint64, nDst in
 			h, hs := bc.qiHat[srcLevel][i][j], bc.qiHatShoup[srcLevel][i][j]
 			yi := y[i]
 			for k := 0; k < n; k++ {
-				dst[k] = modmath.AddMod(dst[k], modmath.MulModShoup(yi[k]%pj, h, hs, pj), pj)
+				dst[k] = modmath.AddMod(dst[k], modmath.MulModShoup(red.ReduceWord(yi[k]), h, hs, pj), pj)
 			}
 		}
 		for k := 0; k < n; k++ {
 			// Subtract u·Q (mod p_j); with centering u was rounded, so the
 			// result is the centered representative.
-			sub := modmath.MulMod(vs[k]%pj, qMod, pj)
+			sub := modmath.MulMod(red.ReduceWord(vs[k]), qMod, pj)
 			dst[k] = modmath.SubMod(dst[k], sub, pj)
 		}
 	}

@@ -97,10 +97,10 @@ func TestModDownExactNoOvershoot(t *testing.T) {
 	for k := 0; k < n; k++ {
 		e := int64(rng.Intn(1<<30)) - 1<<29
 		for i := 0; i <= level; i++ {
-			yQ.Coeffs[i][k] = modmath.AddMod(yQ.Coeffs[i][k], signedToMod(e, qs[i]), qs[i])
+			yQ.Coeffs[i][k] = modmath.AddMod(yQ.Coeffs[i][k], modmath.ReduceSigned(e, qs[i]), qs[i])
 		}
 		for j := range ps {
-			yP.Coeffs[j][k] = signedToMod(e, ps[j])
+			yP.Coeffs[j][k] = modmath.ReduceSigned(e, ps[j])
 		}
 	}
 	out := rQ.NewPoly(level)

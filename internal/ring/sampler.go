@@ -2,29 +2,39 @@ package ring
 
 import (
 	"math"
-	"math/rand"
+
+	"alchemist/internal/modmath"
+	"alchemist/internal/prng"
 )
 
 // Sampler draws polynomials from the distributions used by the FHE schemes.
-// It is seeded deterministically so tests and examples are reproducible; this
-// reproduction does not target cryptographic-strength randomness.
+// Its randomness source is injectable and explicitly seeded so tests and
+// examples are reproducible; this reproduction does not target
+// cryptographic-strength randomness.
 type Sampler struct {
-	rng *rand.Rand
+	rng prng.Source
 	r   *Ring
 }
 
-// NewSampler returns a sampler over ring r with the given seed.
+// NewSampler returns a sampler over ring r seeded with the given seed.
 func NewSampler(r *Ring, seed int64) *Sampler {
-	return &Sampler{rng: rand.New(rand.NewSource(seed)), r: r}
+	return &Sampler{rng: prng.New(seed), r: r}
 }
 
-// Uniform fills p (levels 0..level) with independent uniform residues.
+// NewSamplerFromSource returns a sampler over ring r drawing from an
+// injected source (e.g. a test double, or a stream shared across samplers).
+func NewSamplerFromSource(r *Ring, src prng.Source) *Sampler {
+	return &Sampler{rng: src, r: r}
+}
+
+// Uniform fills p (levels 0..level) with independent uniform residues,
+// drawn rejection-sampled so no modulo bias enters the key material.
 func (s *Sampler) Uniform(level int, p *Poly) {
 	for i := 0; i <= level; i++ {
 		q := s.r.Moduli[i]
 		c := p.Coeffs[i]
 		for j := range c {
-			c[j] = s.rng.Uint64() % q
+			c[j] = prng.UniformMod(s.rng, q)
 		}
 	}
 }
@@ -44,7 +54,7 @@ func (s *Sampler) Ternary(level int, density float64, p *Poly) {
 			v = -1
 		}
 		for i := 0; i <= level; i++ {
-			p.Coeffs[i][j] = signedToMod(v, s.r.Moduli[i])
+			p.Coeffs[i][j] = modmath.ReduceSigned(v, s.r.Moduli[i])
 		}
 	}
 }
@@ -63,16 +73,9 @@ func (s *Sampler) Gaussian(level int, sigma float64, p *Poly) {
 		}
 		v := int64(math.Round(x))
 		for i := 0; i <= level; i++ {
-			p.Coeffs[i][j] = signedToMod(v, s.r.Moduli[i])
+			p.Coeffs[i][j] = modmath.ReduceSigned(v, s.r.Moduli[i])
 		}
 	}
-}
-
-func signedToMod(v int64, q uint64) uint64 {
-	if v >= 0 {
-		return uint64(v) % q
-	}
-	return q - (uint64(-v) % q)
 }
 
 // SignedCoeff interprets residue x mod q as a centered value in (-q/2, q/2].

@@ -42,7 +42,9 @@ func NewSubRing(n int, q uint64) (*SubRing, error) {
 	if !modmath.IsPrime(q) {
 		return nil, fmt.Errorf("ring: modulus %d is not prime", q)
 	}
-	if (q-1)%uint64(2*n) != 0 {
+	// 2n is a power of two (validated above), so the NTT-friendliness test
+	// q ≡ 1 (mod 2N) reduces to a mask.
+	if (q-1)&uint64(2*n-1) != 0 {
 		return nil, fmt.Errorf("ring: modulus %d is not ≡ 1 mod 2N=%d", q, 2*n)
 	}
 	psi, err := modmath.RootOfUnity(uint64(2*n), q)
@@ -188,9 +190,14 @@ func (s *SubRing) Neg(a, out []uint64) {
 	}
 }
 
+// ReduceWord folds an arbitrary 64-bit value into [0, Q) via the subring's
+// precomputed Barrett state — the sanctioned alternative to a raw % when a
+// residue crosses into this channel.
+func (s *SubRing) ReduceWord(x uint64) uint64 { return s.barrett.ReduceWord(x) }
+
 // MulScalar sets out = c · a pointwise mod q.
 func (s *SubRing) MulScalar(a []uint64, c uint64, out []uint64) {
-	c %= s.Q
+	c = s.barrett.ReduceWord(c)
 	cs := modmath.ShoupPrecomp(c, s.Q)
 	for i := range out {
 		out[i] = modmath.MulModShoup(a[i], c, cs, s.Q)
@@ -199,7 +206,7 @@ func (s *SubRing) MulScalar(a []uint64, c uint64, out []uint64) {
 
 // MulScalarAndAdd sets out = out + c · a pointwise mod q.
 func (s *SubRing) MulScalarAndAdd(a []uint64, c uint64, out []uint64) {
-	c %= s.Q
+	c = s.barrett.ReduceWord(c)
 	cs := modmath.ShoupPrecomp(c, s.Q)
 	q := s.Q
 	for i := range out {

@@ -82,7 +82,8 @@ func (r Result) String() string {
 		r.Name, r.Cycles, r.Seconds, r.Utilization, r.ComputeCycles, r.MemCycles)
 }
 
-// Lower converts one op into Meta-OP batches.
+// Lower converts one op into Meta-OP batches. Panics on an unknown op kind
+// (the trace layer validates kinds on construction).
 func Lower(op *trace.Op) []metaop.Batch {
 	switch op.Kind {
 	case trace.KindNTT, trace.KindINTT:

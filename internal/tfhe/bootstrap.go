@@ -2,8 +2,9 @@ package tfhe
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
+
+	"alchemist/internal/prng"
 )
 
 // Scheme bundles the keys and precomputations for gate evaluation and
@@ -22,7 +23,7 @@ type Scheme struct {
 	// ksk[i][j] = LWE( s_ext[i] · 2^(32-(j+1)·BaseBits) ).
 	KSK [][]*LweSample
 
-	rng *rand.Rand
+	rng prng.Source
 }
 
 // NewScheme generates all keys for the given parameters.
@@ -34,7 +35,7 @@ func NewScheme(p Params, seed int64) (*Scheme, error) {
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := prng.New(seed)
 	s := &Scheme{
 		Params:   p,
 		PM:       pm,

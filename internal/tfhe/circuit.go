@@ -68,7 +68,7 @@ func NewCircuit(inputs int) *Circuit {
 	return &Circuit{nInputs: inputs, nWires: inputs}
 }
 
-// Input returns the i-th input wire.
+// Input returns the i-th input wire. Panics if i is out of range.
 func (c *Circuit) Input(i int) Wire {
 	if i < 0 || i >= c.nInputs {
 		panic(fmt.Sprintf("tfhe: input %d out of range", i))
@@ -76,7 +76,8 @@ func (c *Circuit) Input(i int) Wire {
 	return Wire(i)
 }
 
-// Gate appends a gate and returns its output wire.
+// Gate appends a gate and returns its output wire. Panics if an input wire
+// has not been defined yet.
 func (c *Circuit) Gate(op GateOp, a, b Wire) Wire {
 	if int(a) >= c.nWires || int(b) >= c.nWires || a < 0 || b < 0 {
 		panic("tfhe: gate input wire not yet defined")

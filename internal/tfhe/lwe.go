@@ -2,7 +2,8 @@ package tfhe
 
 import (
 	"math"
-	"math/rand"
+
+	"alchemist/internal/prng"
 )
 
 // LweSample is an LWE ciphertext (A, B) with phase B - <A, s>.
@@ -61,16 +62,16 @@ type LweKey struct {
 }
 
 // rngTorus draws a uniform torus element.
-func rngTorus(rng *rand.Rand) Torus { return Torus(rng.Uint32()) }
+func rngTorus(rng prng.Source) Torus { return Torus(rng.Uint32()) }
 
 // gaussianTorus draws a rounded Gaussian torus error with standard deviation
 // sigma (fraction of the torus).
-func gaussianTorus(rng *rand.Rand, sigma float64) Torus {
+func gaussianTorus(rng prng.Source, sigma float64) Torus {
 	return Torus(int32(math.Round(rng.NormFloat64() * sigma * 4294967296.0)))
 }
 
 // NewLweKey samples a binary key of dimension n.
-func NewLweKey(n int, rng *rand.Rand) *LweKey {
+func NewLweKey(n int, rng prng.Source) *LweKey {
 	k := &LweKey{S: make([]int32, n)}
 	for i := range k.S {
 		k.S[i] = int32(rng.Intn(2))
@@ -79,7 +80,7 @@ func NewLweKey(n int, rng *rand.Rand) *LweKey {
 }
 
 // Encrypt encrypts the torus message mu under key k with noise sigma.
-func (k *LweKey) Encrypt(mu Torus, sigma float64, rng *rand.Rand) *LweSample {
+func (k *LweKey) Encrypt(mu Torus, sigma float64, rng prng.Source) *LweSample {
 	n := len(k.S)
 	c := NewLweSample(n)
 	var dot Torus

@@ -1,0 +1,97 @@
+package tfhe
+
+import (
+	"sync"
+	"testing"
+)
+
+// Race stress tests: a Scheme's key material (bootstrapping key, key-switch
+// key) is read-only after NewScheme, so gate evaluation and programmable
+// bootstrapping must be safe to fan out. Run under -race these provoke the
+// accelerator-style batch schedule on the CPU model.
+
+// TestConcurrentGatesSharedScheme evaluates NAND gates from many goroutines
+// against one shared scheme, checking truth-table correctness per goroutine.
+// Encryption draws from the scheme's single PRNG stream and so stays on the
+// main goroutine; only the (deterministic, key-reading) gate evaluation and
+// decryption fan out.
+func TestConcurrentGatesSharedScheme(t *testing.T) {
+	s := getScheme(t)
+
+	const goroutines = 8
+	type job struct {
+		a, b bool
+		x, y *LweSample
+	}
+	jobs := make([]job, goroutines)
+	for g := range jobs {
+		a, b := g&1 == 0, g&2 == 0
+		jobs[g] = job{a, b, s.EncryptBool(a), s.EncryptBool(b)}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			out, err := s.NAND(j.x, j.y)
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
+			if got := s.DecryptBool(out); got != !(j.a && j.b) {
+				errs <- "NAND truth table violated under concurrency"
+			}
+		}(jobs[g])
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// TestBootstrapBatchRace drives BootstrapBatch with more work items than
+// workers while a second batch runs on the same scheme, so the internal
+// semaphore and result slices are exercised from overlapping batches.
+func TestBootstrapBatchRace(t *testing.T) {
+	s := getScheme(t)
+	tv := s.GateTestVector(TorusFromDouble(0.125))
+
+	const batch = 12
+	type work struct {
+		wants []bool
+		cts   []*LweSample
+	}
+	// Encrypt on the main goroutine (the scheme's PRNG is a single stream);
+	// the overlapping batches below only read key material.
+	mk := func(seedBit bool) work {
+		w := work{wants: make([]bool, batch), cts: make([]*LweSample, batch)}
+		for i := range w.cts {
+			w.wants[i] = (i&1 == 0) != seedBit
+			w.cts[i] = s.EncryptBool(w.wants[i])
+		}
+		return w
+	}
+	works := []work{mk(false), mk(true)}
+
+	var wg sync.WaitGroup
+	for g := range works {
+		wg.Add(1)
+		go func(w work) {
+			defer wg.Done()
+			outs, err := s.BootstrapBatch(w.cts, tv, 3)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i, want := range w.wants {
+				if got := s.DecryptBool(outs[i]); got != want {
+					t.Errorf("batch PBS %d: got %v want %v", i, got, want)
+				}
+			}
+		}(works[g])
+	}
+	wg.Wait()
+}

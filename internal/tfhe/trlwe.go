@@ -1,6 +1,6 @@
 package tfhe
 
-import "math/rand"
+import "alchemist/internal/prng"
 
 // TrlweSample is a ring-LWE ciphertext (A_0..A_{k-1}, B) over the torus with
 // phase B - Σ A_i·s_i.
@@ -63,7 +63,7 @@ type TrlweKey struct {
 }
 
 // NewTrlweKey samples a binary TRLWE key.
-func NewTrlweKey(p Params, pm *PolyMultiplier, rng *rand.Rand) *TrlweKey {
+func NewTrlweKey(p Params, pm *PolyMultiplier, rng prng.Source) *TrlweKey {
 	k := &TrlweKey{pm: pm}
 	for i := 0; i < p.K; i++ {
 		s := make(IntPoly, p.N)
@@ -77,7 +77,7 @@ func NewTrlweKey(p Params, pm *PolyMultiplier, rng *rand.Rand) *TrlweKey {
 }
 
 // Encrypt encrypts the torus polynomial mu with noise sigma.
-func (k *TrlweKey) Encrypt(mu TorusPoly, sigma float64, rng *rand.Rand) *TrlweSample {
+func (k *TrlweKey) Encrypt(mu TorusPoly, sigma float64, rng prng.Source) *TrlweSample {
 	n := k.pm.N
 	s := NewTrlweSample(n, len(k.S))
 	acc := make([]uint64, n)
@@ -180,7 +180,7 @@ type TrgswNTT struct {
 
 // EncryptTrgsw encrypts the small integer message m (typically a key bit)
 // as a TRGSW sample in the NTT domain.
-func (k *TrlweKey) EncryptTrgsw(p Params, m int32, rng *rand.Rand) *TrgswNTT {
+func (k *TrlweKey) EncryptTrgsw(p Params, m int32, rng prng.Source) *TrgswNTT {
 	n := p.N
 	kk := p.K
 	zero := make(TorusPoly, n)

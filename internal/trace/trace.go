@@ -111,7 +111,7 @@ type Graph struct {
 }
 
 // Add appends an op, assigning its ID, and returns the ID. Dependencies must
-// already be in the graph.
+// already be in the graph; Add panics if a dependency ID is out of range.
 func (g *Graph) Add(op Op, deps ...int) int {
 	op.ID = len(g.Ops)
 	for _, d := range deps {
