@@ -19,16 +19,32 @@
 //
 //	cfg := alchemist.DefaultArch()
 //	g := alchemist.Workloads().Cmult()
-//	res, err := alchemist.Simulate(cfg, g)
+//	res, err := alchemist.SimulateContext(ctx, cfg, g,
+//		alchemist.WithTimeout(time.Second))
+//
+// Batch evaluation (many (config, graph) pairs, shared worker pool and
+// memo cache):
+//
+//	eng := alchemist.NewEngine(alchemist.WithWorkers(8))
+//	defer eng.Close()
+//	results, err := eng.Run(ctx,
+//		alchemist.SimJob(cfg, g1),
+//		alchemist.BaselineJob(alchemist.Baselines()[0], g2))
 package alchemist
 
 import (
+	"context"
+	"fmt"
+	"time"
+
 	"alchemist/internal/arch"
 	"alchemist/internal/area"
 	"alchemist/internal/baseline"
 	"alchemist/internal/bench"
 	"alchemist/internal/bgv"
 	"alchemist/internal/ckks"
+	"alchemist/internal/engine"
+	"alchemist/internal/errs"
 	"alchemist/internal/sim"
 	"alchemist/internal/tfhe"
 	"alchemist/internal/trace"
@@ -63,16 +79,86 @@ type (
 	TFHEParams = tfhe.Params
 )
 
+// Batch-evaluation engine types (internal/engine re-exports).
+type (
+	// Engine is a concurrent batch evaluator for simulation jobs.
+	Engine = engine.Engine
+	// Job is one (ArchConfig|BaselineConfig, Graph) evaluation.
+	Job = engine.Job
+	// JobResult is the outcome of one engine job.
+	JobResult = engine.Result
+	// EngineStats is an engine's observable counter snapshot.
+	EngineStats = engine.Stats
+	// Cache is a shareable memo cache of simulation outcomes.
+	Cache = engine.Cache
+	// Option configures an Engine or a one-shot evaluation.
+	Option = engine.Option
+)
+
+// Sentinel errors. Every failure returned by Simulate, SimulateBaseline,
+// the context variants and the engine wraps one of these; match with
+// errors.Is.
+var (
+	// ErrCanceled reports an evaluation stopped by context cancellation.
+	ErrCanceled = errs.ErrCanceled
+	// ErrTimeout reports an evaluation stopped by a deadline.
+	ErrTimeout = errs.ErrTimeout
+	// ErrGraphCycle reports a workload graph that is not a forward-ordered DAG.
+	ErrGraphCycle = errs.ErrGraphCycle
+	// ErrBadConfig reports an invalid architecture, baseline or graph shape.
+	ErrBadConfig = errs.ErrBadConfig
+)
+
 // DefaultArch returns the paper's design point: 128 computing units × 16
 // Meta-OP cores, 64+2 MB on-chip, 1 TB/s HBM at 1 GHz.
 func DefaultArch() ArchConfig { return arch.Default() }
 
-// Simulate runs a workload graph on an Alchemist configuration.
-func Simulate(cfg ArchConfig, g *Graph) (Result, error) { return sim.Simulate(cfg, g) }
+// NewEngine starts a batch-evaluation engine. Close it when done.
+func NewEngine(opts ...Option) *Engine { return engine.New(opts...) }
+
+// NewCache returns an empty memo cache, shareable across engines via
+// WithCache.
+func NewCache() *Cache { return engine.NewCache() }
+
+// SimJob describes an Alchemist simulation for the engine.
+func SimJob(cfg ArchConfig, g *Graph) Job { return engine.SimJob(cfg, g) }
+
+// BaselineJob describes a baseline simulation for the engine.
+func BaselineJob(cfg BaselineConfig, g *Graph) Job { return engine.BaselineJob(cfg, g) }
+
+// WithWorkers sets the evaluation pool size (default runtime.NumCPU).
+func WithWorkers(n int) Option { return engine.WithWorkers(n) }
+
+// WithTimeout bounds each job's wall time.
+func WithTimeout(d time.Duration) Option { return engine.WithTimeout(d) }
+
+// WithCache shares a memo cache across engines; nil disables caching.
+func WithCache(c *Cache) Option { return engine.WithCache(c) }
+
+// SimulateContext runs a workload graph on an Alchemist configuration,
+// honoring ctx cancellation and the given options.
+func SimulateContext(ctx context.Context, cfg ArchConfig, g *Graph, opts ...Option) (Result, error) {
+	res := engine.Evaluate(ctx, engine.SimJob(cfg, g), opts...)
+	return res.Sim, res.Err
+}
+
+// SimulateBaselineContext runs a workload graph on a modular baseline
+// accelerator, honoring ctx cancellation and the given options.
+func SimulateBaselineContext(ctx context.Context, cfg BaselineConfig, g *Graph, opts ...Option) (BaselineResult, error) {
+	res := engine.Evaluate(ctx, engine.BaselineJob(cfg, g), opts...)
+	return res.Baseline, res.Err
+}
+
+// Simulate runs a workload graph on an Alchemist configuration. It is
+// SimulateContext with a background context.
+func Simulate(cfg ArchConfig, g *Graph) (Result, error) {
+	return SimulateContext(context.Background(), cfg, g)
+}
 
 // SimulateBaseline runs a workload graph on a modular baseline accelerator.
+// It is SimulateBaselineContext with a background context.
 func SimulateBaseline(cfg BaselineConfig, g *Graph) (BaselineResult, error) {
-	return baseline.Simulate(cfg, g)
+	return SimulateBaselineContext(context.Background(), cfg, g)
 }
 
 // Area returns the analytical area breakdown of a configuration
@@ -134,14 +220,42 @@ func (w WorkloadSet) LoLaMNIST(encryptedWeights bool) *Graph {
 	return workload.LoLaMNIST(workload.DefaultLoLaConfig(encryptedWeights))
 }
 
-// TFHEPBS returns a batched TFHE programmable-bootstrapping graph
-// (set 1 or 2).
-func (w WorkloadSet) TFHEPBS(set, batch int) *Graph {
-	shape := workload.PBSSetI()
-	if set == 2 {
-		shape = workload.PBSSetII()
+// PBSSet selects a TFHE programmable-bootstrapping parameter set.
+type PBSSet int
+
+// The paper's two TFHE evaluation sets. The values mirror the paper's
+// numbering, so existing TFHEPBS(1, …) / TFHEPBS(2, …) calls keep working.
+const (
+	// PBSSet1 is the TFHE-lib standard set (N=1024, n=630, l=3).
+	PBSSet1 PBSSet = 1
+	// PBSSet2 is the larger-ring set (N=2048, n=742, l=4).
+	PBSSet2 PBSSet = 2
+)
+
+// String names the set like the paper ("SetI", "SetII").
+func (s PBSSet) String() string {
+	switch s {
+	case PBSSet1:
+		return "SetI"
+	case PBSSet2:
+		return "SetII"
 	}
-	return workload.PBSBatch(shape, batch)
+	return fmt.Sprintf("PBSSet(%d)", int(s))
+}
+
+// shape resolves the set's dimensions; unknown values fall back to Set I,
+// matching the historical TFHEPBS(set int, …) behavior.
+func (s PBSSet) shape() workload.PBSShape {
+	if s == PBSSet2 {
+		return workload.PBSSetII()
+	}
+	return workload.PBSSetI()
+}
+
+// TFHEPBS returns a batched TFHE programmable-bootstrapping graph for the
+// given parameter set.
+func (w WorkloadSet) TFHEPBS(set PBSSet, batch int) *Graph {
+	return workload.PBSBatch(set.shape(), batch)
 }
 
 // CrossScheme returns the mixed CKKS+TFHE workload motivating the unified

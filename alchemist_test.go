@@ -1,7 +1,10 @@
 package alchemist
 
 import (
+	"context"
+	"errors"
 	"testing"
+	"time"
 
 	"alchemist/internal/trace"
 	"alchemist/internal/workload"
@@ -235,6 +238,106 @@ func TestLiveAndModeledPipelinesCorrespond(t *testing.T) {
 	}
 	if res.Cycles <= 0 || res.StreamBytes <= 0 {
 		t.Fatal("modeled pipeline produced no work")
+	}
+}
+
+func TestFacadeSimulateContext(t *testing.T) {
+	cfg := DefaultArch()
+	g := Workloads().Pmult()
+	res, err := SimulateContext(context.Background(), cfg, g, WithTimeout(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 1056 {
+		t.Fatalf("context facade Pmult %d cycles, want 1056", res.Cycles)
+	}
+	// The legacy shim must agree exactly.
+	legacy, err := Simulate(cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Cycles != res.Cycles || legacy.Seconds != res.Seconds {
+		t.Fatal("Simulate shim diverged from SimulateContext")
+	}
+
+	bres, err := SimulateBaselineContext(context.Background(), Baselines()[0], g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bres.Cycles <= 0 {
+		t.Fatal("baseline context facade produced no cycles")
+	}
+}
+
+func TestFacadeContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SimulateContext(ctx, DefaultArch(), Workloads().Cmult())
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, must still match context.Canceled", err)
+	}
+}
+
+func TestFacadeSentinelErrors(t *testing.T) {
+	bad := DefaultArch()
+	bad.Units = 0
+	if _, err := SimulateContext(context.Background(), bad, Workloads().Pmult()); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("err = %v, want ErrBadConfig", err)
+	}
+	cyclic := &Graph{Name: "cyclic"}
+	cyclic.Ops = append(cyclic.Ops,
+		&trace.Op{ID: 0, Kind: trace.KindNTT, N: 64, Channels: 1, Polys: 1, Deps: []int{0}})
+	if _, err := Simulate(DefaultArch(), cyclic); !errors.Is(err, ErrGraphCycle) {
+		t.Fatalf("err = %v, want ErrGraphCycle", err)
+	}
+}
+
+func TestFacadeEngineBatch(t *testing.T) {
+	cache := NewCache()
+	eng := NewEngine(WithWorkers(4), WithCache(cache))
+	defer eng.Close()
+	w := Workloads()
+	jobs := []Job{
+		SimJob(DefaultArch(), w.Pmult()),
+		SimJob(DefaultArch(), w.Cmult()),
+		BaselineJob(Baselines()[1], w.Cmult()),
+	}
+	results, err := eng.Run(context.Background(), jobs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(jobs) {
+		t.Fatalf("got %d results, want %d", len(results), len(jobs))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+	}
+	if results[0].Sim.Cycles != 1056 {
+		t.Fatalf("batch Pmult %d cycles, want 1056", results[0].Sim.Cycles)
+	}
+	var st EngineStats = eng.Stats()
+	if st.Submitted != 3 || st.Completed != 3 {
+		t.Fatalf("stats %+v, want 3 submitted and completed", st)
+	}
+}
+
+func TestPBSSetEnum(t *testing.T) {
+	if PBSSet1.String() != "SetI" || PBSSet2.String() != "SetII" {
+		t.Fatalf("PBSSet names: %v %v", PBSSet1, PBSSet2)
+	}
+	w := Workloads()
+	// Untyped constants keep historical call sites working.
+	if w.TFHEPBS(1, 8).Name != w.TFHEPBS(PBSSet1, 8).Name {
+		t.Fatal("TFHEPBS(1, …) must match TFHEPBS(PBSSet1, …)")
+	}
+	g2 := w.TFHEPBS(PBSSet2, 8)
+	if g2.Name != "tfhe-pbs-SetII-x8" {
+		t.Fatalf("SetII graph name %q", g2.Name)
 	}
 }
 

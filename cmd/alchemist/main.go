@@ -7,6 +7,7 @@
 //	alchemist -workload bootstrap
 //	alchemist -workload cmult -units 256 -list
 //	alchemist -workload pbs1 -design Strix
+//	alchemist sweep -workers 8 -verify -stats
 package main
 
 import (
@@ -38,6 +39,10 @@ var workloads = map[string]func() *alchemist.Graph{
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "sweep" {
+		runSweep(os.Args[2:])
+		return
+	}
 	var (
 		name     = flag.String("workload", "cmult", "workload name (-workloads to list)")
 		design   = flag.String("design", "alchemist", "alchemist or a baseline: F1, BTS, ARK, CraterLake, SHARP, Matcha, Strix")

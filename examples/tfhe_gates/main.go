@@ -47,7 +47,7 @@ func main() {
 		gates, sequential.Round(time.Millisecond), parallel.Round(time.Millisecond))
 
 	// Accelerator model: PBS throughput (Figure 6b).
-	for set := 1; set <= 2; set++ {
+	for _, set := range []alchemist.PBSSet{alchemist.PBSSet1, alchemist.PBSSet2} {
 		g := alchemist.Workloads().TFHEPBS(set, 128)
 		res, err := alchemist.Simulate(alchemist.DefaultArch(), g)
 		if err != nil {

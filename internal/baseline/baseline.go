@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 
+	"alchemist/internal/errs"
 	"alchemist/internal/trace"
 )
 
@@ -121,10 +122,12 @@ type Result struct {
 
 // Simulate list-schedules the graph over the design's FU pools and HBM
 // stream (same streaming semantics as the Alchemist model: in-order,
-// double-buffered, op start gated on its stream).
+// double-buffered, op start gated on its stream). A design missing the FU
+// pool an op needs wraps errs.ErrBadConfig; graph failures carry the trace
+// package's classification.
 func Simulate(cfg Config, g *trace.Graph) (Result, error) {
 	if err := g.Validate(); err != nil {
-		return Result{}, err
+		return Result{}, fmt.Errorf("baseline %s: %w", cfg.Name, err)
 	}
 	res := Result{Name: cfg.Name}
 	bytesPerCycle := cfg.HBMBytesPerSec / (cfg.FreqGHz * 1e9)
@@ -137,8 +140,8 @@ func Simulate(cfg Config, g *trace.Graph) (Result, error) {
 		pool := PoolOf(op.Kind)
 		lanes := cfg.Lanes[pool]
 		if lanes == 0 {
-			return Result{}, fmt.Errorf("baseline %s: no %v lanes for op %s",
-				cfg.Name, pool, op.Label)
+			return Result{}, fmt.Errorf("baseline %s: no %v lanes for op %s: %w",
+				cfg.Name, pool, op.Label, errs.ErrBadConfig)
 		}
 		work := OpWork(op)
 		dur := int64(math.Ceil(work / float64(lanes)))

@@ -1,9 +1,11 @@
 package baseline
 
 import (
+	"errors"
 	"testing"
 
 	"alchemist/internal/arch"
+	"alchemist/internal/errs"
 	"alchemist/internal/sim"
 	"alchemist/internal/trace"
 	"alchemist/internal/workload"
@@ -196,5 +198,27 @@ func TestQuickBaselineMonotonicity(t *testing.T) {
 		if res.PoolUtil[p] < 0 || res.PoolUtil[p] > 1.0001 {
 			t.Fatalf("pool %v utilization %v out of range", p, res.PoolUtil[p])
 		}
+	}
+}
+
+func TestMissingPoolWrapsErrBadConfig(t *testing.T) {
+	// A logic-only design has no Bconv pool; a CKKS keyswitch needs one.
+	cfg := Matcha()
+	if cfg.Lanes[PoolBconv] != 0 {
+		t.Skip("fixture assumption changed: Matcha grew a Bconv pool")
+	}
+	g := workload.Keyswitch(workload.PaperShape())
+	_, err := Simulate(cfg, g)
+	if !errors.Is(err, errs.ErrBadConfig) {
+		t.Fatalf("err = %v, want ErrBadConfig", err)
+	}
+}
+
+func TestBaselineValidatesGraph(t *testing.T) {
+	cyclic := &trace.Graph{Name: "cyclic", Ops: []*trace.Op{
+		{ID: 0, Kind: trace.KindEWAdd, N: 16, Channels: 1, Polys: 1, Deps: []int{0}},
+	}}
+	if _, err := Simulate(SHARP(), cyclic); !errors.Is(err, errs.ErrGraphCycle) {
+		t.Fatalf("err = %v, want ErrGraphCycle", err)
 	}
 }

@@ -6,7 +6,6 @@ import (
 	"alchemist/internal/arch"
 	"alchemist/internal/area"
 	"alchemist/internal/metaop"
-	"alchemist/internal/sim"
 	"alchemist/internal/trace"
 	"alchemist/internal/workload"
 )
@@ -44,7 +43,7 @@ func AblationLaneWidth() *Report {
 
 // AblationLazyReduction compares the Meta-OP lazy reduction with an eager
 // per-term reduction on the full workloads (Fig. 7a generalized to cycles).
-func AblationLazyReduction() *Report {
+func (c *Ctx) AblationLazyReduction() *Report {
 	r := &Report{
 		ID:    "ablation-lazy",
 		Title: "Lazy (MetaOP) vs eager reduction",
@@ -53,7 +52,7 @@ func AblationLazyReduction() *Report {
 	}
 	s := workload.PaperShape()
 	app := workload.AppShape()
-	for _, c := range []struct {
+	for _, wc := range []struct {
 		name string
 		g    *trace.Graph
 	}{
@@ -61,14 +60,11 @@ func AblationLazyReduction() *Report {
 		{"Bootstrap", workload.Bootstrap(app, workload.DefaultBootstrapConfig())},
 		{"TFHE-PBS", workload.PBSBatch(workload.PBSSetI(), 128)},
 	} {
-		res, err := sim.Simulate(arch.Default(), c.g)
-		if err != nil {
-			panic(err)
-		}
+		res := c.sim(arch.Default(), wc.g)
 		lazy, eager := res.MultsTotal()
 		// The mult array is the throughput limiter: with eager reduction the
 		// same lanes must execute `eager` mults instead of `lazy`.
-		r.AddRow(c.name, f("%d", lazy), f("%d", eager),
+		r.AddRow(wc.name, f("%d", lazy), f("%d", eager),
 			f("%.2f", float64(lazy)/float64(eager)),
 			f("%.2f", float64(eager)/float64(lazy)))
 	}
@@ -107,7 +103,7 @@ func AblationDataLayout() *Report {
 }
 
 // AblationUnitCount sweeps the computing-unit count on bootstrapping.
-func AblationUnitCount() *Report {
+func (c *Ctx) AblationUnitCount() *Report {
 	r := &Report{
 		ID:    "ablation-units",
 		Title: "Computing-unit count sweep on bootstrapping (paper design point: 128)",
@@ -116,19 +112,13 @@ func AblationUnitCount() *Report {
 	}
 	app := workload.AppShape()
 	g := workload.Bootstrap(app, workload.DefaultBootstrapConfig())
-	base, err := sim.Simulate(arch.Default(), g)
-	if err != nil {
-		panic(err)
-	}
+	base := c.sim(arch.Default(), g)
 	baseArea := area.Estimate(arch.Default()).Total
 	basePPA := area.PerfPerArea(base.Seconds, baseArea)
 	for _, u := range []int{32, 64, 128, 256, 512} {
 		cfg := arch.Default()
 		cfg.Units = u
-		res, err := sim.Simulate(cfg, g)
-		if err != nil {
-			panic(err)
-		}
+		res := c.sim(cfg, g)
 		a := area.Estimate(cfg).Total
 		r.AddRow(f("%d", u), f("%d", res.Cycles),
 			f("%.2fx", float64(base.Cycles)/float64(res.Cycles)),
@@ -146,7 +136,7 @@ func AblationUnitCount() *Report {
 // switching key is offset by narrower words), while larger words need wider
 // multipliers whose area grows quadratically. We model multiplier area
 // ∝ w² and re-derive the Table 7 keyswitch at each word size.
-func AblationWordSize() *Report {
+func (c *Ctx) AblationWordSize() *Report {
 	r := &Report{
 		ID:    "ablation-word",
 		Title: "RNS word size sweep (paper adopts 36 bits, following SHARP)",
@@ -171,10 +161,7 @@ func AblationWordSize() *Report {
 		g := workload.KeyswitchThroughput(s, 2)
 		wCfg := cfg
 		wCfg.WordBits = w
-		res, err := sim.Simulate(wCfg, g)
-		if err != nil {
-			panic(err)
-		}
+		res := c.sim(wCfg, g)
 		cycles := float64(res.Cycles) / 2
 		multArea := float64(w*w) / (36 * 36)
 		perfArea := 1 / cycles / multArea
@@ -194,7 +181,7 @@ func AblationWordSize() *Report {
 
 // AblationSRAMSize sweeps the per-unit scratchpad capacity. Below the
 // working set of a keyswitch phase, operands spill and re-stream over HBM.
-func AblationSRAMSize() *Report {
+func (c *Ctx) AblationSRAMSize() *Report {
 	r := &Report{
 		ID:    "ablation-sram",
 		Title: "Scratchpad capacity sweep (paper: 64+2 MB total)",
@@ -209,10 +196,7 @@ func AblationSRAMSize() *Report {
 	ch := s.Channels
 	wordBytes := cfg.WordBytes()
 	ws := float64(trace.PolyBytes(n, ch+s.K, s.Dnum+4, 1)) * wordBytes
-	base, err := sim.Simulate(cfg, workload.KeyswitchThroughput(s, 1))
-	if err != nil {
-		panic(err)
-	}
+	base := c.sim(cfg, workload.KeyswitchThroughput(s, 1))
 	for _, kb := range []int{64, 128, 256, 512, 1024} {
 		capTotal := float64(kb<<10)*float64(cfg.Units) + float64(cfg.SharedMemoryBytes)
 		spill := ws - capTotal

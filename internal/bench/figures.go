@@ -46,7 +46,7 @@ func renamed(g *trace.Graph, name string) *trace.Graph {
 
 // Figure1 regenerates the operator-ratio bars and the per-accelerator
 // utilization line of Figure 1.
-func Figure1() *Report {
+func (c *Ctx) Figure1() *Report {
 	r := &Report{
 		ID:    "fig1",
 		Title: "Operator ratio in the algorithm and overall hardware utilization",
@@ -56,10 +56,7 @@ func Figure1() *Report {
 	designs := append(baseline.ArithmeticBaselines(), baseline.LogicBaselines()...)
 	for _, g := range fig1Workloads() {
 		shares := sim.ClassShares(g)
-		ares, err := sim.Simulate(arch.Default(), g)
-		if err != nil {
-			panic(err)
-		}
+		ares := c.sim(arch.Default(), g)
 		row := []string{g.Name,
 			f("%.0f", 100*shares[trace.ClassNTT]),
 			f("%.0f", 100*shares[trace.ClassBconv]),
@@ -74,7 +71,7 @@ func Figure1() *Report {
 				row = append(row, "-")
 				continue
 			}
-			if bres, err := baseline.Simulate(d, g); err == nil {
+			if bres, err := c.baseline(d, g); err == nil {
 				row = append(row, f("%.2f", bres.Overall))
 			} else {
 				row = append(row, "-")
@@ -95,7 +92,7 @@ type appResult struct {
 }
 
 // Figure6a regenerates the CKKS application comparison.
-func Figure6a() *Report {
+func (c *Ctx) Figure6a() *Report {
 	r := &Report{
 		ID:    "fig6a",
 		Title: "CKKS applications: Alchemist vs prior accelerators",
@@ -110,16 +107,10 @@ func Figure6a() *Report {
 	cfg := arch.Default()
 	sums := map[string]float64{}
 	for _, a := range apps {
-		ares, err := sim.Simulate(cfg, a.graph)
-		if err != nil {
-			panic(err)
-		}
+		ares := c.sim(cfg, a.graph)
 		row := []string{a.name, f("%.3f", ares.Seconds*1e3)}
 		for _, bc := range baseline.ArithmeticBaselines() {
-			bres, err := baseline.Simulate(bc, a.graph)
-			if err != nil {
-				panic(err)
-			}
+			bres := c.mustBaseline(bc, a.graph)
 			sp := bres.Seconds / ares.Seconds
 			sums[bc.Name] += sp
 			row = append(row, f("%.2fx", sp))
@@ -138,17 +129,14 @@ func Figure6a() *Report {
 	// LoLa-MNIST rows.
 	for _, enc := range []bool{false, true} {
 		g := workload.LoLaMNIST(workload.DefaultLoLaConfig(enc))
-		ares, err := sim.Simulate(cfg, g)
-		if err != nil {
-			panic(err)
-		}
+		ares := c.sim(cfg, g)
 		name := "lola-mnist(plain)"
 		extra := "-"
 		if enc {
 			name = "lola-mnist(enc)"
 			extra = f("paper: %.2fms", baseline.LoLaEncryptedMs)
 		} else {
-			if f1res, err := baseline.Simulate(baseline.F1(), g); err == nil {
+			if f1res, err := c.baseline(baseline.F1(), g); err == nil {
 				extra = f("F1 %.2fx (paper >3x)", f1res.Seconds/ares.Seconds)
 			}
 		}
@@ -158,7 +146,7 @@ func Figure6a() *Report {
 }
 
 // Figure6aPerfArea regenerates the performance-per-area comparison.
-func Figure6aPerfArea() *Report {
+func (c *Ctx) Figure6aPerfArea() *Report {
 	r := &Report{
 		ID:      "fig6a-ppa",
 		Title:   "Performance per area on {bootstrap, HELR}",
@@ -172,20 +160,14 @@ func Figure6aPerfArea() *Report {
 	alchArea := area.Estimate(arch.Default()).Total
 	var alchPPA []float64
 	for _, g := range apps {
-		res, err := sim.Simulate(arch.Default(), g)
-		if err != nil {
-			panic(err)
-		}
+		res := c.sim(arch.Default(), g)
 		alchPPA = append(alchPPA, area.PerfPerArea(res.Seconds, alchArea))
 	}
 	r.AddRow("Alchemist", f("%.1f", alchArea), "1.00x (ref)", "-")
 	for _, bc := range baseline.ArithmeticBaselines() {
 		var gain float64
 		for i, g := range apps {
-			bres, err := baseline.Simulate(bc, g)
-			if err != nil {
-				panic(err)
-			}
+			bres := c.mustBaseline(bc, g)
 			gain += alchPPA[i] / area.PerfPerArea(bres.Seconds, bc.AreaMM2)
 		}
 		gain /= float64(len(apps))
@@ -197,7 +179,7 @@ func Figure6aPerfArea() *Report {
 }
 
 // Figure6b regenerates the TFHE PBS comparison.
-func Figure6b() *Report {
+func (c *Ctx) Figure6b() *Report {
 	r := &Report{
 		ID:    "fig6b",
 		Title: "TFHE programmable bootstrapping throughput",
@@ -208,26 +190,14 @@ func Figure6b() *Report {
 	batch := 128
 	g1 := workload.PBSBatch(workload.PBSSetI(), batch)
 	g2 := workload.PBSBatch(workload.PBSSetII(), batch)
-	a1, err := sim.Simulate(cfg, g1)
-	if err != nil {
-		panic(err)
-	}
-	a2, err := sim.Simulate(cfg, g2)
-	if err != nil {
-		panic(err)
-	}
+	a1 := c.sim(cfg, g1)
+	a2 := c.sim(cfg, g2)
 	t1 := float64(batch) / a1.Seconds
 	t2 := float64(batch) / a2.Seconds
 	r.AddRow("Alchemist", f("%.0f", t1), f("%.0f", t2), "1.00x", "1.00x")
 	for _, bc := range baseline.LogicBaselines() {
-		b1, err := baseline.Simulate(bc, g1)
-		if err != nil {
-			panic(err)
-		}
-		b2, err := baseline.Simulate(bc, g2)
-		if err != nil {
-			panic(err)
-		}
+		b1 := c.mustBaseline(bc, g1)
+		b2 := c.mustBaseline(bc, g2)
 		r.AddRow(bc.Name, f("%.0f", float64(batch)/b1.Seconds),
 			f("%.0f", float64(batch)/b2.Seconds),
 			f("%.2fx", b1.Seconds/a1.Seconds), f("%.2fx", b2.Seconds/a2.Seconds))
@@ -243,7 +213,7 @@ func Figure6b() *Report {
 }
 
 // Figure7a regenerates the multiplication-overhead comparison.
-func Figure7a() *Report {
+func (c *Ctx) Figure7a() *Report {
 	r := &Report{
 		ID:    "fig7a",
 		Title: "Computation overhead w/ and w/o (MjAj)nRj",
@@ -261,15 +231,12 @@ func Figure7a() *Report {
 		{"Cmult-L=24", workload.Cmult(s.WithChannels(24)), 0.233},
 		{"BSP-L=44+", workload.Bootstrap(app, workload.DefaultBootstrapConfig()), 0.371},
 	}
-	for _, c := range cases {
-		res, err := sim.Simulate(arch.Default(), c.graph)
-		if err != nil {
-			panic(err)
-		}
+	for _, cs := range cases {
+		res := c.sim(arch.Default(), cs.graph)
 		lazy, eager := res.MultsTotal()
-		r.AddRow(c.name, f("%d", eager), f("%d", lazy),
+		r.AddRow(cs.name, f("%d", eager), f("%d", lazy),
 			f("%.1f%%", 100*(1-float64(lazy)/float64(eager))),
-			f("%.1f%%", 100*c.paper))
+			f("%.1f%%", 100*cs.paper))
 	}
 	r.Notes = append(r.Notes,
 		"the radix-4 Meta-OP reduction micro-costs are underdetermined by the paper;",
@@ -277,8 +244,10 @@ func Figure7a() *Report {
 	return r
 }
 
-// Figure7b regenerates the utilization comparison.
-func Figure7b() *Report {
+// Figure7b regenerates the utilization comparison. Workloads are iterated
+// in a fixed order (not map order): the parallel-vs-serial byte-identity of
+// Reports() depends on every generator being deterministic.
+func (c *Ctx) Figure7b() *Report {
 	r := &Report{
 		ID:    "fig7b",
 		Title: "Utilization rates (FU-busy): Alchemist vs SHARP vs CraterLake",
@@ -290,14 +259,8 @@ func Figure7b() *Report {
 	helr := workload.HELRBlock(app, workload.DefaultHELRConfig(), workload.DefaultBootstrapConfig())
 	mnist := workload.LoLaMNIST(workload.DefaultLoLaConfig(false))
 
-	ab, err := sim.Simulate(arch.Default(), boot)
-	if err != nil {
-		panic(err)
-	}
-	ah, err := sim.Simulate(arch.Default(), helr)
-	if err != nil {
-		panic(err)
-	}
+	ab := c.sim(arch.Default(), boot)
+	ah := c.sim(arch.Default(), helr)
 	r.AddRow("Alchemist", "bootstrap",
 		f("%.2f", ab.ClassUtilization(trace.ClassNTT)),
 		f("%.2f", ab.ClassUtilization(trace.ClassBconv)),
@@ -310,47 +273,36 @@ func Figure7b() *Report {
 		f("%.2f", ah.ComputeUtilization), "0.86")
 
 	sharp := baseline.SHARP()
-	for name, g := range map[string]*trace.Graph{"bootstrap": boot, "helr": helr} {
-		res, err := baseline.Simulate(sharp, g)
-		if err != nil {
-			panic(err)
-		}
-		paper := baseline.Fig7bUtilization.SHARPBoot
-		if name == "helr" {
-			paper = baseline.Fig7bUtilization.SHARPHELR
-		}
-		r.AddRow("SHARP", name,
+	for _, wc := range []struct {
+		name  string
+		g     *trace.Graph
+		paper float64
+	}{
+		{"bootstrap", boot, baseline.Fig7bUtilization.SHARPBoot},
+		{"helr", helr, baseline.Fig7bUtilization.SHARPHELR},
+	} {
+		res := c.mustBaseline(sharp, wc.g)
+		r.AddRow("SHARP", wc.name,
 			f("%.2f", res.PoolUtil[baseline.PoolNTT]),
 			f("%.2f", res.PoolUtil[baseline.PoolBconv]),
 			f("%.2f", res.PoolUtil[baseline.PoolEW]),
-			f("%.2f", res.Overall), f("%.2f", paper))
+			f("%.2f", res.Overall), f("%.2f", wc.paper))
 	}
 	clake := baseline.CraterLake()
-	for name, g := range map[string]*trace.Graph{"bootstrap": boot, "mnist": mnist} {
-		res, err := baseline.Simulate(clake, g)
-		if err != nil {
-			panic(err)
-		}
-		paper := baseline.Fig7bUtilization.CraterLakeBoot
-		if name == "mnist" {
-			paper = baseline.Fig7bUtilization.CraterLakeMNIST
-		}
-		r.AddRow("CraterLake", name,
+	for _, wc := range []struct {
+		name  string
+		g     *trace.Graph
+		paper float64
+	}{
+		{"bootstrap", boot, baseline.Fig7bUtilization.CraterLakeBoot},
+		{"mnist", mnist, baseline.Fig7bUtilization.CraterLakeMNIST},
+	} {
+		res := c.mustBaseline(clake, wc.g)
+		r.AddRow("CraterLake", wc.name,
 			f("%.2f", res.PoolUtil[baseline.PoolNTT]),
 			f("%.2f", res.PoolUtil[baseline.PoolBconv]),
 			f("%.2f", res.PoolUtil[baseline.PoolEW]),
-			f("%.2f", res.Overall), f("%.2f", paper))
+			f("%.2f", res.Overall), f("%.2f", wc.paper))
 	}
 	return r
-}
-
-// All returns every regenerated report in paper order.
-func All() []*Report {
-	return []*Report{
-		Figure1(), Table2(), Table3(), Table4(), Table5(), Table6(), Table7(),
-		Figure6a(), Figure6aPerfArea(), Figure6b(), Figure7a(), Figure7b(),
-		AblationLaneWidth(), AblationLazyReduction(), AblationDataLayout(),
-		AblationUnitCount(), AblationSRAMSize(), AblationWordSize(),
-		Validation(), CrossSchemeReport(), Energy(), KeySizes(),
-	}
 }

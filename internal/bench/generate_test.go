@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"alchemist/internal/engine"
+)
+
+func renderAll(reports []*Report) string {
+	var b strings.Builder
+	for _, r := range reports {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+		b.WriteString(r.CSV())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestParallelEqualsSerial is the engine determinism gate: the concurrent
+// All() must render byte-identically to the single-goroutine,
+// single-worker AllSerial() reference.
+func TestParallelEqualsSerial(t *testing.T) {
+	serialEng := engine.New(engine.WithWorkers(1))
+	defer serialEng.Close()
+	sc := NewCtx(context.Background(), serialEng)
+	want := renderAll(sc.AllSerial())
+
+	for i := 0; i < 3; i++ {
+		pc := NewCtx(context.Background(), nil)
+		got := renderAll(pc.All())
+		pc.Close()
+		if got != want {
+			t.Fatalf("parallel run %d differs from serial reference", i)
+		}
+	}
+}
+
+// TestSharedCtxReuseIsStable checks that regenerating on a warm cache
+// changes nothing.
+func TestSharedCtxReuseIsStable(t *testing.T) {
+	c := NewCtx(context.Background(), nil)
+	defer c.Close()
+	first := renderAll(c.All())
+	second := renderAll(c.All())
+	if first != second {
+		t.Fatal("warm-cache regeneration changed report output")
+	}
+	st := c.Engine().Stats()
+	if st.CacheHits == 0 {
+		t.Fatalf("expected cache hits on regeneration, stats %+v", st)
+	}
+}
+
+// BenchmarkReportsColdCache regenerates the full evaluation with a fresh
+// engine (and empty cache) per iteration.
+func BenchmarkReportsColdCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := NewCtx(context.Background(), nil)
+		if len(c.All()) == 0 {
+			b.Fatal("no reports")
+		}
+		c.Close()
+	}
+}
+
+// BenchmarkReportsWarmCache regenerates the full evaluation on a shared
+// engine whose memo cache stays warm across iterations. The acceptance
+// bar is ≥2x over BenchmarkReportsColdCache.
+func BenchmarkReportsWarmCache(b *testing.B) {
+	c := NewCtx(context.Background(), nil)
+	defer c.Close()
+	c.All() // warm the cache outside the timer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(c.All()) == 0 {
+			b.Fatal("no reports")
+		}
+	}
+}

@@ -7,7 +7,6 @@ import (
 	"alchemist/internal/area"
 	"alchemist/internal/baseline"
 	"alchemist/internal/metaop"
-	"alchemist/internal/sim"
 	"alchemist/internal/trace"
 	"alchemist/internal/workload"
 )
@@ -108,7 +107,7 @@ func Table6() *Report {
 }
 
 // Table7 regenerates the basic-operator throughput comparison.
-func Table7() *Report {
+func (c *Ctx) Table7() *Report {
 	r := &Report{
 		ID:    "table7",
 		Title: "Throughput for basic operators (ops/s), N=2^16, L=44, dnum=4",
@@ -120,18 +119,10 @@ func Table7() *Report {
 	reps := 4
 	model := map[string]float64{}
 	single := func(g *trace.Graph) float64 {
-		res, err := sim.Simulate(cfg, g)
-		if err != nil {
-			panic(err)
-		}
-		return 1 / res.Seconds
+		return 1 / c.sim(cfg, g).Seconds
 	}
 	through := func(g *trace.Graph) float64 {
-		res, err := sim.Simulate(cfg, g)
-		if err != nil {
-			panic(err)
-		}
-		return float64(reps) / res.Seconds
+		return float64(reps) / c.sim(cfg, g).Seconds
 	}
 	model["Pmult"] = single(workload.Pmult(s))
 	model["Hadd"] = single(workload.Hadd(s))

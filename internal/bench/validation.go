@@ -6,8 +6,6 @@ import (
 	"alchemist/internal/arch"
 	"alchemist/internal/area"
 	"alchemist/internal/baseline"
-	"alchemist/internal/sched"
-	"alchemist/internal/sim"
 	"alchemist/internal/trace"
 	"alchemist/internal/workload"
 )
@@ -16,7 +14,7 @@ import (
 // aggregate simulator (internal/sim) and the per-unit instruction-stream
 // interpreter (internal/sched). Agreement within per-unit quantization
 // bounds is evidence the cycle counts are not an artifact of either model.
-func Validation() *Report {
+func (c *Ctx) Validation() *Report {
 	r := &Report{
 		ID:    "validation",
 		Title: "Aggregate simulator vs per-unit instruction streams",
@@ -35,16 +33,9 @@ func Validation() *Report {
 		workload.SchemeSwitch(app, workload.PBSSetI(), 128),
 	}
 	for _, g := range cases {
-		agg, err := sim.Simulate(cfg, g)
-		if err != nil {
-			panic(err)
-		}
-		prog, err := sched.Compile(cfg, g)
-		if err != nil {
-			panic(err)
-		}
-		per := sched.Execute(prog)
-		sum := sched.Summarize(prog)
+		agg := c.sim(cfg, g)
+		sr := c.sched(cfg, g)
+		per, sum := sr.exec, sr.summary
 		r.AddRow(g.Name, f("%d", agg.Cycles), f("%d", per.Cycles),
 			f("%+.1f%%", 100*(float64(per.Cycles)/float64(agg.Cycles)-1)),
 			f("%d/%d", sum.LocalPhases, sum.Phases),
@@ -59,7 +50,7 @@ func Validation() *Report {
 // CrossSchemeReport runs the hybrid CKKS→TFHE pipeline (the bridge of
 // internal/bridge as an accelerator workload) on Alchemist and every
 // baseline that can execute it.
-func CrossSchemeReport() *Report {
+func (c *Ctx) CrossSchemeReport() *Report {
 	r := &Report{
 		ID:    "cross-scheme",
 		Title: "Cross-scheme pipeline (CKKS compute -> bridge -> TFHE PBS)",
@@ -68,15 +59,12 @@ func CrossSchemeReport() *Report {
 	}
 	g := workload.SchemeSwitch(workload.AppShape(), workload.PBSSetI(), 128)
 	cfg := arch.Default()
-	res, err := sim.Simulate(cfg, g)
-	if err != nil {
-		panic(err)
-	}
+	res := c.sim(cfg, g)
 	r.AddRow("Alchemist", "yes", f("%.3f", res.Seconds*1e3),
 		f("%.2f", res.ComputeUtilization),
 		f("%.1f", 1e3*area.EnergyJoules(cfg, res.Seconds, res.Utilization)))
 	for _, bc := range append(baseline.ArithmeticBaselines(), baseline.LogicBaselines()...) {
-		bres, err := baseline.Simulate(bc, g)
+		bres, err := c.baseline(bc, g)
 		if err != nil {
 			r.AddRow(bc.Name, "no ("+failureClass(bc)+")", "-", "-", "-")
 			continue
@@ -96,7 +84,7 @@ func failureClass(c baseline.Config) string {
 }
 
 // Energy reports modelled energy per operation/application on Alchemist.
-func Energy() *Report {
+func (c *Ctx) Energy() *Report {
 	r := &Report{
 		ID:      "energy",
 		Title:   "Energy model (77.9 W average at the paper's design point)",
@@ -114,14 +102,11 @@ func Energy() *Report {
 		{"helr-block", workload.HELRBlock(app, workload.DefaultHELRConfig(), workload.DefaultBootstrapConfig()), 1},
 		{"pbs-batch128", workload.PBSBatch(workload.PBSSetI(), 128), 128},
 	}
-	for _, c := range cases {
-		res, err := sim.Simulate(cfg, c.g)
-		if err != nil {
-			panic(err)
-		}
+	for _, wc := range cases {
+		res := c.sim(cfg, wc.g)
 		p := area.Power(cfg, res.Utilization)
-		e := area.EnergyJoules(cfg, res.Seconds, res.Utilization) / c.per
-		r.AddRow(c.name, f("%.3g ms", res.Seconds*1e3/c.per), f("%.1f", p),
+		e := area.EnergyJoules(cfg, res.Seconds, res.Utilization) / wc.per
+		r.AddRow(wc.name, f("%.3g ms", res.Seconds*1e3/wc.per), f("%.1f", p),
 			f("%.3g mJ", e*1e3))
 	}
 	return r

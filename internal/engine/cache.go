@@ -1,0 +1,73 @@
+package engine
+
+import (
+	"sync"
+
+	"alchemist/internal/arch"
+	"alchemist/internal/baseline"
+)
+
+// key identifies a computation: the full hardware configuration (both model
+// structs are comparable, so they participate in the map key directly —
+// every field counts, no hashing ambiguity) plus the graph's canonical
+// fingerprint.
+type key struct {
+	isBaseline bool
+	arch       arch.Config
+	base       baseline.Config
+	graph      uint64
+}
+
+func cacheKey(job Job) key {
+	k := key{graph: job.Graph.Fingerprint()}
+	if job.Arch != nil {
+		k.arch = *job.Arch
+	} else {
+		k.isBaseline = true
+		k.base = *job.Baseline
+	}
+	return k
+}
+
+// entry is one memoized computation. done closes when outcome is valid;
+// concurrent requests for the same key wait on it instead of recomputing
+// (in-flight deduplication).
+type entry struct {
+	done    chan struct{}
+	outcome outcome
+}
+
+// Cache memoizes simulation outcomes across jobs, engines and one-shot
+// calls. The zero value is not usable; construct with NewCache. Model
+// errors are cached too — simulations are deterministic, so a failing
+// (config, graph) pair fails identically every time.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[key]*entry
+}
+
+// NewCache returns an empty cache safe for concurrent use.
+func NewCache() *Cache {
+	return &Cache{entries: map[key]*entry{}}
+}
+
+// acquire returns the entry for k and whether the caller is the leader
+// responsible for computing and publishing it.
+func (c *Cache) acquire(k key) (*entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[k]; ok {
+		return e, false
+	}
+	e := &entry{done: make(chan struct{})}
+	c.entries[k] = e
+	return e, true
+}
+
+// Len returns the number of distinct computations the cache holds
+// (including in-flight ones).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

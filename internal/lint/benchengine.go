@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BenchEngine implements the bench-engine rule: inside internal/bench,
+// report generators must evaluate simulations through the batch engine
+// (the Ctx.sim / Ctx.baseline helpers backed by internal/engine), never by
+// calling sim.Simulate or baseline.Simulate directly. A direct call
+// bypasses the shared worker pool and the memo cache, silently breaking
+// the one-parallel-pass regeneration and the warm-cache guarantees that
+// `alchemist sweep` and the Reports() benchmarks assert.
+type BenchEngine struct {
+	// Scope lists import-path substrings the rule applies to.
+	Scope []string
+	// Simulators lists the packages whose Simulate entry points are
+	// reserved for the engine.
+	Simulators []string
+}
+
+// NewBenchEngine returns the rule scoped to internal/bench.
+func NewBenchEngine(module string) *BenchEngine {
+	return &BenchEngine{
+		Scope: []string{module + "/internal/bench"},
+		Simulators: []string{
+			module + "/internal/sim",
+			module + "/internal/baseline",
+		},
+	}
+}
+
+func (*BenchEngine) Name() string { return "bench-engine" }
+
+func (*BenchEngine) Doc() string {
+	return "internal/bench must evaluate through the batch engine (Ctx.sim/Ctx.baseline), not call sim.Simulate or baseline.Simulate directly"
+}
+
+func (r *BenchEngine) Check(p *Package, report func(Finding)) {
+	if !matchAny(p.PkgPath, r.Scope) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Name() != "Simulate" || fn.Pkg() == nil {
+				return true
+			}
+			if !matchAny(fn.Pkg().Path(), r.Simulators) {
+				return true
+			}
+			if p.Allowed(r.Name(), call.Pos()) {
+				return true
+			}
+			report(Finding{
+				Pos:  p.Fset.Position(call.Pos()),
+				Rule: r.Name(),
+				Msg:  "direct " + fn.Pkg().Name() + ".Simulate call in " + p.PkgPath + " bypasses the batch engine",
+				Hint: "submit through a bench.Ctx (c.sim / c.baseline) so the evaluation shares the pool and memo cache, or annotate //alchemist:allow bench-engine <reason>",
+			})
+			return true
+		})
+	}
+}

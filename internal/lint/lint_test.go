@@ -19,9 +19,11 @@ func fixtureRunner(t *testing.T, l *Loader, fixture string) *Runner {
 	wr.Scope = append(wr.Scope, "fixture/"+fixture)
 	rm := NewRawMod("alchemist")
 	rm.Scope = append(rm.Scope, "fixture/"+fixture)
+	be := NewBenchEngine("alchemist")
+	be.Scope = append(be.Scope, "fixture/"+fixture)
 	return &Runner{
 		Loader:    l,
-		Analyzers: []Analyzer{wr, rm, NewArchConst("alchemist"), NewPanicDisc("alchemist")},
+		Analyzers: []Analyzer{wr, rm, NewArchConst("alchemist"), NewPanicDisc("alchemist"), be},
 	}
 }
 
@@ -39,7 +41,7 @@ func renderFindings(fs []Finding) string {
 }
 
 func TestFixturesGolden(t *testing.T) {
-	fixtures := []string{"weakrand", "rawmod", "archconst", "panicdisc", "directive"}
+	fixtures := []string{"weakrand", "rawmod", "archconst", "panicdisc", "directive", "benchengine"}
 	for _, name := range fixtures {
 		t.Run(name, func(t *testing.T) {
 			l, err := NewLoader(repoRoot(t))
@@ -73,11 +75,12 @@ func TestFixturesGolden(t *testing.T) {
 // fixture — the golden files can't silently go stale to "clean".
 func TestFixturesFire(t *testing.T) {
 	expect := map[string]string{
-		"weakrand":  "weak-rand",
-		"rawmod":    "raw-mod",
-		"archconst": "arch-const",
-		"panicdisc": "panic",
-		"directive": "directive",
+		"weakrand":    "weak-rand",
+		"rawmod":      "raw-mod",
+		"archconst":   "arch-const",
+		"panicdisc":   "panic",
+		"directive":   "directive",
+		"benchengine": "bench-engine",
 	}
 	for name, rule := range expect {
 		l, err := NewLoader(repoRoot(t))

@@ -11,6 +11,7 @@ func DefaultAnalyzers(module string) []Analyzer {
 		NewRawMod(module),
 		NewArchConst(module),
 		NewPanicDisc(module),
+		NewBenchEngine(module),
 	}
 }
 

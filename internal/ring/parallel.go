@@ -8,18 +8,28 @@ import "sync"
 // applications that want wall-clock speed.
 
 // SetWorkers sets the number of goroutines used by NTT/INTT (1 disables
-// parallelism; values above the channel count are clamped at use).
+// parallelism; values above the channel count are clamped at use). It is
+// safe to call concurrently with running transforms: each forEachChannel
+// snapshot reads the count once.
 func (r *Ring) SetWorkers(n int) {
 	if n < 1 {
 		n = 1
 	}
-	r.workers = n
+	r.workers.Store(int32(n))
+}
+
+// Workers reports the configured goroutine count (minimum 1).
+func (r *Ring) Workers() int {
+	if w := int(r.workers.Load()); w > 1 {
+		return w
+	}
+	return 1
 }
 
 // forEachChannel runs fn(i) for i in [0, level] using the configured worker
 // count.
 func (r *Ring) forEachChannel(level int, fn func(i int)) {
-	w := r.workers
+	w := r.Workers()
 	if w <= 1 || level == 0 {
 		for i := 0; i <= level; i++ {
 			fn(i)

@@ -139,3 +139,57 @@ func TestConcurrentSamplersIndependent(t *testing.T) {
 		t.Error(e)
 	}
 }
+
+// TestSetWorkersWhileTransforming retunes the worker count from one
+// goroutine while others run transforms on the same Ring. SetWorkers is
+// documented race-safe: every forEachChannel snapshot reads the count once,
+// so retuning mid-flight may change parallelism but never correctness.
+func TestSetWorkersWhileTransforming(t *testing.T) {
+	r := raceRing(t)
+	level := r.MaxLevel()
+
+	stop := make(chan struct{})
+	var tuner sync.WaitGroup
+	tuner.Add(1)
+	go func() {
+		defer tuner.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r.SetWorkers(1 + i%8)
+		}
+	}()
+
+	const goroutines = 4
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p := r.NewPoly(level)
+			NewSampler(r, int64(40+g)).Uniform(level, p)
+			want := r.Clone(level, p)
+			for i := 0; i < 15; i++ {
+				r.NTT(level, p)
+				r.INTT(level, p)
+			}
+			if !r.Equal(level, want, p) {
+				errs <- "round trip corrupted while retuning workers"
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	tuner.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	if w := r.Workers(); w < 1 || w > 8 {
+		t.Fatalf("Workers() = %d after tuning in [1,8]", w)
+	}
+}

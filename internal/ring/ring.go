@@ -3,6 +3,7 @@ package ring
 import (
 	"fmt"
 	"math/big"
+	"sync/atomic"
 
 	"alchemist/internal/modmath"
 )
@@ -17,8 +18,9 @@ type Ring struct {
 	Moduli   []uint64
 
 	// workers is the goroutine count for channel-parallel transforms
-	// (default 1 = single-threaded; see SetWorkers).
-	workers int
+	// (0 or 1 = single-threaded; see SetWorkers). Atomic so a Ring shared
+	// by concurrent evaluators can be retuned while transforms run.
+	workers atomic.Int32
 }
 
 // NewRing builds an RNS ring of degree n over the given prime moduli.

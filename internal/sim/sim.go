@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"alchemist/internal/arch"
+	"alchemist/internal/errs"
 	"alchemist/internal/metaop"
 	"alchemist/internal/trace"
 )
@@ -123,13 +124,15 @@ func EagerMults(op *trace.Op) int64 {
 	}
 }
 
-// Simulate executes the graph on the configuration.
+// Simulate executes the graph on the configuration. Configuration failures
+// wrap errs.ErrBadConfig; graph failures carry the trace package's
+// classification (errs.ErrGraphCycle or errs.ErrBadConfig).
 func Simulate(cfg arch.Config, g *trace.Graph) (Result, error) {
 	if err := cfg.Validate(); err != nil {
-		return Result{}, err
+		return Result{}, fmt.Errorf("sim: %w: %w", errs.ErrBadConfig, err)
 	}
 	if err := g.Validate(); err != nil {
-		return Result{}, err
+		return Result{}, fmt.Errorf("sim: %w", err)
 	}
 	cores := int64(cfg.Cores())
 	res := Result{

@@ -1,9 +1,11 @@
 package sim
 
 import (
+	"errors"
 	"testing"
 
 	"alchemist/internal/arch"
+	"alchemist/internal/errs"
 	"alchemist/internal/trace"
 )
 
@@ -138,13 +140,19 @@ func TestClassShares(t *testing.T) {
 func TestSimulateValidation(t *testing.T) {
 	bad := arch.Default()
 	bad.Units = 0
-	if _, err := Simulate(bad, pmultGraph()); err == nil {
-		t.Fatal("expected config error")
+	if _, err := Simulate(bad, pmultGraph()); !errors.Is(err, errs.ErrBadConfig) {
+		t.Fatalf("config error = %v, want ErrBadConfig", err)
 	}
 	g := &trace.Graph{Name: "bad"}
 	g.Ops = append(g.Ops, &trace.Op{ID: 0, Kind: trace.KindNTT, N: 100, Channels: 1, Polys: 1})
-	if _, err := Simulate(arch.Default(), g); err == nil {
-		t.Fatal("expected graph error")
+	if _, err := Simulate(arch.Default(), g); !errors.Is(err, errs.ErrBadConfig) {
+		t.Fatalf("graph error = %v, want ErrBadConfig", err)
+	}
+	cyclic := &trace.Graph{Name: "cyclic"}
+	cyclic.Ops = append(cyclic.Ops,
+		&trace.Op{ID: 0, Kind: trace.KindNTT, N: 64, Channels: 1, Polys: 1, Deps: []int{0}})
+	if _, err := Simulate(arch.Default(), cyclic); !errors.Is(err, errs.ErrGraphCycle) {
+		t.Fatalf("cycle error = %v, want ErrGraphCycle", err)
 	}
 }
 

@@ -5,7 +5,13 @@
 // streaming demands.
 package trace
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"alchemist/internal/errs"
+)
 
 // Kind identifies a high-level polynomial operator.
 type Kind int
@@ -124,31 +130,70 @@ func (g *Graph) Add(op Op, deps ...int) int {
 	return op.ID
 }
 
-// Validate checks topological ordering and shape sanity.
+// Validate checks topological ordering and shape sanity. Ordering failures
+// wrap errs.ErrGraphCycle; shape failures wrap errs.ErrBadConfig.
 func (g *Graph) Validate() error {
 	for i, op := range g.Ops {
 		if op.ID != i {
-			return fmt.Errorf("trace: op %d has ID %d", i, op.ID)
+			return fmt.Errorf("trace: op %d has ID %d: %w", i, op.ID, errs.ErrGraphCycle)
 		}
 		if op.N <= 0 || op.N&(op.N-1) != 0 {
-			return fmt.Errorf("trace: op %d (%s) degree %d not a power of two", i, op.Label, op.N)
+			return fmt.Errorf("trace: op %d (%s) degree %d not a power of two: %w", i, op.Label, op.N, errs.ErrBadConfig)
 		}
 		if op.Channels <= 0 || op.Polys <= 0 {
-			return fmt.Errorf("trace: op %d (%s) has empty shape", i, op.Label)
+			return fmt.Errorf("trace: op %d (%s) has empty shape: %w", i, op.Label, errs.ErrBadConfig)
 		}
 		if op.Kind == KindBconv && op.SrcChannels <= 0 {
-			return fmt.Errorf("trace: Bconv op %d missing SrcChannels", i)
+			return fmt.Errorf("trace: Bconv op %d missing SrcChannels: %w", i, errs.ErrBadConfig)
 		}
 		if op.Kind == KindDecompPolyMult && op.Dnum <= 0 {
-			return fmt.Errorf("trace: DecompPolyMult op %d missing Dnum", i)
+			return fmt.Errorf("trace: DecompPolyMult op %d missing Dnum: %w", i, errs.ErrBadConfig)
 		}
 		for _, d := range op.Deps {
 			if d >= i {
-				return fmt.Errorf("trace: op %d depends on later op %d", i, d)
+				return fmt.Errorf("trace: op %d depends on later op %d: %w", i, d, errs.ErrGraphCycle)
 			}
 		}
 	}
 	return nil
+}
+
+// Fingerprint returns a canonical 64-bit FNV-1a digest of the graph: its
+// name plus every op's label, kind, shape, streaming demand, locality and
+// dependency list, in topological order. Two graphs built independently by
+// the same workload generator hash identically, which is what lets the
+// evaluation engine's memo cache recognize a repeated simulation across
+// sweeps and report regenerations. The name participates because simulation
+// results carry it (a renamed copy of a graph is a distinct cache entry).
+func (g *Graph) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	h.Write([]byte(g.Name))
+	word(int64(len(g.Ops)))
+	for _, op := range g.Ops {
+		h.Write([]byte(op.Label))
+		word(int64(op.Kind))
+		word(int64(op.N))
+		word(int64(op.Channels))
+		word(int64(op.Polys))
+		word(int64(op.SrcChannels))
+		word(int64(op.Dnum))
+		word(op.StreamBytes)
+		if op.Local {
+			word(1)
+		} else {
+			word(0)
+		}
+		word(int64(len(op.Deps)))
+		for _, d := range op.Deps {
+			word(int64(d))
+		}
+	}
+	return h.Sum64()
 }
 
 // TotalStreamBytes sums the HBM streaming demand of the graph.

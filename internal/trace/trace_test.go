@@ -1,8 +1,11 @@
 package trace
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
+
+	"alchemist/internal/errs"
 )
 
 func TestAddAssignsIDsAndDeps(t *testing.T) {
@@ -133,5 +136,72 @@ func TestStatistics(t *testing.T) {
 	}
 	if s.ByKind[KindNTT] != 2 || s.ByKind[KindBconv] != 1 || s.ByKind[KindEWAdd] != 1 {
 		t.Fatalf("kind histogram wrong: %v", s.ByKind)
+	}
+}
+
+func fingerprintFixture() *Graph {
+	g := &Graph{Name: "fp"}
+	a := g.Add(Op{Kind: KindNTT, N: 64, Channels: 2, Polys: 1, Label: "ntt"})
+	b := g.Add(Op{Kind: KindBconv, N: 64, SrcChannels: 2, Channels: 3, Polys: 1, Label: "bconv"}, a)
+	g.Add(Op{Kind: KindDecompPolyMult, N: 64, Channels: 3, Polys: 1, Dnum: 2,
+		StreamBytes: 128, Label: "dp"}, b)
+	return g
+}
+
+func TestFingerprintStable(t *testing.T) {
+	a, b := fingerprintFixture(), fingerprintFixture()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("independently built identical graphs hash differently")
+	}
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Fatal("fingerprint not deterministic")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := fingerprintFixture().Fingerprint()
+	mutations := map[string]func(*Graph){
+		"name":        func(g *Graph) { g.Name = "other" },
+		"kind":        func(g *Graph) { g.Ops[0].Kind = KindINTT },
+		"degree":      func(g *Graph) { g.Ops[0].N = 128 },
+		"channels":    func(g *Graph) { g.Ops[1].Channels = 4 },
+		"polys":       func(g *Graph) { g.Ops[2].Polys = 2 },
+		"src":         func(g *Graph) { g.Ops[1].SrcChannels = 1 },
+		"dnum":        func(g *Graph) { g.Ops[2].Dnum = 3 },
+		"stream":      func(g *Graph) { g.Ops[2].StreamBytes = 64 },
+		"local":       func(g *Graph) { g.Ops[0].Local = true },
+		"label":       func(g *Graph) { g.Ops[0].Label = "renamed" },
+		"deps":        func(g *Graph) { g.Ops[2].Deps = []int{0} },
+		"extra-op":    func(g *Graph) { g.Add(Op{Kind: KindEWAdd, N: 64, Channels: 1, Polys: 1}) },
+		"dropped-dep": func(g *Graph) { g.Ops[1].Deps = nil },
+	}
+	for name, mutate := range mutations {
+		g := fingerprintFixture()
+		mutate(g)
+		if g.Fingerprint() == base {
+			t.Errorf("mutation %q did not change the fingerprint", name)
+		}
+	}
+}
+
+func TestValidateWrapsSentinels(t *testing.T) {
+	cyclic := &Graph{Ops: []*Op{{ID: 0, Kind: KindEWAdd, N: 16, Channels: 1, Polys: 1, Deps: []int{0}}}}
+	if err := cyclic.Validate(); !errors.Is(err, errs.ErrGraphCycle) {
+		t.Fatalf("self-dependency: %v, want ErrGraphCycle", err)
+	}
+	misnumbered := &Graph{Ops: []*Op{{ID: 5, Kind: KindEWAdd, N: 16, Channels: 1, Polys: 1}}}
+	if err := misnumbered.Validate(); !errors.Is(err, errs.ErrGraphCycle) {
+		t.Fatalf("bad ID: %v, want ErrGraphCycle", err)
+	}
+	empty := &Graph{}
+	empty.Add(Op{Kind: KindNTT, N: 16, Channels: 1, Polys: 1})
+	empty.Ops[0].Channels = 0
+	if err := empty.Validate(); !errors.Is(err, errs.ErrBadConfig) {
+		t.Fatalf("empty shape: %v, want ErrBadConfig", err)
+	}
+	bconv := &Graph{}
+	bconv.Add(Op{Kind: KindBconv, N: 16, Channels: 1, Polys: 1})
+	if err := bconv.Validate(); !errors.Is(err, errs.ErrBadConfig) {
+		t.Fatalf("missing SrcChannels: %v, want ErrBadConfig", err)
 	}
 }
