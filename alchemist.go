@@ -107,6 +107,10 @@ var (
 	ErrGraphCycle = errs.ErrGraphCycle
 	// ErrBadConfig reports an invalid architecture, baseline or graph shape.
 	ErrBadConfig = errs.ErrBadConfig
+	// ErrIllegalStream reports a compiled per-unit Meta-OP program that
+	// violates the §5.3 architectural contract; raised by evaluations run
+	// under WithVerifyStreams.
+	ErrIllegalStream = errs.ErrIllegalStream
 )
 
 // DefaultArch returns the paper's design point: 128 computing units × 16
@@ -134,6 +138,10 @@ func WithTimeout(d time.Duration) Option { return engine.WithTimeout(d) }
 
 // WithCache shares a memo cache across engines; nil disables caching.
 func WithCache(c *Cache) Option { return engine.WithCache(c) }
+
+// WithVerifyStreams statically verifies each Alchemist job's compiled
+// Meta-OP streams before simulating; violations fail with ErrIllegalStream.
+func WithVerifyStreams(on bool) Option { return engine.WithVerifyStreams(on) }
 
 // SimulateContext runs a workload graph on an Alchemist configuration,
 // honoring ctx cancellation and the given options.

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"alchemist/internal/arch"
+	"alchemist/internal/sched"
+	"alchemist/internal/streamcheck"
+)
+
+// runCheck implements `alchemist check`: compile every benchmark workload
+// (or one, with -workload) to per-unit Meta-OP streams at the paper design
+// point and statically verify them against the §5.3 contract. Exits 0 only
+// when every checked program is clean. -mutate applies a named defect first
+// and is expected to make the check fail — the CI uses it to prove the
+// verifier has teeth.
+func runCheck(args []string) {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	var (
+		name    = fs.String("workload", "", "verify one workload instead of all (-workloads on the main command lists them)")
+		mutate  = fs.String("mutate", "", "apply this mutator to each compiled program before checking (see -list-mutators)")
+		listMut = fs.Bool("list-mutators", false, "list the mutation harness's defect catalog and exit")
+		verbose = fs.Bool("v", false, "print the per-phase report for every workload")
+	)
+	fs.Parse(args)
+
+	if *listMut {
+		for _, m := range streamcheck.Mutators() {
+			fmt.Printf("%-20s %s\n", m.Name, m.Doc)
+		}
+		return
+	}
+	var mut *streamcheck.Mutator
+	if *mutate != "" {
+		for _, m := range streamcheck.Mutators() {
+			if m.Name == *mutate {
+				mm := m
+				mut = &mm
+				break
+			}
+		}
+		if mut == nil {
+			fmt.Fprintf(os.Stderr, "unknown mutator %q (use -list-mutators)\n", *mutate)
+			os.Exit(2)
+		}
+	}
+
+	names := make([]string, 0, len(workloads))
+	if *name != "" {
+		if _, ok := workloads[*name]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown workload %q (use -workloads)\n", *name)
+			os.Exit(2)
+		}
+		names = append(names, *name)
+	} else {
+		for n := range workloads {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+	}
+
+	cfg := arch.Default()
+	failed := 0
+	for _, n := range names {
+		g := workloads[n]()
+		p, err := sched.Compile(cfg, g)
+		if err != nil {
+			fmt.Printf("FAIL %-10s compile: %v\n", n, err)
+			failed++
+			continue
+		}
+		if mut != nil && !mut.Apply(p) {
+			fmt.Printf("FAIL %-10s mutator %q found no applicable site\n", n, mut.Name)
+			failed++
+			continue
+		}
+		r, err := streamcheck.Check(g, p)
+		if err != nil {
+			fmt.Printf("FAIL %-10s check: %v\n", n, err)
+			failed++
+			continue
+		}
+		verdict := "ok  "
+		if !r.Clean() {
+			verdict = "FAIL"
+			failed++
+		}
+		fmt.Printf("%s %-10s %s\n", verdict, n, r)
+		if *verbose {
+			fmt.Print(r.Detail())
+		}
+		if !r.Clean() && !*verbose {
+			for i, f := range r.Findings {
+				if i == 8 {
+					fmt.Printf("     ... %d more finding(s)\n", len(r.Findings)-i)
+					break
+				}
+				fmt.Printf("     %s\n", f)
+			}
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("check: %d of %d workload(s) failed verification\n", failed, len(names))
+		os.Exit(1)
+	}
+	fmt.Printf("check: all %d workload(s) verified clean\n", len(names))
+}

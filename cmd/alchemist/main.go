@@ -8,6 +8,7 @@
 //	alchemist -workload cmult -units 256 -list
 //	alchemist -workload pbs1 -design Strix
 //	alchemist sweep -workers 8 -verify -stats
+//	alchemist check -v
 package main
 
 import (
@@ -41,6 +42,10 @@ var workloads = map[string]func() *alchemist.Graph{
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "sweep" {
 		runSweep(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "check" {
+		runCheck(os.Args[2:])
 		return
 	}
 	var (

@@ -16,10 +16,14 @@ type key struct {
 	arch       arch.Config
 	base       baseline.Config
 	graph      uint64
+	// verified separates stream-verified evaluations from plain ones: the
+	// policies can disagree on whether a job fails, so they must not share
+	// memoized outcomes.
+	verified bool
 }
 
-func cacheKey(job Job) key {
-	k := key{graph: job.Graph.Fingerprint()}
+func cacheKey(job Job, verified bool) key {
+	k := key{graph: job.Graph.Fingerprint(), verified: verified}
 	if job.Arch != nil {
 		k.arch = *job.Arch
 	} else {

@@ -34,6 +34,7 @@ import (
 	"alchemist/internal/baseline"
 	"alchemist/internal/errs"
 	"alchemist/internal/sim"
+	"alchemist/internal/streamcheck"
 	"alchemist/internal/trace"
 )
 
@@ -99,6 +100,7 @@ type config struct {
 	timeout  time.Duration
 	cache    *Cache
 	cacheSet bool
+	verify   bool
 }
 
 // Option configures an Engine (or a one-shot Evaluate call).
@@ -126,6 +128,17 @@ func WithTimeout(d time.Duration) Option {
 // race on.
 func WithCache(cache *Cache) Option {
 	return func(c *config) { c.cache = cache; c.cacheSet = true }
+}
+
+// WithVerifyStreams makes every Alchemist job compile its graph to per-unit
+// Meta-OP streams and statically verify them (internal/streamcheck) before
+// the timing model runs. A job whose compiled program violates the §5.3
+// contract fails with an error wrapping errs.ErrIllegalStream. Baseline
+// jobs have no Meta-OP streams and are unaffected. Verified and unverified
+// evaluations memoize under distinct cache keys, so engines sharing a cache
+// never serve each other the wrong policy's outcome.
+func WithVerifyStreams(on bool) Option {
+	return func(c *config) { c.verify = on }
 }
 
 // WithQueueDepth sets the submission queue capacity (default 2× workers).
@@ -317,7 +330,7 @@ func run(ctx context.Context, job Job, cfg config, hits, misses *atomic.Int64) R
 
 	if cfg.cache == nil {
 		done := make(chan outcome, 1)
-		go func() { done <- compute(job) }()
+		go func() { done <- compute(job, cfg.verify) }()
 		select {
 		case o := <-done:
 			res.Sim, res.Baseline, res.Err = o.sim, o.base, o.err
@@ -327,7 +340,7 @@ func run(ctx context.Context, job Job, cfg config, hits, misses *atomic.Int64) R
 		return finish(res)
 	}
 
-	e, leader := cfg.cache.acquire(cacheKey(job))
+	e, leader := cfg.cache.acquire(cacheKey(job, cfg.verify))
 	if leader {
 		if misses != nil {
 			misses.Add(1)
@@ -335,7 +348,7 @@ func run(ctx context.Context, job Job, cfg config, hits, misses *atomic.Int64) R
 		// The compute goroutine owns publication: even if this caller times
 		// out, the entry is eventually filled and later callers hit it.
 		go func() {
-			e.outcome = compute(job)
+			e.outcome = compute(job, cfg.verify)
 			close(e.done)
 		}()
 	} else if hits != nil {
@@ -359,9 +372,15 @@ type outcome struct {
 	err  error
 }
 
-func compute(job Job) outcome {
+func compute(job Job, verify bool) outcome {
 	var o outcome
 	if job.Arch != nil {
+		if verify {
+			if _, err := streamcheck.CompileAndVerify(*job.Arch, job.Graph); err != nil {
+				o.err = fmt.Errorf("engine: stream verification: %w", err)
+				return o
+			}
+		}
 		o.sim, o.err = sim.Simulate(*job.Arch, job.Graph)
 	} else {
 		o.base, o.err = baseline.Simulate(*job.Baseline, job.Graph)

@@ -1,0 +1,92 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"alchemist/internal/arch"
+	"alchemist/internal/errs"
+	"alchemist/internal/workload"
+)
+
+// TestWithVerifyStreams: a verified job on a legal design point succeeds
+// with the same timing result as an unverified one; an illegal design point
+// (scratchpad too small for one operand tile) fails with
+// errs.ErrIllegalStream before the timing model runs.
+func TestWithVerifyStreams(t *testing.T) {
+	ctx := context.Background()
+	g := workload.Pmult(workload.PaperShape())
+
+	plain := Evaluate(ctx, SimJob(arch.Default(), g))
+	verified := Evaluate(ctx, SimJob(arch.Default(), g), WithVerifyStreams(true))
+	if plain.Err != nil || verified.Err != nil {
+		t.Fatalf("legal job failed: plain=%v verified=%v", plain.Err, verified.Err)
+	}
+	if plain.Sim.Cycles != verified.Sim.Cycles {
+		t.Errorf("verification changed the timing result: %d vs %d cycles",
+			plain.Sim.Cycles, verified.Sim.Cycles)
+	}
+
+	bad := arch.Default()
+	bad.LocalScratchpadBytes = 1024
+	res := Evaluate(ctx, SimJob(bad, g), WithVerifyStreams(true))
+	if !errors.Is(res.Err, errs.ErrIllegalStream) {
+		t.Errorf("verified job on 1 KB scratchpad: err %v does not wrap ErrIllegalStream", res.Err)
+	}
+	// Without verification the timing model happily simulates the same
+	// (physically unbuildable) configuration — the gate is what rejects it.
+	if res := Evaluate(ctx, SimJob(bad, g)); res.Err != nil {
+		t.Errorf("unverified job unexpectedly failed: %v", res.Err)
+	}
+}
+
+// TestVerifyStreamsCacheIsolation: verified and unverified evaluations of
+// the same (config, graph) must not share memoized outcomes — one fails,
+// the other succeeds.
+func TestVerifyStreamsCacheIsolation(t *testing.T) {
+	ctx := context.Background()
+	g := workload.Pmult(workload.PaperShape())
+	bad := arch.Default()
+	bad.LocalScratchpadBytes = 1024
+	cache := NewCache()
+
+	r1 := Evaluate(ctx, SimJob(bad, g), WithCache(cache), WithVerifyStreams(true))
+	if !errors.Is(r1.Err, errs.ErrIllegalStream) {
+		t.Fatalf("verified: %v", r1.Err)
+	}
+	r2 := Evaluate(ctx, SimJob(bad, g), WithCache(cache))
+	if r2.Err != nil {
+		t.Fatalf("unverified evaluation served the verified failure: %v", r2.Err)
+	}
+	if cache.Len() != 2 {
+		t.Errorf("expected 2 distinct cache entries, got %d", cache.Len())
+	}
+
+	// Same policy twice does share: the second verified call is a hit.
+	r3 := Evaluate(ctx, SimJob(bad, g), WithCache(cache), WithVerifyStreams(true))
+	if !errors.Is(r3.Err, errs.ErrIllegalStream) || !r3.Cached {
+		t.Errorf("repeat verified call: err=%v cached=%v", r3.Err, r3.Cached)
+	}
+}
+
+// TestEngineVerifyStreams: the pooled path honors the option too.
+func TestEngineVerifyStreams(t *testing.T) {
+	e := New(WithWorkers(2), WithVerifyStreams(true))
+	defer e.Close()
+	g := workload.Keyswitch(workload.PaperShape())
+
+	bad := arch.Default()
+	bad.LocalScratchpadBytes = 1024
+	results, err := e.Run(context.Background(),
+		SimJob(arch.Default(), g), SimJob(bad, g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil {
+		t.Errorf("legal job: %v", results[0].Err)
+	}
+	if !errors.Is(results[1].Err, errs.ErrIllegalStream) {
+		t.Errorf("illegal job: %v", results[1].Err)
+	}
+}

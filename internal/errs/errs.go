@@ -29,4 +29,13 @@ var (
 	// ErrBadConfig marks an invalid hardware configuration or a structurally
 	// malformed op (empty shape, missing Bconv/DecompPolyMult parameters).
 	ErrBadConfig = errors.New("invalid configuration")
+
+	// ErrIllegalStream marks a compiled per-unit Meta-OP program that
+	// violates the architectural contract (§5.3): an instruction outside
+	// the Meta-OP legality table, a scratchpad or transpose resource
+	// violation, a Meta-OP conservation or load-balance failure, or broken
+	// graph linkage. Raised by internal/streamcheck and surfaced through
+	// sched.Compile's post-condition, the sim pre-execution gate and the
+	// engine's WithVerifyStreams option.
+	ErrIllegalStream = errors.New("illegal Meta-OP stream")
 )

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// ErrsWrap implements the errs-wrap rule: a package that participates in
+// the shared sentinel taxonomy (it imports alchemist/internal/errs) must
+// keep every error it constructs classifiable with errors.Is. Building an
+// error with errors.New, or with fmt.Errorf whose format carries no %w
+// verb, severs the chain — callers matching ErrBadConfig, ErrIllegalStream
+// and friends silently stop seeing the failure class. The sentinel package
+// itself is exempt (it is where errors.New belongs).
+type ErrsWrap struct {
+	// ErrsPath is the sentinel package whose importers are in scope.
+	ErrsPath string
+	// Scope lists extra import-path substrings forced into scope (tests).
+	Scope []string
+}
+
+// NewErrsWrap returns the rule bound to the module's errs package.
+func NewErrsWrap(module string) *ErrsWrap {
+	return &ErrsWrap{ErrsPath: module + "/internal/errs"}
+}
+
+func (*ErrsWrap) Name() string { return "errs-wrap" }
+
+func (*ErrsWrap) Doc() string {
+	return "packages importing internal/errs must build errors that wrap a sentinel (%w), not bare errors.New / fmt.Errorf"
+}
+
+func (r *ErrsWrap) Check(p *Package, report func(Finding)) {
+	if p.PkgPath == r.ErrsPath {
+		return
+	}
+	if !p.Imports(r.ErrsPath) && !matchAny(p.PkgPath, r.Scope) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			switch {
+			case fn.Pkg().Path() == "errors" && fn.Name() == "New":
+				if p.Allowed(r.Name(), call.Pos()) {
+					return true
+				}
+				report(Finding{
+					Pos:  p.Fset.Position(call.Pos()),
+					Rule: r.Name(),
+					Msg:  "errors.New builds an unclassifiable error in a package that uses the errs sentinels",
+					Hint: "wrap a sentinel — fmt.Errorf(\"context: %w\", errs.ErrBadConfig) — or annotate //alchemist:allow errs-wrap <reason>",
+				})
+			case fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf":
+				format, ok := literalFormat(call)
+				if !ok || countWrapVerbs(format) > 0 {
+					return true
+				}
+				if p.Allowed(r.Name(), call.Pos()) {
+					return true
+				}
+				report(Finding{
+					Pos:  p.Fset.Position(call.Pos()),
+					Rule: r.Name(),
+					Msg:  "fmt.Errorf without %w severs the error chain in a package that uses the errs sentinels",
+					Hint: "add a %w verb wrapping a sentinel or the inner error, or annotate //alchemist:allow errs-wrap <reason>",
+				})
+			}
+			return true
+		})
+	}
+}
+
+// literalFormat extracts the first argument when it is a string literal;
+// dynamically built formats are outside the rule's reach.
+func literalFormat(call *ast.CallExpr) (string, bool) {
+	if len(call.Args) == 0 {
+		return "", false
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+// countWrapVerbs counts %w verbs in a format string, treating %% as a
+// literal percent.
+func countWrapVerbs(format string) int {
+	n := 0
+	for i := 0; i < len(format)-1; i++ {
+		if format[i] != '%' {
+			continue
+		}
+		if format[i+1] == '%' {
+			i++
+			continue
+		}
+		if format[i+1] == 'w' {
+			n++
+		}
+	}
+	return n
+}

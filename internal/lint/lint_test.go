@@ -21,9 +21,11 @@ func fixtureRunner(t *testing.T, l *Loader, fixture string) *Runner {
 	rm.Scope = append(rm.Scope, "fixture/"+fixture)
 	be := NewBenchEngine("alchemist")
 	be.Scope = append(be.Scope, "fixture/"+fixture)
+	ew := NewErrsWrap("alchemist")
+	ew.Scope = append(ew.Scope, "fixture/"+fixture)
 	return &Runner{
 		Loader:    l,
-		Analyzers: []Analyzer{wr, rm, NewArchConst("alchemist"), NewPanicDisc("alchemist"), be},
+		Analyzers: []Analyzer{wr, rm, NewArchConst("alchemist"), NewPanicDisc("alchemist"), be, ew},
 	}
 }
 
@@ -41,7 +43,7 @@ func renderFindings(fs []Finding) string {
 }
 
 func TestFixturesGolden(t *testing.T) {
-	fixtures := []string{"weakrand", "rawmod", "archconst", "panicdisc", "directive", "benchengine"}
+	fixtures := []string{"weakrand", "rawmod", "archconst", "panicdisc", "directive", "benchengine", "errswrap"}
 	for _, name := range fixtures {
 		t.Run(name, func(t *testing.T) {
 			l, err := NewLoader(repoRoot(t))
@@ -81,6 +83,7 @@ func TestFixturesFire(t *testing.T) {
 		"panicdisc":   "panic",
 		"directive":   "directive",
 		"benchengine": "bench-engine",
+		"errswrap":    "errs-wrap",
 	}
 	for name, rule := range expect {
 		l, err := NewLoader(repoRoot(t))

@@ -12,6 +12,7 @@ func DefaultAnalyzers(module string) []Analyzer {
 		NewArchConst(module),
 		NewPanicDisc(module),
 		NewBenchEngine(module),
+		NewErrsWrap(module),
 	}
 }
 

@@ -1,0 +1,37 @@
+// Package errswrap is the errs-wrap fixture: it imports the sentinel
+// package, so every error it constructs must wrap with %w.
+package errswrap
+
+import (
+	"errors"
+	"fmt"
+
+	"alchemist/internal/errs"
+)
+
+// BadNew builds an unclassifiable error.
+func BadNew() error { return errors.New("boom") }
+
+// BadErrorf formats without wrapping anything.
+func BadErrorf(n int) error { return fmt.Errorf("bad shape %d", n) }
+
+// BadEscapedPercent: %% is a literal percent, not a wrap verb.
+func BadEscapedPercent() error { return fmt.Errorf("100%% wrong") }
+
+// GoodSentinel wraps a shared sentinel.
+func GoodSentinel() error { return fmt.Errorf("validate: %w", errs.ErrBadConfig) }
+
+// GoodChain re-wraps an inner error, keeping the chain intact.
+func GoodChain(err error) error { return fmt.Errorf("outer: %w", err) }
+
+// GoodDouble wraps a sentinel and an inner error.
+func GoodDouble(err error) error { return fmt.Errorf("%w: %w", errs.ErrTimeout, err) }
+
+// AllowedNew is exempt with a reasoned directive.
+func AllowedNew() error {
+	//alchemist:allow errs-wrap terminal message with no class; callers only log it
+	return errors.New("allowed terminal error")
+}
+
+// DynamicFormat is outside the rule's reach: the format is not a literal.
+func DynamicFormat(f string) error { return fmt.Errorf(f) }

@@ -1,0 +1,101 @@
+package metaop
+
+import "testing"
+
+// The lazy-reduction guarantee of Tables 2 and 3, fuzzed over shapes: for
+// every accumulating operator the Meta-OP (lazy) form never spends more raw
+// multiplications than the eager per-term form — the deferred reduction
+// pays its 2 products once per output instead of 2 per term. The one
+// documented exception is the NTT (FuzzNTTLazyPremium): its radix-8 Meta-OP
+// mapping costs ~10% more raw mults than radix-2 eager butterflies, the
+// price the unified core pays on NTT to win everywhere else (§4, Fig. 7a).
+
+// clampDim maps fuzz input onto a channel/digit dimension in [1, 64].
+func clampDim(v int) int {
+	if v < 0 {
+		v = -v
+	}
+	return 1 + v%64
+}
+
+// clampDegree maps fuzz input onto a power-of-two ring degree in [2^3, 2^17]
+// (below 2^3 a degree holds no full Meta-OP lane group).
+func clampDegree(v int) int {
+	if v < 0 {
+		v = -v
+	}
+	return 1 << (3 + v%15)
+}
+
+func FuzzLazyNeverExceedsEagerModup(f *testing.F) {
+	f.Add(12, 44, 16)
+	f.Add(1, 1, 3)
+	f.Add(63, 2, 17)
+	f.Fuzz(func(t *testing.T, lRaw, kRaw, nRaw int) {
+		l, k, n := clampDim(lRaw), clampDim(kRaw), clampDegree(nRaw)
+		lazy, eager := ModupMults(l, k, n, true), ModupMults(l, k, n, false)
+		if lazy > eager {
+			t.Fatalf("ModUp l=%d k=%d n=%d: lazy %d > eager %d", l, k, n, lazy, eager)
+		}
+		// Table 3 algebra: the saving is exactly 2K(L-1) per coefficient.
+		if want := int64(2*k*(l-1)) * int64(n); eager-lazy != want {
+			t.Fatalf("ModUp l=%d k=%d n=%d: saving %d, algebra says %d", l, k, n, eager-lazy, want)
+		}
+	})
+}
+
+func FuzzLazyNeverExceedsEagerModdown(f *testing.F) {
+	f.Add(44, 12, 16)
+	f.Add(1, 1, 3)
+	f.Add(2, 63, 17)
+	f.Fuzz(func(t *testing.T, lRaw, kRaw, nRaw int) {
+		l, k, n := clampDim(lRaw), clampDim(kRaw), clampDegree(nRaw)
+		lazy, eager := ModdownMults(l, k, n, true), ModdownMults(l, k, n, false)
+		if lazy > eager {
+			t.Fatalf("ModDown l=%d k=%d n=%d: lazy %d > eager %d", l, k, n, lazy, eager)
+		}
+		// The saving is exactly 2L(K-1) per coefficient.
+		if want := int64(2*l*(k-1)) * int64(n); eager-lazy != want {
+			t.Fatalf("ModDown l=%d k=%d n=%d: saving %d, algebra says %d", l, k, n, eager-lazy, want)
+		}
+	})
+}
+
+func FuzzLazyNeverExceedsEagerDecomp(f *testing.F) {
+	f.Add(4, 16)
+	f.Add(1, 3)
+	f.Add(64, 17)
+	f.Fuzz(func(t *testing.T, dRaw, nRaw int) {
+		d, n := clampDim(dRaw), clampDegree(nRaw)
+		lazy, eager := DecompPolyMultMults(d, n, true), DecompPolyMultMults(d, n, false)
+		if lazy > eager {
+			t.Fatalf("DecompPolyMult dnum=%d n=%d: lazy %d > eager %d", d, n, lazy, eager)
+		}
+		// The saving is exactly 2(dnum-1) per coefficient (Table 2).
+		if want := int64(2*(d-1)) * int64(n); eager-lazy != want {
+			t.Fatalf("DecompPolyMult dnum=%d n=%d: saving %d, algebra says %d", d, n, eager-lazy, want)
+		}
+	})
+}
+
+// FuzzNTTLazyPremium pins the documented exception: the NTT's Meta-OP form
+// always costs at least as much as eager radix-2 (never more than 1.5×),
+// and exactly 10/9 of eager when logN is a multiple of 3 (pure radix-8).
+func FuzzNTTLazyPremium(f *testing.F) {
+	f.Add(16)
+	f.Add(13)
+	f.Add(14)
+	f.Fuzz(func(t *testing.T, nRaw int) {
+		n := clampDegree(nRaw)
+		lazy, eager := NTTMults(n, true), NTTMults(n, false)
+		if lazy < eager {
+			t.Fatalf("NTT n=%d: lazy %d < eager %d — the premium vanished", n, lazy, eager)
+		}
+		if 2*lazy > 3*eager {
+			t.Fatalf("NTT n=%d: lazy %d exceeds 1.5x eager %d", n, lazy, eager)
+		}
+		if Log2(n)%3 == 0 && 9*lazy != 10*eager {
+			t.Fatalf("NTT n=%d (pure radix-8): lazy %d is not exactly 10/9 of eager %d", n, lazy, eager)
+		}
+	})
+}

@@ -1,0 +1,54 @@
+package metaop
+
+import (
+	"fmt"
+
+	"alchemist/internal/trace"
+)
+
+// Lower converts one graph op into Meta-OP batches. This is the single
+// lowering used by the aggregate simulator (internal/sim), the per-unit
+// compiler (internal/sched) and the stream verifier (internal/streamcheck),
+// so all three agree on the Meta-OP population of every operator. Panics on
+// an unknown op kind (the trace layer validates kinds on construction).
+func Lower(op *trace.Op) []Batch {
+	switch op.Kind {
+	case trace.KindNTT, trace.KindINTT:
+		return LowerNTT(op.N, op.Channels, op.Polys)
+	case trace.KindBconv:
+		return LowerBconv(op.N, op.SrcChannels, op.Channels, op.Polys)
+	case trace.KindDecompPolyMult:
+		return LowerDecompPolyMult(op.N, op.Channels, op.Dnum, op.Polys)
+	case trace.KindEWMult:
+		return LowerEWMult(op.N, op.Channels, op.Polys)
+	case trace.KindEWAdd:
+		return LowerEWAdd(op.N, op.Channels, op.Polys)
+	case trace.KindEWMulSub:
+		return LowerEWMulSub(op.N, op.Channels, op.Polys)
+	case trace.KindAutomorphism:
+		return LowerAutomorphism(op.N, op.Channels, op.Polys)
+	default:
+		panic(fmt.Sprintf("metaop: unknown op kind %v", op.Kind))
+	}
+}
+
+// LazyMults returns the analytical Meta-OP (lazy reduction) raw-mult count
+// of one graph op — the closed forms of Tables 2 and 3 evaluated at the
+// op's shape. The stream verifier holds every compiled phase to these
+// formulas exactly; LowerConservation in the metaop tests holds Lower to
+// them as well.
+func LazyMults(op *trace.Op) int64 {
+	ch := int64(op.Channels) * int64(op.Polys)
+	switch op.Kind {
+	case trace.KindNTT, trace.KindINTT:
+		return NTTMults(op.N, true) * ch
+	case trace.KindBconv:
+		return ModupMults(op.SrcChannels, op.Channels, op.N, true) * int64(op.Polys)
+	case trace.KindDecompPolyMult:
+		return DecompPolyMultMults(op.Dnum, op.N, true) * ch
+	case trace.KindEWMult, trace.KindEWMulSub:
+		return EWMultMults(op.N) * ch
+	default:
+		return 0
+	}
+}

@@ -100,24 +100,10 @@ func LowerNTT(n, channels, polys int) []Batch {
 	groups := int64(n/J) * int64(channels) * int64(polys)
 	var out []Batch
 	if r8 > 0 {
-		out = append(out, Batch{
-			Pattern: PatternSlots,
-			Count:   groups * int64(r8),
-			NAccum:  3,
-			Cycles:  MetaCycles(3),
-			Mults:   40,
-			Label:   "ntt-radix8",
-		})
+		out = append(out, newBatch("ntt-radix8", groups*int64(r8), 3))
 	}
 	if r4 > 0 {
-		out = append(out, Batch{
-			Pattern: PatternSlots,
-			Count:   groups * int64(r4),
-			NAccum:  2,
-			Cycles:  MetaCycles(2),
-			Mults:   32,
-			Label:   "ntt-radix4",
-		})
+		out = append(out, newBatch("ntt-radix4", groups*int64(r4), 2))
 	}
 	return out
 }
@@ -129,22 +115,8 @@ func LowerNTT(n, channels, polys int) []Batch {
 func LowerBconv(n, srcCh, dstCh, polys int) []Batch {
 	perPoly := int64(n / J)
 	return []Batch{
-		{
-			Pattern: PatternChannel,
-			Count:   perPoly * int64(srcCh) * int64(polys),
-			NAccum:  1,
-			Cycles:  MetaCycles(1),
-			Mults:   3 * J, // full modmul per lane
-			Label:   "bconv-scale",
-		},
-		{
-			Pattern: PatternChannel,
-			Count:   perPoly * int64(dstCh) * int64(polys),
-			NAccum:  srcCh,
-			Cycles:  MetaCycles(srcCh),
-			Mults:   int64(srcCh+2) * J,
-			Label:   "bconv-acc",
-		},
+		newBatch("bconv-scale", perPoly*int64(srcCh)*int64(polys), 1),
+		newBatch("bconv-acc", perPoly*int64(dstCh)*int64(polys), srcCh),
 	}
 }
 
@@ -152,66 +124,31 @@ func LowerBconv(n, srcCh, dstCh, polys int) []Batch {
 // RNS channels and `outPolys` output polynomials, accumulate dnum digit
 // products with a single deferred reduction: (M8A8)_{dnum}R8 (Fig. 4a).
 func LowerDecompPolyMult(n, channels, dnum, outPolys int) []Batch {
-	return []Batch{{
-		Pattern: PatternDnumGroup,
-		Count:   int64(n/J) * int64(channels) * int64(outPolys),
-		NAccum:  dnum,
-		Cycles:  MetaCycles(dnum),
-		Mults:   int64(dnum+2) * J,
-		Label:   "decomp-polymult",
-	}}
+	return []Batch{newBatch("decomp-polymult", int64(n/J)*int64(channels)*int64(outPolys), dnum)}
 }
 
 // LowerEWMult lowers an element-wise modular multiplication
 // ((M8A8)_1R8, 3 cycles per 8 lanes — the Table 7 Pmult contract).
 func LowerEWMult(n, channels, polys int) []Batch {
-	return []Batch{{
-		Pattern: PatternSlots,
-		Count:   int64(n/J) * int64(channels) * int64(polys),
-		NAccum:  1,
-		Cycles:  MetaCycles(1),
-		Mults:   3 * J,
-		Label:   "ew-mult",
-	}}
+	return []Batch{newBatch("ew-mult", int64(n/J)*int64(channels)*int64(polys), 1)}
 }
 
 // LowerEWAdd lowers an element-wise modular addition. The add path takes 4
 // cycles per 8 lanes (add, conditional-subtract select), the rate that
 // reproduces Table 7's Hadd row exactly; it uses no multipliers.
 func LowerEWAdd(n, channels, polys int) []Batch {
-	return []Batch{{
-		Pattern: PatternSlots,
-		Count:   int64(n/J) * int64(channels) * int64(polys),
-		NAccum:  1,
-		Cycles:  4,
-		Mults:   0,
-		Label:   "ew-add",
-	}}
+	return []Batch{newBatch("ew-add", int64(n/J)*int64(channels)*int64(polys), 1)}
 }
 
 // LowerEWMulSub lowers the fused (a-b)·c^{-1} step of ModDown and rescale:
 // one subtract plus one modmul, 4 cycles per 8 lanes.
 func LowerEWMulSub(n, channels, polys int) []Batch {
-	return []Batch{{
-		Pattern: PatternSlots,
-		Count:   int64(n/J) * int64(channels) * int64(polys),
-		NAccum:  1,
-		Cycles:  4,
-		Mults:   3 * J,
-		Label:   "ew-mulsub",
-	}}
+	return []Batch{newBatch("ew-mulsub", int64(n/J)*int64(channels)*int64(polys), 1)}
 }
 
 // LowerAutomorphism lowers a Galois automorphism: a pure on-chip
 // permutation pass (one read-modify-write cycle per 8 lanes, no
 // multipliers).
 func LowerAutomorphism(n, channels, polys int) []Batch {
-	return []Batch{{
-		Pattern: PatternSlots,
-		Count:   int64(n/J) * int64(channels) * int64(polys),
-		NAccum:  1,
-		Cycles:  1,
-		Mults:   0,
-		Label:   "automorphism",
-	}}
+	return []Batch{newBatch("automorphism", int64(n/J)*int64(channels)*int64(polys), 1)}
 }

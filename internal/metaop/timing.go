@@ -1,0 +1,103 @@
+package metaop
+
+// The Meta-OP legality table: the single source of truth for which
+// (pattern, accumulation depth, cycle count) combinations the unified core
+// array can execute, shared by the lowering functions in this package, the
+// cycle simulators (internal/sim, internal/sched) and the static stream
+// verifier (internal/streamcheck). Each batch family produced by a Lower*
+// function is one row, keyed by its label.
+//
+// Two datapath classes exist:
+//
+//   - Accumulating rows are true Meta-OPs (M_jA_j)_nR_j (§4): n cycles of
+//     multiply–accumulate plus the 2-cycle deferred reduction on the reused
+//     multiplier array, so Cycles = n+2 and the lazy raw-mult count is
+//     (n+2)·j — exactly the Tables 2/3 Meta-OP column.
+//   - Fixed rows use the non-multiplying side paths (add/conditional-
+//     subtract, the fused mulsub, the permutation network) with a pinned
+//     cycle count and mult count, always at accumulation depth 1.
+
+// Spec is one row of the legality table.
+type Spec struct {
+	// Pattern is the scratchpad access pattern of the family (Table 4).
+	Pattern AccessPattern
+
+	// Accumulating marks a true (M_jA_j)_nR_j: Cycles must equal n+2 and
+	// the raw-mult count is (n+2)·J.
+	Accumulating bool
+
+	// FixedAccum pins the accumulation depth when non-zero (e.g. the
+	// radix-8 NTT stage is always n=3). Zero means the depth is set by the
+	// operator shape (Bconv source channels, DecompPolyMult dnum).
+	FixedAccum int
+
+	// Cycles and Mults apply to non-accumulating rows only: the pinned
+	// per-Meta-OP cycle count and raw multiplier activations.
+	Cycles int
+	Mults  int64
+}
+
+// CyclesFor returns the legal cycle count of one Meta-OP of this family at
+// accumulation depth n.
+func (s Spec) CyclesFor(n int) int {
+	if s.Accumulating {
+		return MetaCycles(n)
+	}
+	return s.Cycles
+}
+
+// MultsFor returns the raw multiplier activations of one Meta-OP of this
+// family at accumulation depth n (the lazy form of Tables 2 and 3).
+func (s Spec) MultsFor(n int) int64 {
+	if s.Accumulating {
+		return int64(n+2) * J
+	}
+	return s.Mults
+}
+
+// Specs maps every batch label to its legality row. Lowering constructs
+// batches through this table (see newBatch), so the table cannot drift from
+// the programs the compiler emits; streamcheck validates compiled
+// instruction streams against the same rows.
+var Specs = map[string]Spec{
+	"ntt-radix8":      {Pattern: PatternSlots, Accumulating: true, FixedAccum: 3},
+	"ntt-radix4":      {Pattern: PatternSlots, Accumulating: true, FixedAccum: 2},
+	"bconv-scale":     {Pattern: PatternChannel, Accumulating: true, FixedAccum: 1},
+	"bconv-acc":       {Pattern: PatternChannel, Accumulating: true},
+	"decomp-polymult": {Pattern: PatternDnumGroup, Accumulating: true},
+	"ew-mult":         {Pattern: PatternSlots, Accumulating: true, FixedAccum: 1},
+	"ew-add":          {Pattern: PatternSlots, Cycles: 4, Mults: 0},
+	"ew-mulsub":       {Pattern: PatternSlots, Cycles: 4, Mults: 3 * J},
+	"automorphism":    {Pattern: PatternSlots, Cycles: 1, Mults: 0},
+}
+
+// newBatch builds a batch of `count` Meta-OPs of the given family at
+// accumulation depth n, deriving pattern, cycles and mult count from the
+// legality table. Panics on a label missing from Specs — lowering a family
+// the table does not describe is a programming error, caught by every test
+// that lowers anything.
+func newBatch(label string, count int64, n int) Batch {
+	spec, ok := Specs[label]
+	if !ok {
+		panic("metaop: no Spec row for batch family " + label)
+	}
+	return Batch{
+		Pattern: spec.Pattern,
+		Count:   count,
+		NAccum:  n,
+		Cycles:  spec.CyclesFor(n),
+		Mults:   spec.MultsFor(n),
+		Label:   label,
+	}
+}
+
+// PatternEfficiency is the scratchpad efficiency of each Meta-OP access
+// pattern (Table 4): the slot pattern is conflict-free; the channel and
+// dnum-group gather patterns pay a small bank-conflict penalty. The values
+// are calibrated so the per-task utilizations match Fig. 7(b)
+// (NTT ≈ 0.85 — set by transpose phases, Bconv ≈ 0.89, DecompPolyMult ≈ 0.87).
+var PatternEfficiency = map[AccessPattern]float64{
+	PatternSlots:     1.00,
+	PatternChannel:   0.89,
+	PatternDnumGroup: 0.87,
+}

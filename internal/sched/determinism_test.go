@@ -1,0 +1,37 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+
+	"alchemist/internal/trace"
+	"alchemist/internal/workload"
+)
+
+// TestCompileDeterministic: compiling the same graph twice yields
+// byte-identical programs — the property that makes compiled streams
+// cacheable, static verification meaningful (a finding reproduces), and
+// parallel batch evaluation equal to serial evaluation.
+func TestCompileDeterministic(t *testing.T) {
+	s := workload.PaperShape()
+	graphs := map[string]*trace.Graph{
+		"pmult":     workload.Pmult(s),
+		"keyswitch": workload.Keyswitch(s),
+		"cmult":     workload.Cmult(s),
+		"rotation":  workload.Rotation(s),
+		"pbs1":      workload.PBSBatch(workload.PBSSetI(), 8),
+		"bootstrap": workload.Bootstrap(workload.AppShape(), workload.DefaultBootstrapConfig()),
+	}
+	for name, g := range graphs {
+		a := compile(t, g)
+		b := compile(t, g)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: two compilations of the same graph differ", name)
+		}
+		// A clone round-trips too, so mutation testing starts from a
+		// faithful copy.
+		if c := a.Clone(); !reflect.DeepEqual(a, c) {
+			t.Errorf("%s: Clone differs from its source", name)
+		}
+	}
+}

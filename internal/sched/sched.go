@@ -12,10 +12,11 @@ package sched
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"alchemist/internal/arch"
+	"alchemist/internal/errs"
 	"alchemist/internal/metaop"
-	"alchemist/internal/sim"
 	"alchemist/internal/trace"
 )
 
@@ -72,18 +73,48 @@ type Program struct {
 	Phases []Phase
 }
 
+// CheckFunc is a post-compile verifier: it receives the source graph and
+// the program compiled from it and returns a non-nil error when the program
+// violates the architectural contract.
+type CheckFunc func(g *trace.Graph, p *Program) error
+
+// postCheck is the optional Compile post-condition. internal/streamcheck
+// registers its verifier here (the indirection breaks the import cycle:
+// streamcheck needs this package's Program type).
+var (
+	checkMu   sync.RWMutex
+	postCheck CheckFunc
+)
+
+// SetPostCompileCheck installs (or, with nil, removes) a verifier that runs
+// on every program Compile produces, turning compiler bugs into compile
+// errors instead of silently wrong cycle counts.
+func SetPostCompileCheck(f CheckFunc) {
+	checkMu.Lock()
+	postCheck = f
+	checkMu.Unlock()
+}
+
+func compileCheck() CheckFunc {
+	checkMu.RLock()
+	defer checkMu.RUnlock()
+	return postCheck
+}
+
 // Compile lowers every op of the graph into per-unit Meta-OP streams under
-// the slot-based partitioning.
+// the slot-based partitioning. Failures wrap the errs sentinels
+// (errs.ErrBadConfig for shape problems; errs.ErrIllegalStream when an
+// installed post-compile check rejects the output).
 func Compile(cfg arch.Config, g *trace.Graph) (*Program, error) {
 	if err := cfg.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("sched: %w: %w", errs.ErrBadConfig, err)
 	}
 	if err := g.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("sched: %w", err)
 	}
 	if cfg.Lanes != metaop.J {
-		return nil, fmt.Errorf("sched: lane width %d unsupported (Meta-OP lowering is j=%d)",
-			cfg.Lanes, metaop.J)
+		return nil, fmt.Errorf("sched: lane width %d unsupported (Meta-OP lowering is j=%d): %w",
+			cfg.Lanes, metaop.J, errs.ErrBadConfig)
 	}
 	prog := &Program{Cfg: cfg, Name: g.Name}
 	units := cfg.Units
@@ -99,7 +130,7 @@ func Compile(cfg arch.Config, g *trace.Graph) (*Program, error) {
 		// Slot partitioning: every unit owns N/units slots of every channel
 		// of every dnum group (Fig. 5b), so Meta-OP counts split evenly;
 		// the remainder goes to the low-numbered units.
-		for _, b := range sim.Lower(op) {
+		for _, b := range metaop.Lower(op) {
 			per := b.Count / int64(units)
 			rem := b.Count % int64(units)
 			for u := 0; u < units; u++ {
@@ -125,7 +156,28 @@ func Compile(cfg arch.Config, g *trace.Graph) (*Program, error) {
 		}
 		prog.Phases = append(prog.Phases, ph)
 	}
+	if f := compileCheck(); f != nil {
+		if err := f(g, prog); err != nil {
+			return nil, fmt.Errorf("sched: %w", err)
+		}
+	}
 	return prog, nil
+}
+
+// Clone returns a deep copy of the program. The stream verifier's mutation
+// harness clones before mutating so the original stays intact.
+func (p *Program) Clone() *Program {
+	q := &Program{Cfg: p.Cfg, Name: p.Name, Phases: make([]Phase, len(p.Phases))}
+	for i, ph := range p.Phases {
+		np := ph
+		np.Deps = append([]int(nil), ph.Deps...)
+		np.Units = make([]UnitStream, len(ph.Units))
+		for u, us := range ph.Units {
+			np.Units[u].Instrs = append([]Instr(nil), us.Instrs...)
+		}
+		q.Phases[i] = np
+	}
+	return q
 }
 
 // ExecResult is the outcome of per-unit execution.
@@ -162,7 +214,7 @@ func Execute(p *Program) ExecResult {
 			for _, in := range ph.Units[u].Instrs {
 				rounds := (in.Count + cores - 1) / cores
 				dt := rounds * int64(in.Cycles)
-				eff := sim.PatternEfficiency[in.Pattern]
+				eff := metaop.PatternEfficiency[in.Pattern]
 				t += int64(math.Ceil(float64(dt) / eff))
 			}
 			res.PerUnitBusy[u] += t

@@ -15,6 +15,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"alchemist/internal/arch"
 	"alchemist/internal/errs"
@@ -23,15 +24,10 @@ import (
 )
 
 // PatternEfficiency is the scratchpad efficiency of each Meta-OP access
-// pattern (Table 4): the slot pattern is conflict-free; the channel and
-// dnum-group gather patterns pay a small bank-conflict penalty. The values
-// are calibrated so the per-task utilizations match Fig. 7(b)
-// (NTT ≈ 0.85 — set by transpose phases, Bconv ≈ 0.89, DecompPolyMult ≈ 0.87).
-var PatternEfficiency = map[metaop.AccessPattern]float64{
-	metaop.PatternSlots:     1.00,
-	metaop.PatternChannel:   0.89,
-	metaop.PatternDnumGroup: 0.87,
-}
+// pattern (Table 4). The table lives in internal/metaop so the lowering,
+// both simulators and the stream verifier share one copy; this alias keeps
+// the historical sim.PatternEfficiency name working.
+var PatternEfficiency = metaop.PatternEfficiency
 
 // ClassStats aggregates activity per Figure 1 operator class.
 type ClassStats struct {
@@ -83,27 +79,35 @@ func (r Result) String() string {
 		r.Name, r.Cycles, r.Seconds, r.Utilization, r.ComputeCycles, r.MemCycles)
 }
 
-// Lower converts one op into Meta-OP batches. Panics on an unknown op kind
-// (the trace layer validates kinds on construction).
-func Lower(op *trace.Op) []metaop.Batch {
-	switch op.Kind {
-	case trace.KindNTT, trace.KindINTT:
-		return metaop.LowerNTT(op.N, op.Channels, op.Polys)
-	case trace.KindBconv:
-		return metaop.LowerBconv(op.N, op.SrcChannels, op.Channels, op.Polys)
-	case trace.KindDecompPolyMult:
-		return metaop.LowerDecompPolyMult(op.N, op.Channels, op.Dnum, op.Polys)
-	case trace.KindEWMult:
-		return metaop.LowerEWMult(op.N, op.Channels, op.Polys)
-	case trace.KindEWAdd:
-		return metaop.LowerEWAdd(op.N, op.Channels, op.Polys)
-	case trace.KindEWMulSub:
-		return metaop.LowerEWMulSub(op.N, op.Channels, op.Polys)
-	case trace.KindAutomorphism:
-		return metaop.LowerAutomorphism(op.N, op.Channels, op.Polys)
-	default:
-		panic(fmt.Sprintf("sim: unknown op kind %v", op.Kind))
-	}
+// Lower converts one op into Meta-OP batches. The lowering lives in
+// internal/metaop (shared with internal/sched and internal/streamcheck);
+// this wrapper keeps the historical sim.Lower name working. Panics on an
+// unknown op kind (the trace layer validates kinds on construction).
+func Lower(op *trace.Op) []metaop.Batch { return metaop.Lower(op) }
+
+// gate is the optional pre-execution stream verifier. When installed (see
+// SetPreSimGate), every Simulate call first compiles the graph to per-unit
+// Meta-OP streams and statically verifies them, so an illegal program never
+// reaches the timing model.
+var (
+	gateMu sync.RWMutex
+	gate   func(arch.Config, *trace.Graph) error
+)
+
+// SetPreSimGate installs (or, with nil, removes) a verifier that runs at
+// the top of every Simulate call. internal/streamcheck registers its
+// checker here; the indirection exists because streamcheck sits above the
+// scheduler, which this package must stay importable from.
+func SetPreSimGate(f func(arch.Config, *trace.Graph) error) {
+	gateMu.Lock()
+	gate = f
+	gateMu.Unlock()
+}
+
+func preSimGate() func(arch.Config, *trace.Graph) error {
+	gateMu.RLock()
+	defer gateMu.RUnlock()
+	return gate
 }
 
 // EagerMults returns the op's raw multiplication count under eager per-term
@@ -133,6 +137,11 @@ func Simulate(cfg arch.Config, g *trace.Graph) (Result, error) {
 	}
 	if err := g.Validate(); err != nil {
 		return Result{}, fmt.Errorf("sim: %w", err)
+	}
+	if f := preSimGate(); f != nil {
+		if err := f(cfg, g); err != nil {
+			return Result{}, fmt.Errorf("sim: %w", err)
+		}
 	}
 	cores := int64(cfg.Cores())
 	res := Result{

@@ -1,0 +1,73 @@
+package streamcheck
+
+import (
+	"fmt"
+	"os"
+
+	"alchemist/internal/arch"
+	"alchemist/internal/errs"
+	"alchemist/internal/sched"
+	"alchemist/internal/sim"
+	"alchemist/internal/trace"
+)
+
+// Verify runs Check and folds a non-clean report into a single error
+// wrapping errs.ErrIllegalStream (classifiable with errors.Is), quoting the
+// first finding and the total count.
+func Verify(g *trace.Graph, p *sched.Program) error {
+	r, err := Check(g, p)
+	if err != nil {
+		return err
+	}
+	if r.Clean() {
+		return nil
+	}
+	return fmt.Errorf("streamcheck: %s: %d finding(s), first: %s: %w",
+		r.Name, len(r.Findings), r.Findings[0], errs.ErrIllegalStream)
+}
+
+// CompileAndVerify compiles the graph and verifies the result, returning
+// the program only when it satisfies the whole §5.3 contract.
+func CompileAndVerify(cfg arch.Config, g *trace.Graph) (*sched.Program, error) {
+	p, err := sched.Compile(cfg, g)
+	if err != nil {
+		return nil, err
+	}
+	if err := Verify(g, p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// InstallCompileGate makes Verify a post-condition of every sched.Compile
+// call, so an illegal program is rejected at compile time. Undone with
+// UninstallCompileGate.
+func InstallCompileGate() { sched.SetPostCompileCheck(Verify) }
+
+// UninstallCompileGate removes the Compile post-condition.
+func UninstallCompileGate() { sched.SetPostCompileCheck(nil) }
+
+// InstallSimGate makes every sim.Simulate call compile the graph to
+// per-unit streams and verify them before the timing model runs. Undone
+// with UninstallSimGate.
+func InstallSimGate() {
+	sim.SetPreSimGate(func(cfg arch.Config, g *trace.Graph) error {
+		_, err := CompileAndVerify(cfg, g)
+		return err
+	})
+}
+
+// UninstallSimGate removes the pre-simulation gate.
+func UninstallSimGate() { sim.SetPreSimGate(nil) }
+
+// VerifyEnv is the environment variable that, when non-empty, turns both
+// gates on for any process that links this package (the engine and the
+// alchemist command do) — a debug switch that needs no code change.
+const VerifyEnv = "ALCHEMIST_VERIFY_STREAMS"
+
+func init() {
+	if os.Getenv(VerifyEnv) != "" {
+		InstallCompileGate()
+		InstallSimGate()
+	}
+}
