@@ -1,0 +1,66 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"alchemist/internal/bench"
+)
+
+// runBench implements `alchemist bench`: measure the live Go kernels
+// (ring transforms, scheme evaluators, engine report regeneration) and
+// print them, or write a JSON capture for the in-repo benchmark
+// trajectory (BENCH_BASELINE.json, BENCH_PR4.json, ...).
+func runBench(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	var (
+		jsonOut  = fs.Bool("json", false, "write the capture as JSON (see -out)")
+		out      = fs.String("out", "BENCH_PR4.json", "JSON output path with -json (- for stdout)")
+		label    = fs.String("label", "", "capture label stored in the JSON (default: output filename)")
+		quick    = fs.Bool("quick", false, "reduced parameter set (CI smoke)")
+		workers  = fs.Int("workers", 0, "ring worker goroutines (0 = NumCPU)")
+		baseline = fs.String("baseline", "", "compare against a previous JSON capture")
+		quiet    = fs.Bool("q", false, "suppress per-benchmark progress lines")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: alchemist bench [-json] [-out file] [-quick] [-workers n] [-baseline file]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	cfg := bench.LiveConfig{
+		Label:   *label,
+		Workers: *workers,
+		Quick:   *quick,
+	}
+	if cfg.Label == "" {
+		cfg.Label = *out
+	}
+	if !*quiet {
+		cfg.Progress = func(line string) { fmt.Println(line) }
+	}
+	suite, err := bench.RunLive(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		if err := suite.WriteJSON(*out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *out != "-" {
+			fmt.Printf("bench      wrote %d results to %s\n", len(suite.Results), *out)
+		}
+	}
+	if *baseline != "" {
+		base, err := bench.ReadLiveSuite(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(suite.Compare(base).String())
+	}
+}

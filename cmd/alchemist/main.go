@@ -48,6 +48,10 @@ func main() {
 		runCheck(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "bench" {
+		runBench(os.Args[2:])
+		return
+	}
 	var (
 		name     = flag.String("workload", "cmult", "workload name (-workloads to list)")
 		design   = flag.String("design", "alchemist", "alchemist or a baseline: F1, BTS, ARK, CraterLake, SHARP, Matcha, Strix")

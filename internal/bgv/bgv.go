@@ -112,6 +112,10 @@ type Context struct {
 	pToQT *ring.BasisConverter
 	pModQ []uint64 // P mod q_i
 	pInvQ []uint64 // P^{-1} mod q_i
+
+	// scratch recycles the t-corrected ModDown conversion buffers, whose
+	// [t, q_0..q_level] shape fits neither ring's polynomial arena.
+	scratch ring.BufPool
 }
 
 // NewContext instantiates a context.

@@ -120,29 +120,42 @@ func (ev *Evaluator) MulRelin(a, b *Ciphertext) (*Ciphertext, error) {
 	rq := ctx.RQ
 	level := minLevel(a, b)
 
-	b1 := rq.Clone(level, a.B)
-	a1 := rq.Clone(level, a.A)
-	b2 := rq.Clone(level, b.B)
-	a2 := rq.Clone(level, b.A)
+	// Tensor in the NTT domain; scratch from the ring arena (d0/d1 escape as
+	// the result and are left for the GC or a later Release by the caller).
+	b1 := rq.Borrow(level)
+	a1 := rq.Borrow(level)
+	b2 := rq.Borrow(level)
+	a2 := rq.Borrow(level)
+	rq.CopyLevel(level, a.B, b1)
+	rq.CopyLevel(level, a.A, a1)
+	rq.CopyLevel(level, b.B, b2)
+	rq.CopyLevel(level, b.A, a2)
 	rq.NTT(level, b1)
 	rq.NTT(level, a1)
 	rq.NTT(level, b2)
 	rq.NTT(level, a2)
 
-	d0 := rq.NewPoly(level)
-	d1 := rq.NewPoly(level)
-	d2 := rq.NewPoly(level)
+	d0 := rq.Borrow(level)
+	d1 := rq.Borrow(level)
+	d2 := rq.Borrow(level)
 	rq.MulCoeffs(level, b1, b2, d0)
 	rq.MulCoeffs(level, b1, a2, d1)
 	rq.MulCoeffsAndAdd(level, a1, b2, d1)
 	rq.MulCoeffs(level, a1, a2, d2)
+	rq.Release(b1)
+	rq.Release(a1)
+	rq.Release(b2)
+	rq.Release(a2)
 	rq.INTT(level, d0)
 	rq.INTT(level, d1)
 	rq.INTT(level, d2)
 
 	ksB, ksA := ev.keySwitch(level, d2, ev.rlk)
+	rq.Release(d2)
 	rq.Add(level, d0, ksB, d0)
 	rq.Add(level, d1, ksA, d1)
+	rq.Release(ksB)
+	rq.Release(ksA)
 	return &Ciphertext{B: d0, A: d1, Level: level}, nil
 }
 
@@ -154,12 +167,12 @@ func (ev *Evaluator) keySwitch(level int, c *ring.Poly, swk *SwitchingKey) (*rin
 	levelP := rp.MaxLevel()
 	groups := ctx.groupsAt(level)
 
-	accBQ := rq.NewPoly(level)
-	accAQ := rq.NewPoly(level)
-	accBP := rp.NewPoly(levelP)
-	accAP := rp.NewPoly(levelP)
-	dQ := rq.NewPoly(level)
-	dP := rp.NewPoly(levelP)
+	accBQ := rq.BorrowZero(level)
+	accAQ := rq.BorrowZero(level)
+	accBP := rp.BorrowZero(levelP)
+	accAP := rp.BorrowZero(levelP)
+	dQ := rq.Borrow(level)
+	dP := rp.Borrow(levelP)
 
 	for g := 0; g < groups; g++ {
 		lo, hi := ctx.groupRange(g)
@@ -182,10 +195,16 @@ func (ev *Evaluator) keySwitch(level int, c *ring.Poly, swk *SwitchingKey) (*rin
 	rp.INTT(levelP, accBP)
 	rp.INTT(levelP, accAP)
 
-	outB := rq.NewPoly(level)
-	outA := rq.NewPoly(level)
+	outB := rq.Borrow(level)
+	outA := rq.Borrow(level)
 	ev.modDownT(level, accBQ, accBP, outB)
 	ev.modDownT(level, accAQ, accAP, outA)
+	rq.Release(accBQ)
+	rq.Release(accAQ)
+	rp.Release(accBP)
+	rp.Release(accAP)
+	rq.Release(dQ)
+	rp.Release(dP)
 	return outB, outA
 }
 
@@ -197,14 +216,18 @@ func (ev *Evaluator) modDownT(level int, aQ, aP, out *ring.Poly) {
 	ctx := ev.ctx
 	n := ctx.Params.N()
 	t := ctx.Params.T
-	// Exact centered conversion into [t, q_0..q_level].
+	// Exact centered conversion into [t, q_0..q_level]. The channel backing
+	// (plus the w correction vector) comes from one scratch buffer — the
+	// [t|Q] shape fits neither ring's polynomial pools — so only the small
+	// header slice is allocated.
+	flat := ctx.scratch.Get((level + 3) * n)
 	conv := make([][]uint64, level+2)
 	for i := range conv {
-		conv[i] = make([]uint64, n)
+		conv[i] = flat[i*n : (i+1)*n : (i+1)*n]
 	}
+	w := flat[(level+2)*n:]
 	ctx.pToQT.ConvertExact(len(ctx.Params.P)-1, aP.Coeffs, conv, level+2, true)
 	convT := conv[0]
-	w := make([]uint64, n)
 	for k := 0; k < n; k++ {
 		w[k] = modmath.NegMod(convT[k], t) // w ≡ -[x]_P (mod t); P ≡ 1 (mod t)
 	}
@@ -220,6 +243,7 @@ func (ev *Evaluator) modDownT(level int, aQ, aP, out *ring.Poly) {
 			dst[k] = modmath.MulModShoup(d, inv, invS, qi)
 		}
 	}
+	ctx.scratch.Put(flat)
 }
 
 // Rescale performs the BGV modulus switch: divides the ciphertext by its

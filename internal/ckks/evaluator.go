@@ -25,6 +25,38 @@ func (ctx *Context) CopyCt(ct *Ciphertext) *Ciphertext {
 	}
 }
 
+// borrowCt assembles a ciphertext at the given level from the ring arena.
+// The polynomial contents are arbitrary; every producer below overwrites
+// them in full before the ciphertext escapes.
+func (ctx *Context) borrowCt(level int, scale float64) *Ciphertext {
+	return ctx.wrapCt(ctx.RQ.Borrow(level), ctx.RQ.Borrow(level), level, scale)
+}
+
+// wrapCt dresses existing polynomials in a (possibly recycled) Ciphertext
+// shell.
+func (ctx *Context) wrapCt(b, a *ring.Poly, level int, scale float64) *Ciphertext {
+	ct, _ := ctx.ctPool.Get().(*Ciphertext)
+	if ct == nil {
+		ct = &Ciphertext{}
+	}
+	ct.B, ct.A, ct.Level, ct.Scale = b, a, level, scale
+	return ct
+}
+
+// Recycle returns a ciphertext produced by this context to the arena. It is
+// optional — an unrecycled ciphertext is simply collected by the GC — but a
+// steady-state evaluation loop that recycles its intermediates runs
+// allocation-free. The ciphertext must not be used after Recycle.
+func (ctx *Context) Recycle(ct *Ciphertext) {
+	if ct == nil {
+		return
+	}
+	ctx.RQ.Release(ct.B)
+	ctx.RQ.Release(ct.A)
+	ct.B, ct.A = nil, nil
+	ctx.ctPool.Put(ct)
+}
+
 // Encryptor encrypts plaintext polynomials under a public key.
 type Encryptor struct {
 	ctx *Context
@@ -171,31 +203,43 @@ func (ev *Evaluator) MulRelin(a, b *Ciphertext) (*Ciphertext, error) {
 	level := ev.alignLevels(a, b)
 	rq := ctx.RQ
 
-	// Tensor in the NTT domain.
-	b1 := rq.Clone(level, a.B)
-	a1 := rq.Clone(level, a.A)
-	b2 := rq.Clone(level, b.B)
-	a2 := rq.Clone(level, b.A)
+	// Tensor in the NTT domain. All scratch comes from the ring arena; the
+	// tensor outputs d0/d1 become the result ciphertext's polynomials.
+	b1 := rq.Borrow(level)
+	a1 := rq.Borrow(level)
+	b2 := rq.Borrow(level)
+	a2 := rq.Borrow(level)
+	rq.CopyLevel(level, a.B, b1)
+	rq.CopyLevel(level, a.A, a1)
+	rq.CopyLevel(level, b.B, b2)
+	rq.CopyLevel(level, b.A, a2)
 	rq.NTT(level, b1)
 	rq.NTT(level, a1)
 	rq.NTT(level, b2)
 	rq.NTT(level, a2)
 
-	d0 := rq.NewPoly(level)
-	d1 := rq.NewPoly(level)
-	d2 := rq.NewPoly(level)
+	out := ctx.borrowCt(level, a.Scale*b.Scale)
+	d0, d1 := out.B, out.A
+	d2 := rq.Borrow(level)
 	rq.MulCoeffs(level, b1, b2, d0)
 	rq.MulCoeffs(level, b1, a2, d1)
 	rq.MulCoeffsAndAdd(level, a1, b2, d1)
 	rq.MulCoeffs(level, a1, a2, d2)
+	rq.Release(b1)
+	rq.Release(a1)
+	rq.Release(b2)
+	rq.Release(a2)
 	rq.INTT(level, d0)
 	rq.INTT(level, d1)
 	rq.INTT(level, d2)
 
 	ksB, ksA := ev.KeySwitch(level, d2, ev.eks.Rlk)
+	rq.Release(d2)
 	rq.Add(level, d0, ksB, d0)
 	rq.Add(level, d1, ksA, d1)
-	return &Ciphertext{B: d0, A: d1, Level: level, Scale: a.Scale * b.Scale}, nil
+	rq.Release(ksB)
+	rq.Release(ksA)
+	return out, nil
 }
 
 // DropLevel returns ct restricted to the given (lower) level, leaving the
@@ -235,12 +279,7 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) (*Ciphertext, error) {
 		return nil, fmt.Errorf("ckks: no level left to rescale")
 	}
 	ctx := ev.ctx
-	out := &Ciphertext{
-		B:     ctx.RQ.NewPoly(ct.Level - 1),
-		A:     ctx.RQ.NewPoly(ct.Level - 1),
-		Level: ct.Level - 1,
-		Scale: ct.Scale / float64(ctx.Params.Q[ct.Level]),
-	}
+	out := ctx.borrowCt(ct.Level-1, ct.Scale/float64(ctx.Params.Q[ct.Level]))
 	ctx.Ext.RescaleByLastModulus(ct.Level, ct.B, out.B)
 	ctx.Ext.RescaleByLastModulus(ct.Level, ct.A, out.A)
 	return out, nil
@@ -270,13 +309,15 @@ func (ev *Evaluator) Conjugate(ct *Ciphertext) (*Ciphertext, error) {
 func (ev *Evaluator) applyGalois(ct *Ciphertext, k uint64, key *SwitchingKey) (*Ciphertext, error) {
 	ctx := ev.ctx
 	level := ct.Level
-	bp := ctx.RQ.NewPoly(level)
-	ap := ctx.RQ.NewPoly(level)
+	bp := ctx.RQ.Borrow(level)
+	ap := ctx.RQ.Borrow(level)
 	ctx.RQ.Automorphism(level, ct.B, k, bp)
 	ctx.RQ.Automorphism(level, ct.A, k, ap)
 	ksB, ksA := ev.KeySwitch(level, ap, key)
+	ctx.RQ.Release(ap)
 	ctx.RQ.Add(level, bp, ksB, bp)
-	return &Ciphertext{B: bp, A: ksA, Level: level, Scale: ct.Scale}, nil
+	ctx.RQ.Release(ksB)
+	return ctx.wrapCt(bp, ksA, level, ct.Scale), nil
 }
 
 // RotateHoisted rotates ct by every step in steps, sharing one ModUp
@@ -296,6 +337,19 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, steps []int) (map[int]*Cipher
 	levelP := rp.MaxLevel()
 	groups := ctx.GroupsAtLevel(level)
 
+	// Resolve every rotation key first, so no arena state is held across an
+	// error return.
+	keys := make([]*SwitchingKey, len(steps))
+	elems := make([]uint64, len(steps))
+	for si, step := range steps {
+		k := rq.GaloisElementForRotation(step)
+		key, ok := ev.eks.Rot[k]
+		if !ok {
+			return nil, fmt.Errorf("ckks: rotation key for step %d missing", step)
+		}
+		keys[si], elems[si] = key, k
+	}
+
 	// Shared decomposition of the A polynomial (coefficient domain).
 	dQ := make([]*ring.Poly, groups)
 	dP := make([]*ring.Poly, groups)
@@ -306,25 +360,26 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, steps []int) (map[int]*Cipher
 		}
 		digits := ct.A.Coeffs[lo:hi]
 		srcLevel := hi - lo - 1
-		dQ[g] = rq.NewPoly(level)
-		dP[g] = rp.NewPoly(levelP)
+		dQ[g] = rq.Borrow(level)
+		dP[g] = rp.Borrow(levelP)
 		ctx.groupToQ[g].ConvertN(srcLevel, digits, dQ[g].Coeffs, level+1)
 		ctx.groupToP[g].Convert(srcLevel, digits, dP[g].Coeffs)
 	}
 
 	out := make(map[int]*Ciphertext, len(steps))
-	permQ := rq.NewPoly(level)
-	permP := rp.NewPoly(levelP)
-	for _, step := range steps {
-		k := rq.GaloisElementForRotation(step)
-		key, ok := ev.eks.Rot[k]
-		if !ok {
-			return nil, fmt.Errorf("ckks: rotation key for step %d missing", step)
-		}
-		accBQ := rq.NewPoly(level)
-		accAQ := rq.NewPoly(level)
-		accBP := rp.NewPoly(levelP)
-		accAP := rp.NewPoly(levelP)
+	permQ := rq.Borrow(level)
+	permP := rp.Borrow(levelP)
+	accBQ := rq.Borrow(level)
+	accAQ := rq.Borrow(level)
+	accBP := rp.Borrow(levelP)
+	accAP := rp.Borrow(levelP)
+	outB := rq.Borrow(level)
+	for si, step := range steps {
+		k, key := elems[si], keys[si]
+		rq.Zero(level, accBQ)
+		rq.Zero(level, accAQ)
+		rp.Zero(levelP, accBP)
+		rp.Zero(levelP, accAP)
 		for g := 0; g < groups; g++ {
 			rq.Automorphism(level, dQ[g], k, permQ)
 			rp.Automorphism(levelP, dP[g], k, permP)
@@ -339,16 +394,26 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, steps []int) (map[int]*Cipher
 		rq.INTT(level, accAQ)
 		rp.INTT(levelP, accBP)
 		rp.INTT(levelP, accAP)
-		outB := rq.NewPoly(level)
-		outA := rq.NewPoly(level)
+		outA := rq.Borrow(level)
 		ctx.Ext.ModDown(level, accBQ, accBP, outB)
 		ctx.Ext.ModDown(level, accAQ, accAP, outA)
 		// Add the rotated B part.
-		bp := rq.NewPoly(level)
+		bp := rq.Borrow(level)
 		rq.Automorphism(level, ct.B, k, bp)
 		rq.Add(level, bp, outB, bp)
-		out[step] = &Ciphertext{B: bp, A: outA, Level: level, Scale: ct.Scale}
+		out[step] = ctx.wrapCt(bp, outA, level, ct.Scale)
 	}
+	for g := 0; g < groups; g++ {
+		rq.Release(dQ[g])
+		rp.Release(dP[g])
+	}
+	rq.Release(permQ)
+	rp.Release(permP)
+	rq.Release(accBQ)
+	rq.Release(accAQ)
+	rp.Release(accBP)
+	rp.Release(accAP)
+	rq.Release(outB)
 	return out, nil
 }
 
@@ -356,20 +421,24 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, steps []int) (map[int]*Cipher
 // polynomial c at the given level, returning (B, A) over Q such that
 // B + A·s ≈ c·s'. This is the paper's Keyswitch primitive: per digit group a
 // ModUp (Bconv), the DecompPolyMult accumulation against the evk, and a
-// final ModDown.
+// final ModDown. The returned polynomials come from the ring arena; callers
+// that are done with them may hand them back via RQ.Release (the evaluator's
+// own call sites do), and callers that keep them simply let the GC take over.
+//
+//alchemist:hot
 func (ev *Evaluator) KeySwitch(level int, c *ring.Poly, swk *SwitchingKey) (*ring.Poly, *ring.Poly) {
 	ctx := ev.ctx
 	rq, rp := ctx.RQ, ctx.RP
 	levelP := rp.MaxLevel()
 	groups := ctx.GroupsAtLevel(level)
 
-	accBQ := rq.NewPoly(level) // NTT domain accumulators
-	accAQ := rq.NewPoly(level)
-	accBP := rp.NewPoly(levelP)
-	accAP := rp.NewPoly(levelP)
+	accBQ := rq.BorrowZero(level) // NTT domain accumulators
+	accAQ := rq.BorrowZero(level)
+	accBP := rp.BorrowZero(levelP)
+	accAP := rp.BorrowZero(levelP)
 
-	dQ := rq.NewPoly(level)
-	dP := rp.NewPoly(levelP)
+	dQ := rq.Borrow(level)
+	dP := rp.Borrow(levelP)
 
 	for g := 0; g < groups; g++ {
 		lo, hi := ctx.GroupRange(g)
@@ -400,9 +469,15 @@ func (ev *Evaluator) KeySwitch(level int, c *ring.Poly, swk *SwitchingKey) (*rin
 	rp.INTT(levelP, accBP)
 	rp.INTT(levelP, accAP)
 
-	outB := rq.NewPoly(level)
-	outA := rq.NewPoly(level)
+	outB := rq.Borrow(level)
+	outA := rq.Borrow(level)
 	ctx.Ext.ModDown(level, accBQ, accBP, outB)
 	ctx.Ext.ModDown(level, accAQ, accAP, outA)
+	rq.Release(accBQ)
+	rq.Release(accAQ)
+	rp.Release(accBP)
+	rp.Release(accAP)
+	rq.Release(dQ)
+	rp.Release(dP)
 	return outB, outA
 }

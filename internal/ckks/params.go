@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"math/big"
+	"sync"
 
 	"alchemist/internal/modmath"
 	"alchemist/internal/ring"
@@ -163,6 +164,10 @@ type Context struct {
 	// Per-digit-group converters from the group's moduli to Q and to P.
 	groupToQ []*ring.BasisConverter
 	groupToP []*ring.BasisConverter
+
+	// ctPool recycles Ciphertext wrappers (the polynomials themselves go
+	// through the ring arenas); see Recycle in evaluator.go.
+	ctPool sync.Pool
 }
 
 // NewContext instantiates rings and precomputations for params.

@@ -75,14 +75,14 @@ type Result struct {
 
 // Stats is an observable snapshot of an engine's activity.
 type Stats struct {
-	Workers    int
-	Submitted  int64
-	Completed  int64 // includes failures
-	Failed     int64
-	CacheHits  int64
+	Workers     int
+	Submitted   int64
+	Completed   int64 // includes failures
+	Failed      int64
+	CacheHits   int64
 	CacheMisses int64
-	QueueDepth int           // jobs enqueued but not yet picked up
-	TotalWall  time.Duration // Σ per-job wall clock across completed jobs
+	QueueDepth  int           // jobs enqueued but not yet picked up
+	TotalWall   time.Duration // Σ per-job wall clock across completed jobs
 }
 
 // HitRate returns the cache hit fraction (0 when nothing was looked up).

@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// HotAlloc implements the hot-alloc rule: a function annotated with the
+//
+//	//alchemist:hot
+//
+// directive declares itself a steady-state-allocation-free kernel — the
+// claim the arena layer (ring.BufPool, Ring.Borrow/Release) exists to make
+// true and the AllocsPerRun tests pin. Inside such a function, a
+// make([]uint64, ...) is the telltale regression: degree-sized scratch being
+// allocated per call instead of borrowed from the pool. Return-value
+// allocation belongs in an unannotated wrapper (see tfhe.FromNTT over
+// FromNTTInto); rare legitimate sites (cold fallbacks, first-use cache
+// construction) carry a reasoned //alchemist:allow hot-alloc directive.
+type HotAlloc struct{}
+
+// NewHotAlloc returns the rule. The annotation is opt-in per function, so no
+// package scope is needed; the module argument matches the other
+// constructors' shape.
+func NewHotAlloc(module string) *HotAlloc {
+	_ = module
+	return &HotAlloc{}
+}
+
+func (*HotAlloc) Name() string { return "hot-alloc" }
+
+func (*HotAlloc) Doc() string {
+	return "no make([]uint64, ...) inside //alchemist:hot functions; borrow scratch from the ring arenas"
+}
+
+var hotDirectiveRE = regexp.MustCompile(`^//\s*alchemist:hot\s*$`)
+
+func (h *HotAlloc) Check(p *Package, report func(Finding)) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotAnnotated(fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isMakeUint64Slice(p, call) {
+					return true
+				}
+				if p.Allowed(h.Name(), call.Pos()) {
+					return true
+				}
+				report(Finding{
+					Pos:  p.Fset.Position(call.Pos()),
+					Rule: h.Name(),
+					Msg:  "make([]uint64, ...) inside //alchemist:hot function " + fd.Name.Name,
+					Hint: "borrow scratch (ring.BufPool.Get, Ring.Borrow/Scratch) and release it, move the allocation to an unannotated wrapper, or annotate //alchemist:allow hot-alloc <reason>",
+				})
+				return true
+			})
+		}
+	}
+}
+
+// isHotAnnotated reports whether the function's doc comment carries the
+// //alchemist:hot directive.
+func isHotAnnotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if hotDirectiveRE.MatchString(c.Text) {
+			return true
+		}
+	}
+	return false
+}
+
+// isMakeUint64Slice reports whether call is the builtin make producing a
+// []uint64 (the arenas' scratch currency).
+func isMakeUint64Slice(p *Package, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return false
+	}
+	if _, builtin := p.Info.Uses[id].(*types.Builtin); !builtin {
+		return false // shadowed make
+	}
+	sl, ok := p.Info.TypeOf(call).(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint64
+}

@@ -25,7 +25,7 @@ func fixtureRunner(t *testing.T, l *Loader, fixture string) *Runner {
 	ew.Scope = append(ew.Scope, "fixture/"+fixture)
 	return &Runner{
 		Loader:    l,
-		Analyzers: []Analyzer{wr, rm, NewArchConst("alchemist"), NewPanicDisc("alchemist"), be, ew},
+		Analyzers: []Analyzer{wr, rm, NewArchConst("alchemist"), NewPanicDisc("alchemist"), be, ew, NewHotAlloc("alchemist")},
 	}
 }
 
@@ -43,7 +43,7 @@ func renderFindings(fs []Finding) string {
 }
 
 func TestFixturesGolden(t *testing.T) {
-	fixtures := []string{"weakrand", "rawmod", "archconst", "panicdisc", "directive", "benchengine", "errswrap"}
+	fixtures := []string{"weakrand", "rawmod", "archconst", "panicdisc", "directive", "benchengine", "errswrap", "hotalloc"}
 	for _, name := range fixtures {
 		t.Run(name, func(t *testing.T) {
 			l, err := NewLoader(repoRoot(t))
@@ -84,6 +84,7 @@ func TestFixturesFire(t *testing.T) {
 		"directive":   "directive",
 		"benchengine": "bench-engine",
 		"errswrap":    "errs-wrap",
+		"hotalloc":    "hot-alloc",
 	}
 	for name, rule := range expect {
 		l, err := NewLoader(repoRoot(t))

@@ -13,6 +13,7 @@ func DefaultAnalyzers(module string) []Analyzer {
 		NewPanicDisc(module),
 		NewBenchEngine(module),
 		NewErrsWrap(module),
+		NewHotAlloc(module),
 	}
 }
 

@@ -1,0 +1,64 @@
+// Package hotalloc is a fixture for the hot-alloc rule.
+package hotalloc
+
+// pool stands in for the real ring arena in this fixture.
+var pool [][]uint64
+
+func borrow(n int) []uint64 {
+	if len(pool) > 0 {
+		b := pool[len(pool)-1]
+		pool = pool[:len(pool)-1]
+		return b[:n]
+	}
+	return make([]uint64, n)
+}
+
+// BadKernel allocates degree-sized scratch inside a hot function (flagged).
+//
+//alchemist:hot
+func BadKernel(a []uint64) []uint64 {
+	tmp := make([]uint64, len(a)) // flagged
+	copy(tmp, a)
+	return tmp
+}
+
+// BadNested allocates inside a closure within a hot function (flagged).
+//
+//alchemist:hot
+func BadNested(a []uint64) {
+	f := func() []uint64 { return make([]uint64, len(a)) }
+	_ = f()
+}
+
+// ColdWrapper allocates the return value outside any hot annotation — the
+// sanctioned wrapper pattern, not flagged.
+func ColdWrapper(a []uint64) []uint64 {
+	out := make([]uint64, len(a))
+	HotInto(a, out)
+	return out
+}
+
+// HotInto writes into caller scratch and borrows the rest (clean).
+//
+//alchemist:hot
+func HotInto(a, out []uint64) {
+	tmp := borrow(len(a))
+	copy(tmp, a)
+	copy(out, tmp)
+	pool = append(pool, tmp)
+}
+
+// HotOtherType allocates a non-uint64 slice — outside the rule's currency,
+// not flagged.
+//
+//alchemist:hot
+func HotOtherType(n int) []int32 {
+	return make([]int32, n)
+}
+
+// HotAllowed carries a reasoned exemption (clean).
+//
+//alchemist:hot
+func HotAllowed(n int) []uint64 {
+	return make([]uint64, n) //alchemist:allow hot-alloc fixture demonstrates a reasoned cold-path exemption
+}

@@ -48,3 +48,31 @@ func FuzzReductionAgreement(f *testing.F) {
 		}
 	})
 }
+
+// FuzzMulModShoupLazyDomain pins MulModShoupLazy's full documented contract:
+// over the whole Harvey domain a < 4q (not just the reduced a < q the
+// agreement fuzzer exercises), the result stays below 2q and is congruent to
+// a·w. The lazy NTT kernels in package ring feed butterfly sums up to 4q into
+// this function and rely on both halves of the guarantee.
+func FuzzMulModShoupLazyDomain(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(12289))
+	f.Add(^uint64(0), uint64(1), uint64(4611686018427387847))
+	// a at the very top of the 4q domain, q at the top of the 2^62 bound.
+	f.Add(^uint64(0), ^uint64(0), (uint64(1)<<62)-60)
+	f.Add(uint64(1)<<63, (uint64(1)<<62)-61, (uint64(1)<<62)-60)
+	f.Fuzz(func(t *testing.T, aSeed, wSeed, qSeed uint64) {
+		q := qSeed%((1<<62)-3) + 3
+		if q%2 == 0 {
+			q++
+		}
+		a := aSeed % (4 * q) // full lazy butterfly domain [0, 4q)
+		w := wSeed % q
+		r := MulModShoupLazy(a, w, ShoupPrecomp(w, q), q)
+		if r >= 2*q {
+			t.Fatalf("MulModShoupLazy(%d,%d) mod %d = %d ≥ 2q", a, w, q, r)
+		}
+		if want := MulMod(a%q, w, q); r%q != want {
+			t.Fatalf("MulModShoupLazy(%d,%d) mod %d ≡ %d want %d", a, w, q, r%q, want)
+		}
+	})
+}

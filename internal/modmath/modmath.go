@@ -171,10 +171,20 @@ func MulModShoup(a, w, wShoup, q uint64) uint64 {
 	return r
 }
 
-// MulModShoupLazy is MulModShoup without the final conditional subtraction:
-// the result lies in [0, 2q). It tolerates a < 4q (Harvey's lazy butterfly
-// domain) provided q < 2^62 — the software counterpart of the Meta-OP's
-// deferred reduction.
+// MulModShoupLazy is MulModShoup without the final conditional subtraction.
+//
+// Contract (pinned by FuzzMulModShoupLazyDomain): for q < 2^62, w < q and
+// wShoup = ShoupPrecomp(w, q), any a < 4q yields a result r with
+//
+//	r < 2q  and  r ≡ a·w (mod q).
+//
+// The 4q input domain is Harvey's lazy butterfly range: NTT butterflies keep
+// values in [0, 2q) and form sums/differences up to 4q before multiplying,
+// deferring normalization — the software counterpart of the Meta-OP's
+// deferred reduction. One conditional subtraction of q (condSub/condSubMask
+// in package ring) folds r back to [0, q), making the lazy pipeline
+// byte-identical to the eager one; reduceOnce handles the wider [0, 4q)
+// accumulator range with one subtraction of 2q then one of q.
 func MulModShoupLazy(a, w, wShoup, q uint64) uint64 {
 	qHat, _ := bits.Mul64(a, wShoup)
 	return a*w - qHat*q

@@ -1,0 +1,154 @@
+// The race detector makes sync.Pool drop a random fraction of Puts (to
+// shake out pool races), so zero-allocation pins cannot hold under -race.
+//go:build !race
+
+package ring
+
+import (
+	"testing"
+
+	"alchemist/internal/modmath"
+)
+
+// Steady-state allocation pins for the //alchemist:hot kernels. Once the
+// arenas and caches are warm, a transform or conversion must not allocate:
+// allocation in these loops is the software analogue of an accelerator
+// spilling to HBM mid-kernel, and it is what the scratch pools exist to
+// eliminate. Each pin runs on the serial path (workers=1, the default), which
+// is also the path CI measures.
+
+// TestPoolAllocFreeSteadyState pins the arena's core promise: a warm
+// Get/Put (and Borrow/Release) cycle performs zero allocations. This is what
+// distinguishes the header-boxing-free design from a naive sync.Pool of
+// slices, which allocates a 3-word interface box per Put.
+func TestPoolAllocFreeSteadyState(t *testing.T) {
+	var bp BufPool
+	bp.Put(bp.Get(1024)) // warm
+	if n := testing.AllocsPerRun(100, func() {
+		b := bp.Get(1024)
+		bp.Put(b)
+	}); n != 0 {
+		t.Errorf("warm BufPool Get/Put allocates %.1f per op, want 0", n)
+	}
+
+	r := poolRing(t)
+	level := r.MaxLevel()
+	r.Release(r.Borrow(level)) // warm
+	if n := testing.AllocsPerRun(100, func() {
+		p := r.Borrow(level)
+		r.Release(p)
+	}); n != 0 {
+		t.Errorf("warm Borrow/Release allocates %.1f per op, want 0", n)
+	}
+}
+
+func allocRings(t *testing.T) (*Ring, *Ring) {
+	t.Helper()
+	const n = 256
+	primes, err := modmath.GenerateNTTPrimes(40, uint64(2*n), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rq, err := NewRing(n, primes[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := NewRing(n, primes[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rq, rp
+}
+
+func TestNTTAllocFree(t *testing.T) {
+	rq, _ := allocRings(t)
+	level := rq.MaxLevel()
+	p := rq.NewPoly(level)
+	NewSampler(rq, 1).Uniform(level, p)
+	rq.NTT(level, p) // warm
+	rq.INTT(level, p)
+	if n := testing.AllocsPerRun(50, func() {
+		rq.NTT(level, p)
+		rq.INTT(level, p)
+	}); n != 0 {
+		t.Errorf("serial NTT+INTT allocates %.1f per op, want 0", n)
+	}
+}
+
+func TestAutomorphismNTTAllocFree(t *testing.T) {
+	rq, _ := allocRings(t)
+	level := rq.MaxLevel()
+	a := rq.NewPoly(level)
+	out := rq.NewPoly(level)
+	NewSampler(rq, 2).Uniform(level, a)
+	k := rq.GaloisElementForRotation(1)
+	rq.AutomorphismNTT(level, a, k, out) // warm the permutation cache
+	if n := testing.AllocsPerRun(50, func() {
+		rq.AutomorphismNTT(level, a, k, out)
+	}); n != 0 {
+		t.Errorf("warm AutomorphismNTT allocates %.1f per op, want 0", n)
+	}
+}
+
+func TestModUpModDownAllocFree(t *testing.T) {
+	rq, rp := allocRings(t)
+	e := NewExtender(rq, rp)
+	level := rq.MaxLevel()
+	a := rq.NewPoly(level)
+	NewSampler(rq, 3).Uniform(level, a)
+	aP := rp.NewPoly(rp.MaxLevel())
+	out := rq.NewPoly(level)
+
+	e.ModUp(level, a, aP) // warm conversion scratch
+	if n := testing.AllocsPerRun(50, func() {
+		e.ModUp(level, a, aP)
+	}); n != 0 {
+		t.Errorf("warm ModUp allocates %.1f per op, want 0", n)
+	}
+
+	e.ModDown(level, a, aP, out) // warm arena + scratch
+	if n := testing.AllocsPerRun(50, func() {
+		e.ModDown(level, a, aP, out)
+	}); n != 0 {
+		t.Errorf("warm ModDown allocates %.1f per op, want 0", n)
+	}
+
+	e.ModDownExact(level, a, aP, out) // warm qModDst cache
+	if n := testing.AllocsPerRun(50, func() {
+		e.ModDownExact(level, a, aP, out)
+	}); n != 0 {
+		t.Errorf("warm ModDownExact allocates %.1f per op, want 0", n)
+	}
+}
+
+func TestRescaleAllocFree(t *testing.T) {
+	rq, rp := allocRings(t)
+	e := NewExtender(rq, rp)
+	level := rq.MaxLevel()
+	a := rq.NewPoly(level)
+	NewSampler(rq, 4).Uniform(level, a)
+	out := rq.NewPoly(level - 1)
+	e.RescaleByLastModulus(level, a, out) // warm
+	if n := testing.AllocsPerRun(50, func() {
+		e.RescaleByLastModulus(level, a, out)
+	}); n != 0 {
+		t.Errorf("RescaleByLastModulus allocates %.1f per op, want 0", n)
+	}
+}
+
+func TestMulPolyAllocFree(t *testing.T) {
+	rq, _ := allocRings(t)
+	level := rq.MaxLevel()
+	a := rq.NewPoly(level)
+	b := rq.NewPoly(level)
+	out := rq.NewPoly(level)
+	s := NewSampler(rq, 5)
+	s.Uniform(level, a)
+	s.Uniform(level, b)
+	rq.MulPoly(level, a, b, out) // warm
+	if n := testing.AllocsPerRun(20, func() {
+		rq.MulPoly(level, a, b, out)
+	}); n != 0 {
+		t.Errorf("warm MulPoly allocates %.1f per op, want 0", n)
+	}
+}

@@ -30,23 +30,39 @@ func (r *Ring) Automorphism(level int, a *Poly, k uint64, out *Poly) {
 // out[j] = in[brv((e_j·k mod 2N - 1)/2)]. This is the hot path real
 // libraries use for rotations on NTT-resident ciphertexts; it is validated
 // against the coefficient-domain Automorphism in the tests.
+//
+//alchemist:hot
 func (r *Ring) AutomorphismNTT(level int, a *Poly, k uint64, out *Poly) {
 	n := r.N
-	logN := log2(n)
 	mask := uint64(2*n - 1)
 	k &= mask
-	// The permutation depends only on N and k; compute once per call.
-	perm := make([]int, n)
-	for j := 0; j < n; j++ {
-		e := (2*uint64(bitrev(uint32(j), logN)) + 1) * k & mask
-		perm[j] = int(bitrev(uint32((e-1)/2), logN))
-	}
+	perm := r.automorphismPerm(k)
 	for i := 0; i <= level; i++ {
-		src, dst := a.Coeffs[i], out.Coeffs[i]
-		for j := 0; j < n; j++ {
+		src, dst := a.Coeffs[i][:n:n], out.Coeffs[i][:n:n]
+		for j := range dst {
 			dst[j] = src[perm[j]]
 		}
 	}
+}
+
+// automorphismPerm returns the NTT-domain index permutation for φ_k, cached
+// per Ring: an evaluation uses a handful of Galois elements (its rotation
+// keys) over and over, and recomputing the table cost more than the
+// permutation itself. k must already be masked to [0, 2N).
+func (r *Ring) automorphismPerm(k uint64) []int32 {
+	if cached, ok := r.permCache.Load(k); ok {
+		return cached.([]int32)
+	}
+	n := r.N
+	logN := log2(n)
+	mask := uint64(2*n - 1)
+	perm := make([]int32, n)
+	for j := 0; j < n; j++ {
+		e := (2*uint64(bitrev(uint32(j), logN)) + 1) * k & mask
+		perm[j] = int32(bitrev(uint32((e-1)/2), logN))
+	}
+	r.permCache.Store(k, perm)
+	return perm
 }
 
 // GaloisElementForRotation returns the Galois element 5^steps mod 2N used to

@@ -36,53 +36,61 @@ func (s *SubRing) FourStepNTT(a []uint64, n1 int) ([]uint64, error) {
 	omega1 := modmath.PowMod(omega, uint64(n2), q)
 	omega2 := modmath.PowMod(omega, uint64(n1), q)
 
+	// Row-major matrix scratch from the subring arena (row j1 of T is
+	// t[j1·n2 : (j1+1)·n2], row k2 of U is u[k2·n1 : (k2+1)·n1]); only the
+	// returned slice is allocated.
+	scaled := s.scratch.Get(n)
+	t := s.scratch.Get(n)
+	u := s.scratch.Get(n)
 	// Pre-scale by ψ^j (negacyclic fold), laid out as T[j1][j2] = a[j1 + n1·j2].
-	t := make([][]uint64, n1)
 	psiPow := uint64(1)
-	scaled := make([]uint64, n)
 	for j := 0; j < n; j++ {
 		scaled[j] = modmath.MulMod(a[j], psiPow, q)
 		psiPow = modmath.MulMod(psiPow, s.Psi, q)
 	}
 	for j1 := 0; j1 < n1; j1++ {
-		t[j1] = make([]uint64, n2)
+		row := t[j1*n2 : (j1+1)*n2]
 		for j2 := 0; j2 < n2; j2++ {
-			t[j1][j2] = scaled[j1+n1*j2]
+			row[j2] = scaled[j1+n1*j2]
 		}
 	}
 	// Step 1: length-n2 cyclic NTT along each row (local to a unit).
 	for j1 := 0; j1 < n1; j1++ {
-		cyclicNTT(t[j1], q, omega2)
+		cyclicNTT(t[j1*n2:(j1+1)*n2], q, omega2)
 	}
 	// Step 2: twiddle T[j1][k2] *= ω^(j1·k2).
 	for j1 := 0; j1 < n1; j1++ {
+		row := t[j1*n2 : (j1+1)*n2]
 		wRow := modmath.PowMod(omega, uint64(j1), q)
 		w := uint64(1)
 		for k2 := 0; k2 < n2; k2++ {
-			t[j1][k2] = modmath.MulMod(t[j1][k2], w, q)
+			row[k2] = modmath.MulMod(row[k2], w, q)
 			w = modmath.MulMod(w, wRow, q)
 		}
 	}
 	// Step 3: transpose (through the transpose register file on hardware).
-	u := make([][]uint64, n2)
 	for k2 := 0; k2 < n2; k2++ {
-		u[k2] = make([]uint64, n1)
+		row := u[k2*n1 : (k2+1)*n1]
 		for j1 := 0; j1 < n1; j1++ {
-			u[k2][j1] = t[j1][k2]
+			row[j1] = t[j1*n2+k2]
 		}
 	}
 	// Step 4: length-n1 cyclic NTT along each transposed row.
 	for k2 := 0; k2 < n2; k2++ {
-		cyclicNTT(u[k2], q, omega1)
+		cyclicNTT(u[k2*n1:(k2+1)*n1], q, omega1)
 	}
 	// Final gather: X[k2 + n2·k1] = U[k2][k1] (second transpose, making the
 	// output natural-order).
 	out := make([]uint64, n)
 	for k2 := 0; k2 < n2; k2++ {
+		row := u[k2*n1 : (k2+1)*n1]
 		for k1 := 0; k1 < n1; k1++ {
-			out[k2+n2*k1] = u[k2][k1]
+			out[k2+n2*k1] = row[k1]
 		}
 	}
+	s.scratch.Put(scaled)
+	s.scratch.Put(t)
+	s.scratch.Put(u)
 	return out, nil
 }
 
@@ -98,35 +106,37 @@ func (s *SubRing) FourStepINTT(x []uint64, n1 int) ([]uint64, error) {
 	omega1Inv := modmath.PowMod(omegaInv, uint64(n2), q)
 	omega2Inv := modmath.PowMod(omegaInv, uint64(n1), q)
 
+	// Row-major matrix scratch, as in FourStepNTT.
+	u := s.scratch.Get(n)
+	t := s.scratch.Get(n)
 	// Reverse the final gather: U[k2][k1] = X[k2 + n2·k1].
-	u := make([][]uint64, n2)
 	for k2 := 0; k2 < n2; k2++ {
-		u[k2] = make([]uint64, n1)
+		row := u[k2*n1 : (k2+1)*n1]
 		for k1 := 0; k1 < n1; k1++ {
-			u[k2][k1] = x[k2+n2*k1]
+			row[k1] = x[k2+n2*k1]
 		}
 	}
 	for k2 := 0; k2 < n2; k2++ {
-		cyclicNTT(u[k2], q, omega1Inv)
+		cyclicNTT(u[k2*n1:(k2+1)*n1], q, omega1Inv)
 	}
 	// Transpose and undo twiddles.
-	t := make([][]uint64, n1)
 	for j1 := 0; j1 < n1; j1++ {
-		t[j1] = make([]uint64, n2)
+		row := t[j1*n2 : (j1+1)*n2]
 		for k2 := 0; k2 < n2; k2++ {
-			t[j1][k2] = u[k2][j1]
+			row[k2] = u[k2*n1+j1]
 		}
 	}
 	for j1 := 0; j1 < n1; j1++ {
+		row := t[j1*n2 : (j1+1)*n2]
 		wRow := modmath.PowMod(omegaInv, uint64(j1), q)
 		w := uint64(1)
 		for k2 := 0; k2 < n2; k2++ {
-			t[j1][k2] = modmath.MulMod(t[j1][k2], w, q)
+			row[k2] = modmath.MulMod(row[k2], w, q)
 			w = modmath.MulMod(w, wRow, q)
 		}
 	}
 	for j1 := 0; j1 < n1; j1++ {
-		cyclicNTT(t[j1], q, omega2Inv)
+		cyclicNTT(t[j1*n2:(j1+1)*n2], q, omega2Inv)
 	}
 	// Un-scale by ψ^{-j}/N and flatten.
 	out := make([]uint64, n)
@@ -134,9 +144,11 @@ func (s *SubRing) FourStepINTT(x []uint64, n1 int) ([]uint64, error) {
 	psiPow := nInv
 	for j := 0; j < n; j++ {
 		j1, j2 := j%n1, j/n1
-		out[j] = modmath.MulMod(t[j1][j2], psiPow, q)
+		out[j] = modmath.MulMod(t[j1*n2+j2], psiPow, q)
 		psiPow = modmath.MulMod(psiPow, s.PsiInv, q)
 	}
+	s.scratch.Put(u)
+	s.scratch.Put(t)
 	return out, nil
 }
 

@@ -29,3 +29,30 @@ func FuzzPolyUnmarshal(f *testing.F) {
 		}
 	})
 }
+
+// FuzzReduceOnce pins the lazy-domain normalization against the
+// MulModShoupLazy output contract: for any x in the [0, 4q) accumulator
+// range, one conditional subtraction of 2q followed by one of q lands
+// exactly on x mod q. condSub and condSubMask (the two branch-free
+// single-subtraction forms the kernels choose between) must agree with each
+// other and, on the [0, 2q) subrange, with reduceOnce.
+func FuzzReduceOnce(f *testing.F) {
+	f.Add(uint64(0), uint64(12289))
+	f.Add(^uint64(0), (uint64(1)<<62)-60)
+	f.Add(uint64(4)*12289-1, uint64(12289))
+	f.Add(uint64(2)*12289, uint64(12289))
+	f.Fuzz(func(t *testing.T, xSeed, qSeed uint64) {
+		q := qSeed%((1<<62)-3) + 3
+		x := xSeed % (4 * q)
+		if got := reduceOnce(x, 2*q, q); got != x%q {
+			t.Fatalf("reduceOnce(%d, 2q, %d) = %d want %d", x, q, got, x%q)
+		}
+		y := x % (2 * q) // condSub's domain is one subtraction wide
+		if a, b := condSub(y, q), condSubMask(y, q); a != b || a != y%q {
+			t.Fatalf("condSub(%d, %d) = %d, condSubMask = %d, want %d", y, q, a, b, y%q)
+		}
+		if got := reduceOnce(y, 2*q, q); got != y%q {
+			t.Fatalf("reduceOnce(%d, 2q, %d) = %d want %d on [0,2q)", y, q, got, y%q)
+		}
+	})
+}

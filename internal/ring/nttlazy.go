@@ -4,78 +4,212 @@ import "alchemist/internal/modmath"
 
 // Lazy-reduction NTT kernels (Harvey): butterfly values live in [0, 4q) and
 // only the twiddle product is reduced (to [0, 2q)), deferring the rest of
-// the reduction work to a single final pass — the software counterpart of
-// the Meta-OP's (M_jA_j)_nR_j lazy reduction, and ~1.5× faster than the
+// the reduction work to the end of the transform — the software counterpart
+// of the Meta-OP's (M_jA_j)_nR_j lazy reduction, and ~1.5× faster than the
 // eager kernels. Requires q < 2^62, which every modulus in this repository
 // satisfies.
+//
+// At N = 2^16 (the paper's CKKS degree) the transform is memory-bound: a
+// log N-stage radix-2 network sweeps the full coefficient vector once per
+// stage. Three structural optimizations cut that traffic and are worth
+// their obscurity; the eager kernels in subring.go remain the readable
+// reference and the tests pin these to byte-identical outputs:
+//
+//   - consecutive stage PAIRS are fused (radix-4 style): four coefficients
+//     are loaded, carried through both stages in registers, and stored once,
+//     halving the number of memory sweeps — the software analogue of keeping
+//     operands in the accelerator scratchpad between passes;
+//   - the final full-reduction pass is folded into the last butterfly stage
+//     (for the INTT together with the N^{-1} scaling, using a twiddle
+//     premultiplied by N^{-1}), saving one more read+write sweep;
+//   - conditional subtractions avoid unpredictable branches: butterfly
+//     inputs are uniform over [0, 4q), so a branch is a coin flip the
+//     predictor always loses. The NTT's comparison form lowers to CMOV;
+//     the INTT measurably prefers the explicit borrow-mask form (the
+//     surrounding instruction mix schedules differently) — both are
+//     branch-free on amd64, and the choice per kernel is empirical;
+//
+// plus half-open three-index subslices so the compiler drops bounds checks
+// in the inner loops. The fused pairs replay the exact radix-2 dataflow per
+// element, so outputs are byte-identical to the single-stage kernels.
+
+// condSub returns x - q if x >= q, else x (lowered to a CMOV, not a branch).
+func condSub(x, q uint64) uint64 {
+	if x >= q {
+		x -= q
+	}
+	return x
+}
+
+// condSubMask is condSub computed from the borrow's sign bit: the
+// subtraction underflows exactly when x < q, and the mask adds q back.
+func condSubMask(x, q uint64) uint64 {
+	d := x - q
+	return d + (q & uint64(int64(d)>>63))
+}
 
 // NTTLazy computes the same transform as NTT (natural order in,
 // bit-reversed out, fully reduced results) using lazy butterflies.
+//
+//alchemist:hot
 func (s *SubRing) NTTLazy(p []uint64) {
 	n, q := s.N, s.Q
 	twoQ := 2 * q
 	t := n
-	for m := 1; m < n; m <<= 1 {
-		t >>= 1
+	m := 1
+	// Fused stage pairs (stages m and 2m), while stage 2m is not the last.
+	// Invariant at the top: t = n/m; values live in [0, 4q).
+	for ; 4*m < n; m <<= 2 {
+		t >>= 2 // quarter-block length of the fused pair
 		for i := 0; i < m; i++ {
-			w := s.psiRev[m+i]
-			ws := s.psiRevShoup[m+i]
-			j1 := 2 * i * t
-			for j := j1; j < j1+t; j++ {
-				u := p[j]
-				if u >= twoQ {
-					u -= twoQ
-				}
-				v := modmath.MulModShoupLazy(p[j+t], w, ws, q) // [0, 2q)
-				p[j] = u + v                                   // [0, 4q)
-				p[j+t] = u + twoQ - v                          // [0, 4q)
+			wA, wAs := s.psiRev[m+i], s.psiRevShoup[m+i]
+			wB0, wB0s := s.psiRev[2*m+2*i], s.psiRevShoup[2*m+2*i]
+			wB1, wB1s := s.psiRev[2*m+2*i+1], s.psiRevShoup[2*m+2*i+1]
+			j1 := 4 * i * t
+			x0 := p[j1 : j1+t : j1+t]
+			x1 := p[j1+t : j1+2*t : j1+2*t]
+			x2 := p[j1+2*t : j1+3*t : j1+3*t]
+			x3 := p[j1+3*t : j1+4*t : j1+4*t]
+			for j := range x0 {
+				a, b, c, d := x0[j], x1[j], x2[j], x3[j]
+				// Stage m: butterflies (a,c) and (b,d) at distance 2t.
+				u0 := condSub(a, twoQ)
+				v0 := modmath.MulModShoupLazy(c, wA, wAs, q)
+				a, c = u0+v0, u0+twoQ-v0
+				u1 := condSub(b, twoQ)
+				v1 := modmath.MulModShoupLazy(d, wA, wAs, q)
+				b, d = u1+v1, u1+twoQ-v1
+				// Stage 2m: butterflies (a,b) and (c,d) at distance t.
+				u0 = condSub(a, twoQ)
+				v0 = modmath.MulModShoupLazy(b, wB0, wB0s, q)
+				x0[j], x1[j] = u0+v0, u0+twoQ-v0
+				u1 = condSub(c, twoQ)
+				v1 = modmath.MulModShoupLazy(d, wB1, wB1s, q)
+				x2[j], x3[j] = u1+v1, u1+twoQ-v1
 			}
 		}
 	}
-	for j := 0; j < n; j++ {
-		r := p[j]
-		if r >= twoQ {
-			r -= twoQ
+	if m == n>>2 {
+		// log N even: the two remaining stages (m and 2m = n/2) form one
+		// more fused pair, with the full reduction to [0, q) folded into
+		// the stage-2m outputs.
+		for i := 0; i < m; i++ {
+			wA, wAs := s.psiRev[m+i], s.psiRevShoup[m+i]
+			wB0, wB0s := s.psiRev[2*m+2*i], s.psiRevShoup[2*m+2*i]
+			wB1, wB1s := s.psiRev[2*m+2*i+1], s.psiRevShoup[2*m+2*i+1]
+			j := 4 * i
+			a, b, c, d := p[j], p[j+1], p[j+2], p[j+3]
+			u0 := condSub(a, twoQ)
+			v0 := modmath.MulModShoupLazy(c, wA, wAs, q)
+			a, c = u0+v0, u0+twoQ-v0
+			u1 := condSub(b, twoQ)
+			v1 := modmath.MulModShoupLazy(d, wA, wAs, q)
+			b, d = u1+v1, u1+twoQ-v1
+			u0 = condSub(a, twoQ)
+			v0 = modmath.MulModShoupLazy(b, wB0, wB0s, q)
+			p[j] = condSub(condSub(u0+v0, twoQ), q)
+			p[j+1] = condSub(condSub(u0+twoQ-v0, twoQ), q)
+			u1 = condSub(c, twoQ)
+			v1 = modmath.MulModShoupLazy(d, wB1, wB1s, q)
+			p[j+2] = condSub(condSub(u1+v1, twoQ), q)
+			p[j+3] = condSub(condSub(u1+twoQ-v1, twoQ), q)
 		}
-		if r >= q {
-			r -= q
-		}
-		p[j] = r
+		return
+	}
+	// log N odd: a single last stage (t = 1) with the reduction fused in.
+	for i := 0; i < m; i++ {
+		w, ws := s.psiRev[m+i], s.psiRevShoup[m+i]
+		j := 2 * i
+		u := condSub(p[j], twoQ)
+		v := modmath.MulModShoupLazy(p[j+1], w, ws, q)
+		p[j] = condSub(condSub(u+v, twoQ), q)
+		p[j+1] = condSub(condSub(u+twoQ-v, twoQ), q)
 	}
 }
 
 // INTTLazy computes the same transform as INTT using lazy butterflies, with
-// the N^{-1} scaling folded into the final reduction pass.
+// the N^{-1} scaling folded into the last stage (psiInvRevN twiddle).
+//
+//alchemist:hot
 func (s *SubRing) INTTLazy(p []uint64) {
 	n, q := s.N, s.Q
 	twoQ := 2 * q
 	t := 1
-	for m := n; m > 1; m >>= 1 {
-		h := m >> 1
-		j1 := 0
-		for i := 0; i < h; i++ {
-			w := s.psiInvRev[h+i]
-			ws := s.psiInvRevShoup[h+i]
-			for j := j1; j < j1+t; j++ {
-				u := p[j]
-				v := p[j+t]
-				// u, v ∈ [0, 2q) by induction (sum reduced below).
-				sum := u + v
-				if sum >= twoQ {
-					sum -= twoQ
-				}
-				p[j] = sum
-				p[j+t] = modmath.MulModShoupLazy(u+twoQ-v, w, ws, q)
+	m := n
+	// Fused stage pairs (stages m and m/2), while stage m/2 is not the last.
+	// Invariant at the top: t = n/m; sums reduced to [0, 2q), lazy products
+	// in [0, 2q).
+	for ; m > 4; m >>= 2 {
+		hA, hB := m>>1, m>>2
+		for i := 0; i < hB; i++ {
+			wA0, wA0s := s.psiInvRev[hA+2*i], s.psiInvRevShoup[hA+2*i]
+			wA1, wA1s := s.psiInvRev[hA+2*i+1], s.psiInvRevShoup[hA+2*i+1]
+			wB, wBs := s.psiInvRev[hB+i], s.psiInvRevShoup[hB+i]
+			j1 := 4 * i * t
+			x0 := p[j1 : j1+t : j1+t]
+			x1 := p[j1+t : j1+2*t : j1+2*t]
+			x2 := p[j1+2*t : j1+3*t : j1+3*t]
+			x3 := p[j1+3*t : j1+4*t : j1+4*t]
+			for j := range x0 {
+				a, b, c, d := x0[j], x1[j], x2[j], x3[j]
+				// Stage m: butterflies (a,b) and (c,d) at distance t.
+				sa := condSubMask(a+b, twoQ)
+				da := modmath.MulModShoupLazy(a+twoQ-b, wA0, wA0s, q)
+				sc := condSubMask(c+d, twoQ)
+				dc := modmath.MulModShoupLazy(c+twoQ-d, wA1, wA1s, q)
+				// Stage m/2: butterflies (sa,sc) and (da,dc) at distance 2t.
+				x0[j] = condSubMask(sa+sc, twoQ)
+				x1[j] = condSubMask(da+dc, twoQ)
+				x2[j] = modmath.MulModShoupLazy(sa+twoQ-sc, wB, wBs, q)
+				x3[j] = modmath.MulModShoupLazy(da+twoQ-dc, wB, wBs, q)
 			}
-			j1 += 2 * t
 		}
-		t <<= 1
+		t <<= 2
 	}
-	for j := 0; j < n; j++ {
-		p[j] = modmath.MulModShoup(reduceOnce(p[j], twoQ, q), s.nInv, s.nInvShoup, q)
+	// The last stage (m = 2) scales by N^{-1} and reduces fully: the
+	// difference path uses the precomputed psiInvRev[1]·N^{-1}, the sum path
+	// multiplies by N^{-1} directly. MulModShoupLazy tolerates inputs < 4q
+	// and returns [0, 2q), so one conditional subtraction lands in [0, q).
+	w, ws := s.psiInvRevN, s.psiInvRevNShoup
+	ni, nis := s.nInv, s.nInvShoup
+	if m == 4 {
+		// log N even: fuse the unpaired stage (m = 4, twiddles psiInvRev[2]
+		// and psiInvRev[3]) with the last stage in one sweep.
+		wA0, wA0s := s.psiInvRev[2], s.psiInvRevShoup[2]
+		wA1, wA1s := s.psiInvRev[3], s.psiInvRevShoup[3]
+		x0 := p[0:t:t]
+		x1 := p[t : 2*t : 2*t]
+		x2 := p[2*t : 3*t : 3*t]
+		x3 := p[3*t : 4*t : 4*t]
+		for j := range x0 {
+			a, b, c, d := x0[j], x1[j], x2[j], x3[j]
+			sa := condSubMask(a+b, twoQ)
+			da := modmath.MulModShoupLazy(a+twoQ-b, wA0, wA0s, q)
+			sc := condSubMask(c+d, twoQ)
+			dc := modmath.MulModShoupLazy(c+twoQ-d, wA1, wA1s, q)
+			x0[j] = condSubMask(modmath.MulModShoupLazy(sa+sc, ni, nis, q), q)
+			x1[j] = condSubMask(modmath.MulModShoupLazy(da+dc, ni, nis, q), q)
+			x2[j] = condSubMask(modmath.MulModShoupLazy(sa+twoQ-sc, w, ws, q), q)
+			x3[j] = condSubMask(modmath.MulModShoupLazy(da+twoQ-dc, w, ws, q), q)
+		}
+		return
+	}
+	// log N odd: only the last stage remains.
+	h := n >> 1
+	x := p[0:h:h]
+	y := p[h : 2*h : 2*h]
+	for j := range x {
+		u := x[j]
+		v := y[j]
+		x[j] = condSubMask(modmath.MulModShoupLazy(u+v, ni, nis, q), q)
+		y[j] = condSubMask(modmath.MulModShoupLazy(u+twoQ-v, w, ws, q), q)
 	}
 }
 
+// reduceOnce folds a lazy-domain value x < 4q into [0, q): one conditional
+// subtraction of 2q (normalizing the [0, 2q) range MulModShoupLazy
+// guarantees) followed by one of q. The fuzz targets pin the contract
+// between MulModShoupLazy's output range and this normalization.
 func reduceOnce(x, twoQ, q uint64) uint64 {
 	if x >= twoQ {
 		x -= twoQ

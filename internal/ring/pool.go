@@ -1,0 +1,161 @@
+package ring
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Scratch-buffer arena. FHE kernels are dominated by O(N) passes over
+// degree-sized uint64 slices; allocating that scratch per call makes the GC
+// the bottleneck (the software analogue of an accelerator spilling operands
+// to HBM instead of keeping them in the scratchpad). The pool keeps released
+// buffers resident so steady-state hot paths allocate nothing.
+//
+// Two layers:
+//
+//   - BufPool hands out raw []uint64 scratch of any requested length. It is
+//     the building block shared by the Ring, the BasisConverter and the TFHE
+//     polynomial multiplier.
+//   - Ring.Borrow / Ring.Release manage whole RNS polynomials (degree ×
+//     channels), one sync.Pool per level so a Borrow never returns a poly of
+//     the wrong shape.
+//
+// Borrowed memory is NOT zeroed: callers overwrite every word they read, as
+// the kernels here all do. SetPoolDebug(true) poisons buffers on release so
+// a use-after-release reads garbage deterministically instead of stale data
+// that happens to look right.
+
+// poolDebug, when non-zero, poisons every released buffer.
+var poolDebug atomic.Bool
+
+// poolPoison is the word written over released buffers in debug mode. It is
+// a valid (huge) uint64 well above any 62-bit modulus, so arithmetic on a
+// poisoned word fails loudly in tests comparing against the serial oracle.
+const poolPoison = 0xDEADDEADDEADDEAD
+
+// SetPoolDebug toggles poisoning of released scratch buffers. Intended for
+// tests; it is safe to call concurrently with running kernels.
+func SetPoolDebug(on bool) { poolDebug.Store(on) }
+
+// PoolDebug reports whether release-poisoning is enabled.
+func PoolDebug() bool { return poolDebug.Load() }
+
+// BufPool is a sync.Pool of []uint64 scratch buffers. Buffers of any length
+// can be requested; in steady state all callers of one pool request the same
+// length, so recycled buffers always fit.
+//
+// The pool stores *[]uint64 rather than []uint64: storing a bare slice in a
+// sync.Pool boxes its three-word header on every Put (non-pointer → interface
+// conversion allocates), which would leave one allocation per call in kernels
+// this arena exists to make allocation-free. The header boxes themselves are
+// recycled through a second pool, so a steady-state Get/Put cycle allocates
+// nothing.
+type BufPool struct {
+	bufs sync.Pool // *[]uint64 with the buffer attached
+	hdrs sync.Pool // spare *[]uint64 header boxes awaiting reuse
+}
+
+// Get returns a length-n scratch slice with arbitrary contents. The caller
+// must overwrite before reading.
+func (bp *BufPool) Get(n int) []uint64 {
+	if v := bp.bufs.Get(); v != nil {
+		h := v.(*[]uint64)
+		b := *h
+		*h = nil
+		bp.hdrs.Put(h)
+		if cap(b) >= n {
+			return b[:n]
+		}
+		// Wrong shape (pool shared across sizes during warmup): drop it.
+	}
+	return make([]uint64, n)
+}
+
+// Put returns a buffer obtained from Get to the pool.
+func (bp *BufPool) Put(b []uint64) {
+	if b == nil {
+		return
+	}
+	if poolDebug.Load() {
+		for i := range b {
+			b[i] = poolPoison
+		}
+	}
+	var h *[]uint64
+	if v := bp.hdrs.Get(); v != nil {
+		h = v.(*[]uint64)
+	} else {
+		h = new([]uint64)
+	}
+	*h = b[:cap(b)]
+	bp.bufs.Put(h)
+}
+
+// polyPool recycles *Poly values of one fixed level.
+type polyPool struct {
+	level int
+	pool  sync.Pool
+}
+
+// pools returns the per-level poly pools, building them on first use.
+// Construction is cheap (no buffers are allocated until Borrow misses), so
+// racing initializers at worst build the slice twice; the atomic pointer
+// keeps readers safe.
+func (r *Ring) pools() []*polyPool {
+	if ps := r.polyPools.Load(); ps != nil {
+		return *ps
+	}
+	ps := make([]*polyPool, len(r.SubRings))
+	for l := range ps {
+		ps[l] = &polyPool{level: l}
+	}
+	r.polyPools.CompareAndSwap(nil, &ps)
+	return *r.polyPools.Load()
+}
+
+// Borrow returns a level-shaped polynomial from the ring's arena with
+// arbitrary contents (use BorrowZero when the caller accumulates into it).
+// Release it when done; polys that escape to callers unaware of the arena
+// may simply be dropped — the GC reclaims them like any other Poly.
+func (r *Ring) Borrow(level int) *Poly {
+	p := r.pools()[level]
+	if v := p.pool.Get(); v != nil {
+		return v.(*Poly)
+	}
+	return r.NewPoly(level)
+}
+
+// BorrowZero is Borrow with all coefficients cleared.
+func (r *Ring) BorrowZero(level int) *Poly {
+	p := r.Borrow(level)
+	r.Zero(level, p)
+	return p
+}
+
+// Release returns a polynomial obtained from Borrow (or NewPoly — any poly
+// of a shape this ring produces) to the arena. The caller must not touch p
+// afterwards.
+func (r *Ring) Release(p *Poly) {
+	if p == nil || len(p.Coeffs) == 0 || len(p.Coeffs) > len(r.SubRings) {
+		return
+	}
+	if len(p.Coeffs[0]) != r.N {
+		return // foreign shape; let the GC have it
+	}
+	if poolDebug.Load() {
+		for i := range p.Coeffs {
+			c := p.Coeffs[i]
+			for j := range c {
+				c[j] = poolPoison
+			}
+		}
+	}
+	r.pools()[p.Level()].pool.Put(p)
+}
+
+// Scratch returns a single degree-N channel buffer from the ring's raw
+// arena (arbitrary contents; pair with ReleaseScratch).
+func (r *Ring) Scratch() []uint64 { return r.buf.Get(r.N) }
+
+// ReleaseScratch returns a Scratch buffer to the arena.
+func (r *Ring) ReleaseScratch(b []uint64) { r.buf.Put(b) }

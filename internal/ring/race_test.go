@@ -1,8 +1,10 @@
 package ring
 
 import (
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"alchemist/internal/modmath"
 	"alchemist/internal/prng"
@@ -192,4 +194,105 @@ func TestSetWorkersWhileTransforming(t *testing.T) {
 	if w := r.Workers(); w < 1 || w > 8 {
 		t.Fatalf("Workers() = %d after tuning in [1,8]", w)
 	}
+}
+
+// waitGoroutines polls until the live goroutine count drops to want (workers
+// broadcast completion while still holding the pool lock, so the count can
+// lag Close by a scheduler beat).
+func waitGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d live, want ≤ %d", runtime.NumGoroutine(), want)
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCloseReleasesWorkers pins the resident pool's lifecycle: parallel
+// transforms spawn worker goroutines, Close tears every one of them down,
+// and the ring stays usable (serial, then respawning) afterwards. The
+// worker count is clamped to GOMAXPROCS at spawn, so the test raises it —
+// single-CPU CI machines would otherwise never spawn a helper.
+func TestCloseReleasesWorkers(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	base := runtime.NumGoroutine()
+	r := raceRing(t)
+	r.SetWorkers(4)
+	level := r.MaxLevel()
+	p := r.NewPoly(level)
+	NewSampler(r, 9).Uniform(level, p)
+	want := r.Clone(level, p)
+
+	r.NTT(level, p)
+	r.INTT(level, p)
+	if n := runtime.NumGoroutine(); n <= base {
+		t.Fatalf("parallel transform spawned no workers (%d goroutines, base %d)", n, base)
+	}
+
+	r.Close()
+	waitGoroutines(t, base)
+
+	// Still usable after Close: transforms respawn workers on demand.
+	r.NTT(level, p)
+	r.INTT(level, p)
+	if !r.Equal(level, want, p) {
+		t.Fatal("round trip corrupted after Close")
+	}
+	r.Close()
+	r.Close() // idempotent
+	waitGoroutines(t, base)
+}
+
+// TestCloseConcurrentWithTransforms drives Close from one goroutine while
+// others keep transforming: outstanding jobs must finish, and no goroutine
+// may survive the final Close.
+func TestCloseConcurrentWithTransforms(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	base := runtime.NumGoroutine()
+	r := raceRing(t)
+	r.SetWorkers(3)
+	level := r.MaxLevel()
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 4)
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p := r.NewPoly(level)
+			NewSampler(r, int64(70+g)).Uniform(level, p)
+			want := r.Clone(level, p)
+			for i := 0; i < 10; i++ {
+				r.NTT(level, p)
+				r.INTT(level, p)
+			}
+			if !r.Equal(level, want, p) {
+				errs <- "round trip corrupted while closing concurrently"
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			r.Close()
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	r.Close()
+	waitGoroutines(t, base)
 }

@@ -3,6 +3,7 @@ package ring
 import (
 	"fmt"
 	"math/big"
+	"sync"
 	"sync/atomic"
 
 	"alchemist/internal/modmath"
@@ -21,6 +22,17 @@ type Ring struct {
 	// (0 or 1 = single-threaded; see SetWorkers). Atomic so a Ring shared
 	// by concurrent evaluators can be retuned while transforms run.
 	workers atomic.Int32
+
+	// pool holds the resident worker goroutines (parallel.go) and the
+	// scratch arenas (pool.go). Both are lazy: a serial, arena-free ring
+	// pays nothing for them.
+	pool      workerPool
+	polyPools atomic.Pointer[[]*polyPool]
+	buf       BufPool
+
+	// permCache maps Galois element k → NTT-domain index permutation
+	// (automorphism.go); an evaluation reuses a small, fixed key set.
+	permCache sync.Map
 }
 
 // NewRing builds an RNS ring of degree n over the given prime moduli.
@@ -74,6 +86,16 @@ func (r *Ring) NewPoly(level int) *Poly {
 // Level returns the polynomial's level (number of RNS components - 1).
 func (p *Poly) Level() int { return len(p.Coeffs) - 1 }
 
+// Zero clears p at levels 0..level.
+func (r *Ring) Zero(level int, p *Poly) {
+	for i := 0; i <= level; i++ {
+		c := p.Coeffs[i]
+		for j := range c {
+			c[j] = 0
+		}
+	}
+}
+
 // CopyLevel copies src into dst at levels 0..level.
 func (r *Ring) CopyLevel(level int, src, dst *Poly) {
 	for i := 0; i <= level; i++ {
@@ -101,19 +123,32 @@ func (r *Ring) Equal(level int, a, b *Poly) bool {
 }
 
 // NTT transforms p in place at levels 0..level (lazy-reduction kernel,
-// channel-parallel when SetWorkers enabled it).
+// channel-parallel when SetWorkers enabled it). The serial path and the
+// specialized job kind keep the steady state allocation-free either way.
+//
+//alchemist:hot
 func (r *Ring) NTT(level int, p *Poly) {
-	r.forEachChannel(level, func(i int) {
+	if h := r.helpers(level); h > 0 {
+		r.runJob(jobNTT, p, nil, level+1, h)
+		return
+	}
+	for i := 0; i <= level; i++ {
 		r.SubRings[i].NTTLazy(p.Coeffs[i])
-	})
+	}
 }
 
 // INTT transforms p back to coefficient order in place at levels 0..level
 // (lazy-reduction kernel, channel-parallel when SetWorkers enabled it).
+//
+//alchemist:hot
 func (r *Ring) INTT(level int, p *Poly) {
-	r.forEachChannel(level, func(i int) {
+	if h := r.helpers(level); h > 0 {
+		r.runJob(jobINTT, p, nil, level+1, h)
+		return
+	}
+	for i := 0; i <= level; i++ {
 		r.SubRings[i].INTTLazy(p.Coeffs[i])
-	})
+	}
 }
 
 // Add sets out = a + b at levels 0..level.
@@ -173,16 +208,20 @@ func (r *Ring) MulScalarBig(level int, a *Poly, c *big.Int, out *Poly) {
 }
 
 // MulPoly computes out = a·b in R_q at levels 0..level via NTT, leaving all
-// arguments in the coefficient domain. Scratch-allocating convenience used in
-// tests and reference paths.
+// arguments in the coefficient domain. Convenience wrapper used in tests and
+// reference paths; scratch comes from the ring arena.
 func (r *Ring) MulPoly(level int, a, b, out *Poly) {
-	an := r.Clone(level, a)
-	bn := r.Clone(level, b)
+	an := r.Borrow(level)
+	bn := r.Borrow(level)
+	r.CopyLevel(level, a, an)
+	r.CopyLevel(level, b, bn)
 	r.NTT(level, an)
 	r.NTT(level, bn)
 	r.MulCoeffs(level, an, bn, an)
 	r.INTT(level, an)
 	r.CopyLevel(level, an, out)
+	r.Release(an)
+	r.Release(bn)
 }
 
 // PolyToBigCoeffs reconstructs coefficient j of p (levels 0..level) over the

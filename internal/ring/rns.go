@@ -28,7 +28,16 @@ type BasisConverter struct {
 	// dstRed[j] is the Barrett state for p_j, used to fold source-channel
 	// residues into the target channel without a raw %.
 	dstRed []modmath.Barrett
+	// scratch recycles the per-block y_i buffers of ConvertN/ConvertExact.
+	scratch BufPool
 }
+
+// convBlock is the coefficient tile width of the basis conversions: the
+// per-source-channel y_i values for one tile (L channels × convBlock words)
+// stay L1-resident across the whole target-channel accumulation, instead of
+// streaming L full-degree buffers through the cache per target channel —
+// the software counterpart of the accelerator's scratchpad-blocked Bconv.
+const convBlock = 64
 
 // NewBasisConverter precomputes conversion tables from basis src to basis dst.
 func NewBasisConverter(src, dst []uint64) *BasisConverter {
@@ -84,35 +93,66 @@ func (bc *BasisConverter) Convert(srcLevel int, in, out [][]uint64) {
 
 // ConvertN is Convert restricted to the first nDst target channels; the
 // hybrid key switch uses it to skip target moduli above the working level.
+// The conversion is tiled over convBlock coefficients (scratch from the
+// converter's arena, no per-call allocation) and produces coefficients
+// byte-identical to the untiled reference formula.
+//
+//alchemist:hot
 func (bc *BasisConverter) ConvertN(srcLevel int, in, out [][]uint64, nDst int) {
 	n := len(in[0])
-	// Step 1 of Fig. 4(b): y_i = [x_i · q̂_i^{-1}]_{q_i}, per source channel.
-	y := make([][]uint64, srcLevel+1)
-	for i := 0; i <= srcLevel; i++ {
-		y[i] = make([]uint64, n)
-		qi := bc.Src[i]
-		inv, invS := bc.qiHatInv[srcLevel][i], bc.qiHatInvShoup[srcLevel][i]
-		src := in[i]
-		for k := 0; k < n; k++ {
-			y[i][k] = modmath.MulModShoup(src[k], inv, invS, qi)
+	L := srcLevel + 1
+	y := bc.scratch.Get(L * convBlock)
+	invRow, invSRow := bc.qiHatInv[srcLevel], bc.qiHatInvShoup[srcLevel]
+	hatRow, hatSRow := bc.qiHat[srcLevel], bc.qiHatShoup[srcLevel]
+	for k0 := 0; k0 < n; k0 += convBlock {
+		kn := n - k0
+		if kn > convBlock {
+			kn = convBlock
 		}
-	}
-	// Step 2: for each target channel, accumulate y_i · q̂_i mod p_j.
-	// (On the accelerator this is a Meta-OP (M8A8)_L R8 per 8 outputs.)
-	for j, pj := range bc.Dst[:nDst] {
-		dst := out[j]
-		red := bc.dstRed[j]
-		for k := 0; k < n; k++ {
-			dst[k] = 0
+		// Step 1 of Fig. 4(b): y_i = [x_i · q̂_i^{-1}]_{q_i}, per source
+		// channel, for this tile.
+		for i := 0; i < L; i++ {
+			qi := bc.Src[i]
+			inv, invS := invRow[i], invSRow[i]
+			src := in[i][k0 : k0+kn]
+			yb := y[i*convBlock : i*convBlock+kn]
+			for k := range src {
+				yb[k] = modmath.MulModShoup(src[k], inv, invS, qi)
+			}
 		}
-		for i := 0; i <= srcLevel; i++ {
-			h, hs := bc.qiHat[srcLevel][i][j], bc.qiHatShoup[srcLevel][i][j]
-			yi := y[i]
-			for k := 0; k < n; k++ {
-				dst[k] = modmath.AddMod(dst[k], modmath.MulModShoup(red.ReduceWord(yi[k]), h, hs, pj), pj)
+		// Step 2: for each target channel, accumulate y_i · q̂_i mod p_j.
+		// (On the accelerator this is a Meta-OP (M8A8)_L R8 per 8 outputs.)
+		for j := 0; j < nDst; j++ {
+			pj := bc.Dst[j]
+			red := bc.dstRed[j]
+			dst := out[j][k0 : k0+kn]
+			for k := range dst {
+				dst[k] = 0
+			}
+			for i := 0; i < L; i++ {
+				h, hs := hatRow[i][j], hatSRow[i][j]
+				yb := y[i*convBlock : i*convBlock+kn]
+				qi := bc.Src[i]
+				switch {
+				case qi <= pj:
+					// y_i < q_i ≤ p_j: already a residue of p_j.
+					for k := range yb {
+						dst[k] = modmath.AddMod(dst[k], modmath.MulModShoup(yb[k], h, hs, pj), pj)
+					}
+				case qi <= 2*pj:
+					// One conditional subtraction replaces the Barrett fold.
+					for k := range yb {
+						dst[k] = modmath.AddMod(dst[k], modmath.MulModShoup(condSubMask(yb[k], pj), h, hs, pj), pj)
+					}
+				default:
+					for k := range yb {
+						dst[k] = modmath.AddMod(dst[k], modmath.MulModShoup(red.ReduceWord(yb[k]), h, hs, pj), pj)
+					}
+				}
 			}
 		}
 	}
+	bc.scratch.Put(y)
 }
 
 // Extender bundles the conversions needed by hybrid key switching between
@@ -177,22 +217,34 @@ func (e *Extender) ModUp(level int, a *Poly, outP *Poly) {
 
 // ModDown implements eq. (3): given aQ over Q (levels 0..level) and aP over
 // the full special basis P, computes [ (a - Bconv(aP)) · P^{-1} ]_{q_i} into
-// out. All polynomials are in the coefficient domain.
+// out. All polynomials are in the coefficient domain. The conversion target
+// is borrowed from the ring arena, so the steady state is allocation-free.
+//
+//alchemist:hot
 func (e *Extender) ModDown(level int, aQ, aP, out *Poly) {
-	n := e.RQ.N
-	conv := make([][]uint64, level+1)
-	for i := range conv {
-		conv[i] = make([]uint64, n)
-	}
-	e.pToQ.ConvertN(len(e.RP.Moduli)-1, aP.Coeffs, conv, level+1)
-	for i := 0; i <= level; i++ {
-		qi := e.RQ.Moduli[i]
-		inv, invS := e.pInv[i], e.pInvShoup[i]
-		src, c, dst := aQ.Coeffs[i], conv[i], out.Coeffs[i]
-		for k := 0; k < n; k++ {
-			d := modmath.SubMod(src[k], c[k], qi)
-			dst[k] = modmath.MulModShoup(d, inv, invS, qi)
+	conv := e.RQ.Borrow(level)
+	e.pToQ.ConvertN(len(e.RP.Moduli)-1, aP.Coeffs, conv.Coeffs, level+1)
+	// Serial guard before the closure literal so the default single-threaded
+	// path stays allocation-free (closures handed to runJob escape).
+	if h := e.RQ.helpers(level); h > 0 {
+		e.RQ.runJob(jobFn, nil, func(i int) { e.modDownChannel(i, aQ, conv, out) }, level+1, h)
+	} else {
+		for i := 0; i <= level; i++ {
+			e.modDownChannel(i, aQ, conv, out)
 		}
+	}
+	e.RQ.Release(conv)
+}
+
+// modDownChannel applies the subtract-and-scale step of ModDown in channel i.
+func (e *Extender) modDownChannel(i int, aQ, conv, out *Poly) {
+	n := e.RQ.N
+	qi := e.RQ.Moduli[i]
+	inv, invS := e.pInv[i], e.pInvShoup[i]
+	src, c, dst := aQ.Coeffs[i][:n:n], conv.Coeffs[i][:n:n], out.Coeffs[i][:n:n]
+	for k := 0; k < n; k++ {
+		d := src[k] + qi - c[k] // src, c < q_i, so d < 2q_i
+		dst[k] = condSubMask(modmath.MulModShoupLazy(d, inv, invS, qi), qi)
 	}
 }
 
@@ -200,20 +252,53 @@ func (e *Extender) ModDown(level int, aQ, aP, out *Poly) {
 // q_level with rounding, producing a poly at level-1:
 // out_i = (a_i - a_level) · q_level^{-1} mod q_i. This is the CKKS rescale.
 // Panics if level == 0 (there is no modulus left to drop).
+//
+// The cross-channel reduction of a_level into q_i is specialized on the
+// modulus relation: when q_level ≤ q_i the residue is already valid, when
+// q_level ≤ 2q_i one conditional subtraction suffices, and only otherwise
+// does the Barrett fold run. With the repository's parameter shapes (one
+// wide q_0, narrow scale primes) every channel takes one of the two cheap
+// cases. Outputs are byte-identical to the reference formula.
+//
+//alchemist:hot
 func (e *Extender) RescaleByLastModulus(level int, a, out *Poly) {
 	if level == 0 {
 		panic("ring: cannot rescale below level 0")
 	}
-	n := e.RQ.N
-	last := a.Coeffs[level]
+	if h := e.RQ.helpers(level - 1); h > 0 {
+		e.RQ.runJob(jobFn, nil, func(i int) { e.rescaleChannel(level, i, a, out) }, level, h)
+		return
+	}
 	for i := 0; i < level; i++ {
-		qi := e.RQ.Moduli[i]
-		sub := e.RQ.SubRings[i]
-		inv, invS := e.qlInv[level][i], e.qlInvShoup[level][i]
-		src, dst := a.Coeffs[i], out.Coeffs[i]
+		e.rescaleChannel(level, i, a, out)
+	}
+}
+
+// rescaleChannel applies the rescale step out_i = (a_i - a_level)·q_level^{-1}
+// in channel i, with the a_level→q_i reduction specialized per the doc above.
+func (e *Extender) rescaleChannel(level, i int, a, out *Poly) {
+	n := e.RQ.N
+	ql := e.RQ.Moduli[level]
+	last := a.Coeffs[level][:n:n]
+	qi := e.RQ.Moduli[i]
+	inv, invS := e.qlInv[level][i], e.qlInvShoup[level][i]
+	src, dst := a.Coeffs[i][:n:n], out.Coeffs[i][:n:n]
+	switch {
+	case ql <= qi:
 		for k := 0; k < n; k++ {
-			d := modmath.SubMod(src[k], sub.ReduceWord(last[k]), qi)
-			dst[k] = modmath.MulModShoup(d, inv, invS, qi)
+			d := src[k] + qi - last[k] // last < q_l ≤ q_i, so d < 2q_i
+			dst[k] = condSubMask(modmath.MulModShoupLazy(d, inv, invS, qi), qi)
+		}
+	case ql <= 2*qi:
+		for k := 0; k < n; k++ {
+			d := src[k] + qi - condSubMask(last[k], qi) // < 2q_i
+			dst[k] = condSubMask(modmath.MulModShoupLazy(d, inv, invS, qi), qi)
+		}
+	default:
+		sub := e.RQ.SubRings[i]
+		for k := 0; k < n; k++ {
+			d := src[k] + qi - sub.ReduceWord(last[k])
+			dst[k] = condSubMask(modmath.MulModShoupLazy(d, inv, invS, qi), qi)
 		}
 	}
 }

@@ -17,7 +17,10 @@ import (
 // accumulated rounding error (≈2^-45 per term) of a half-integer, which the
 // schemes' noise distributions make vanishingly unlikely.
 
-// qModDst returns Q_l mod p_j for the converter's source prefix.
+// qModDst returns Q_l mod p_j for the converter's source prefix. The cache
+// is built on first use without synchronization: a BasisConverter is owned by
+// one evaluator, matching the rest of its (table-immutable, scratch-pooled)
+// concurrency contract.
 func (bc *BasisConverter) qModDst(srcLevel, j int) uint64 {
 	// Computed on demand and cached.
 	if bc.qModP == nil {
@@ -39,75 +42,95 @@ func (bc *BasisConverter) qModDst(srcLevel, j int) uint64 {
 }
 
 // ConvertExact performs the overshoot-free basis conversion into the first
-// nDst target channels.
+// nDst target channels. Like ConvertN it is tiled over convBlock coefficients
+// with the y_i scratch borrowed from the converter's arena; the per-tile
+// overshoot estimates live on the stack. The per-coefficient floating-point
+// accumulation order is unchanged, so results are byte-identical to the
+// untiled formula.
+//
+//alchemist:hot
 func (bc *BasisConverter) ConvertExact(srcLevel int, in, out [][]uint64, nDst int, centered bool) {
 	n := len(in[0])
-	y := make([][]uint64, srcLevel+1)
-	vs := make([]uint64, n) // overshoot u per coefficient
-	frac := make([]float64, n)
-	for i := 0; i <= srcLevel; i++ {
-		y[i] = make([]uint64, n)
-		qi := bc.Src[i]
-		inv, invS := bc.qiHatInv[srcLevel][i], bc.qiHatInvShoup[srcLevel][i]
-		src := in[i]
-		fq := float64(qi)
-		for k := 0; k < n; k++ {
-			yi := modmath.MulModShoup(src[k], inv, invS, qi)
-			y[i][k] = yi
-			frac[k] += float64(yi) / fq
-		}
+	L := srcLevel + 1
+	y := bc.scratch.Get(L * convBlock)
+	invRow, invSRow := bc.qiHatInv[srcLevel], bc.qiHatInvShoup[srcLevel]
+	hatRow, hatSRow := bc.qiHat[srcLevel], bc.qiHatShoup[srcLevel]
+	var vs [convBlock]uint64 // overshoot u per coefficient of the tile
+	var frac [convBlock]float64
+	// Warm the qModDst cache outside the tile loop (it allocates on first use).
+	if nDst > 0 {
+		bc.qModDst(srcLevel, 0)
 	}
-	for k := 0; k < n; k++ {
-		// frac ≈ (Σ y_i·q̂_i)/Q = u + value/Q with 0 ≤ u ≤ srcLevel+1.
-		if centered {
-			// u = round(frac): value - u·Q lands in (-Q/2, Q/2].
-			vs[k] = uint64(frac[k] + 0.5)
-		} else {
-			// u = floor(frac): value - u·Q lands in [0, Q).
-			vs[k] = uint64(frac[k])
+	for k0 := 0; k0 < n; k0 += convBlock {
+		kn := n - k0
+		if kn > convBlock {
+			kn = convBlock
 		}
-	}
-	for j := 0; j < nDst; j++ {
-		pj := bc.Dst[j]
-		red := bc.dstRed[j]
-		dst := out[j]
-		qMod := bc.qModDst(srcLevel, j)
-		for k := 0; k < n; k++ {
-			dst[k] = 0
+		for k := 0; k < kn; k++ {
+			frac[k] = 0
 		}
-		for i := 0; i <= srcLevel; i++ {
-			h, hs := bc.qiHat[srcLevel][i][j], bc.qiHatShoup[srcLevel][i][j]
-			yi := y[i]
-			for k := 0; k < n; k++ {
-				dst[k] = modmath.AddMod(dst[k], modmath.MulModShoup(red.ReduceWord(yi[k]), h, hs, pj), pj)
+		for i := 0; i < L; i++ {
+			qi := bc.Src[i]
+			inv, invS := invRow[i], invSRow[i]
+			src := in[i][k0 : k0+kn]
+			yb := y[i*convBlock : i*convBlock+kn]
+			fq := float64(qi)
+			for k := range src {
+				yi := modmath.MulModShoup(src[k], inv, invS, qi)
+				yb[k] = yi
+				frac[k] += float64(yi) / fq
 			}
 		}
-		for k := 0; k < n; k++ {
-			// Subtract u·Q (mod p_j); with centering u was rounded, so the
-			// result is the centered representative.
-			sub := modmath.MulMod(red.ReduceWord(vs[k]), qMod, pj)
-			dst[k] = modmath.SubMod(dst[k], sub, pj)
+		for k := 0; k < kn; k++ {
+			// frac ≈ (Σ y_i·q̂_i)/Q = u + value/Q with 0 ≤ u ≤ srcLevel+1.
+			if centered {
+				// u = round(frac): value - u·Q lands in (-Q/2, Q/2].
+				vs[k] = uint64(frac[k] + 0.5)
+			} else {
+				// u = floor(frac): value - u·Q lands in [0, Q).
+				vs[k] = uint64(frac[k])
+			}
+		}
+		for j := 0; j < nDst; j++ {
+			pj := bc.Dst[j]
+			red := bc.dstRed[j]
+			dst := out[j][k0 : k0+kn]
+			qMod := bc.qModDst(srcLevel, j)
+			for k := range dst {
+				dst[k] = 0
+			}
+			for i := 0; i < L; i++ {
+				h, hs := hatRow[i][j], hatSRow[i][j]
+				yb := y[i*convBlock : i*convBlock+kn]
+				for k := range yb {
+					dst[k] = modmath.AddMod(dst[k], modmath.MulModShoup(red.ReduceWord(yb[k]), h, hs, pj), pj)
+				}
+			}
+			for k := range dst {
+				// Subtract u·Q (mod p_j); with centering u was rounded, so the
+				// result is the centered representative.
+				sub := modmath.MulMod(red.ReduceWord(vs[k]), qMod, pj)
+				dst[k] = modmath.SubMod(dst[k], sub, pj)
+			}
 		}
 	}
+	bc.scratch.Put(y)
 }
 
 // ModDownExact is ModDown with an exact, centered P→Q conversion: the
 // output equals (x - [x]_P^centered)·P^{-1} with no ±K overshoot error.
 // BGV key switching requires this so the correction stays ≡ 0 (mod t).
+//
+//alchemist:hot
 func (e *Extender) ModDownExact(level int, aQ, aP, out *Poly) {
-	n := e.RQ.N
-	conv := make([][]uint64, level+1)
-	for i := range conv {
-		conv[i] = make([]uint64, n)
-	}
-	e.pToQ.ConvertExact(len(e.RP.Moduli)-1, aP.Coeffs, conv, level+1, true)
-	for i := 0; i <= level; i++ {
-		qi := e.RQ.Moduli[i]
-		inv, invS := e.pInv[i], e.pInvShoup[i]
-		src, c, dst := aQ.Coeffs[i], conv[i], out.Coeffs[i]
-		for k := 0; k < n; k++ {
-			d := modmath.SubMod(src[k], c[k], qi)
-			dst[k] = modmath.MulModShoup(d, inv, invS, qi)
+	conv := e.RQ.Borrow(level)
+	e.pToQ.ConvertExact(len(e.RP.Moduli)-1, aP.Coeffs, conv.Coeffs, level+1, true)
+	if h := e.RQ.helpers(level); h > 0 {
+		e.RQ.runJob(jobFn, nil, func(i int) { e.modDownChannel(i, aQ, conv, out) }, level+1, h)
+	} else {
+		for i := 0; i <= level; i++ {
+			e.modDownChannel(i, aQ, conv, out)
 		}
 	}
+	e.RQ.Release(conv)
 }

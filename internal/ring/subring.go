@@ -30,7 +30,14 @@ type SubRing struct {
 	nInv      uint64 // N^{-1} mod q
 	nInvShoup uint64
 
+	// psiInvRevN = psiInvRev[1]·N^{-1} mod q: the last-stage INTT twiddle
+	// with the scaling folded in, so INTTLazy needs no separate N^{-1} pass.
+	psiInvRevN      uint64
+	psiInvRevNShoup uint64
+
 	barrett modmath.Barrett
+
+	scratch BufPool // 4-step NTT matrix scratch (fourstep.go)
 }
 
 // NewSubRing builds the subring of degree n (a power of two ≥ 2) modulo the
@@ -83,6 +90,8 @@ func (s *SubRing) buildTables() {
 	}
 	s.nInv = modmath.InvMod(uint64(n), s.Q)
 	s.nInvShoup = modmath.ShoupPrecomp(s.nInv, s.Q)
+	s.psiInvRevN = modmath.MulMod(s.psiInvRev[1], s.nInv, s.Q)
+	s.psiInvRevNShoup = modmath.ShoupPrecomp(s.psiInvRevN, s.Q)
 }
 
 func log2(n int) int {

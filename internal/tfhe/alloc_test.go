@@ -1,0 +1,41 @@
+// The race detector makes sync.Pool drop a random fraction of Puts (to
+// shake out pool races), so zero-allocation pins cannot hold under -race.
+//go:build !race
+
+package tfhe
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Steady-state allocation pin for the bootstrapping inner loop: once the
+// multiplier's arenas are warm, ExternalProductInto — the kernel CMux and
+// BlindRotate reduce to — must not allocate. BlindRotate itself allocates
+// exactly its returned accumulator.
+
+func TestExternalProductIntoAllocFree(t *testing.T) {
+	p := FastTestParams()
+	pm, err := NewPolyMultiplier(p.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	key := NewTrlweKey(p, pm, rng)
+	dec := newDecomposer(p)
+
+	mu := make(TorusPoly, p.N)
+	for i := range mu {
+		mu[i] = TorusFromDouble(0.125)
+	}
+	ct := key.Encrypt(mu, 1e-9, rng)
+	g := key.EncryptTrgsw(p, 1, rng)
+	out := NewTrlweSample(p.N, p.K)
+
+	ExternalProductInto(p, pm, dec, g, ct, out) // warm the arenas
+	if n := testing.AllocsPerRun(20, func() {
+		ExternalProductInto(p, pm, dec, g, ct, out)
+	}); n != 0 {
+		t.Errorf("warm ExternalProductInto allocates %.1f per op, want 0", n)
+	}
+}

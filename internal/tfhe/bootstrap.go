@@ -92,22 +92,34 @@ func modSwitch(a Torus, twoN int) int {
 // BlindRotate homomorphically computes X^{-phase(ct)} · tv, where the phase
 // is discretized to Z_{2N}. This is the paper's dominant TFHE kernel: n
 // CMux iterations, each an external product of (k+1)·l NTTs plus the
-// pointwise DecompPolyMult accumulation.
+// pointwise DecompPolyMult accumulation. The two role-swapping accumulators
+// come from the multiplier's arena, so the n-iteration loop allocates only
+// the returned sample.
+//
+//alchemist:hot
 func (s *Scheme) BlindRotate(ct *LweSample, tv TorusPoly) *TrlweSample {
 	p := s.Params
 	twoN := 2 * p.N
 	bTilde := modSwitch(ct.B, twoN)
 	// acc = X^{-b̃} · (0, tv).
-	acc := NewTrlweSample(p.N, p.K)
+	acc := NewTrlweSample(p.N, p.K) // escapes to the caller; not pooled
 	tv.MonomialMulTo(twoN-bTilde, acc.B)
+	rotated := s.PM.borrowTrlwe(p.K) // holds X^ã·acc, then the CMux difference
+	next := s.PM.borrowTrlwe(p.K)    // CMux destination, swapped with acc
 	for i := 0; i < p.NLwe; i++ {
 		aTilde := modSwitch(ct.A[i], twoN)
 		if aTilde == 0 {
 			continue
 		}
-		rotated := acc.MonomialMul(aTilde)
-		acc = CMux(p, s.PM, s.dec, s.BK[i], rotated, acc)
+		for c := 0; c < p.K; c++ {
+			acc.A[c].MonomialMulTo(aTilde, rotated.A[c])
+		}
+		acc.B.MonomialMulTo(aTilde, rotated.B)
+		CMuxInto(p, s.PM, s.dec, s.BK[i], rotated, acc, next)
+		acc, next = next, acc
 	}
+	s.PM.releaseTrlwe(rotated)
+	s.PM.releaseTrlwe(next)
 	return acc
 }
 

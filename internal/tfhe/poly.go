@@ -2,6 +2,7 @@ package tfhe
 
 import (
 	"fmt"
+	"sync"
 
 	"alchemist/internal/modmath"
 	"alchemist/internal/ring"
@@ -56,6 +57,16 @@ func (p TorusPoly) MonomialMulTo(e int, out TorusPoly) {
 type PolyMultiplier struct {
 	N   int
 	sub *ring.SubRing
+
+	// Scratch arenas for the bootstrapping hot loop, shared safely by
+	// concurrent bootstraps (BootstrapBatch). The digit scratch is a
+	// mutex-guarded freelist rather than a sync.Pool: pooling a bare slice
+	// boxes its header on every Put, and the freelist's push/pop is
+	// allocation-free once its backing array reaches steady size.
+	buf    ring.BufPool // []uint64 NTT-domain scratch
+	intsMu sync.Mutex
+	ints   []IntPoly // digit scratch freelist
+	trlwe  sync.Pool // *TrlweSample scratch
 }
 
 // NewPolyMultiplier builds a multiplier for degree n.
@@ -76,8 +87,16 @@ func (pm *PolyMultiplier) Q() uint64 { return pm.sub.Q }
 
 // IntToNTT lifts an integer polynomial into the NTT domain.
 func (pm *PolyMultiplier) IntToNTT(p IntPoly) []uint64 {
-	q := pm.sub.Q
 	out := make([]uint64, pm.N)
+	pm.IntToNTTInto(p, out)
+	return out
+}
+
+// IntToNTTInto is IntToNTT writing into caller-provided scratch (length N).
+//
+//alchemist:hot
+func (pm *PolyMultiplier) IntToNTTInto(p IntPoly, out []uint64) {
+	q := pm.sub.Q
 	for i, v := range p {
 		if v >= 0 {
 			out[i] = uint64(v)
@@ -86,14 +105,21 @@ func (pm *PolyMultiplier) IntToNTT(p IntPoly) []uint64 {
 		}
 	}
 	pm.sub.NTTLazy(out)
-	return out
 }
 
 // TorusToNTT lifts a torus polynomial (centered interpretation) into the NTT
 // domain.
 func (pm *PolyMultiplier) TorusToNTT(p TorusPoly) []uint64 {
-	q := pm.sub.Q
 	out := make([]uint64, pm.N)
+	pm.TorusToNTTInto(p, out)
+	return out
+}
+
+// TorusToNTTInto is TorusToNTT writing into caller-provided scratch (length N).
+//
+//alchemist:hot
+func (pm *PolyMultiplier) TorusToNTTInto(p TorusPoly, out []uint64) {
+	q := pm.sub.Q
 	for i, v := range p {
 		sv := int64(int32(v)) // centered in [-2^31, 2^31)
 		if sv >= 0 {
@@ -103,7 +129,6 @@ func (pm *PolyMultiplier) TorusToNTT(p TorusPoly) []uint64 {
 		}
 	}
 	pm.sub.NTTLazy(out)
-	return out
 }
 
 // MulAcc accumulates a ⊙ b (NTT domain) into acc.
@@ -112,17 +137,64 @@ func (pm *PolyMultiplier) MulAcc(a, b, acc []uint64) {
 }
 
 // FromNTT converts an NTT-domain accumulator back to a torus polynomial:
-// INTT, center modulo the prime, then wrap modulo 2^32.
+// INTT, center modulo the prime, then wrap modulo 2^32. acc is preserved.
 func (pm *PolyMultiplier) FromNTT(acc []uint64) TorusPoly {
 	tmp := append([]uint64(nil), acc...)
-	pm.sub.INTTLazy(tmp)
-	q := pm.sub.Q
 	out := make(TorusPoly, pm.N)
-	for i, v := range tmp {
-		out[i] = Torus(ring.SignedCoeff(v, q)) // wraps mod 2^32
-	}
+	pm.FromNTTInto(tmp, out)
 	return out
 }
+
+// FromNTTInto is FromNTT writing into out, CONSUMING acc (the inverse
+// transform runs in place, so acc holds coefficient-domain garbage after).
+//
+//alchemist:hot
+func (pm *PolyMultiplier) FromNTTInto(acc []uint64, out TorusPoly) {
+	pm.sub.INTTLazy(acc)
+	q := pm.sub.Q
+	for i, v := range acc {
+		out[i] = Torus(ring.SignedCoeff(v, q)) // wraps mod 2^32
+	}
+}
+
+// Arena accessors shared by the bootstrapping kernels. Borrowed values have
+// arbitrary contents; every user below overwrites them in full.
+
+func (pm *PolyMultiplier) borrowNTT() []uint64   { return pm.buf.Get(pm.N) }
+func (pm *PolyMultiplier) releaseNTT(b []uint64) { pm.buf.Put(b) }
+
+func (pm *PolyMultiplier) borrowInt() IntPoly {
+	pm.intsMu.Lock()
+	defer pm.intsMu.Unlock()
+	if n := len(pm.ints); n > 0 {
+		p := pm.ints[n-1]
+		pm.ints[n-1] = nil
+		pm.ints = pm.ints[:n-1]
+		return p
+	}
+	return make(IntPoly, pm.N)
+}
+
+func (pm *PolyMultiplier) releaseInt(p IntPoly) {
+	pm.intsMu.Lock()
+	pm.ints = append(pm.ints, p)
+	pm.intsMu.Unlock()
+}
+
+// borrowTrlwe returns a k-mask TRLWE sample shell from the arena (arbitrary
+// contents). Samples of a different shape (pool warmed under another k) are
+// dropped and rebuilt.
+func (pm *PolyMultiplier) borrowTrlwe(k int) *TrlweSample {
+	if v := pm.trlwe.Get(); v != nil {
+		s := v.(*TrlweSample)
+		if len(s.A) == k && len(s.B) == pm.N {
+			return s
+		}
+	}
+	return NewTrlweSample(pm.N, k)
+}
+
+func (pm *PolyMultiplier) releaseTrlwe(s *TrlweSample) { pm.trlwe.Put(s) }
 
 // MulIntTorus returns the negacyclic product a·b (a integer digits, b torus).
 // Convenience wrapper used by key generation and reference tests.

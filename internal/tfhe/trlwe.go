@@ -207,15 +207,40 @@ func (k *TrlweKey) EncryptTrgsw(p Params, m int32, rng prng.Source) *TrgswNTT {
 
 // ExternalProduct computes g ⊡ s ≈ TRLWE(m_g · m_s).
 func ExternalProduct(p Params, pm *PolyMultiplier, dec decomposer, g *TrgswNTT, s *TrlweSample) *TrlweSample {
-	n, kk := p.N, p.K
-	digits := make([]IntPoly, p.L)
-	for j := range digits {
-		digits[j] = make(IntPoly, n)
+	out := NewTrlweSample(p.N, p.K)
+	ExternalProductInto(p, pm, dec, g, s, out)
+	return out
+}
+
+// ExternalProductInto is ExternalProduct writing into out (fully overwritten;
+// may alias s). All scratch comes from the multiplier's arena, so the steady
+// state — the inner loop of every blind rotation — allocates nothing.
+//
+//alchemist:hot
+func ExternalProductInto(p Params, pm *PolyMultiplier, dec decomposer, g *TrgswNTT, s *TrlweSample, out *TrlweSample) {
+	kk := p.K
+	// Stack-backed slice headers for the usual small L and k (≤ 8); only
+	// exotic parameter sets fall back to a heap header.
+	var digitsArr [8]IntPoly
+	var accArr [8][]uint64
+	digits, acc := digitsArr[:0], accArr[:0]
+	if p.L > len(digitsArr) {
+		digits = make([]IntPoly, 0, p.L)
 	}
-	acc := make([][]uint64, kk+1)
-	for c := range acc {
-		acc[c] = make([]uint64, n)
+	if kk+1 > len(accArr) {
+		acc = make([][]uint64, 0, kk+1)
 	}
+	for j := 0; j < p.L; j++ {
+		digits = append(digits, pm.borrowInt())
+	}
+	for c := 0; c <= kk; c++ {
+		b := pm.borrowNTT()
+		for i := range b {
+			b[i] = 0
+		}
+		acc = append(acc, b)
+	}
+	dNTT := pm.borrowNTT()
 	row := 0
 	for i := 0; i <= kk; i++ {
 		var comp TorusPoly
@@ -226,26 +251,41 @@ func ExternalProduct(p Params, pm *PolyMultiplier, dec decomposer, g *TrgswNTT, 
 		}
 		dec.decompose(comp, digits)
 		for j := 0; j < p.L; j++ {
-			dNTT := pm.IntToNTT(digits[j])
+			pm.IntToNTTInto(digits[j], dNTT)
 			for c := 0; c <= kk; c++ {
 				pm.MulAcc(dNTT, g.rows[row][c], acc[c])
 			}
 			row++
 		}
 	}
-	out := NewTrlweSample(n, kk)
 	for c := 0; c < kk; c++ {
-		out.A[c] = pm.FromNTT(acc[c])
+		pm.FromNTTInto(acc[c], out.A[c])
 	}
-	out.B = pm.FromNTT(acc[kk])
-	return out
+	pm.FromNTTInto(acc[kk], out.B)
+	pm.releaseNTT(dNTT)
+	for _, b := range acc {
+		pm.releaseNTT(b)
+	}
+	for _, d := range digits {
+		pm.releaseInt(d)
+	}
 }
 
 // CMux returns d0 + g ⊡ (d1 - d0): selects d1 when g encrypts 1, d0 when 0.
+// Both inputs are preserved.
 func CMux(p Params, pm *PolyMultiplier, dec decomposer, g *TrgswNTT, d1, d0 *TrlweSample) *TrlweSample {
 	diff := d1.Copy()
-	diff.SubTo(d0)
-	res := ExternalProduct(p, pm, dec, g, diff)
-	res.AddTo(d0)
-	return res
+	out := NewTrlweSample(p.N, p.K)
+	CMuxInto(p, pm, dec, g, diff, d0, out)
+	return out
+}
+
+// CMuxInto is CMux writing into out (fully overwritten). d1 is CONSUMED as
+// the difference scratch; d0 is preserved. out must not alias d0 or d1.
+//
+//alchemist:hot
+func CMuxInto(p Params, pm *PolyMultiplier, dec decomposer, g *TrgswNTT, d1, d0, out *TrlweSample) {
+	d1.SubTo(d0)
+	ExternalProductInto(p, pm, dec, g, d1, out)
+	out.AddTo(d0)
 }
