@@ -11,48 +11,66 @@ import (
 // runBench implements `alchemist bench`: measure the live Go kernels
 // (ring transforms, scheme evaluators, engine report regeneration) and
 // print them, or write a JSON capture for the in-repo benchmark
-// trajectory (BENCH_BASELINE.json, BENCH_PR4.json, ...).
+// trajectory (BENCH_BASELINE.json, BENCH_PR4.json, BENCH_PR5.json, ...).
+// With -capture the suite is loaded from an existing JSON file instead of
+// being re-measured, so CI can diff two committed captures deterministically;
+// with -gate any matched kernel regressing past the threshold fails the run.
 func runBench(args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	var (
 		jsonOut  = fs.Bool("json", false, "write the capture as JSON (see -out)")
-		out      = fs.String("out", "BENCH_PR4.json", "JSON output path with -json (- for stdout)")
+		out      = fs.String("out", "BENCH_PR5.json", "JSON output path with -json (- for stdout)")
 		label    = fs.String("label", "", "capture label stored in the JSON (default: output filename)")
 		quick    = fs.Bool("quick", false, "reduced parameter set (CI smoke)")
 		workers  = fs.Int("workers", 0, "ring worker goroutines (0 = NumCPU)")
+		best     = fs.Int("best", 1, "run each kernel this many times, keep the fastest pass (tracked captures use 3)")
 		baseline = fs.String("baseline", "", "compare against a previous JSON capture")
+		capture  = fs.String("capture", "", "load this JSON capture instead of measuring")
+		gate     = fs.Float64("gate", 0, "with -baseline: fail if any matched kernel regresses by more than this percent")
 		quiet    = fs.Bool("q", false, "suppress per-benchmark progress lines")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: alchemist bench [-json] [-out file] [-quick] [-workers n] [-baseline file]")
+		fmt.Fprintln(os.Stderr, "usage: alchemist bench [-json] [-out file] [-quick] [-workers n] [-best n] [-baseline file] [-capture file] [-gate pct]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
-	cfg := bench.LiveConfig{
-		Label:   *label,
-		Workers: *workers,
-		Quick:   *quick,
-	}
-	if cfg.Label == "" {
-		cfg.Label = *out
-	}
-	if !*quiet {
-		cfg.Progress = func(line string) { fmt.Println(line) }
-	}
-	suite, err := bench.RunLive(cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	if *jsonOut {
-		if err := suite.WriteJSON(*out); err != nil {
+	var suite *bench.LiveSuite
+	if *capture != "" {
+		var err error
+		suite, err = bench.ReadLiveSuite(*capture)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if *out != "-" {
-			fmt.Printf("bench      wrote %d results to %s\n", len(suite.Results), *out)
+	} else {
+		cfg := bench.LiveConfig{
+			Label:   *label,
+			Workers: *workers,
+			Quick:   *quick,
+			Best:    *best,
+		}
+		if cfg.Label == "" {
+			cfg.Label = *out
+		}
+		if !*quiet {
+			cfg.Progress = func(line string) { fmt.Println(line) }
+		}
+		var err error
+		suite, err = bench.RunLive(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			if err := suite.WriteJSON(*out); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if *out != "-" {
+				fmt.Printf("bench      wrote %d results to %s\n", len(suite.Results), *out)
+			}
 		}
 	}
 	if *baseline != "" {
@@ -62,5 +80,16 @@ func runBench(args []string) {
 			os.Exit(1)
 		}
 		fmt.Print(suite.Compare(base).String())
+		if *gate > 0 {
+			regs := suite.Regressions(base, *gate)
+			if len(regs) > 0 {
+				fmt.Fprintf(os.Stderr, "bench: %d kernel(s) regressed past the %.0f%% gate vs %s:\n", len(regs), *gate, *baseline)
+				for _, r := range regs {
+					fmt.Fprintln(os.Stderr, "  "+r.String())
+				}
+				os.Exit(1)
+			}
+			fmt.Printf("bench      gate ok: no kernel regressed more than %.0f%% vs %s\n", *gate, *baseline)
+		}
 	}
 }

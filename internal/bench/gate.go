@@ -1,0 +1,41 @@
+package bench
+
+import "fmt"
+
+// Regression is one kernel whose time regressed past the gate tolerance.
+type Regression struct {
+	Name   string
+	OldNs  float64
+	NewNs  float64
+	Factor float64 // NewNs / OldNs
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %.0f ns/op -> %.0f ns/op (%.2fx)", r.Name, r.OldNs, r.NewNs, r.Factor)
+}
+
+// Regressions compares s (new) against base (old) by benchmark name and
+// returns every matched kernel whose ns/op grew by more than tolPct percent.
+// Kernels present on only one side are ignored — new benchmarks have no
+// baseline, and retired ones no measurement. This is the in-repo benchmark
+// trajectory gate: CI diffs the committed captures (BENCH_PR4.json vs
+// BENCH_PR5.json, ...) and fails the build on a regression, so a kernel
+// slowdown must be deliberate and visible in the diff, never accidental.
+func (s *LiveSuite) Regressions(base *LiveSuite, tolPct float64) []Regression {
+	old := map[string]LiveResult{}
+	for _, e := range base.Results {
+		old[e.Name] = e
+	}
+	limit := 1 + tolPct/100
+	var out []Regression
+	for _, e := range s.Results {
+		o, ok := old[e.Name]
+		if !ok || o.NsPerOp <= 0 {
+			continue
+		}
+		if f := e.NsPerOp / o.NsPerOp; f > limit {
+			out = append(out, Regression{Name: e.Name, OldNs: o.NsPerOp, NewNs: e.NsPerOp, Factor: f})
+		}
+	}
+	return out
+}

@@ -1,0 +1,26 @@
+package bench
+
+import "testing"
+
+func TestRegressionsGate(t *testing.T) {
+	base := &LiveSuite{Results: []LiveResult{
+		{Name: "a", NsPerOp: 100},
+		{Name: "b", NsPerOp: 100},
+		{Name: "retired", NsPerOp: 100},
+	}}
+	cur := &LiveSuite{Results: []LiveResult{
+		{Name: "a", NsPerOp: 109}, // within a 10% gate
+		{Name: "b", NsPerOp: 125}, // past it
+		{Name: "fresh", NsPerOp: 1e9},
+	}}
+	regs := cur.Regressions(base, 10)
+	if len(regs) != 1 || regs[0].Name != "b" {
+		t.Fatalf("want exactly kernel b flagged, got %v", regs)
+	}
+	if regs[0].Factor < 1.24 || regs[0].Factor > 1.26 {
+		t.Fatalf("factor = %v, want 1.25", regs[0].Factor)
+	}
+	if regs := cur.Regressions(base, 30); len(regs) != 0 {
+		t.Fatalf("30%% gate should pass, got %v", regs)
+	}
+}

@@ -56,6 +56,12 @@ type LiveConfig struct {
 	Label   string
 	Workers int  // ring worker count (0 = runtime.NumCPU())
 	Quick   bool // reduced parameter set for CI smoke runs
+	// Best runs every kernel this many times and keeps the fastest pass
+	// (1 or 0 = single pass). Tracked captures use best-of-N so a transient
+	// load spike on a shared machine cannot print as a phantom regression:
+	// the minimum over repeated passes estimates the kernel's unloaded cost,
+	// which is the quantity the trajectory gate compares.
+	Best int
 	// Progress, when non-nil, receives one line per finished benchmark.
 	Progress func(string)
 }
@@ -96,18 +102,28 @@ func RunLive(cfg LiveConfig) (*LiveSuite, error) {
 		Workers:    workers,
 		Quick:      cfg.Quick,
 	}
+	passes := cfg.Best
+	if passes < 1 {
+		passes = 1
+	}
 	add := func(name, params string, f func(b *testing.B)) {
-		r := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			f(b)
-		})
-		res := LiveResult{
-			Name:        name,
-			Params:      params,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			AllocsPerOp: r.AllocsPerOp(),
-			Iters:       r.N,
+		var res LiveResult
+		for p := 0; p < passes; p++ {
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				f(b)
+			})
+			cand := LiveResult{
+				Name:        name,
+				Params:      params,
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+				Iters:       r.N,
+			}
+			if p == 0 || cand.NsPerOp < res.NsPerOp {
+				res = cand
+			}
 		}
 		suite.Results = append(suite.Results, res)
 		cfg.progress("%-28s %14.0f ns/op %12d B/op %8d allocs/op", name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
@@ -117,6 +133,9 @@ func RunLive(cfg LiveConfig) (*LiveSuite, error) {
 		return nil, err
 	}
 	if err := liveCKKSKeyed(cfg, workers, add); err != nil {
+		return nil, err
+	}
+	if err := liveCKKSKeySwitch(cfg, workers, add); err != nil {
 		return nil, err
 	}
 	if err := liveTFHE(cfg, add); err != nil {
@@ -211,7 +230,8 @@ func liveCKKSKeyed(cfg LiveConfig, workers int, add func(string, string, func(*t
 	kg := ckks.NewKeyGenerator(ctx, 1)
 	sk := kg.GenSecretKey()
 	pk := kg.GenPublicKey(sk)
-	eks := kg.GenEvaluationKeySet(sk, []int{1}, false)
+	hoistSteps := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	eks := kg.GenEvaluationKeySet(sk, hoistSteps, false)
 	enc := ckks.NewEncoder(ctx)
 	et := ckks.NewEncryptor(ctx, pk, 2)
 	z := make([]complex128, params.Slots())
@@ -243,6 +263,89 @@ func liveCKKSKeyed(cfg LiveConfig, workers int, add func(string, string, func(*t
 				b.Fatal(err)
 			}
 			liveRecycle(ctx, out)
+		}
+	})
+
+	return nil
+}
+
+// liveCKKSKeySwitch measures the fused lazy keyswitch pipeline against the
+// eager reference at a keyswitch-bound shape: a deep modulus chain with a
+// high digit count (L = 16 primes, dnum = 8, alpha = 2, K = 2), where the
+// decompose → multiply-accumulate → base-convert structure dominates and
+// hoisting has eight digit groups to amortize. The PR4-tracked kernels above
+// keep their original shapes; these four entries are new in PR5.
+func liveCKKSKeySwitch(cfg LiveConfig, workers int, add func(string, string, func(*testing.B))) error {
+	params, err := ckks.GenParams(11, 15, 8, 2, 55, 40, 55)
+	if err != nil {
+		return err
+	}
+	shape := "N=2^11 L=15 dnum=8"
+	ctx, err := ckks.NewContext(params)
+	if err != nil {
+		return err
+	}
+	ctx.RQ.SetWorkers(workers)
+	ctx.RP.SetWorkers(workers)
+	kg := ckks.NewKeyGenerator(ctx, 1)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	hoistSteps := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	eks := kg.GenEvaluationKeySet(sk, hoistSteps, false)
+	enc := ckks.NewEncoder(ctx)
+	et := ckks.NewEncryptor(ctx, pk, 2)
+	z := make([]complex128, params.Slots())
+	for i := range z {
+		z[i] = complex(float64(i%7)/7, 0)
+	}
+	level := params.MaxLevel()
+	pt, err := enc.Encode(z, level, params.Scale)
+	if err != nil {
+		return err
+	}
+	ct := et.Encrypt(pt, level, params.Scale)
+	ev := ckks.NewEvaluator(ctx, eks)
+
+	// Keyswitch head-to-head: the eager reference (per-group convert + NTT +
+	// reduced accumulate) against the fused lazy pipeline (digit-batched
+	// dual conversion, 128-bit accumulation, one deferred reduction).
+	add("ckks/keyswitch-eager", shape, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ksB, ksA := ev.KeySwitch(level, ct.A, eks.Rlk)
+			ctx.RQ.Release(ksB)
+			ctx.RQ.Release(ksA)
+		}
+	})
+	add("ckks/keyswitch-fused", shape, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ksB, ksA := ev.KeySwitchFused(level, ct.A, eks.Rlk)
+			ctx.RQ.Release(ksB)
+			ctx.RQ.Release(ksA)
+		}
+	})
+
+	// 8-way rotation: one keyswitch per step (rotate8) against one shared
+	// digit decomposition plus 8 permuted accumulations (rotate-hoisted8).
+	var outs [8]*ckks.Ciphertext
+	add("ckks/rotate8", shape, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, step := range hoistSteps {
+				out, err := ev.Rotate(ct, step)
+				if err != nil {
+					b.Fatal(err)
+				}
+				liveRecycle(ctx, out)
+			}
+		}
+	})
+	add("ckks/rotate-hoisted8", shape, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := ev.RotateHoistedInto(ct, hoistSteps, outs[:]); err != nil {
+				b.Fatal(err)
+			}
+			for _, out := range outs {
+				liveRecycle(ctx, out)
+			}
 		}
 	})
 	return nil

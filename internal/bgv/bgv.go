@@ -14,6 +14,7 @@ package bgv
 import (
 	"fmt"
 	"math/big"
+	"sync"
 
 	"alchemist/internal/modmath"
 	"alchemist/internal/prng"
@@ -107,6 +108,12 @@ type Context struct {
 	groupToQ []*ring.BasisConverter
 	groupToP []*ring.BasisConverter
 
+	// Dec is the digit-batched dual-target decomposer driving the fused
+	// keyswitch (same tables as groupToQ/groupToP, shared step-1 scaling);
+	// decPool recycles the Decomposition shells (hoisted.go).
+	Dec     *ring.Decomposer
+	decPool sync.Pool
+
 	// pToQT converts the special basis P into [t, q_0, q_1, …] so the
 	// t-corrected ModDown can read the centered value modulo t.
 	pToQT *ring.BasisConverter
@@ -147,6 +154,15 @@ func NewContext(params Parameters) (*Context, error) {
 		ctx.groupToQ = append(ctx.groupToQ, ring.NewBasisConverter(src, params.Q))
 		ctx.groupToP = append(ctx.groupToP, ring.NewBasisConverter(src, params.P))
 	}
+	duals := make([]*ring.DualConverter, len(ctx.groupToQ))
+	for g := range duals {
+		dc, err := ring.NewDualConverter(ctx.groupToQ[g], ctx.groupToP[g], g*alpha)
+		if err != nil {
+			return nil, err
+		}
+		duals[g] = dc
+	}
+	ctx.Dec = ring.NewDecomposer(alpha, duals)
 	ctx.pToQT = ring.NewBasisConverter(params.P,
 		append([]uint64{params.T}, params.Q...))
 	P := big.NewInt(1)
@@ -414,4 +430,14 @@ func (kg *KeyGenerator) GenRelinKey(sk *SecretKey) *SwitchingKey {
 	s2 := ctx.RQ.NewPoly(level)
 	ctx.RQ.MulPoly(level, sk.Q, sk.Q, s2)
 	return kg.GenSwitchingKey(s2, sk)
+}
+
+// GenGaloisKey returns the φ_k(s) → s key enabling ApplyGalois with the
+// Galois element k (k odd; rotations use RQ.GaloisElementForRotation).
+func (kg *KeyGenerator) GenGaloisKey(k uint64, sk *SecretKey) *SwitchingKey {
+	ctx := kg.ctx
+	level := ctx.RQ.MaxLevel()
+	sRot := ctx.RQ.NewPoly(level)
+	ctx.RQ.Automorphism(level, sk.Q, k, sRot)
+	return kg.GenSwitchingKey(sRot, sk)
 }

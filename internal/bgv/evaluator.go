@@ -150,7 +150,7 @@ func (ev *Evaluator) MulRelin(a, b *Ciphertext) (*Ciphertext, error) {
 	rq.INTT(level, d1)
 	rq.INTT(level, d2)
 
-	ksB, ksA := ev.keySwitch(level, d2, ev.rlk)
+	ksB, ksA := ev.KeySwitchFused(level, d2, ev.rlk)
 	rq.Release(d2)
 	rq.Add(level, d0, ksB, d0)
 	rq.Add(level, d1, ksA, d1)
@@ -161,6 +161,9 @@ func (ev *Evaluator) MulRelin(a, b *Ciphertext) (*Ciphertext, error) {
 
 // keySwitch mirrors the CKKS hybrid key switch but uses the exact centered
 // ModDown so the division by P (≡ 1 mod t) leaves the plaintext untouched.
+// It is the eager reference path: the live evaluator runs KeySwitchFused
+// (hoisted.go), whose bit-identity to this function the fused-vs-eager
+// tests pin.
 func (ev *Evaluator) keySwitch(level int, c *ring.Poly, swk *SwitchingKey) (*ring.Poly, *ring.Poly) {
 	ctx := ev.ctx
 	rq, rp := ctx.RQ, ctx.RP

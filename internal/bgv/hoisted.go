@@ -1,0 +1,150 @@
+package bgv
+
+import (
+	"fmt"
+
+	"alchemist/internal/ring"
+)
+
+// Fused lazy keyswitching for BGV — the same restructuring as
+// internal/ckks/hoisted.go (one digit-batched decomposition, unreduced
+// 128-bit accumulation across all digit groups, a single deferred Barrett
+// fold per channel), except the final descent runs through the t-exact
+// modDownT so the plaintext modulo t is untouched. KeySwitchFused is
+// bit-identical to the eager keySwitch reference (pinned by the fused-vs-
+// eager tests); MulRelin and ApplyGalois run on the fused path.
+
+// Decomposition is the reusable ModUp expansion of one polynomial: per digit
+// group, the digit extended to Q and to P, NTT domain. Produce with
+// DecomposeOnce, hand back with ReleaseDecomposition.
+type Decomposition struct {
+	Level int
+	DQ    []*ring.Poly
+	DP    []*ring.Poly
+}
+
+// DecomposeOnce computes the digit decomposition of c (coefficient domain)
+// once, for reuse across many keyswitches against the same input.
+func (ev *Evaluator) DecomposeOnce(level int, c *ring.Poly) *Decomposition {
+	ctx := ev.ctx
+	rq, rp := ctx.RQ, ctx.RP
+	levelP := rp.MaxLevel()
+	groups := ctx.groupsAt(level)
+
+	d, _ := ctx.decPool.Get().(*Decomposition)
+	if d == nil {
+		d = &Decomposition{
+			DQ: make([]*ring.Poly, 0, ctx.Params.Dnum),
+			DP: make([]*ring.Poly, 0, ctx.Params.Dnum),
+		}
+	}
+	d.Level = level
+	d.DQ, d.DP = d.DQ[:0], d.DP[:0]
+	for g := 0; g < groups; g++ {
+		d.DQ = append(d.DQ, rq.Borrow(level))
+		d.DP = append(d.DP, rp.Borrow(levelP))
+	}
+	ctx.Dec.DecomposeAll(level, c, d.DQ, d.DP)
+	for g := 0; g < groups; g++ {
+		rq.NTT(level, d.DQ[g])
+		rp.NTT(levelP, d.DP[g])
+	}
+	return d
+}
+
+// ReleaseDecomposition returns the decomposition's polynomials to the ring
+// arenas and its shell to the context pool. d must not be used afterwards.
+func (ev *Evaluator) ReleaseDecomposition(d *Decomposition) {
+	if d == nil {
+		return
+	}
+	ctx := ev.ctx
+	for _, p := range d.DQ {
+		ctx.RQ.Release(p)
+	}
+	for _, p := range d.DP {
+		ctx.RP.Release(p)
+	}
+	d.DQ, d.DP = d.DQ[:0], d.DP[:0]
+	ctx.decPool.Put(d)
+}
+
+// KeySwitchFused is the lazy-accumulation keyswitch: same contract and
+// bit-identical output as the eager keySwitch reference.
+//
+//alchemist:hot
+func (ev *Evaluator) KeySwitchFused(level int, c *ring.Poly, swk *SwitchingKey) (*ring.Poly, *ring.Poly) {
+	d := ev.DecomposeOnce(level, c)
+	outB := ev.ctx.RQ.Borrow(level)
+	outA := ev.ctx.RQ.Borrow(level)
+	ev.keySwitchHoisted(d, swk, 0, false, outB, outA)
+	ev.ReleaseDecomposition(d)
+	return outB, outA
+}
+
+// keySwitchHoisted runs the accumulation half of the keyswitch against a
+// prepared decomposition (optionally fusing the Galois permutation φ_k into
+// the NTT-domain multiply-accumulate), then the single deferred reduction,
+// the inverse transforms and the two t-exact ModDowns.
+//
+//alchemist:hot
+func (ev *Evaluator) keySwitchHoisted(d *Decomposition, swk *SwitchingKey, k uint64, perm bool, outB, outA *ring.Poly) {
+	ctx := ev.ctx
+	rq, rp := ctx.RQ, ctx.RP
+	level := d.Level
+	levelP := rp.MaxLevel()
+	groups := ctx.groupsAt(level)
+
+	// KSAccumulate: register-resident composition of the Acc128 kernels, both
+	// key halves per digit load, outputs written once already folded
+	// (ring/ksacc.go). Bit-identical to the Acc128 pipeline.
+	bq := rq.Borrow(level)
+	aq := rq.Borrow(level)
+	bp := rp.Borrow(levelP)
+	ap := rp.Borrow(levelP)
+
+	rq.KSAccumulate(level, d.DQ[:groups], swk.BQ[:groups], swk.AQ[:groups], k, perm, bq, aq)
+	rp.KSAccumulate(levelP, d.DP[:groups], swk.BP[:groups], swk.AP[:groups], k, perm, bp, ap)
+
+	rq.INTT(level, bq)
+	rq.INTT(level, aq)
+	rp.INTT(levelP, bp)
+	rp.INTT(levelP, ap)
+
+	ev.modDownT(level, bq, bp, outB)
+	ev.modDownT(level, aq, ap, outA)
+
+	rq.Release(bq)
+	rq.Release(aq)
+	rp.Release(bp)
+	rp.Release(ap)
+}
+
+// ApplyGalois applies the automorphism φ_k homomorphically: the result
+// decrypts to φ_k(m) mod t, exactly. gk must be the GenGaloisKey(k, ·) key.
+// The hoisted order (decompose ct.A, then permute inside the accumulation)
+// never materializes φ_k(A)'s digits.
+func (ev *Evaluator) ApplyGalois(ct *Ciphertext, k uint64, gk *SwitchingKey) (*Ciphertext, error) {
+	if gk == nil {
+		return nil, fmt.Errorf("bgv: galois key missing")
+	}
+	ctx := ev.ctx
+	rq := ctx.RQ
+	level := ct.Level
+	d := ev.DecomposeOnce(level, ct.A)
+	bp := rq.Borrow(level)
+	outA := rq.Borrow(level)
+	ev.keySwitchHoisted(d, gk, k, true, bp, outA)
+	ev.ReleaseDecomposition(d)
+	rot := rq.Borrow(level)
+	rq.Automorphism(level, ct.B, k, rot)
+	rq.Add(level, bp, rot, bp)
+	rq.Release(rot)
+	return &Ciphertext{B: bp, A: outA, Level: level}, nil
+}
+
+// RotateRows applies the row rotation by r steps (Galois element 5^r), the
+// packed-slot permutation BGV inherits from the power-of-two cyclotomic.
+func (ev *Evaluator) RotateRows(ct *Ciphertext, r int, gk *SwitchingKey) (*Ciphertext, error) {
+	return ev.ApplyGalois(ct, ev.ctx.RQ.GaloisElementForRotation(r), gk)
+}

@@ -9,7 +9,10 @@
 // Pipeline (ToLWE):
 //
 //  1. SlotToCoeff: homomorphically apply the encoding matrix V so each
-//     slot value moves into a polynomial coefficient.
+//     slot value moves into a polynomial coefficient. The transform's
+//     rotations are hoisted: one digit decomposition of the input is shared
+//     by every diagonal (ckks.EvalLinearTransform), so the bridge pays one
+//     ModUp instead of one per rotation.
 //  2. Level drop to the last CKKS modulus q0.
 //  3. LWE extraction: coefficient j of an RLWE ciphertext is an LWE sample
 //     of dimension N under the CKKS ring key.

@@ -92,3 +92,39 @@ func TestRotateAllocFree(t *testing.T) {
 		t.Errorf("warm Rotate+Recycle allocates %.1f per op, want 0", n)
 	}
 }
+
+func TestKeySwitchFusedAllocFree(t *testing.T) {
+	ctx, ev, ct1, _ := allocEvaluator(t)
+	level := ct1.Level
+	b, a := ev.KeySwitchFused(level, ct1.A, ev.eks.Rlk) // warm
+	ctx.RQ.Release(b)
+	ctx.RQ.Release(a)
+	if n := testing.AllocsPerRun(20, func() {
+		b, a := ev.KeySwitchFused(level, ct1.A, ev.eks.Rlk)
+		ctx.RQ.Release(b)
+		ctx.RQ.Release(a)
+	}); n != 0 {
+		t.Errorf("warm KeySwitchFused allocates %.1f per op, want 0", n)
+	}
+}
+
+// TestRotateHoistedAllocFree pins the hoisted batch path end to end:
+// DecomposeOnce, the key pre-check, the per-step permuted accumulations and
+// the ciphertext wrapping all run from pools.
+func TestRotateHoistedAllocFree(t *testing.T) {
+	ctx, ev, ct1, _ := allocEvaluator(t)
+	steps := []int{1}
+	var outs [1]*Ciphertext
+	if err := ev.RotateHoistedInto(ct1, steps, outs[:]); err != nil { // warm
+		t.Fatal(err)
+	}
+	ctx.Recycle(outs[0])
+	if n := testing.AllocsPerRun(20, func() {
+		if err := ev.RotateHoistedInto(ct1, steps, outs[:]); err != nil {
+			t.Fatal(err)
+		}
+		ctx.Recycle(outs[0])
+	}); n != 0 {
+		t.Errorf("warm RotateHoistedInto+Recycle allocates %.1f per op, want 0", n)
+	}
+}

@@ -233,7 +233,7 @@ func (ev *Evaluator) MulRelin(a, b *Ciphertext) (*Ciphertext, error) {
 	rq.INTT(level, d1)
 	rq.INTT(level, d2)
 
-	ksB, ksA := ev.KeySwitch(level, d2, ev.eks.Rlk)
+	ksB, ksA := ev.KeySwitchFused(level, d2, ev.eks.Rlk)
 	rq.Release(d2)
 	rq.Add(level, d0, ksB, d0)
 	rq.Add(level, d1, ksA, d1)
@@ -306,115 +306,23 @@ func (ev *Evaluator) Conjugate(ct *Ciphertext) (*Ciphertext, error) {
 	return ev.applyGalois(ct, ev.ctx.RQ.GaloisElementConjugate(), ev.eks.Conj)
 }
 
+// applyGalois rotates via the hoisted path: decompose ct.A once, then run
+// the permutation-fused lazy keyswitch. Decomposing before permuting is
+// sound because the automorphism commutes with the RNS digit split; the
+// rotation tests pin the result against the plaintext rotation.
 func (ev *Evaluator) applyGalois(ct *Ciphertext, k uint64, key *SwitchingKey) (*Ciphertext, error) {
 	ctx := ev.ctx
 	level := ct.Level
+	d := ev.DecomposeOnce(level, ct.A)
 	bp := ctx.RQ.Borrow(level)
-	ap := ctx.RQ.Borrow(level)
-	ctx.RQ.Automorphism(level, ct.B, k, bp)
-	ctx.RQ.Automorphism(level, ct.A, k, ap)
-	ksB, ksA := ev.KeySwitch(level, ap, key)
-	ctx.RQ.Release(ap)
-	ctx.RQ.Add(level, bp, ksB, bp)
-	ctx.RQ.Release(ksB)
-	return ctx.wrapCt(bp, ksA, level, ct.Scale), nil
-}
-
-// RotateHoisted rotates ct by every step in steps, sharing one ModUp
-// decomposition across all of them ("hoisting"): the expensive per-group
-// basis conversions run once, and each rotation only permutes the digits,
-// multiplies by its key and ModDowns. The automorphism commutes with the
-// RNS decomposition (it is a coefficient permutation), which is what makes
-// the sharing sound. This is the software counterpart of the BSP-L=n+
-// schedules in the accelerator model.
-func (ev *Evaluator) RotateHoisted(ct *Ciphertext, steps []int) (map[int]*Ciphertext, error) {
-	if ev.eks == nil {
-		return nil, fmt.Errorf("ckks: rotation keys missing")
-	}
-	ctx := ev.ctx
-	rq, rp := ctx.RQ, ctx.RP
-	level := ct.Level
-	levelP := rp.MaxLevel()
-	groups := ctx.GroupsAtLevel(level)
-
-	// Resolve every rotation key first, so no arena state is held across an
-	// error return.
-	keys := make([]*SwitchingKey, len(steps))
-	elems := make([]uint64, len(steps))
-	for si, step := range steps {
-		k := rq.GaloisElementForRotation(step)
-		key, ok := ev.eks.Rot[k]
-		if !ok {
-			return nil, fmt.Errorf("ckks: rotation key for step %d missing", step)
-		}
-		keys[si], elems[si] = key, k
-	}
-
-	// Shared decomposition of the A polynomial (coefficient domain).
-	dQ := make([]*ring.Poly, groups)
-	dP := make([]*ring.Poly, groups)
-	for g := 0; g < groups; g++ {
-		lo, hi := ctx.GroupRange(g)
-		if hi > level+1 {
-			hi = level + 1
-		}
-		digits := ct.A.Coeffs[lo:hi]
-		srcLevel := hi - lo - 1
-		dQ[g] = rq.Borrow(level)
-		dP[g] = rp.Borrow(levelP)
-		ctx.groupToQ[g].ConvertN(srcLevel, digits, dQ[g].Coeffs, level+1)
-		ctx.groupToP[g].Convert(srcLevel, digits, dP[g].Coeffs)
-	}
-
-	out := make(map[int]*Ciphertext, len(steps))
-	permQ := rq.Borrow(level)
-	permP := rp.Borrow(levelP)
-	accBQ := rq.Borrow(level)
-	accAQ := rq.Borrow(level)
-	accBP := rp.Borrow(levelP)
-	accAP := rp.Borrow(levelP)
-	outB := rq.Borrow(level)
-	for si, step := range steps {
-		k, key := elems[si], keys[si]
-		rq.Zero(level, accBQ)
-		rq.Zero(level, accAQ)
-		rp.Zero(levelP, accBP)
-		rp.Zero(levelP, accAP)
-		for g := 0; g < groups; g++ {
-			rq.Automorphism(level, dQ[g], k, permQ)
-			rp.Automorphism(levelP, dP[g], k, permP)
-			rq.NTT(level, permQ)
-			rp.NTT(levelP, permP)
-			rq.MulCoeffsAndAdd(level, permQ, key.BQ[g], accBQ)
-			rq.MulCoeffsAndAdd(level, permQ, key.AQ[g], accAQ)
-			rp.MulCoeffsAndAdd(levelP, permP, key.BP[g], accBP)
-			rp.MulCoeffsAndAdd(levelP, permP, key.AP[g], accAP)
-		}
-		rq.INTT(level, accBQ)
-		rq.INTT(level, accAQ)
-		rp.INTT(levelP, accBP)
-		rp.INTT(levelP, accAP)
-		outA := rq.Borrow(level)
-		ctx.Ext.ModDown(level, accBQ, accBP, outB)
-		ctx.Ext.ModDown(level, accAQ, accAP, outA)
-		// Add the rotated B part.
-		bp := rq.Borrow(level)
-		rq.Automorphism(level, ct.B, k, bp)
-		rq.Add(level, bp, outB, bp)
-		out[step] = ctx.wrapCt(bp, outA, level, ct.Scale)
-	}
-	for g := 0; g < groups; g++ {
-		rq.Release(dQ[g])
-		rp.Release(dP[g])
-	}
-	rq.Release(permQ)
-	rp.Release(permP)
-	rq.Release(accBQ)
-	rq.Release(accAQ)
-	rp.Release(accBP)
-	rp.Release(accAP)
-	rq.Release(outB)
-	return out, nil
+	outA := ctx.RQ.Borrow(level)
+	ev.keySwitchHoisted(d, key, k, true, bp, outA)
+	ev.ReleaseDecomposition(d)
+	rot := ctx.RQ.Borrow(level)
+	ctx.RQ.Automorphism(level, ct.B, k, rot)
+	ctx.RQ.Add(level, bp, rot, bp)
+	ctx.RQ.Release(rot)
+	return ctx.wrapCt(bp, outA, level, ct.Scale), nil
 }
 
 // KeySwitch applies the hybrid key switch to the coefficient-domain
@@ -471,8 +379,11 @@ func (ev *Evaluator) KeySwitch(level int, c *ring.Poly, swk *SwitchingKey) (*rin
 
 	outB := rq.Borrow(level)
 	outA := rq.Borrow(level)
-	ctx.Ext.ModDown(level, accBQ, accBP, outB)
-	ctx.Ext.ModDown(level, accAQ, accAP, outA)
+	// Eager end to end: the reference path keeps the reduction-per-term
+	// ModDown so the fused-vs-eager comparison measures the whole lazy
+	// pipeline (byte-identical results either way).
+	ctx.Ext.ModDownEager(level, accBQ, accBP, outB)
+	ctx.Ext.ModDownEager(level, accAQ, accAP, outA)
 	rq.Release(accBQ)
 	rq.Release(accAQ)
 	rp.Release(accBP)

@@ -2,6 +2,7 @@ package ckks
 
 import (
 	"fmt"
+	"sort"
 
 	"alchemist/internal/ring"
 )
@@ -60,37 +61,81 @@ func (lt *LinearTransform) Rotations() []int {
 	return out
 }
 
+// hoistChunk bounds how many rotated ciphertexts EvalLinearTransform keeps
+// live at once: the decomposition of the input is shared across ALL
+// diagonals (hoisting), but the rotations themselves are produced and
+// consumed in chunks so a transform with hundreds of diagonals does not hold
+// hundreds of ciphertexts.
+const hoistChunk = 8
+
 // EvalLinearTransform applies the transform: Σ_d diag_d ⊙ rot(ct, d),
 // followed by a rescale. The evaluator must hold the rotation keys returned
-// by Rotations().
+// by Rotations(). The input's digit decomposition is computed once and
+// shared by every rotation (chunked hoisting), so the per-diagonal cost is
+// one permuted lazy accumulation + ModDown instead of a full keyswitch.
 func (ev *Evaluator) EvalLinearTransform(ct *Ciphertext, lt *LinearTransform, enc *Encoder) (*Ciphertext, error) {
-	var acc *Ciphertext
+	if len(lt.Diags) == 0 {
+		return nil, fmt.Errorf("ckks: transform has no diagonals")
+	}
 	scale := ev.ctx.Params.Scale
-	for d, diag := range lt.Diags {
-		rotated := ct
+	// Deterministic evaluation order (map iteration is randomized, and
+	// floating-point slot sums are order-sensitive at the noise floor).
+	steps := make([]int, 0, len(lt.Diags))
+	for d := range lt.Diags {
 		if d != 0 {
-			var err error
-			rotated, err = ev.Rotate(ct, d)
-			if err != nil {
-				return nil, err
-			}
+			steps = append(steps, d)
 		}
+	}
+	sort.Ints(steps)
+
+	var acc *Ciphertext
+	mulAdd := func(rotated *Ciphertext, diag []complex128) error {
 		pt, err := enc.Encode(diag, rotated.Level, scale)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		term := ev.MulPlain(rotated, pt, scale)
 		if acc == nil {
 			acc = term
-		} else {
-			acc, err = ev.Add(acc, term)
-			if err != nil {
-				return nil, err
-			}
+			return nil
+		}
+		next, err := ev.Add(acc, term)
+		if err != nil {
+			return err
+		}
+		ev.ctx.Recycle(acc)
+		ev.ctx.Recycle(term)
+		acc = next
+		return nil
+	}
+
+	if diag, ok := lt.Diags[0]; ok {
+		if err := mulAdd(ct, diag); err != nil {
+			return nil, err
 		}
 	}
-	if acc == nil {
-		return nil, fmt.Errorf("ckks: transform has no diagonals")
+	if len(steps) > 0 {
+		if ev.eks == nil {
+			return nil, fmt.Errorf("ckks: rotation keys missing")
+		}
+		dec := ev.DecomposeOnce(ct.Level, ct.A)
+		var outs [hoistChunk]*Ciphertext
+		for c0 := 0; c0 < len(steps); c0 += hoistChunk {
+			chunk := steps[c0:min(c0+hoistChunk, len(steps))]
+			if err := ev.RotateHoistedWith(ct, dec, chunk, outs[:len(chunk)]); err != nil {
+				ev.ReleaseDecomposition(dec)
+				return nil, err
+			}
+			for i, d := range chunk {
+				err := mulAdd(outs[i], lt.Diags[d])
+				ev.ctx.Recycle(outs[i])
+				if err != nil {
+					ev.ReleaseDecomposition(dec)
+					return nil, err
+				}
+			}
+		}
+		ev.ReleaseDecomposition(dec)
 	}
 	return ev.Rescale(acc)
 }

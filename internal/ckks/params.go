@@ -161,13 +161,20 @@ type Context struct {
 	RP     *ring.Ring // ring over P
 	Ext    *ring.Extender
 
-	// Per-digit-group converters from the group's moduli to Q and to P.
+	// Per-digit-group converters from the group's moduli to Q and to P —
+	// the eager reference path (KeySwitch).
 	groupToQ []*ring.BasisConverter
 	groupToP []*ring.BasisConverter
 
+	// Dec is the digit-batched dual-target decomposer the fused keyswitch
+	// runs on (same tables as groupToQ/groupToP, shared step-1 scaling).
+	Dec *ring.Decomposer
+
 	// ctPool recycles Ciphertext wrappers (the polynomials themselves go
-	// through the ring arenas); see Recycle in evaluator.go.
-	ctPool sync.Pool
+	// through the ring arenas); see Recycle in evaluator.go. decPool does
+	// the same for Decomposition shells (hoisted.go).
+	ctPool  sync.Pool
+	decPool sync.Pool
 }
 
 // NewContext instantiates rings and precomputations for params.
@@ -198,6 +205,15 @@ func NewContext(params Parameters) (*Context, error) {
 		ctx.groupToQ = append(ctx.groupToQ, ring.NewBasisConverter(src, params.Q))
 		ctx.groupToP = append(ctx.groupToP, ring.NewBasisConverter(src, params.P))
 	}
+	duals := make([]*ring.DualConverter, len(ctx.groupToQ))
+	for g := range duals {
+		dc, err := ring.NewDualConverter(ctx.groupToQ[g], ctx.groupToP[g], g*alpha)
+		if err != nil {
+			return nil, err
+		}
+		duals[g] = dc
+	}
+	ctx.Dec = ring.NewDecomposer(alpha, duals)
 	return ctx, nil
 }
 

@@ -13,7 +13,9 @@ import (
 // directive declares itself a steady-state-allocation-free kernel — the
 // claim the arena layer (ring.BufPool, Ring.Borrow/Release) exists to make
 // true and the AllocsPerRun tests pin. Inside such a function, a
-// make([]uint64, ...) is the telltale regression: degree-sized scratch being
+// make([]uint64, ...) or make([][]uint64, ...) is the telltale regression:
+// degree-sized scratch (or a per-channel header table over it, the shape the
+// digit-batched conversion kernels traffic in) being
 // allocated per call instead of borrowed from the pool. Return-value
 // allocation belongs in an unannotated wrapper (see tfhe.FromNTT over
 // FromNTTInto); rare legitimate sites (cold fallbacks, first-use cache
@@ -31,7 +33,7 @@ func NewHotAlloc(module string) *HotAlloc {
 func (*HotAlloc) Name() string { return "hot-alloc" }
 
 func (*HotAlloc) Doc() string {
-	return "no make([]uint64, ...) inside //alchemist:hot functions; borrow scratch from the ring arenas"
+	return "no make([]uint64, ...) or make([][]uint64, ...) inside //alchemist:hot functions; borrow scratch from the ring arenas"
 }
 
 var hotDirectiveRE = regexp.MustCompile(`^//\s*alchemist:hot\s*$`)
@@ -54,7 +56,7 @@ func (h *HotAlloc) Check(p *Package, report func(Finding)) {
 				report(Finding{
 					Pos:  p.Fset.Position(call.Pos()),
 					Rule: h.Name(),
-					Msg:  "make([]uint64, ...) inside //alchemist:hot function " + fd.Name.Name,
+					Msg:  "make(" + types.TypeString(p.Info.TypeOf(call), nil) + ", ...) inside //alchemist:hot function " + fd.Name.Name,
 					Hint: "borrow scratch (ring.BufPool.Get, Ring.Borrow/Scratch) and release it, move the allocation to an unannotated wrapper, or annotate //alchemist:allow hot-alloc <reason>",
 				})
 				return true
@@ -78,7 +80,8 @@ func isHotAnnotated(fd *ast.FuncDecl) bool {
 }
 
 // isMakeUint64Slice reports whether call is the builtin make producing a
-// []uint64 (the arenas' scratch currency).
+// []uint64 or [][]uint64 (the arenas' scratch currency and the per-channel
+// header tables over it).
 func isMakeUint64Slice(p *Package, call *ast.CallExpr) bool {
 	id, ok := call.Fun.(*ast.Ident)
 	if !ok || id.Name != "make" {
@@ -91,6 +94,10 @@ func isMakeUint64Slice(p *Package, call *ast.CallExpr) bool {
 	if !ok {
 		return false
 	}
-	b, ok := sl.Elem().Underlying().(*types.Basic)
+	elem := sl.Elem().Underlying()
+	if inner, ok := elem.(*types.Slice); ok {
+		elem = inner.Elem().Underlying()
+	}
+	b, ok := elem.(*types.Basic)
 	return ok && b.Kind() == types.Uint64
 }

@@ -62,3 +62,15 @@ func HotOtherType(n int) []int32 {
 func HotAllowed(n int) []uint64 {
 	return make([]uint64, n) //alchemist:allow hot-alloc fixture demonstrates a reasoned cold-path exemption
 }
+
+// BadHeaderTable allocates a per-channel header table over degree-sized rows
+// inside a hot function — the digit-batched conversion regression (flagged).
+//
+//alchemist:hot
+func BadHeaderTable(rows, n int) [][]uint64 {
+	out := make([][]uint64, rows) // flagged
+	for i := range out {
+		out[i] = borrow(n)
+	}
+	return out
+}

@@ -1,6 +1,9 @@
 package modmath
 
-import "testing"
+import (
+	"math/big"
+	"testing"
+)
 
 // FuzzReductionAgreement drives all four modular-multiplication paths with
 // arbitrary operands; they must always agree.
@@ -73,6 +76,32 @@ func FuzzMulModShoupLazyDomain(f *testing.F) {
 		}
 		if want := MulMod(a%q, w, q); r%q != want {
 			t.Fatalf("MulModShoupLazy(%d,%d) mod %d ≡ %d want %d", a, w, q, r%q, want)
+		}
+	})
+}
+
+// FuzzBarrettReduceWide pins Reduce's widened contract: any 128-bit value
+// x = hi:lo with hi < q (i.e. x < q·2^64) reduces to x mod q, not just single
+// products x < q². The ring lazy accumulators (Acc128) sum many unreduced
+// products under exactly this bound before their one deferred reduction, so
+// the whole fused keyswitch rests on this pin. Oracle: big.Int.
+func FuzzBarrettReduceWide(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(12289))
+	f.Add(^uint64(0), ^uint64(0), uint64(97))
+	// hi at the very top of the domain (q-1), q at the top of the 2^62 bound.
+	f.Add((uint64(1)<<62)-61, ^uint64(0), (uint64(1)<<62)-60)
+	f.Add(uint64(2305843009213693950), ^uint64(0), uint64(2305843009213693951))
+	f.Fuzz(func(t *testing.T, hiSeed, lo, qSeed uint64) {
+		q := qSeed%((1<<62)-3) + 3
+		if q%2 == 0 {
+			q++
+		}
+		hi := hiSeed % q // the full domain: x < q·2^64 ⟺ hi < q
+		x := new(big.Int).Lsh(new(big.Int).SetUint64(hi), 64)
+		x.Add(x, new(big.Int).SetUint64(lo))
+		want := x.Mod(x, new(big.Int).SetUint64(q)).Uint64()
+		if got := NewBarrett(q).Reduce(hi, lo); got != want {
+			t.Fatalf("Reduce(%d, %d) mod %d = %d want %d", hi, lo, q, got, want)
 		}
 	})
 }

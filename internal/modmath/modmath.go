@@ -93,7 +93,12 @@ func NewBarrett(q uint64) Barrett {
 }
 
 // Reduce reduces the 128-bit value (hi, lo) modulo q. It requires
-// hi*2^64 + lo < q^2 (always true for products of operands below q).
+// hi*2^64 + lo < q·2^64 — equivalently hi < q — which covers both a single
+// product of operands below q (x < q² < q·2^64) and the lazy accumulators in
+// package ring that sum many such products before reducing (x ≤ m·q² with
+// m·q ≤ 2^64). The bound is what keeps the quotient estimate in one word:
+// t ≈ floor(x/q) < 2^64. Pinned against a big.Int oracle over the full
+// domain by FuzzBarrettReduceWide.
 func (b Barrett) Reduce(hi, lo uint64) uint64 {
 	// Estimate t = floor(x * mu / 2^128) where x = hi:lo and mu = muHi:muLo.
 	// Dropping the lo*muLo partial product makes the estimate short by at

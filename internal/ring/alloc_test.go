@@ -152,3 +152,75 @@ func TestMulPolyAllocFree(t *testing.T) {
 		t.Errorf("warm MulPoly allocates %.1f per op, want 0", n)
 	}
 }
+
+// TestLazyAcc128AllocFree pins the 128-bit accumulator loop: a warm
+// BorrowAcc → MulCoeffsLazy128 (plain and permuted) → ReduceAcc128 →
+// ReleaseAcc cycle must not allocate. Acc128 is returned by value and its
+// polynomials come from the arena, so the steady state is pure arithmetic.
+func TestLazyAcc128AllocFree(t *testing.T) {
+	rq, _ := allocRings(t)
+	level := rq.MaxLevel()
+	a := rq.NewPoly(level)
+	b := rq.NewPoly(level)
+	out := rq.NewPoly(level)
+	s := NewSampler(rq, 6)
+	s.Uniform(level, a)
+	s.Uniform(level, b)
+	k := rq.GaloisElementForRotation(1)
+	// Warm the arena and the permutation cache.
+	acc := rq.BorrowAcc(level)
+	rq.MulCoeffsLazy128(level, a, b, &acc)
+	rq.MulCoeffsLazy128Auto(level, a, k, b, &acc)
+	rq.ReduceAcc128(level, &acc, out)
+	rq.ReleaseAcc(&acc)
+	if n := testing.AllocsPerRun(20, func() {
+		acc := rq.BorrowAcc(level)
+		rq.MulCoeffsLazy128(level, a, b, &acc)
+		rq.MulCoeffsLazy128Auto(level, a, k, b, &acc)
+		rq.AddLazy128(level, a, &acc)
+		rq.ReduceAcc128(level, &acc, out)
+		rq.ReleaseAcc(&acc)
+	}); n != 0 {
+		t.Errorf("warm lazy accumulator loop allocates %.1f per op, want 0", n)
+	}
+}
+
+// TestDecomposerAllocFree pins the digit-batched dual conversion: the lazy
+// stack tiles and the shared step-1 scratch must leave DecomposeAll
+// allocation-free once the converter scratch is warm.
+func TestDecomposerAllocFree(t *testing.T) {
+	rq, rp := allocRings(t)
+	level := rq.MaxLevel()
+	const alpha = 2
+	var duals []*DualConverter
+	for g := 0; g*alpha < len(rq.Moduli); g++ {
+		hi := (g + 1) * alpha
+		if hi > len(rq.Moduli) {
+			hi = len(rq.Moduli)
+		}
+		src := rq.Moduli[g*alpha : hi]
+		dc, err := NewDualConverter(
+			NewBasisConverter(src, rq.Moduli),
+			NewBasisConverter(src, rp.Moduli), g*alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		duals = append(duals, dc)
+	}
+	dec := NewDecomposer(alpha, duals)
+	c := rq.NewPoly(level)
+	NewSampler(rq, 7).Uniform(level, c)
+	groups := dec.GroupsAt(level)
+	dQ := make([]*Poly, groups)
+	dP := make([]*Poly, groups)
+	for g := range dQ {
+		dQ[g] = rq.NewPoly(level)
+		dP[g] = rp.NewPoly(rp.MaxLevel())
+	}
+	dec.DecomposeAll(level, c, dQ, dP) // warm
+	if n := testing.AllocsPerRun(20, func() {
+		dec.DecomposeAll(level, c, dQ, dP)
+	}); n != 0 {
+		t.Errorf("warm DecomposeAll allocates %.1f per op, want 0", n)
+	}
+}

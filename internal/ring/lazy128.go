@@ -1,0 +1,181 @@
+package ring
+
+import "math/bits"
+
+// Lazy 128-bit accumulation: the algorithmic half of the fused keyswitch.
+//
+// The eager inner product Σ_g d_g ⊙ evk_g reduces every product on the spot
+// (Barrett per multiply, conditional-subtract per add — 5+ hardware multiplies
+// and a data-dependent correction per term). The lazy kernels instead keep
+// each coefficient as an unreduced 128-bit hi:lo pair across ALL decomposition
+// digits and apply a single Barrett fold at the end, so each accumulated term
+// costs one widening multiply plus an add-with-carry chain, and the per-term
+// reduction disappears. This is the software counterpart of the accelerator's
+// deferred-reduction Meta-OP accumulation ((M8A8)_L R8: L multiply-adds, ONE
+// reduction), and matches what Lattigo-class CPU libraries ship.
+//
+// Soundness: Barrett.Reduce folds any x < q·2^64 (see modmath; the bound is
+// pinned by FuzzBarrettReduceWide). A sum of m products of residues stays
+// below m·q², so the accumulator is safe while m·q ≤ 2^64. Ring.lazyCap
+// (computed in NewRing as 1 << (64 - bits.Len64(maxModulus))) is exactly that
+// bound; MulCoeffsLazy128 flushes — reduces in place and restarts the count —
+// when an accumulation would cross it. For the repo's 36–49-bit parameter
+// shapes the capacity is astronomically larger than any dnum, so the flush
+// never fires; near-2^61 edge moduli flush every 8 terms, a path the
+// fused-vs-eager fuzzers exercise deliberately.
+
+// Acc128 is an unreduced 128-bit RNS accumulator: Lo/Hi hold the low and high
+// words of Σ a_t[j]·b_t[j] per channel per coefficient. Both polynomials come
+// from the ring arena (BorrowAcc/ReleaseAcc); the struct itself is a value —
+// copying it is cheap and allocation-free.
+type Acc128 struct {
+	Lo, Hi *Poly
+	// terms counts worst-case accumulated products since the last flush,
+	// measured in units of q² (a flushed residue counts as one unit, which
+	// over-counts it 2^64-fold — conservative and branch-cheap).
+	terms int
+}
+
+// BorrowAcc returns a zeroed accumulator shaped for level. Release it with
+// ReleaseAcc.
+func (r *Ring) BorrowAcc(level int) Acc128 {
+	return Acc128{Lo: r.BorrowZero(level), Hi: r.BorrowZero(level)}
+}
+
+// ReleaseAcc returns the accumulator's polynomials to the arena. The
+// accumulator must not be used afterwards.
+func (r *Ring) ReleaseAcc(acc *Acc128) {
+	r.Release(acc.Lo)
+	r.Release(acc.Hi)
+	acc.Lo, acc.Hi = nil, nil
+	acc.terms = 0
+}
+
+// MulCoeffsLazy128 accumulates acc += a ⊙ b at levels 0..level without
+// reducing: per coefficient one 64×64→128 multiply feeds an add-with-carry
+// into the hi:lo pair. Inputs must be reduced (< q per channel). The
+// accumulator auto-flushes when the capacity bound would be crossed, so any
+// number of terms is safe at any modulus width.
+//
+//alchemist:hot
+func (r *Ring) MulCoeffsLazy128(level int, a, b *Poly, acc *Acc128) {
+	if acc.terms+1 > r.lazyCap {
+		r.flushAcc(level, acc)
+	}
+	acc.terms++
+	for i := 0; i <= level; i++ {
+		lazyMulAcc(a.Coeffs[i], b.Coeffs[i], acc.Lo.Coeffs[i], acc.Hi.Coeffs[i])
+	}
+}
+
+// MulCoeffsLazy128Auto accumulates acc += φ_k(a) ⊙ b at levels 0..level with
+// a in the NTT domain: the automorphism is a pure index permutation there, so
+// the gather fuses into the multiply-accumulate and the permuted polynomial
+// is never materialized. This is the hoisted-rotation inner loop.
+//
+//alchemist:hot
+func (r *Ring) MulCoeffsLazy128Auto(level int, a *Poly, k uint64, b *Poly, acc *Acc128) {
+	if acc.terms+1 > r.lazyCap {
+		r.flushAcc(level, acc)
+	}
+	acc.terms++
+	perm := r.automorphismPerm(k & uint64(2*r.N-1))
+	for i := 0; i <= level; i++ {
+		lazyMulAccGather(a.Coeffs[i], perm, b.Coeffs[i], acc.Lo.Coeffs[i], acc.Hi.Coeffs[i])
+	}
+}
+
+// AddLazy128 accumulates acc += a at levels 0..level (a reduced polynomial
+// entering the lazy sum, e.g. a carried-over partial result). Counts as one
+// capacity unit.
+//
+//alchemist:hot
+func (r *Ring) AddLazy128(level int, a *Poly, acc *Acc128) {
+	if acc.terms+1 > r.lazyCap {
+		r.flushAcc(level, acc)
+	}
+	acc.terms++
+	for i := 0; i <= level; i++ {
+		lazyAdd(a.Coeffs[i], acc.Lo.Coeffs[i], acc.Hi.Coeffs[i])
+	}
+}
+
+// ReduceAcc128 folds the accumulator into out at levels 0..level: one Barrett
+// reduction of each hi:lo pair, the single deferred reduction the lazy
+// pipeline buys. The accumulator is left untouched (callers may keep adding).
+//
+//alchemist:hot
+func (r *Ring) ReduceAcc128(level int, acc *Acc128, out *Poly) {
+	for i := 0; i <= level; i++ {
+		r.SubRings[i].ReduceAcc128(acc.Lo.Coeffs[i], acc.Hi.Coeffs[i], out.Coeffs[i])
+	}
+}
+
+// flushAcc reduces the accumulator in place: Lo takes the reduced residues,
+// Hi returns to zero, and the term count restarts at one (the residue).
+func (r *Ring) flushAcc(level int, acc *Acc128) {
+	for i := 0; i <= level; i++ {
+		lo, hi := acc.Lo.Coeffs[i], acc.Hi.Coeffs[i]
+		r.SubRings[i].ReduceAcc128(lo, hi, lo)
+		for j := range hi {
+			hi[j] = 0
+		}
+	}
+	acc.terms = 1
+}
+
+// MulCoeffsLazy128 is the per-channel kernel: lo:hi += a ⊙ b unreduced.
+// Slices must have equal length; callers guarantee capacity (see Acc128).
+//
+//alchemist:hot
+func (s *SubRing) MulCoeffsLazy128(a, b, lo, hi []uint64) { lazyMulAcc(a, b, lo, hi) }
+
+// AddLazy128 is the per-channel kernel: lo:hi += a unreduced.
+//
+//alchemist:hot
+func (s *SubRing) AddLazy128(a, lo, hi []uint64) { lazyAdd(a, lo, hi) }
+
+// ReduceAcc128 folds each unreduced hi:lo pair into [0, Q) via the subring's
+// Barrett state. out may alias lo.
+//
+//alchemist:hot
+func (s *SubRing) ReduceAcc128(lo, hi, out []uint64) {
+	red := s.barrett
+	for j := range out {
+		out[j] = red.Reduce(hi[j], lo[j])
+	}
+}
+
+func lazyMulAcc(a, b, lo, hi []uint64) {
+	_ = b[len(a)-1]
+	_ = lo[len(a)-1]
+	_ = hi[len(a)-1]
+	for j := range a {
+		phi, plo := bits.Mul64(a[j], b[j])
+		var c uint64
+		lo[j], c = bits.Add64(lo[j], plo, 0)
+		hi[j] += phi + c
+	}
+}
+
+func lazyMulAccGather(a []uint64, perm []int32, b, lo, hi []uint64) {
+	_ = perm[len(b)-1]
+	_ = lo[len(b)-1]
+	_ = hi[len(b)-1]
+	for j := range b {
+		phi, plo := bits.Mul64(a[perm[j]], b[j])
+		var c uint64
+		lo[j], c = bits.Add64(lo[j], plo, 0)
+		hi[j] += phi + c
+	}
+}
+
+func lazyAdd(a, lo, hi []uint64) {
+	_ = lo[len(a)-1]
+	_ = hi[len(a)-1]
+	for j := range a {
+		var c uint64
+		lo[j], c = bits.Add64(lo[j], a[j], 0)
+		hi[j] += c
+	}
+}

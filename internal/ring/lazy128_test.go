@@ -1,0 +1,268 @@
+package ring
+
+import (
+	"testing"
+
+	"alchemist/internal/modmath"
+)
+
+// Equality tests for the lazy 128-bit accumulation layer: every lazy kernel
+// must be bit-identical to its eager reference. Each test runs both on
+// comfortable 40-bit primes (the accumulator never flushes) and on
+// near-2^61 edge primes from the PR 1 edge-moduli set, where the capacity
+// bound is 8 and the auto-flush path is forced.
+
+// lazyTestRing builds a degree-n ring over `count` primes of the given bit
+// size (61 exercises the flush path: lazyCap = 8).
+func lazyTestRing(t *testing.T, n, count int, bits uint64) *Ring {
+	t.Helper()
+	primes, err := modmath.GenerateNTTPrimes(bits, uint64(2*n), count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRing(n, primes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestLazyCapBounds(t *testing.T) {
+	if r := lazyTestRing(t, 64, 2, 40); r.lazyCap != 1<<24 {
+		t.Errorf("40-bit lazyCap = %d, want %d", r.lazyCap, 1<<24)
+	}
+	if r := lazyTestRing(t, 64, 2, 61); r.lazyCap != 8 {
+		t.Errorf("61-bit lazyCap = %d, want 8", r.lazyCap)
+	}
+}
+
+func TestLazyAccMatchesEager(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		bits  uint64
+		terms int
+	}{
+		{"40bit-short", 40, 4},
+		{"40bit-long", 40, 33},
+		{"61bit-noflush", 61, 7},
+		{"61bit-flush", 61, 8},
+		{"61bit-multiflush", 61, 29},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r := lazyTestRing(t, 128, 3, tc.bits)
+			level := r.MaxLevel()
+			s := NewSampler(r, 11)
+			as := make([]*Poly, tc.terms)
+			bs := make([]*Poly, tc.terms)
+			for i := range as {
+				as[i], bs[i] = r.NewPoly(level), r.NewPoly(level)
+				s.Uniform(level, as[i])
+				s.Uniform(level, bs[i])
+			}
+
+			eager := r.NewPoly(level) // zeroed
+			for i := range as {
+				r.MulCoeffsAndAdd(level, as[i], bs[i], eager)
+			}
+
+			acc := r.BorrowAcc(level)
+			for i := range as {
+				r.MulCoeffsLazy128(level, as[i], bs[i], &acc)
+			}
+			lazy := r.NewPoly(level)
+			r.ReduceAcc128(level, &acc, lazy)
+			r.ReleaseAcc(&acc)
+
+			if !r.Equal(level, eager, lazy) {
+				t.Fatal("lazy accumulation differs from eager MulCoeffsAndAdd")
+			}
+		})
+	}
+}
+
+func TestAddLazy128MatchesEager(t *testing.T) {
+	r := lazyTestRing(t, 128, 2, 61)
+	level := r.MaxLevel()
+	s := NewSampler(r, 12)
+	a, b, c := r.NewPoly(level), r.NewPoly(level), r.NewPoly(level)
+	s.Uniform(level, a)
+	s.Uniform(level, b)
+	s.Uniform(level, c)
+
+	eager := r.NewPoly(level)
+	r.MulCoeffsAndAdd(level, a, b, eager)
+	r.Add(level, eager, c, eager)
+
+	acc := r.BorrowAcc(level)
+	r.MulCoeffsLazy128(level, a, b, &acc)
+	r.AddLazy128(level, c, &acc)
+	lazy := r.NewPoly(level)
+	r.ReduceAcc128(level, &acc, lazy)
+	r.ReleaseAcc(&acc)
+
+	if !r.Equal(level, eager, lazy) {
+		t.Fatal("AddLazy128 differs from eager Add")
+	}
+}
+
+// TestLazyAutoMatchesEager checks the fused gather kernel against the
+// materialize-then-multiply reference: acc += φ_k(a) ⊙ b in the NTT domain.
+func TestLazyAutoMatchesEager(t *testing.T) {
+	for _, bits := range []uint64{40, 61} {
+		r := lazyTestRing(t, 128, 3, bits)
+		level := r.MaxLevel()
+		s := NewSampler(r, 13)
+		a, b := r.NewPoly(level), r.NewPoly(level)
+		s.Uniform(level, a)
+		s.Uniform(level, b)
+		k := r.GaloisElementForRotation(5)
+
+		perm := r.NewPoly(level)
+		r.AutomorphismNTT(level, a, k, perm)
+		eager := r.NewPoly(level)
+		r.MulCoeffsAndAdd(level, perm, b, eager)
+
+		acc := r.BorrowAcc(level)
+		r.MulCoeffsLazy128Auto(level, a, k, b, &acc)
+		lazy := r.NewPoly(level)
+		r.ReduceAcc128(level, &acc, lazy)
+		r.ReleaseAcc(&acc)
+
+		if !r.Equal(level, eager, lazy) {
+			t.Fatalf("%d-bit: fused automorphism accumulate differs from eager", bits)
+		}
+	}
+}
+
+// TestConvertLazyMatchesEager pins the lazy Bconv's byte-identity to the
+// eager ConvertN across source levels and edge moduli (where the step-2
+// capacity bound forces mid-sum flushes once L exceeds it).
+func TestConvertLazyMatchesEager(t *testing.T) {
+	for _, bits := range []uint64{40, 49, 61} {
+		n := 128
+		primes, err := modmath.GenerateNTTPrimes(bits, uint64(2*n), 14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, dst := primes[:10], primes[10:]
+		bc := NewBasisConverter(src, dst)
+		in := make([][]uint64, len(src))
+		s := prngFill(99)
+		for i := range in {
+			in[i] = make([]uint64, n)
+			for k := range in[i] {
+				in[i][k] = s() % src[i]
+			}
+		}
+		for srcLevel := 0; srcLevel < len(src); srcLevel++ {
+			eager := mk2d(len(dst), n)
+			lazy := mk2d(len(dst), n)
+			bc.ConvertN(srcLevel, in, eager, len(dst))
+			bc.ConvertLazyN(srcLevel, in, lazy, len(dst))
+			for j := range eager {
+				for k := range eager[j] {
+					if eager[j][k] != lazy[j][k] {
+						t.Fatalf("%d-bit srcLevel=%d: lazy[%d][%d]=%d eager=%d", bits, srcLevel, j, k, lazy[j][k], eager[j][k])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDualConverterMatchesEager pins ConvertBoth (shared step 1, identity
+// channels, lazy step 2) against the two separate eager conversions.
+func TestDualConverterMatchesEager(t *testing.T) {
+	for _, bits := range []uint64{40, 61} {
+		n := 128
+		primes, err := modmath.GenerateNTTPrimes(bits, uint64(2*n), 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, p := primes[:9], primes[9:]
+		// Digit group = q[3:6], sitting at offset 3 of the Q target.
+		src := q[3:6]
+		toQ := NewBasisConverter(src, q)
+		toP := NewBasisConverter(src, p)
+		dc, err := NewDualConverter(toQ, toP, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := make([][]uint64, len(src))
+		s := prngFill(42)
+		for i := range in {
+			in[i] = make([]uint64, n)
+			for k := range in[i] {
+				in[i][k] = s() % src[i]
+			}
+		}
+		for srcLevel := 0; srcLevel < len(src); srcLevel++ {
+			for nQ := 1; nQ <= len(q); nQ += 3 {
+				eagerQ, lazyQ := mk2d(len(q), n), mk2d(len(q), n)
+				eagerP, lazyP := mk2d(len(p), n), mk2d(len(p), n)
+				toQ.ConvertN(srcLevel, in, eagerQ, nQ)
+				toP.Convert(srcLevel, in, eagerP)
+				dc.ConvertBoth(srcLevel, in, lazyQ, lazyP, nQ)
+				for j := 0; j < nQ; j++ {
+					for k := 0; k < n; k++ {
+						if eagerQ[j][k] != lazyQ[j][k] {
+							t.Fatalf("%d-bit srcLevel=%d nQ=%d: Q[%d][%d] lazy=%d eager=%d", bits, srcLevel, nQ, j, k, lazyQ[j][k], eagerQ[j][k])
+						}
+					}
+				}
+				for j := range eagerP {
+					for k := 0; k < n; k++ {
+						if eagerP[j][k] != lazyP[j][k] {
+							t.Fatalf("%d-bit srcLevel=%d: P[%d][%d] lazy=%d eager=%d", bits, srcLevel, j, k, lazyP[j][k], eagerP[j][k])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDualConverterRejectsBadOffset pins the constructor validation.
+func TestDualConverterRejectsBadOffset(t *testing.T) {
+	n := 64
+	primes, err := modmath.GenerateNTTPrimes(40, uint64(2*n), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, p := primes[:4], primes[4:]
+	toQ := NewBasisConverter(q[1:3], q)
+	toP := NewBasisConverter(q[1:3], p)
+	if _, err := NewDualConverter(toQ, toP, 0); err == nil {
+		t.Fatal("offset 0 for a group at offset 1 should be rejected")
+	}
+	if _, err := NewDualConverter(toQ, toP, 3); err == nil {
+		t.Fatal("out-of-range identity window should be rejected")
+	}
+	if _, err := NewDualConverter(toQ, toP, 1); err != nil {
+		t.Fatalf("correct offset rejected: %v", err)
+	}
+	if _, err := NewDualConverter(toQ, toP, -1); err != nil {
+		t.Fatalf("disabled identity window rejected: %v", err)
+	}
+}
+
+func mk2d(rows, n int) [][]uint64 {
+	out := make([][]uint64, rows)
+	for i := range out {
+		out[i] = make([]uint64, n)
+	}
+	return out
+}
+
+// prngFill returns a tiny deterministic word generator for test inputs
+// (splitmix64; test-only, no crypto claim).
+func prngFill(seed uint64) func() uint64 {
+	x := seed
+	return func() uint64 {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+}

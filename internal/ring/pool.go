@@ -120,7 +120,9 @@ func (r *Ring) pools() []*polyPool {
 func (r *Ring) Borrow(level int) *Poly {
 	p := r.pools()[level]
 	if v := p.pool.Get(); v != nil {
-		return v.(*Poly)
+		q := v.(*Poly)
+		q.released = false
+		return q
 	}
 	return r.NewPoly(level)
 }
@@ -134,7 +136,8 @@ func (r *Ring) BorrowZero(level int) *Poly {
 
 // Release returns a polynomial obtained from Borrow (or NewPoly — any poly
 // of a shape this ring produces) to the arena. The caller must not touch p
-// afterwards.
+// afterwards. Releasing the same poly twice corrupts the arena (two Borrows
+// would alias one buffer); under SetPoolDebug it panics instead.
 func (r *Ring) Release(p *Poly) {
 	if p == nil || len(p.Coeffs) == 0 || len(p.Coeffs) > len(r.SubRings) {
 		return
@@ -143,6 +146,9 @@ func (r *Ring) Release(p *Poly) {
 		return // foreign shape; let the GC have it
 	}
 	if poolDebug.Load() {
+		if p.released {
+			panic("ring: double Release of pooled Poly")
+		}
 		for i := range p.Coeffs {
 			c := p.Coeffs[i]
 			for j := range c {
@@ -150,6 +156,7 @@ func (r *Ring) Release(p *Poly) {
 			}
 		}
 	}
+	p.released = true
 	r.pools()[p.Level()].pool.Put(p)
 }
 

@@ -173,3 +173,42 @@ func TestReleasePoisonsPoly(t *testing.T) {
 		}
 	}
 }
+
+func TestDoubleReleasePanicsUnderDebug(t *testing.T) {
+	SetPoolDebug(true)
+	defer SetPoolDebug(false)
+	r := poolRing(t)
+	p := r.Borrow(1)
+	r.Release(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Release of a pooled Poly did not panic under SetPoolDebug")
+		}
+	}()
+	r.Release(p)
+}
+
+func TestDoubleReleaseSilentWithoutDebug(t *testing.T) {
+	// Without the debug mode the arena keeps its historical tolerance (the
+	// release is still wrong, but production code must not crash); the
+	// released flag is cleared by the next Borrow either way.
+	r := poolRing(t)
+	p := r.Borrow(1)
+	r.Release(p)
+	r.Release(p)
+	q := r.Borrow(1)
+	if q.released {
+		t.Fatal("Borrow returned a poly still marked released")
+	}
+	r.Release(q)
+}
+
+func TestCloseBeforeAnyParallelUse(t *testing.T) {
+	// Close on a ring whose worker pool was never initialized (no parallel
+	// transform ever ran) must be a no-op, and stay idempotent.
+	r := poolRing(t)
+	r.Close()
+	r.Close()
+	p := r.Borrow(0)
+	r.Release(p)
+}

@@ -3,6 +3,7 @@ package ring
 import (
 	"fmt"
 	"math/big"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
@@ -33,6 +34,11 @@ type Ring struct {
 	// permCache maps Galois element k → NTT-domain index permutation
 	// (automorphism.go); an evaluation reuses a small, fixed key set.
 	permCache sync.Map
+
+	// lazyCap bounds how many unreduced q²-sized terms an Acc128 may hold
+	// before it must flush: 1 << (64 - bits.Len64(max modulus)), the largest
+	// m with m·q ≤ 2^64 for every channel (lazy128.go).
+	lazyCap int
 }
 
 // NewRing builds an RNS ring of degree n over the given prime moduli.
@@ -42,6 +48,7 @@ func NewRing(n int, moduli []uint64) (*Ring, error) {
 	}
 	seen := map[uint64]bool{}
 	r := &Ring{N: n, Moduli: append([]uint64(nil), moduli...)}
+	maxQ := uint64(0)
 	for _, q := range moduli {
 		if seen[q] {
 			return nil, fmt.Errorf("ring: duplicate modulus %d", q)
@@ -52,7 +59,13 @@ func NewRing(n int, moduli []uint64) (*Ring, error) {
 			return nil, err
 		}
 		r.SubRings = append(r.SubRings, s)
+		if q > maxQ {
+			maxQ = q
+		}
 	}
+	// NewBarrett caps moduli below 2^62, so lazyCap ≥ 4: an accumulator can
+	// always take at least one product after a flush (lazy128.go).
+	r.lazyCap = 1 << (64 - bits.Len64(maxQ))
 	return r, nil
 }
 
@@ -71,6 +84,12 @@ func (r *Ring) Modulus(level int) *big.Int {
 // Poly is an RNS polynomial: Coeffs[i][j] is coefficient j modulo moduli[i].
 type Poly struct {
 	Coeffs [][]uint64
+
+	// released marks a poly currently resident in a ring arena. Release sets
+	// it, Borrow clears it; under SetPoolDebug a second Release of the same
+	// poly panics instead of corrupting the pool with a double entry (the two
+	// later Borrows would alias one buffer).
+	released bool
 }
 
 // NewPoly allocates a zero polynomial with level+1 RNS components.

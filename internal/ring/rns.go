@@ -2,6 +2,7 @@ package ring
 
 import (
 	"math/big"
+	"math/bits"
 
 	"alchemist/internal/modmath"
 )
@@ -30,6 +31,11 @@ type BasisConverter struct {
 	dstRed []modmath.Barrett
 	// scratch recycles the per-block y_i buffers of ConvertN/ConvertExact.
 	scratch BufPool
+	// lazyCap bounds the unreduced term count of the lazy step-2 accumulation
+	// (decompose.go): the largest m with m·q_src ≤ 2^64 over all source
+	// moduli, so a capacity-bounded sum stays inside Barrett.Reduce's
+	// x < p_j·2^64 domain.
+	lazyCap int
 }
 
 // convBlock is the coefficient tile width of the basis conversions: the
@@ -54,6 +60,13 @@ func NewBasisConverter(src, dst []uint64) *BasisConverter {
 	for j, pj := range dst {
 		bc.dstRed[j] = modmath.NewBarrett(pj)
 	}
+	maxSrc := uint64(0)
+	for _, q := range src {
+		if q > maxSrc {
+			maxSrc = q
+		}
+	}
+	bc.lazyCap = 1 << (64 - bits.Len64(maxSrc))
 	for l := 0; l < L; l++ {
 		Ql := big.NewInt(1)
 		for i := 0; i <= l; i++ {
@@ -102,7 +115,6 @@ func (bc *BasisConverter) ConvertN(srcLevel int, in, out [][]uint64, nDst int) {
 	n := len(in[0])
 	L := srcLevel + 1
 	y := bc.scratch.Get(L * convBlock)
-	invRow, invSRow := bc.qiHatInv[srcLevel], bc.qiHatInvShoup[srcLevel]
 	hatRow, hatSRow := bc.qiHat[srcLevel], bc.qiHatShoup[srcLevel]
 	for k0 := 0; k0 < n; k0 += convBlock {
 		kn := n - k0
@@ -110,16 +122,8 @@ func (bc *BasisConverter) ConvertN(srcLevel int, in, out [][]uint64, nDst int) {
 			kn = convBlock
 		}
 		// Step 1 of Fig. 4(b): y_i = [x_i · q̂_i^{-1}]_{q_i}, per source
-		// channel, for this tile.
-		for i := 0; i < L; i++ {
-			qi := bc.Src[i]
-			inv, invS := invRow[i], invSRow[i]
-			src := in[i][k0 : k0+kn]
-			yb := y[i*convBlock : i*convBlock+kn]
-			for k := range src {
-				yb[k] = modmath.MulModShoup(src[k], inv, invS, qi)
-			}
-		}
+		// channel, for this tile (shared with the lazy variant).
+		bc.convStep1(srcLevel, k0, kn, in, y)
 		// Step 2: for each target channel, accumulate y_i · q̂_i mod p_j.
 		// (On the accelerator this is a Meta-OP (M8A8)_L R8 per 8 outputs.)
 		for j := 0; j < nDst; j++ {
@@ -211,8 +215,10 @@ func NewExtender(rQ, rP *Ring) *Extender {
 
 // ModUp implements eq. (2): extends a (levels 0..level over Q, coefficient
 // domain) with K channels over P, writing them into outP (a P-basis poly).
+// It runs on the lazy conversion kernel (byte-identical to the eager
+// reference Convert, which tests cross-check it against).
 func (e *Extender) ModUp(level int, a *Poly, outP *Poly) {
-	e.qToP.Convert(level, a.Coeffs[:level+1], outP.Coeffs)
+	e.qToP.ConvertLazyN(level, a.Coeffs[:level+1], outP.Coeffs, len(e.qToP.Dst))
 }
 
 // ModDown implements eq. (3): given aQ over Q (levels 0..level) and aP over
@@ -223,7 +229,7 @@ func (e *Extender) ModUp(level int, a *Poly, outP *Poly) {
 //alchemist:hot
 func (e *Extender) ModDown(level int, aQ, aP, out *Poly) {
 	conv := e.RQ.Borrow(level)
-	e.pToQ.ConvertN(len(e.RP.Moduli)-1, aP.Coeffs, conv.Coeffs, level+1)
+	e.pToQ.ConvertLazyN(len(e.RP.Moduli)-1, aP.Coeffs, conv.Coeffs, level+1)
 	// Serial guard before the closure literal so the default single-threaded
 	// path stays allocation-free (closures handed to runJob escape).
 	if h := e.RQ.helpers(level); h > 0 {
@@ -232,6 +238,20 @@ func (e *Extender) ModDown(level int, aQ, aP, out *Poly) {
 		for i := 0; i <= level; i++ {
 			e.modDownChannel(i, aQ, conv, out)
 		}
+	}
+	e.RQ.Release(conv)
+}
+
+// ModDownEager is ModDown on the eager conversion kernel (ConvertN, a
+// reduction per accumulated term). Byte-identical to ModDown; it exists so
+// the eager keyswitch reference path stays eager end to end and the
+// fused-vs-eager benchmark pair measures the lazy pipeline against the
+// original arithmetic, not against a half-upgraded baseline.
+func (e *Extender) ModDownEager(level int, aQ, aP, out *Poly) {
+	conv := e.RQ.Borrow(level)
+	e.pToQ.ConvertN(len(e.RP.Moduli)-1, aP.Coeffs, conv.Coeffs, level+1)
+	for i := 0; i <= level; i++ {
+		e.modDownChannel(i, aQ, conv, out)
 	}
 	e.RQ.Release(conv)
 }

@@ -228,7 +228,7 @@ func ExternalProductInto(p Params, pm *PolyMultiplier, dec decomposer, g *TrgswN
 		digits = make([]IntPoly, 0, p.L)
 	}
 	if kk+1 > len(accArr) {
-		acc = make([][]uint64, 0, kk+1)
+		acc = make([][]uint64, 0, kk+1) //alchemist:allow hot-alloc cold fallback for exotic k > 7; usual parameter sets use the stack headers above
 	}
 	for j := 0; j < p.L; j++ {
 		digits = append(digits, pm.borrowInt())
