@@ -1,19 +1,24 @@
 // Command alchemist-vet runs the repo-specific static-analysis gate over the
 // module: the arithmetic (raw-mod), randomness (weak-rand), architecture
-// provenance (arch-const) and panic-discipline rules that ordinary go vet
-// cannot see. See internal/lint for the engine and DESIGN.md for the rule
-// rationale.
+// provenance (arch-const), panic-discipline and arena-lifetime (Borrow /
+// Release dataflow) rules that ordinary go vet cannot see, plus the
+// unused-allow sweep that retires stale suppressions. See internal/lint for
+// the engine and DESIGN.md for the rule rationale.
 //
 // Usage:
 //
 //	go run ./cmd/alchemist-vet ./...
 //	go run ./cmd/alchemist-vet ./internal/ring ./internal/tfhe
+//	go run ./cmd/alchemist-vet -json ./...
 //	go run ./cmd/alchemist-vet -rules
 //
-// Exit status is 1 when any finding is reported, 0 on a clean tree.
+// With -json, findings are emitted as a JSON array on stdout (empty array on
+// a clean tree) for CI artifacts and tooling. Exit status is 1 when any
+// finding is reported, 0 on a clean tree.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,10 +28,22 @@ import (
 	"alchemist/internal/lint"
 )
 
+// jsonFinding is the stable wire form of a finding; field names are part of
+// the CI artifact contract.
+type jsonFinding struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+	Hint string `json:"hint"`
+}
+
 func main() {
 	rules := flag.Bool("rules", false, "list the rules and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: alchemist-vet [-rules] [packages]\n\npackages default to ./...; patterns may be import paths or ./relative paths, with an optional /... suffix\n")
+		fmt.Fprintf(os.Stderr, "usage: alchemist-vet [-rules] [-json] [packages]\n\npackages default to ./...; patterns may be import paths or ./relative paths, with an optional /... suffix\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -61,12 +78,31 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	for _, f := range findings {
-		rel := f
-		if r, err := filepath.Rel(root, f.Pos.Filename); err == nil {
-			rel.Pos.Filename = r
+	if *asJSON {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			name := f.Pos.Filename
+			if r, err := filepath.Rel(root, name); err == nil {
+				name = r
+			}
+			out = append(out, jsonFinding{
+				File: name, Line: f.Pos.Line, Col: f.Pos.Column,
+				Rule: f.Rule, Msg: f.Msg, Hint: f.Hint,
+			})
 		}
-		fmt.Printf("%s\n    hint: %s\n", rel, f.Hint)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range findings {
+			rel := f
+			if r, err := filepath.Rel(root, f.Pos.Filename); err == nil {
+				rel.Pos.Filename = r
+			}
+			fmt.Printf("%s\n    hint: %s\n", rel, f.Hint)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "alchemist-vet: %d finding(s)\n", len(findings))

@@ -1,5 +1,3 @@
-//alchemist:allow panic bench regenerates paper artifacts; any simulation or model failure is fatal by design
-
 package bench
 
 import (

@@ -156,7 +156,7 @@ func (ev *Evaluator) MulRelin(a, b *Ciphertext) (*Ciphertext, error) {
 	rq.Add(level, d1, ksA, d1)
 	rq.Release(ksB)
 	rq.Release(ksA)
-	return &Ciphertext{B: d0, A: d1, Level: level}, nil
+	return &Ciphertext{B: d0, A: d1, Level: level}, nil //alchemist:owns the product ciphertext wraps the pooled limbs d0/d1
 }
 
 // keySwitch mirrors the CKKS hybrid key switch but uses the exact centered
@@ -208,7 +208,7 @@ func (ev *Evaluator) keySwitch(level int, c *ring.Poly, swk *SwitchingKey) (*rin
 	rp.Release(accAP)
 	rq.Release(dQ)
 	rp.Release(dP)
-	return outB, outA
+	return outB, outA //alchemist:owns the keyswitch halves are the caller's to release
 }
 
 // modDownT divides an accumulator over Q·P by P with the BGV t-correction:

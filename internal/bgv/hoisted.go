@@ -41,8 +41,8 @@ func (ev *Evaluator) DecomposeOnce(level int, c *ring.Poly) *Decomposition {
 	d.Level = level
 	d.DQ, d.DP = d.DQ[:0], d.DP[:0]
 	for g := 0; g < groups; g++ {
-		d.DQ = append(d.DQ, rq.Borrow(level))
-		d.DP = append(d.DP, rp.Borrow(levelP))
+		d.DQ = append(d.DQ, rq.Borrow(level))  //alchemist:owns the decomposition owns its digits; ReleaseDecomposition frees them
+		d.DP = append(d.DP, rp.Borrow(levelP)) //alchemist:owns the decomposition owns its digits; ReleaseDecomposition frees them
 	}
 	ctx.Dec.DecomposeAll(level, c, d.DQ, d.DP)
 	for g := 0; g < groups; g++ {
@@ -79,7 +79,7 @@ func (ev *Evaluator) KeySwitchFused(level int, c *ring.Poly, swk *SwitchingKey) 
 	outA := ev.ctx.RQ.Borrow(level)
 	ev.keySwitchHoisted(d, swk, 0, false, outB, outA)
 	ev.ReleaseDecomposition(d)
-	return outB, outA
+	return outB, outA //alchemist:owns the keyswitch halves are the caller's to release
 }
 
 // keySwitchHoisted runs the accumulation half of the keyswitch against a
@@ -140,7 +140,7 @@ func (ev *Evaluator) ApplyGalois(ct *Ciphertext, k uint64, gk *SwitchingKey) (*C
 	rq.Automorphism(level, ct.B, k, rot)
 	rq.Add(level, bp, rot, bp)
 	rq.Release(rot)
-	return &Ciphertext{B: bp, A: outA, Level: level}, nil
+	return &Ciphertext{B: bp, A: outA, Level: level}, nil //alchemist:owns the rotated ciphertext wraps the pooled limbs bp/outA
 }
 
 // RotateRows applies the row rotation by r steps (Galois element 5^r), the

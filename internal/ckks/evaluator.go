@@ -29,7 +29,7 @@ func (ctx *Context) CopyCt(ct *Ciphertext) *Ciphertext {
 // The polynomial contents are arbitrary; every producer below overwrites
 // them in full before the ciphertext escapes.
 func (ctx *Context) borrowCt(level int, scale float64) *Ciphertext {
-	return ctx.wrapCt(ctx.RQ.Borrow(level), ctx.RQ.Borrow(level), level, scale)
+	return ctx.wrapCt(ctx.RQ.Borrow(level), ctx.RQ.Borrow(level), level, scale) //alchemist:owns Borrow wrapper: Recycle returns both polys to the arena
 }
 
 // wrapCt dresses existing polynomials in a (possibly recycled) Ciphertext
@@ -239,7 +239,7 @@ func (ev *Evaluator) MulRelin(a, b *Ciphertext) (*Ciphertext, error) {
 	rq.Add(level, d1, ksA, d1)
 	rq.Release(ksB)
 	rq.Release(ksA)
-	return out, nil
+	return out, nil //alchemist:owns the product ciphertext is the caller's to Recycle
 }
 
 // DropLevel returns ct restricted to the given (lower) level, leaving the
@@ -282,7 +282,7 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) (*Ciphertext, error) {
 	out := ctx.borrowCt(ct.Level-1, ct.Scale/float64(ctx.Params.Q[ct.Level]))
 	ctx.Ext.RescaleByLastModulus(ct.Level, ct.B, out.B)
 	ctx.Ext.RescaleByLastModulus(ct.Level, ct.A, out.A)
-	return out, nil
+	return out, nil //alchemist:owns the rescaled ciphertext is the caller's to Recycle
 }
 
 // Rotate rotates the slot vector by r steps (the paper's Rotation).
@@ -322,7 +322,7 @@ func (ev *Evaluator) applyGalois(ct *Ciphertext, k uint64, key *SwitchingKey) (*
 	ctx.RQ.Automorphism(level, ct.B, k, rot)
 	ctx.RQ.Add(level, bp, rot, bp)
 	ctx.RQ.Release(rot)
-	return ctx.wrapCt(bp, outA, level, ct.Scale), nil
+	return ctx.wrapCt(bp, outA, level, ct.Scale), nil //alchemist:owns the rotated ciphertext wraps bp/outA; Recycle releases them
 }
 
 // KeySwitch applies the hybrid key switch to the coefficient-domain
@@ -390,5 +390,5 @@ func (ev *Evaluator) KeySwitch(level int, c *ring.Poly, swk *SwitchingKey) (*rin
 	rp.Release(accAP)
 	rq.Release(dQ)
 	rp.Release(dP)
-	return outB, outA
+	return outB, outA //alchemist:owns the keyswitch halves are the caller's to release
 }

@@ -1,0 +1,376 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Control-flow graph construction over go/ast, the substrate of the
+// arena-lifetime dataflow pass (arenalife.go). The repo is dependency-free by
+// policy, so this is a purpose-built CFG rather than x/tools/go/cfg: one node
+// per simple statement or branch condition, explicit edges for every
+// structured-control construct Go has, and a single synthetic exit that both
+// returns and explicit panics flow into (deferred calls run on either, which
+// is exactly the property the dataflow pass models).
+//
+// The builder covers the statement forms that appear in library code:
+// if/else chains, for and range loops (including labeled break/continue),
+// switch and type switch (with fallthrough), select, goto, return, and
+// explicit panic calls. Statements after a terminating statement are kept as
+// nodes but are unreachable from the entry; the dataflow pass simply never
+// visits them.
+
+// NodeKind classifies a CFG node for rendering and for the dataflow pass's
+// exit handling.
+type NodeKind uint8
+
+const (
+	// KindEntry is the synthetic function entry.
+	KindEntry NodeKind = iota
+	// KindExit is the synthetic function exit: returns, explicit panics and
+	// the fall-off end of the body all flow here.
+	KindExit
+	// KindStmt is a simple statement (assignment, expression, defer, send,
+	// declaration, inc/dec, go).
+	KindStmt
+	// KindCond is a branch evaluation: an if/for condition, a switch tag, a
+	// range operand or a case-clause expression list.
+	KindCond
+	// KindJoin is a synthetic merge point (after if/for/switch, break
+	// targets, labels). It carries no payload.
+	KindJoin
+	// KindReturn is a return statement; its only successor is the exit.
+	KindReturn
+	// KindPanic is an explicit panic(...) statement; its only successor is
+	// the exit (deferred calls still run).
+	KindPanic
+)
+
+// CFGNode is one node of a function's control-flow graph. At most one of
+// Stmt/Exprs is populated, matching Kind.
+type CFGNode struct {
+	Index int
+	Kind  NodeKind
+	Stmt  ast.Stmt   // KindStmt / KindReturn / KindPanic payload
+	Exprs []ast.Expr // KindCond payload: condition, tag, or case expressions
+	Succs []*CFGNode
+	Preds []*CFGNode
+}
+
+// Pos returns a representative position for diagnostics (NoPos for synthetic
+// nodes).
+func (n *CFGNode) Pos() token.Pos {
+	switch {
+	case n.Stmt != nil:
+		return n.Stmt.Pos()
+	case len(n.Exprs) > 0:
+		return n.Exprs[0].Pos()
+	}
+	return token.NoPos
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Entry *CFGNode
+	Exit  *CFGNode
+	Nodes []*CFGNode // in creation order; Index fields match slice positions
+}
+
+// BuildCFG constructs the control-flow graph of a function body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}}
+	b.cfg.Entry = b.node(KindEntry)
+	b.cfg.Exit = b.node(KindExit)
+	frontier := b.stmts([]*CFGNode{b.cfg.Entry}, body.List, nil)
+	b.connect(frontier, b.cfg.Exit)
+	for _, g := range b.gotos {
+		if target, ok := b.labels[g.label]; ok {
+			b.edge(g.node, target)
+		}
+		// An unresolved goto label is a parse/type error upstream; the node
+		// simply terminates its path here.
+	}
+	for _, n := range b.cfg.Nodes {
+		for _, s := range n.Succs {
+			s.Preds = append(s.Preds, n)
+		}
+	}
+	return b.cfg
+}
+
+// jumpCtx is one enclosing breakable/continuable construct, innermost first.
+type jumpCtx struct {
+	parent *jumpCtx
+	label  string   // label attached to the construct ("" if none)
+	isLoop bool     // continue is legal (for/range)
+	brk    *CFGNode // break target (the construct's join node)
+	cont   *CFGNode // continue target (loop post/head); nil for switch/select
+}
+
+type pendingGoto struct {
+	node  *CFGNode
+	label string
+}
+
+type cfgBuilder struct {
+	cfg    *CFG
+	labels map[string]*CFGNode
+	gotos  []pendingGoto
+}
+
+func (b *cfgBuilder) node(kind NodeKind) *CFGNode {
+	n := &CFGNode{Index: len(b.cfg.Nodes), Kind: kind}
+	b.cfg.Nodes = append(b.cfg.Nodes, n)
+	return n
+}
+
+func (b *cfgBuilder) edge(from, to *CFGNode) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *cfgBuilder) connect(frontier []*CFGNode, to *CFGNode) {
+	for _, n := range frontier {
+		b.edge(n, to)
+	}
+}
+
+// stmts threads the statement list through the graph: frontier in, frontier
+// out. label names the enclosing LabeledStmt when the first statement is a
+// labeled loop/switch (so its break/continue resolve the label).
+func (b *cfgBuilder) stmts(frontier []*CFGNode, list []ast.Stmt, jumps *jumpCtx) []*CFGNode {
+	for _, s := range list {
+		frontier = b.stmt(frontier, s, "", jumps)
+	}
+	return frontier
+}
+
+func (b *cfgBuilder) stmt(frontier []*CFGNode, s ast.Stmt, label string, jumps *jumpCtx) []*CFGNode {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(frontier, s.List, jumps)
+
+	case *ast.LabeledStmt:
+		// The label node is the goto target and the head the labeled
+		// construct hangs off.
+		head := b.node(KindJoin)
+		b.connect(frontier, head)
+		if b.labels == nil {
+			b.labels = map[string]*CFGNode{}
+		}
+		b.labels[s.Label.Name] = head
+		return b.stmt([]*CFGNode{head}, s.Stmt, s.Label.Name, jumps)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			frontier = b.stmt(frontier, s.Init, "", jumps)
+		}
+		cond := b.node(KindCond)
+		cond.Exprs = []ast.Expr{s.Cond}
+		b.connect(frontier, cond)
+		thenOut := b.stmts([]*CFGNode{cond}, s.Body.List, jumps)
+		if s.Else != nil {
+			elseOut := b.stmt([]*CFGNode{cond}, s.Else, "", jumps)
+			return append(thenOut, elseOut...)
+		}
+		return append(thenOut, cond)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			frontier = b.stmt(frontier, s.Init, "", jumps)
+		}
+		head := b.node(KindCond) // loop head; carries the condition if any
+		if s.Cond != nil {
+			head.Exprs = []ast.Expr{s.Cond}
+		}
+		b.connect(frontier, head)
+		join := b.node(KindJoin)
+		// continue runs the post statement first (or re-tests the head).
+		cont := head
+		var post *CFGNode
+		if s.Post != nil {
+			post = b.node(KindStmt)
+			post.Stmt = s.Post
+			b.edge(post, head)
+			cont = post
+		}
+		ctx := &jumpCtx{parent: jumps, label: label, isLoop: true, brk: join, cont: cont}
+		bodyOut := b.stmts([]*CFGNode{head}, s.Body.List, ctx)
+		b.connect(bodyOut, cont)
+		if s.Cond != nil {
+			b.edge(head, join)
+		}
+		return []*CFGNode{join}
+
+	case *ast.RangeStmt:
+		head := b.node(KindCond)
+		head.Exprs = []ast.Expr{s.X}
+		head.Stmt = s // key/value bindings live on the range statement
+		b.connect(frontier, head)
+		join := b.node(KindJoin)
+		b.edge(head, join) // zero-iteration path
+		ctx := &jumpCtx{parent: jumps, label: label, isLoop: true, brk: join, cont: head}
+		bodyOut := b.stmts([]*CFGNode{head}, s.Body.List, ctx)
+		b.connect(bodyOut, head)
+		return []*CFGNode{join}
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			frontier = b.stmt(frontier, s.Init, "", jumps)
+		}
+		tag := b.node(KindCond)
+		if s.Tag != nil {
+			tag.Exprs = []ast.Expr{s.Tag}
+		}
+		b.connect(frontier, tag)
+		return b.caseClauses(tag, s.Body.List, label, jumps)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			frontier = b.stmt(frontier, s.Init, "", jumps)
+		}
+		tag := b.node(KindCond)
+		tag.Stmt = s.Assign
+		b.connect(frontier, tag)
+		return b.caseClauses(tag, s.Body.List, label, jumps)
+
+	case *ast.SelectStmt:
+		head := b.node(KindJoin)
+		b.connect(frontier, head)
+		join := b.node(KindJoin)
+		ctx := &jumpCtx{parent: jumps, label: label, brk: join}
+		for _, clause := range s.Body.List {
+			c := clause.(*ast.CommClause)
+			entry := b.node(KindStmt)
+			if c.Comm != nil {
+				entry.Stmt = c.Comm
+			}
+			b.edge(head, entry)
+			out := b.stmts([]*CFGNode{entry}, c.Body, ctx)
+			b.connect(out, join)
+		}
+		// select{} blocks forever: with no clauses the join has no
+		// predecessors and stays unreachable, which is exactly right.
+		return []*CFGNode{join}
+
+	case *ast.ReturnStmt:
+		n := b.node(KindReturn)
+		n.Stmt = s
+		b.connect(frontier, n)
+		b.edge(n, b.cfg.Exit)
+		return nil
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			n := b.node(KindJoin)
+			b.connect(frontier, n)
+			for c := jumps; c != nil; c = c.parent {
+				if s.Label == nil || c.label == s.Label.Name {
+					b.edge(n, c.brk)
+					break
+				}
+			}
+			return nil
+		case token.CONTINUE:
+			n := b.node(KindJoin)
+			b.connect(frontier, n)
+			for c := jumps; c != nil; c = c.parent {
+				if c.isLoop && (s.Label == nil || c.label == s.Label.Name) {
+					b.edge(n, c.cont)
+					break
+				}
+			}
+			return nil
+		case token.GOTO:
+			n := b.node(KindJoin)
+			b.connect(frontier, n)
+			b.gotos = append(b.gotos, pendingGoto{node: n, label: s.Label.Name})
+			return nil
+		case token.FALLTHROUGH:
+			// Handled structurally in caseClauses; as a statement it simply
+			// falls through to whatever the clause builder wired next.
+			return frontier
+		}
+		return frontier
+
+	case *ast.ExprStmt:
+		kind := KindStmt
+		if isPanicCall(s.X) {
+			kind = KindPanic
+		}
+		n := b.node(kind)
+		n.Stmt = s
+		b.connect(frontier, n)
+		if kind == KindPanic {
+			b.edge(n, b.cfg.Exit)
+			return nil
+		}
+		return []*CFGNode{n}
+
+	default:
+		// Simple statements: assignments, declarations, defer, go, send,
+		// inc/dec, empty.
+		n := b.node(KindStmt)
+		n.Stmt = s
+		b.connect(frontier, n)
+		return []*CFGNode{n}
+	}
+}
+
+// caseClauses wires a switch/type-switch body: tag to every clause's
+// expression node, implicit break to the join, fallthrough to the next
+// clause's body.
+func (b *cfgBuilder) caseClauses(tag *CFGNode, clauses []ast.Stmt, label string, jumps *jumpCtx) []*CFGNode {
+	join := b.node(KindJoin)
+	ctx := &jumpCtx{parent: jumps, label: label, brk: join}
+	// Pre-create each clause's entry node so fallthrough can target the next
+	// clause before it is built.
+	entries := make([]*CFGNode, len(clauses))
+	hasDefault := false
+	for i, clause := range clauses {
+		c := clause.(*ast.CaseClause)
+		entry := b.node(KindCond)
+		entry.Exprs = c.List
+		if c.List == nil {
+			hasDefault = true
+		}
+		entries[i] = entry
+		b.edge(tag, entry)
+	}
+	for i, clause := range clauses {
+		c := clause.(*ast.CaseClause)
+		body := c.Body
+		fallsThrough := false
+		if n := len(body); n > 0 {
+			if br, ok := body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				body = body[:n-1]
+			}
+		}
+		out := b.stmts([]*CFGNode{entries[i]}, body, ctx)
+		if fallsThrough && i+1 < len(entries) {
+			b.connect(out, entries[i+1])
+		} else {
+			b.connect(out, join)
+		}
+	}
+	if !hasDefault {
+		b.edge(tag, join)
+	}
+	return []*CFGNode{join}
+}
+
+// isPanicCall reports whether x is a direct call of the builtin panic.
+func isPanicCall(x ast.Expr) bool {
+	call, ok := x.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -1,0 +1,226 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildFromSrc parses a function body and builds its CFG.
+func buildFromSrc(t *testing.T, body string) (*CFG, *token.FileSet) {
+	t.Helper()
+	src := "package p\nfunc mark(string) bool { return true }\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_test.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var fn *ast.FuncDecl
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			fn = fd
+		}
+	}
+	return BuildCFG(fn.Body), fset
+}
+
+// nodeWith returns the unique node whose rendered payload contains the
+// marker substring.
+func nodeWith(t *testing.T, cfg *CFG, fset *token.FileSet, marker string) *CFGNode {
+	t.Helper()
+	var found *CFGNode
+	for _, n := range cfg.Nodes {
+		var buf bytes.Buffer
+		// A cond node's payload is its expression list; the auxiliary Stmt
+		// (e.g. the whole RangeStmt) would swallow body markers.
+		if n.Stmt != nil && n.Kind != KindCond {
+			printer.Fprint(&buf, fset, n.Stmt)
+		}
+		for _, e := range n.Exprs {
+			printer.Fprint(&buf, fset, e)
+			buf.WriteByte(' ')
+		}
+		if strings.Contains(buf.String(), marker) {
+			if found != nil {
+				t.Fatalf("marker %q matches more than one node", marker)
+			}
+			found = n
+		}
+	}
+	if found == nil {
+		t.Fatalf("marker %q matches no node", marker)
+	}
+	return found
+}
+
+// reaches reports whether to is reachable from from along successor edges.
+func reaches(from, to *CFGNode) bool {
+	seen := map[*CFGNode]bool{}
+	stack := []*CFGNode{from}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == to {
+			return true
+		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		stack = append(stack, n.Succs...)
+	}
+	return false
+}
+
+func TestCFGConstruction(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		// yes: from-marker must reach to-marker; no: must not.
+		yes, no [][2]string
+		// unreachable: markers that must not be reachable from entry.
+		unreachable []string
+		// noExit: the function provably never returns (infinite loop).
+		noExit bool
+	}{
+		{
+			name: "if-else joins at exit",
+			body: `if mark("cond") { mark("then") } else { mark("else") }; mark("after")`,
+			yes:  [][2]string{{"then", "after"}, {"else", "after"}, {"cond", "else"}},
+			no:   [][2]string{{"then", "else"}, {"else", "then"}, {"after", "cond"}},
+		},
+		{
+			name: "if without else falls through",
+			body: `if mark("cond") { mark("then") }; mark("after")`,
+			yes:  [][2]string{{"cond", "after"}, {"then", "after"}},
+			no:   [][2]string{{"after", "then"}},
+		},
+		{
+			name: "for loop has back edge and exit",
+			body: `for i := 0; mark("cond"); i++ { mark("body") }; mark("after")`,
+			yes:  [][2]string{{"body", "cond"}, {"body", "body"}, {"cond", "after"}},
+			no:   [][2]string{{"after", "body"}},
+		},
+		{
+			name: "infinite loop strands the tail",
+			body: `for { mark("body") }; mark("after")`,
+			yes:  [][2]string{{"body", "body"}},
+			// The loop join has no predecessors, so nothing after runs —
+			// including the function exit.
+			unreachable: []string{"after"},
+			noExit:      true,
+		},
+		{
+			name: "break leaves the loop",
+			body: `for { if mark("cond") { break }; mark("body") }; mark("after")`,
+			yes:  [][2]string{{"cond", "after"}, {"body", "cond"}},
+		},
+		{
+			name: "range loop can run zero times",
+			body: `xs := []int{1}; for range xs { mark("body") }; mark("after")`,
+			yes:  [][2]string{{"body", "body"}, {"[]int", "after"}},
+		},
+		{
+			name: "switch cases are exclusive",
+			body: `switch mark("tag") { case true: mark("one"); case false: mark("two") }; mark("after")`,
+			yes:  [][2]string{{"one", "after"}, {"two", "after"}, {"tag", "after"}},
+			no:   [][2]string{{"one", "two"}, {"two", "one"}},
+		},
+		{
+			name: "fallthrough chains to the next case",
+			body: `switch { case true: mark("one"); fallthrough; case false: mark("two") }; mark("after")`,
+			yes:  [][2]string{{"one", "two"}, {"two", "after"}},
+			no:   [][2]string{{"two", "one"}},
+		},
+		{
+			name: "labeled break exits the outer loop",
+			body: `
+outer:
+	for mark("ocond") {
+		for mark("icond") {
+			if mark("brk") {
+				break outer
+			}
+		}
+	}
+	mark("after")`,
+			yes: [][2]string{{"brk", "after"}, {"icond", "ocond"}},
+		},
+		{
+			name: "labeled continue re-tests the outer loop",
+			body: `
+outer:
+	for mark("ocond") {
+		for mark("icond") {
+			continue outer
+		}
+		mark("tail")
+	}`,
+			yes: [][2]string{{"icond", "ocond"}},
+			// continue outer skips the inner loop's natural exit into tail...
+			// but the inner cond's false branch still reaches it.
+		},
+		{
+			name: "return goes straight to exit",
+			body: `if mark("cond") { return }; mark("after")`,
+			yes:  [][2]string{{"cond", "after"}},
+			no:   [][2]string{{"after", "cond"}},
+		},
+		{
+			name: "panic terminates the path",
+			body: `if mark("cond") { panic("boom"); mark("dead") }; mark("after")`,
+			unreachable: []string{"dead"},
+			yes:         [][2]string{{"cond", "after"}},
+		},
+		{
+			name: "defer stays on the straight-line path",
+			body: `defer mark("deferred"); if mark("cond") { return }; mark("after")`,
+			yes:  [][2]string{{"deferred", "cond"}, {"deferred", "after"}},
+			no:   [][2]string{{"cond", "deferred"}},
+		},
+		{
+			name: "goto jumps forward",
+			body: `if mark("cond") { goto done }; mark("skipped")
+done:
+	mark("after")`,
+			yes: [][2]string{{"cond", "after"}, {"skipped", "after"}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg, fset := buildFromSrc(t, tc.body)
+			if got := reaches(cfg.Entry, cfg.Exit); got == tc.noExit {
+				t.Fatalf("exit reachable from entry = %v, want %v", got, !tc.noExit)
+			}
+			for _, pair := range tc.yes {
+				from, to := nodeWith(t, cfg, fset, pair[0]), nodeWith(t, cfg, fset, pair[1])
+				if !reaches(from, to) {
+					t.Errorf("%q should reach %q", pair[0], pair[1])
+				}
+			}
+			for _, pair := range tc.no {
+				from, to := nodeWith(t, cfg, fset, pair[0]), nodeWith(t, cfg, fset, pair[1])
+				if reaches(from, to) {
+					t.Errorf("%q should not reach %q", pair[0], pair[1])
+				}
+			}
+			for _, marker := range tc.unreachable {
+				n := nodeWith(t, cfg, fset, marker)
+				if reaches(cfg.Entry, n) {
+					t.Errorf("%q should be unreachable from entry", marker)
+				}
+			}
+			// Every reachable non-exit node must have a successor: a stranded
+			// frontier would make the dataflow silently skip code.
+			for _, n := range cfg.Nodes {
+				if n != cfg.Exit && reaches(cfg.Entry, n) && len(n.Succs) == 0 {
+					t.Errorf("reachable node %d (kind %d) has no successors", n.Index, n.Kind)
+				}
+			}
+		})
+	}
+}

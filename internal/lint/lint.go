@@ -66,6 +66,7 @@ type directive struct {
 	file     string
 	line     int  // line the comment sits on
 	fileWide bool // appeared before the package clause
+	used     bool // suppressed at least one finding this run
 }
 
 var directiveRE = regexp.MustCompile(`^//\s*alchemist:allow\s+(\S+)(?:\s+(.*))?$`)
@@ -91,18 +92,22 @@ func (p *Package) parseDirectives(f *ast.File) {
 }
 
 // Allowed reports whether rule is silenced at pos: by a file-wide directive,
-// or by one on the same line or the line directly above.
+// or by one on the same line or the line directly above. Every matching
+// directive is marked used so the unused-allow rule can flag the stale rest.
 func (p *Package) Allowed(rule string, pos token.Pos) bool {
 	where := p.Fset.Position(pos)
-	for _, d := range p.directives {
+	ok := false
+	for i := range p.directives {
+		d := &p.directives[i]
 		if d.rule != rule || d.file != where.Filename {
 			continue
 		}
 		if d.fileWide || d.line == where.Line || d.line == where.Line-1 {
-			return true
+			d.used = true
+			ok = true
 		}
 	}
-	return false
+	return ok
 }
 
 // Imports reports whether the package imports the given path.
@@ -139,6 +144,45 @@ func (p *Package) checkDirectives(known map[string]bool, report func(Finding)) {
 		}
 	}
 }
+
+// checkUnusedAllow flags stale allow directives — ones that silenced no
+// finding in this run — so a suppression cannot outlive the code it excused.
+// Directives naming unknown rules are skipped (the directive rule already
+// reports those) and reasonless ones are covered the same way; only a
+// well-formed directive that suppressed nothing is stale.
+func (p *Package) checkUnusedAllow(known map[string]bool, report func(Finding)) {
+	for i := range p.directives {
+		d := &p.directives[i]
+		if d.used || !known[d.rule] || d.reason == "" {
+			continue
+		}
+		report(Finding{
+			Pos:  token.Position{Filename: d.file, Line: d.line, Column: 1},
+			Rule: "unused-allow",
+			Msg:  fmt.Sprintf("allow directive for %q suppresses no finding", d.rule),
+			Hint: "the code this directive excused is gone; delete the stale //alchemist:allow",
+		})
+	}
+}
+
+// UnusedAllow is the rule identity for stale-directive findings. The check
+// itself runs after every other analyzer has had its chance to mark
+// directives used — the runner invokes checkUnusedAllow in its post-pass —
+// so this analyzer's Check is a no-op; the type exists to give the rule a
+// name, a doc line and a place in the default set.
+type UnusedAllow struct{}
+
+// NewUnusedAllow returns the stale-directive rule (repo-wide; directives are
+// already per-site, so no scope applies).
+func NewUnusedAllow(string) *UnusedAllow { return &UnusedAllow{} }
+
+func (*UnusedAllow) Name() string { return "unused-allow" }
+
+func (*UnusedAllow) Doc() string {
+	return "every //alchemist:allow directive still suppresses at least one finding"
+}
+
+func (*UnusedAllow) Check(*Package, func(Finding)) {}
 
 func sortedKeys(m map[string]bool) []string {
 	out := make([]string, 0, len(m))

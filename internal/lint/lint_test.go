@@ -23,9 +23,11 @@ func fixtureRunner(t *testing.T, l *Loader, fixture string) *Runner {
 	be.Scope = append(be.Scope, "fixture/"+fixture)
 	ew := NewErrsWrap("alchemist")
 	ew.Scope = append(ew.Scope, "fixture/"+fixture)
+	al := NewArenaLife("alchemist")
+	al.Scope = append(al.Scope, "fixture/"+fixture)
 	return &Runner{
 		Loader:    l,
-		Analyzers: []Analyzer{wr, rm, NewArchConst("alchemist"), NewPanicDisc("alchemist"), be, ew, NewHotAlloc("alchemist")},
+		Analyzers: []Analyzer{wr, rm, NewArchConst("alchemist"), NewPanicDisc("alchemist"), be, ew, NewHotAlloc("alchemist"), al, NewUnusedAllow("alchemist")},
 	}
 }
 
@@ -43,7 +45,7 @@ func renderFindings(fs []Finding) string {
 }
 
 func TestFixturesGolden(t *testing.T) {
-	fixtures := []string{"weakrand", "rawmod", "archconst", "panicdisc", "directive", "benchengine", "errswrap", "hotalloc"}
+	fixtures := []string{"weakrand", "rawmod", "archconst", "panicdisc", "directive", "benchengine", "errswrap", "hotalloc", "arenalife", "unusedallow"}
 	for _, name := range fixtures {
 		t.Run(name, func(t *testing.T) {
 			l, err := NewLoader(repoRoot(t))
@@ -85,6 +87,8 @@ func TestFixturesFire(t *testing.T) {
 		"benchengine": "bench-engine",
 		"errswrap":    "errs-wrap",
 		"hotalloc":    "hot-alloc",
+		"arenalife":   "arena-lifetime",
+		"unusedallow": "unused-allow",
 	}
 	for name, rule := range expect {
 		l, err := NewLoader(repoRoot(t))

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Loader parses and type-checks packages. Module-internal import paths are
@@ -18,13 +19,30 @@ import (
 // understands GOROOT/GOPATH, not modules); everything else — i.e. the
 // standard library, the only external dependency this repo permits — is
 // delegated to the compiler's source importer.
+//
+// The loader is safe for concurrent Load calls (the parallel runner loads one
+// package per worker): each import path gets a single in-flight entry that
+// later callers wait on, the token.FileSet is thread-safe by contract, and
+// the stdlib source importer — which is not — is serialized behind its own
+// mutex.
 type Loader struct {
 	Fset       *token.FileSet
 	ModulePath string
 	ModuleDir  string
 
-	std  types.Importer
-	pkgs map[string]*Package // loaded module-internal packages by import path
+	std   types.Importer
+	stdMu sync.Mutex // the source importer is not safe for concurrent use
+
+	mu   sync.Mutex
+	pkgs map[string]*loadEntry // in-flight and completed loads by import path
+}
+
+// loadEntry is one package load: created under mu, completed once, waited on
+// by every other interested goroutine.
+type loadEntry struct {
+	done chan struct{}
+	pkg  *Package
+	err  error
 }
 
 // NewLoader creates a loader rooted at moduleDir, reading the module path
@@ -51,7 +69,7 @@ func NewLoader(moduleDir string) (*Loader, error) {
 		ModulePath: module,
 		ModuleDir:  moduleDir,
 		std:        importer.ForCompiler(fset, "source", nil),
-		pkgs:       map[string]*Package{},
+		pkgs:       map[string]*loadEntry{},
 	}, nil
 }
 
@@ -65,33 +83,50 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 		}
 		return p.Types, nil
 	}
+	l.stdMu.Lock()
+	defer l.stdMu.Unlock()
 	return l.std.Import(path)
 }
 
 // Load parses and type-checks the module-internal package with the given
-// import path (results are cached).
+// import path (results are cached; concurrent callers for the same path share
+// one load).
 func (l *Loader) Load(importPath string) (*Package, error) {
-	if p, ok := l.pkgs[importPath]; ok {
-		return p, nil
+	l.mu.Lock()
+	if e, ok := l.pkgs[importPath]; ok {
+		l.mu.Unlock()
+		<-e.done
+		return e.pkg, e.err
 	}
+	e := &loadEntry{done: make(chan struct{})}
+	l.pkgs[importPath] = e
+	l.mu.Unlock()
+
 	rel := strings.TrimPrefix(strings.TrimPrefix(importPath, l.ModulePath), "/")
 	dir := filepath.Join(l.ModuleDir, filepath.FromSlash(rel))
-	p, err := l.loadDir(dir, importPath)
-	if err != nil {
-		return nil, err
-	}
-	l.pkgs[importPath] = p
-	return p, nil
+	e.pkg, e.err = l.loadDir(dir, importPath, nil)
+	close(e.done)
+	return e.pkg, e.err
 }
 
 // LoadDir parses and type-checks the package in dir under the given import
 // path, without touching the module cache. Used by tests to load fixture
 // packages from testdata.
 func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
-	return l.loadDir(dir, importPath)
+	return l.loadDir(dir, importPath, nil)
 }
 
-func (l *Loader) loadDir(dir, importPath string) (*Package, error) {
+// LoadDirOverlay is LoadDir with source substitution: files whose base name
+// appears in overlay are type-checked with the given content instead of the
+// on-disk bytes. The mutation self-test uses this to re-check a kernel
+// package with a single Release statement deleted, without writing to the
+// tree. The result is never cached, so the poisoned package cannot leak into
+// other loads (imports still resolve against the pristine cache).
+func (l *Loader) LoadDirOverlay(dir, importPath string, overlay map[string][]byte) (*Package, error) {
+	return l.loadDir(dir, importPath, overlay)
+}
+
+func (l *Loader) loadDir(dir, importPath string, overlay map[string][]byte) (*Package, error) {
 	names, err := goSourceFiles(dir)
 	if err != nil {
 		return nil, err
@@ -101,7 +136,11 @@ func (l *Loader) loadDir(dir, importPath string) (*Package, error) {
 	}
 	p := &Package{PkgPath: importPath, Fset: l.Fset}
 	for _, name := range names {
-		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		var src any
+		if content, ok := overlay[name]; ok {
+			src = content
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), src, parser.ParseComments)
 		if err != nil {
 			return nil, fmt.Errorf("lint: parsing %s: %w", name, err)
 		}

@@ -1,7 +1,9 @@
 package lint
 
 import (
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // DefaultAnalyzers returns the full rule set for a module.
@@ -14,6 +16,8 @@ func DefaultAnalyzers(module string) []Analyzer {
 		NewBenchEngine(module),
 		NewErrsWrap(module),
 		NewHotAlloc(module),
+		NewArenaLife(module),
+		NewUnusedAllow(module),
 	}
 }
 
@@ -21,6 +25,9 @@ func DefaultAnalyzers(module string) []Analyzer {
 type Runner struct {
 	Loader    *Loader
 	Analyzers []Analyzer
+
+	// Workers bounds the package-level fan-out; 0 means GOMAXPROCS.
+	Workers int
 }
 
 // NewRunner returns a runner with the default rule set for the loader's
@@ -30,24 +37,54 @@ func NewRunner(l *Loader) *Runner {
 }
 
 // Run loads each import path and applies every analyzer, returning findings
-// sorted by position. Directive hygiene (unknown rules, missing reasons) is
-// checked as a built-in fifth rule.
+// sorted by position. Packages are checked concurrently under a bounded
+// worker pool (the same semaphore fan-out internal/engine uses for lane
+// dispatch); each package is owned by exactly one worker, so the per-package
+// directive bookkeeping needs no locking, and the per-package finding slices
+// are merged in input order before the final sort, keeping the output
+// byte-identical to a serial run.
 func (r *Runner) Run(importPaths []string) ([]Finding, error) {
 	known := map[string]bool{}
 	for _, a := range r.Analyzers {
 		known[a.Name()] = true
 	}
-	var findings []Finding
-	report := func(f Finding) { findings = append(findings, f) }
-	for _, path := range importPaths {
-		pkg, err := r.Loader.Load(path)
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(importPaths) {
+		workers = len(importPaths)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	results := make([][]Finding, len(importPaths))
+	errs := make([]error, len(importPaths))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, path := range importPaths {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, path string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			pkg, err := r.Loader.Load(path)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = r.checkLoaded(pkg, known)
+		}(i, path)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		for _, a := range r.Analyzers {
-			a.Check(pkg, report)
-		}
-		pkg.checkDirectives(known, report)
+	}
+	var findings []Finding
+	for _, fs := range results {
+		findings = append(findings, fs...)
 	}
 	SortFindings(findings)
 	return findings, nil
@@ -60,17 +97,29 @@ func (r *Runner) CheckPackage(pkg *Package) []Finding {
 	for _, a := range r.Analyzers {
 		known[a.Name()] = true
 	}
+	findings := r.checkLoaded(pkg, known)
+	SortFindings(findings)
+	return findings
+}
+
+// checkLoaded runs every analyzer plus the directive post-passes over one
+// package. The unused-allow check must come last: only after every rule has
+// had its chance to mark a directive used can staleness be judged.
+func (r *Runner) checkLoaded(pkg *Package, known map[string]bool) []Finding {
 	var findings []Finding
 	report := func(f Finding) { findings = append(findings, f) }
 	for _, a := range r.Analyzers {
 		a.Check(pkg, report)
 	}
 	pkg.checkDirectives(known, report)
-	SortFindings(findings)
+	if known["unused-allow"] {
+		pkg.checkUnusedAllow(known, report)
+	}
 	return findings
 }
 
-// SortFindings orders findings by file, line, column, then rule.
+// SortFindings orders findings by file, line, column, rule, then message, so
+// runs are deterministic regardless of worker interleaving.
 func SortFindings(fs []Finding) {
 	sort.Slice(fs, func(i, j int) bool {
 		a, b := fs[i], fs[j]
@@ -83,6 +132,9 @@ func SortFindings(fs []Finding) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
 	})
 }

@@ -1,0 +1,163 @@
+// Package arenalife exercises the arena-lifetime dataflow rule: every defect
+// class the rule must catch (leak, double-release, use-after-release,
+// goroutine escape, conditional leak, unannotated transfers) next to the
+// clean shapes it must accept (defer, branched release, annotated hand-offs,
+// the accumulator role swap).
+package arenalife
+
+// Poly stands in for ring.Poly.
+type Poly struct{ C []uint64 }
+
+// Ring mimics the arena surface: a Borrow-prefixed method mints a pooled
+// value, a Release-prefixed method consumes one.
+type Ring struct{}
+
+func (r *Ring) Borrow(level int) *Poly { return &Poly{C: make([]uint64, 8)} }
+
+func (r *Ring) Release(p *Poly) {}
+
+var sink *Poly
+
+// Leak borrows and never releases.
+func Leak(r *Ring) {
+	p := r.Borrow(0)
+	p.C[0] = 1
+}
+
+// DoubleRelease frees the same poly twice.
+func DoubleRelease(r *Ring) {
+	p := r.Borrow(0)
+	r.Release(p)
+	r.Release(p)
+}
+
+// UseAfterRelease touches the buffer after handing it back.
+func UseAfterRelease(r *Ring) {
+	p := r.Borrow(0)
+	r.Release(p)
+	p.C[0] = 2
+}
+
+// GoroutineEscape captures a live pooled value in a goroutine.
+func GoroutineEscape(r *Ring) {
+	p := r.Borrow(0)
+	go func() { p.C[0] = 3 }()
+	r.Release(p)
+}
+
+// ConditionalLeak releases on the happy path only; the error branch leaks.
+func ConditionalLeak(r *Ring, fail bool) int {
+	p := r.Borrow(0)
+	if fail {
+		return -1
+	}
+	r.Release(p)
+	return 0
+}
+
+// PanicLeak releases on the fall-through path but panics past it.
+func PanicLeak(r *Ring, bad bool) {
+	p := r.Borrow(0)
+	if bad {
+		panic("no defer covers this exit")
+	}
+	r.Release(p)
+}
+
+// ReturnEscape hands the pooled value to the caller unannotated.
+func ReturnEscape(r *Ring) *Poly {
+	p := r.Borrow(0)
+	return p
+}
+
+// StoreEscape parks the pooled value in a global.
+func StoreEscape(r *Ring) {
+	sink = r.Borrow(0)
+}
+
+// Discard drops the borrow result on the floor.
+func Discard(r *Ring) {
+	_ = r.Borrow(0)
+}
+
+// OverwriteLeak rebinds the variable while the first borrow is live.
+func OverwriteLeak(r *Ring) {
+	p := r.Borrow(0)
+	p = r.Borrow(1)
+	r.Release(p)
+}
+
+// DoubleDefer schedules the same release twice.
+func DoubleDefer(r *Ring) {
+	p := r.Borrow(0)
+	defer r.Release(p)
+	r.Release(p)
+}
+
+// --- clean shapes: nothing below may fire --------------------------------
+
+// DeferRelease is the canonical early-return-safe shape.
+func DeferRelease(r *Ring, fail bool) int {
+	p := r.Borrow(0)
+	defer r.Release(p)
+	if fail {
+		return -1
+	}
+	p.C[0] = 4
+	return 0
+}
+
+// DeferClosureRelease releases inside a deferred closure.
+func DeferClosureRelease(r *Ring) {
+	p := r.Borrow(0)
+	q := r.Borrow(1)
+	defer func() {
+		r.Release(p)
+		r.Release(q)
+	}()
+	p.C[0] = 5
+}
+
+// BranchedRelease frees on every explicit path.
+func BranchedRelease(r *Ring, cond bool) {
+	p := r.Borrow(0)
+	if cond {
+		p.C[0] = 6
+		r.Release(p)
+		return
+	}
+	r.Release(p)
+}
+
+// LoopRelease borrows and releases once per iteration.
+func LoopRelease(r *Ring, n int) {
+	for i := 0; i < n; i++ {
+		p := r.Borrow(i)
+		p.C[0] = uint64(i)
+		r.Release(p)
+	}
+}
+
+// AnnotatedTransfer documents the hand-off to the caller.
+func AnnotatedTransfer(r *Ring) *Poly {
+	p := r.Borrow(0)
+	return p //alchemist:owns the caller releases the transferred poly
+}
+
+// AnnotatedStore documents the hand-off into a container.
+func AnnotatedStore(r *Ring, out []*Poly) {
+	out[0] = r.Borrow(0) //alchemist:owns the slice owner releases every element
+}
+
+// RoleSwap mirrors the blind-rotate accumulator swap: after the loop one of
+// the two variables holds the pooled value, and the single release balances
+// the arena whichever it is.
+func RoleSwap(r *Ring, n int) {
+	acc := &Poly{}
+	next := r.Borrow(0)
+	for i := 0; i < n; i++ {
+		acc, next = next, acc
+	}
+	r.Release(next)
+	_ = acc //alchemist:owns parity decides which poly stayed pooled; the release above balances the arena
+}

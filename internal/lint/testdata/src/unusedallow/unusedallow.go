@@ -1,0 +1,16 @@
+// Package unusedallow exercises the stale-directive rule: an allow that
+// suppresses a live finding stays silent, an allow whose finding is gone is
+// itself a finding.
+package unusedallow
+
+// Check validates its input.
+func Check(n int) {
+	if n < 0 {
+		panic("negative n") //alchemist:allow panic validated precondition: callers pass sizes
+	}
+}
+
+// Quiet has nothing left to excuse.
+func Quiet() int {
+	return 1 //alchemist:allow panic nothing here panics any more
+}

@@ -1,6 +1,10 @@
 package ring
 
-import "testing"
+import (
+	"testing"
+
+	"alchemist/internal/modmath"
+)
 
 // FuzzPolyUnmarshal checks the wire-format parser never panics or
 // over-allocates on adversarial input.
@@ -26,6 +30,102 @@ func FuzzPolyUnmarshal(f *testing.F) {
 			if len(out) != len(data) {
 				t.Fatalf("asymmetric round trip: %d vs %d bytes", len(out), len(data))
 			}
+		}
+	})
+}
+
+// FuzzBorrowReleaseSequence drives the poly arena with an arbitrary
+// byte-program of Borrow / BorrowZero / Release operations and cross-checks
+// the invariants the static arena-lifetime rule assumes to hold at runtime:
+// a borrowed poly has exactly the shape its level promises, no two live
+// polys share backing memory, BorrowZero really clears, live contents
+// survive unrelated arena traffic, and a released poly comes back from the
+// pool unmarked. Runs under SetPoolDebug so recycled buffers arrive poisoned
+// rather than coincidentally holding a stale sentinel.
+func FuzzBorrowReleaseSequence(f *testing.F) {
+	f.Add([]byte{0, 1, 2})
+	f.Add([]byte{0, 0, 0, 2, 2, 2})
+	f.Add([]byte{4, 9, 2, 13, 0, 2, 2, 1, 3})
+	f.Fuzz(func(t *testing.T, program []byte) {
+		SetPoolDebug(true)
+		defer SetPoolDebug(false)
+		const n = 16
+		primes, err := modmath.GenerateNTTPrimes(30, uint64(2*n), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewRing(n, primes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type held struct {
+			p   *Poly
+			tag uint64
+		}
+		var live []held
+		nextTag := uint64(1)
+
+		check := func() {
+			rows := map[*uint64]int{}
+			for i, h := range live {
+				if got := h.p.Level() + 1; got != len(h.p.Coeffs) || len(h.p.Coeffs) == 0 {
+					t.Fatalf("live poly %d has inconsistent level", i)
+				}
+				for c := range h.p.Coeffs {
+					row := h.p.Coeffs[c]
+					if len(row) != n {
+						t.Fatalf("live poly %d channel %d has degree %d, want %d", i, c, len(row), n)
+					}
+					if prev, dup := rows[&row[0]]; dup {
+						t.Fatalf("live polys %d and %d alias the same channel buffer", prev, i)
+					}
+					rows[&row[0]] = i
+				}
+				if h.p.Coeffs[0][0] != h.tag {
+					t.Fatalf("live poly %d lost its sentinel: got %#x want %#x (clobbered by arena traffic)",
+						i, h.p.Coeffs[0][0], h.tag)
+				}
+				if h.p.released {
+					t.Fatalf("live poly %d is marked released", i)
+				}
+			}
+		}
+
+		for _, b := range program {
+			op := int(b) % 4
+			arg := int(b) / 4
+			// Releasing is twice as likely as either borrow flavor so random
+			// programs exercise recycling, not just arena growth.
+			switch {
+			case op == 0 && len(live) < 64:
+				p := r.Borrow(arg % len(r.SubRings))
+				p.Coeffs[0][0] = nextTag
+				live = append(live, held{p, nextTag})
+				nextTag++
+			case op == 1 && len(live) < 64:
+				p := r.BorrowZero(arg % len(r.SubRings))
+				for c := range p.Coeffs {
+					for j, v := range p.Coeffs[c] {
+						if v != 0 {
+							t.Fatalf("BorrowZero channel %d word %d = %#x", c, j, v)
+						}
+					}
+				}
+				p.Coeffs[0][0] = nextTag
+				live = append(live, held{p, nextTag})
+				nextTag++
+			default:
+				if len(live) == 0 {
+					continue
+				}
+				i := arg % len(live)
+				r.Release(live[i].p)
+				live = append(live[:i], live[i+1:]...)
+			}
+			check()
+		}
+		for _, h := range live {
+			r.Release(h.p)
 		}
 	})
 }

@@ -39,7 +39,7 @@ type Acc128 struct {
 // BorrowAcc returns a zeroed accumulator shaped for level. Release it with
 // ReleaseAcc.
 func (r *Ring) BorrowAcc(level int) Acc128 {
-	return Acc128{Lo: r.BorrowZero(level), Hi: r.BorrowZero(level)}
+	return Acc128{Lo: r.BorrowZero(level), Hi: r.BorrowZero(level)} //alchemist:owns the accumulator carries both halves; ReleaseAcc returns them
 }
 
 // ReleaseAcc returns the accumulator's polynomials to the arena. The

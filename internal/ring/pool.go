@@ -1,6 +1,9 @@
 package ring
 
 import (
+	"fmt"
+	"path/filepath"
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -122,16 +125,23 @@ func (r *Ring) Borrow(level int) *Poly {
 	if v := p.pool.Get(); v != nil {
 		q := v.(*Poly)
 		q.released = false
+		if poolDebug.Load() {
+			q.borrowPC, _, _, _ = runtime.Caller(1)
+		}
 		return q
 	}
-	return r.NewPoly(level)
+	q := r.NewPoly(level)
+	if poolDebug.Load() {
+		q.borrowPC, _, _, _ = runtime.Caller(1)
+	}
+	return q
 }
 
 // BorrowZero is Borrow with all coefficients cleared.
 func (r *Ring) BorrowZero(level int) *Poly {
 	p := r.Borrow(level)
 	r.Zero(level, p)
-	return p
+	return p //alchemist:owns arena entry point: the caller inherits the release obligation
 }
 
 // Release returns a polynomial obtained from Borrow (or NewPoly — any poly
@@ -147,7 +157,14 @@ func (r *Ring) Release(p *Poly) {
 	}
 	if poolDebug.Load() {
 		if p.released {
-			panic("ring: double Release of pooled Poly")
+			msg := "ring: double Release of pooled Poly"
+			if p.borrowPC != 0 {
+				if fn := runtime.FuncForPC(p.borrowPC); fn != nil {
+					file, line := fn.FileLine(p.borrowPC)
+					msg = fmt.Sprintf("%s (borrowed at %s:%d)", msg, filepath.Base(file), line)
+				}
+			}
+			panic(msg)
 		}
 		for i := range p.Coeffs {
 			c := p.Coeffs[i]

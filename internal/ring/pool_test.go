@@ -1,6 +1,7 @@
 package ring
 
 import (
+	"strings"
 	"testing"
 
 	"alchemist/internal/modmath"
@@ -183,6 +184,32 @@ func TestDoubleReleasePanicsUnderDebug(t *testing.T) {
 	defer func() {
 		if recover() == nil {
 			t.Fatal("double Release of a pooled Poly did not panic under SetPoolDebug")
+		}
+	}()
+	r.Release(p)
+}
+
+func TestDoubleReleaseReportsBorrowSite(t *testing.T) {
+	// The runtime diagnostic must speak the static checker's vocabulary: the
+	// panic names the Borrow call site that issued the poly, so a crash in a
+	// deep kernel points straight at the obligation the arena-lifetime rule
+	// tracks.
+	SetPoolDebug(true)
+	defer SetPoolDebug(false)
+	r := poolRing(t)
+	p := r.Borrow(1) // the panic below must cite this line
+	r.Release(p)
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("double Release did not panic under SetPoolDebug")
+		}
+		msg, ok := v.(string)
+		if !ok {
+			t.Fatalf("panic value %T, want string", v)
+		}
+		if !strings.Contains(msg, "borrowed at pool_test.go:") {
+			t.Fatalf("panic %q does not cite the borrow call site", msg)
 		}
 	}()
 	r.Release(p)

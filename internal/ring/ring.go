@@ -90,6 +90,11 @@ type Poly struct {
 	// poly panics instead of corrupting the pool with a double entry (the two
 	// later Borrows would alias one buffer).
 	released bool
+
+	// borrowPC is the call site of the Borrow that issued this poly, captured
+	// only under SetPoolDebug so a double-Release panic can name the borrow
+	// the way the static arena-lifetime findings do ("borrowed at …").
+	borrowPC uintptr
 }
 
 // NewPoly allocates a zero polynomial with level+1 RNS components.

@@ -120,7 +120,7 @@ func (s *Scheme) BlindRotate(ct *LweSample, tv TorusPoly) *TrlweSample {
 	}
 	s.PM.releaseTrlwe(rotated)
 	s.PM.releaseTrlwe(next)
-	return acc
+	return acc //alchemist:owns role swap: releasing next keeps the arena population balanced whichever sample acc ends up holding
 }
 
 // KeySwitch switches an extracted LWE sample (dimension k·N) down to the

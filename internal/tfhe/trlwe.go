@@ -231,14 +231,14 @@ func ExternalProductInto(p Params, pm *PolyMultiplier, dec decomposer, g *TrgswN
 		acc = make([][]uint64, 0, kk+1) //alchemist:allow hot-alloc cold fallback for exotic k > 7; usual parameter sets use the stack headers above
 	}
 	for j := 0; j < p.L; j++ {
-		digits = append(digits, pm.borrowInt())
+		digits = append(digits, pm.borrowInt()) //alchemist:owns released by the range loop at the end of this function
 	}
 	for c := 0; c <= kk; c++ {
 		b := pm.borrowNTT()
 		for i := range b {
 			b[i] = 0
 		}
-		acc = append(acc, b)
+		acc = append(acc, b) //alchemist:owns released by the range loop at the end of this function
 	}
 	dNTT := pm.borrowNTT()
 	row := 0
