@@ -375,6 +375,59 @@ func liveTFHE(cfg LiveConfig, add func(string, string, func(*testing.B))) error 
 			}
 		}
 	})
+
+	// Streaming bootstrapper: single-op latency through the trimmed FFT
+	// engine, and aggregate throughput with the stage pipeline saturated by
+	// a full micro-batch of in-flight jobs.
+	boot, err := s.Bootstrapper(tfhe.WithTestVector(tv))
+	if err != nil {
+		return err
+	}
+	add("tfhe/bootstrap-stream", params.Name, func(b *testing.B) {
+		ctx := context.Background()
+		for i := 0; i < b.N; i++ {
+			out, err := boot.Run(ctx, ct)
+			if err != nil {
+				b.Fatal(err)
+			}
+			boot.Recycle(out)
+		}
+	})
+	const streamBatch = 8
+	cts := make([]*tfhe.LweSample, streamBatch)
+	for i := range cts {
+		cts[i] = s.EncryptBool(i%2 == 0)
+	}
+	add("tfhe/bootstrap-stream-batch", params.Name, func(b *testing.B) {
+		// Reported per job: issue b.N jobs through the pipeline in
+		// micro-batch-sized bursts so blind-rotate and key-switch stages
+		// always drain full batches.
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		jobs, results := boot.Stream(ctx)
+		done := make(chan error, 1)
+		go func() {
+			defer close(done)
+			n := 0
+			for res := range results {
+				if res.Err != nil {
+					done <- res.Err
+					return
+				}
+				boot.Recycle(res.Out)
+				if n++; n == b.N {
+					return
+				}
+			}
+		}()
+		for i := 0; i < b.N; i++ {
+			jobs <- tfhe.Job{Tag: i, Ct: cts[i%streamBatch]}
+		}
+		close(jobs)
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+	})
 	return nil
 }
 

@@ -25,6 +25,7 @@
 package bridge
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -41,6 +42,7 @@ type Bridge struct {
 	ev      *ckks.Evaluator
 	ltS2C   *ckks.LinearTransform
 	ksk     [][]*tfhe.LweSample // CKKS ring key (dim N) → TFHE level-0 key
+	boot    *tfhe.Bootstrapper  // pinned sign bootstrapper shared by Sign/Compare
 }
 
 // New builds a bridge. It needs the CKKS secret (to derive the bridge
@@ -61,6 +63,11 @@ func New(ctx *ckks.Context, kg *ckks.KeyGenerator, sk *ckks.SecretKey, tf *tfhe.
 	for j := range src {
 		src[j] = int32(ring.SignedCoeff(sk.Q.Coeffs[0][j], q0))
 	}
+	boot, err := tf.Bootstrapper(
+		tfhe.WithTestVector(tf.GateTestVector(tfhe.TorusFromDouble(0.125))))
+	if err != nil {
+		return nil, err
+	}
 	return &Bridge{
 		ckksCtx: ctx,
 		tf:      tf,
@@ -68,6 +75,7 @@ func New(ctx *ckks.Context, kg *ckks.KeyGenerator, sk *ckks.SecretKey, tf *tfhe.
 		ev:      ckks.NewEvaluator(ctx, eks),
 		ltS2C:   ltS2C,
 		ksk:     tf.GenKeySwitchKey(src),
+		boot:    boot,
 	}, nil
 }
 
@@ -126,9 +134,10 @@ func (b *Bridge) ToLWE(ct *ckks.Ciphertext, count int) ([]*tfhe.LweSample, error
 
 // Sign binarizes a bridged sample with one programmable bootstrap: the
 // output is a gate-encoded TFHE boolean (true ⇔ the CKKS value was > 0).
+// All signs share the bridge's pinned Bootstrapper, so the sign test vector
+// and scratch arenas are built once at bridge setup.
 func (b *Bridge) Sign(c *tfhe.LweSample) (*tfhe.LweSample, error) {
-	tv := b.tf.GateTestVector(tfhe.TorusFromDouble(0.125))
-	return b.tf.Bootstrap(c, tv)
+	return b.boot.Run(context.Background(), c)
 }
 
 // Compare returns an encrypted boolean for x > y on bridged samples

@@ -26,7 +26,9 @@ import (
 //     returns, explicit panics and error branches included — with
 //     `defer r.Release(p)` (directly or inside a deferred closure)
 //     understood as releasing on every exit;
+//
 //  2. no use of a pooled value after its Release (and no double Release);
+//
 //  3. no escape of a pooled value — returning it, storing it into a struct
 //     field, slice, map or channel, or capturing it in a goroutine — unless
 //     the site carries an explicit ownership-transfer annotation:

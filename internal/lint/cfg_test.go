@@ -171,8 +171,8 @@ outer:
 			no:   [][2]string{{"after", "cond"}},
 		},
 		{
-			name: "panic terminates the path",
-			body: `if mark("cond") { panic("boom"); mark("dead") }; mark("after")`,
+			name:        "panic terminates the path",
+			body:        `if mark("cond") { panic("boom"); mark("dead") }; mark("after")`,
 			unreachable: []string{"dead"},
 			yes:         [][2]string{{"cond", "after"}},
 		},

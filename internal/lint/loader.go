@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -162,9 +163,14 @@ func (l *Loader) loadDir(dir, importPath string, overlay map[string][]byte) (*Pa
 	return p, nil
 }
 
-// goSourceFiles lists the non-test Go files in dir, sorted for determinism.
-// Test files are outside the gate's scope by design: the invariants protect
-// library code, and tests may inject any randomness or arithmetic they need.
+// goSourceFiles lists the non-test Go files in dir that build on the host
+// platform, sorted for determinism. Build constraints (//go:build lines and
+// _GOOS/_GOARCH filename suffixes) are honored via go/build, so a package
+// carrying per-arch kernel variants — e.g. tfhe's fftkern_amd64.go vs
+// fftkern_generic.go, which declare the same symbols under disjoint tags —
+// type-checks exactly like `go build` would see it. Test files are outside
+// the gate's scope by design: the invariants protect library code, and tests
+// may inject any randomness or arithmetic they need.
 func goSourceFiles(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -175,6 +181,9 @@ func goSourceFiles(dir string) ([]string, error) {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		names = append(names, name)

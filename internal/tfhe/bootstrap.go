@@ -1,6 +1,7 @@
 package tfhe
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -16,14 +17,35 @@ type Scheme struct {
 	LweKey   *LweKey   // level-0 key (dimension NLwe)
 	TrlweKey *TrlweKey // ring key
 	dec      decomposer
+	decTrim  decomposer // trimmed gadget used by the FFT accumulator
 
-	// Bootstrapping key: one TRGSW encryption of each level-0 key bit.
+	// Bootstrapping key: one TRGSW encryption of each level-0 key bit
+	// (exact NTT form — the eager reference path).
 	BK []*TrgswNTT
 	// Key-switch key from the extracted (k·N) key back to the level-0 key:
 	// ksk[i][j] = LWE( s_ext[i] · 2^(32-(j+1)·BaseBits) ).
 	KSK [][]*LweSample
 
-	rng prng.Source
+	rng  prng.Source
+	seed int64
+
+	// Pair-bundled FFT bootstrapping key (trim.go), generated lazily from
+	// a seed-derived PRNG on first trimmed bootstrap.
+	pairOnce sync.Once
+	pairKey  *pairBK
+
+	// Arenas for the bootstrap pipeline: blind-rotate scratch bundles and
+	// pooled LWE samples (level-0 and extracted shapes).
+	fftScr sync.Pool
+	lwe0   sync.Pool
+	lweExt sync.Pool
+
+	// Shared bootstrappers behind the deprecated shims and the gate/LUT
+	// entry points, built lazily so every consumer reuses one pinned
+	// configuration instead of re-deriving per-call state.
+	bootMu      sync.Mutex
+	bootDefault *Bootstrapper
+	bootGate    *Bootstrapper
 }
 
 // NewScheme generates all keys for the given parameters.
@@ -36,11 +58,14 @@ func NewScheme(p Params, seed int64) (*Scheme, error) {
 		return nil, err
 	}
 	rng := prng.New(seed)
+	l, bg := p.TrimGadget()
 	s := &Scheme{
 		Params:   p,
 		PM:       pm,
 		rng:      rng,
+		seed:     seed,
 		dec:      newDecomposer(p),
+		decTrim:  newDecomposerLB(l, bg),
 		LweKey:   NewLweKey(p.NLwe, rng),
 		TrlweKey: NewTrlweKey(p, pm, rng),
 	}
@@ -89,42 +114,221 @@ func modSwitch(a Torus, twoN int) int {
 	return int((uint64(a)*uint64(twoN) + (1 << 31)) >> 32 & uint64(twoN-1))
 }
 
-// BlindRotate homomorphically computes X^{-phase(ct)} · tv, where the phase
-// is discretized to Z_{2N}. This is the paper's dominant TFHE kernel: n
-// CMux iterations, each an external product of (k+1)·l NTTs plus the
-// pointwise DecompPolyMult accumulation. The two role-swapping accumulators
-// come from the multiplier's arena, so the n-iteration loop allocates only
-// the returned sample.
+// LWE sample arenas --------------------------------------------------------
+
+// borrowAbar returns Z_{2N} exponent scratch of length ≥ NLwe+1 (arbitrary
+// contents), drawn from the digit arena when the ring is wide enough.
+func (s *Scheme) borrowAbar() IntPoly {
+	if s.Params.NLwe+1 <= s.PM.N {
+		return s.PM.borrowInt() //alchemist:owns borrow wrapper: the caller pairs this with releaseAbar
+	}
+	return make(IntPoly, s.Params.NLwe+1)
+}
+
+// releaseAbar returns exponent scratch obtained from borrowAbar.
+func (s *Scheme) releaseAbar(a IntPoly) {
+	if len(a) == s.PM.N {
+		s.PM.releaseInt(a)
+	}
+}
+
+// borrowLwe returns a pooled LWE sample of dimension n with arbitrary
+// contents (every consumer overwrites in full). Only the two pipeline
+// shapes — level-0 (NLwe) and extracted (k·N) — are pooled.
+func (s *Scheme) borrowLwe(n int) *LweSample {
+	var pool *sync.Pool
+	switch n {
+	case s.Params.NLwe:
+		pool = &s.lwe0
+	case s.Params.K * s.Params.N:
+		pool = &s.lweExt
+	default:
+		return NewLweSample(n)
+	}
+	if v := pool.Get(); v != nil {
+		c := v.(*LweSample)
+		if len(c.A) == n {
+			return c
+		}
+	}
+	return NewLweSample(n)
+}
+
+// releaseLwe returns a sample obtained from borrowLwe (or any sample of a
+// pooled shape — Bootstrapper.Recycle routes caller-owned outputs here).
+func (s *Scheme) releaseLwe(c *LweSample) {
+	if c == nil {
+		return
+	}
+	switch len(c.A) {
+	case s.Params.NLwe:
+		s.lwe0.Put(c)
+	case s.Params.K * s.Params.N:
+		s.lweExt.Put(c)
+	}
+}
+
+// Blind rotation -----------------------------------------------------------
+
+// blindRotateEagerInto is the exact-NTT blind rotation writing into a
+// caller-provided accumulator: n CMux iterations over the per-bit TRGSW
+// key, each an external product of (k+1)·l NTTs. It is the bit-identical
+// reference the FFT engine is fuzzed against. abar holds the pre-switched
+// Z_{2N} exponents (modSwitchInto layout).
 //
 //alchemist:hot
-func (s *Scheme) BlindRotate(ct *LweSample, tv TorusPoly) *TrlweSample {
+func (s *Scheme) blindRotateEagerInto(abar []int32, tv TorusPoly, acc *TrlweSample) {
 	p := s.Params
-	twoN := 2 * p.N
-	bTilde := modSwitch(ct.B, twoN)
-	// acc = X^{-b̃} · (0, tv).
-	acc := NewTrlweSample(p.N, p.K) // escapes to the caller; not pooled
-	tv.MonomialMulTo(twoN-bTilde, acc.B)
-	rotated := s.PM.borrowTrlwe(p.K) // holds X^ã·acc, then the CMux difference
-	next := s.PM.borrowTrlwe(p.K)    // CMux destination, swapped with acc
+	rotated := s.PM.borrowTrlwe(p.K) // holds X^ã·cur, then the CMux difference
+	cur := s.PM.borrowTrlwe(p.K)     // CMux ping-pong pair; the caller's acc
+	next := s.PM.borrowTrlwe(p.K)    // never enters the swap, so releases stay exact
+	initAccInto(abar, p.NLwe, tv, cur)
 	for i := 0; i < p.NLwe; i++ {
-		aTilde := modSwitch(ct.A[i], twoN)
+		aTilde := int(abar[i])
 		if aTilde == 0 {
 			continue
 		}
 		for c := 0; c < p.K; c++ {
-			acc.A[c].MonomialMulTo(aTilde, rotated.A[c])
+			cur.A[c].MonomialMulTo(aTilde, rotated.A[c])
 		}
-		acc.B.MonomialMulTo(aTilde, rotated.B)
-		CMuxInto(p, s.PM, s.dec, s.BK[i], rotated, acc, next)
-		acc, next = next, acc
+		cur.B.MonomialMulTo(aTilde, rotated.B)
+		CMuxInto(p, s.PM, s.dec, s.BK[i], rotated, cur, next)
+		cur, next = next, cur
 	}
+	for c := 0; c < p.K; c++ {
+		copy(acc.A[c], cur.A[c])
+	}
+	copy(acc.B, cur.B)
 	s.PM.releaseTrlwe(rotated)
+	s.PM.releaseTrlwe(cur)
 	s.PM.releaseTrlwe(next)
-	return acc //alchemist:owns role swap: releasing next keeps the arena population balanced whichever sample acc ends up holding
+}
+
+// BlindRotate homomorphically computes X^{-phase(ct)} · tv with the exact
+// NTT datapath. The returned sample comes from the multiplier's arena:
+// pipeline callers release it (via releaseTrlwe) after sample extraction,
+// and callers unaware of the arena may simply drop it to the GC.
+func (s *Scheme) BlindRotate(ct *LweSample, tv TorusPoly) *TrlweSample {
+	p := s.Params
+	abar := s.borrowAbar()
+	modSwitchInto(ct, 2*p.N, abar)
+	acc := s.PM.borrowTrlwe(p.K)
+	s.blindRotateEagerInto(abar, tv, acc)
+	s.releaseAbar(abar)
+	return acc //alchemist:owns pooled accumulator handed to the caller; Bootstrap releases it after extraction
+}
+
+// Key switching ------------------------------------------------------------
+
+// ksOffset builds the decomposition offset for a t-digit key switch: the
+// usual per-digit centering terms plus a half-ulp at the truncated level.
+// Without the final term the reconstruction error — a mod 2^(32-t·b) — is
+// uniform on [0, 2^(32-t·b)) and its positive mean, summed over the ~k·N/2
+// active key coefficients, shows up as a deterministic phase shift (+1/32
+// at t=6, b=2: a full message bucket). Rounding centers the residual.
+func ksOffset(t, baseBits int, base Torus) Torus {
+	var offset Torus
+	for j := 1; j <= t; j++ {
+		offset += (base / 2) << uint(32-j*baseBits)
+	}
+	if r := 32 - t*baseBits; r > 0 {
+		offset += Torus(1) << uint(r-1)
+	}
+	return offset
+}
+
+// keySwitchInto switches an LWE sample down to the level-0 key using the
+// first t digits of the decomposition, writing into out (fully
+// overwritten). The direct scaled accumulation — out.A[m] -= d·row.A[m] —
+// replaces the Copy/MulScalar/Sub chain that made the old key switch the
+// last allocation-heavy kernel (6122 allocs, 16.4MB per bootstrap).
+//
+//alchemist:hot
+func (s *Scheme) keySwitchInto(ksk [][]*LweSample, c *LweSample, t int, out *LweSample) {
+	p := s.Params
+	oa := out.A
+	for m := range oa {
+		oa[m] = 0
+	}
+	out.B = c.B
+	base := Torus(1) << uint(p.KsBaseBits)
+	half := int32(base / 2)
+	mask := base - 1
+	offset := ksOffset(t, p.KsBaseBits, base)
+	for i, a := range c.A {
+		at := a + offset
+		for j := 0; j < t; j++ {
+			shift := uint(32 - (j+1)*p.KsBaseBits)
+			d := int32((at>>shift)&mask) - half
+			if d == 0 {
+				continue
+			}
+			row := ksk[i][j]
+			ra := row.A
+			dd := Torus(d)
+			m0 := 0
+			if useAVX2 {
+				m0 = len(oa) &^ 7
+				mulSubU32Vec(oa[:m0], ra[:m0], dd)
+			}
+			for m := m0; m < len(oa); m++ {
+				oa[m] -= dd * ra[m]
+			}
+			out.B -= dd * row.B
+		}
+	}
+}
+
+// keySwitchBatchInto key-switches a batch of samples with the key-switch
+// key row loop outermost, so each of the ~kN·t rows streams from memory
+// once per batch instead of once per job. Element-wise torus arithmetic
+// commutes exactly, so batch outputs are bit-identical to keySwitchInto.
+//
+//alchemist:hot
+func (s *Scheme) keySwitchBatchInto(ksk [][]*LweSample, cs []*LweSample, t int, outs []*LweSample) {
+	p := s.Params
+	for b := range outs {
+		oa := outs[b].A
+		for m := range oa {
+			oa[m] = 0
+		}
+		outs[b].B = cs[b].B
+	}
+	base := Torus(1) << uint(p.KsBaseBits)
+	half := int32(base / 2)
+	mask := base - 1
+	offset := ksOffset(t, p.KsBaseBits, base)
+	for i := range ksk {
+		for j := 0; j < t; j++ {
+			shift := uint(32 - (j+1)*p.KsBaseBits)
+			var row *LweSample
+			for b := range cs {
+				d := int32(((cs[b].A[i]+offset)>>shift)&mask) - half
+				if d == 0 {
+					continue
+				}
+				if row == nil {
+					row = ksk[i][j]
+				}
+				out := outs[b]
+				oa, ra := out.A, row.A
+				dd := Torus(d)
+				m0 := 0
+				if useAVX2 {
+					m0 = len(oa) &^ 7
+					mulSubU32Vec(oa[:m0], ra[:m0], dd)
+				}
+				for m := m0; m < len(oa); m++ {
+					oa[m] -= dd * ra[m]
+				}
+				out.B -= dd * row.B
+			}
+		}
+	}
 }
 
 // KeySwitch switches an extracted LWE sample (dimension k·N) down to the
-// level-0 key using the decompose-and-scale variant.
+// level-0 key using the decompose-and-scale variant with all KsT digits.
 func (s *Scheme) KeySwitch(c *LweSample) (*LweSample, error) {
 	if len(c.A) != s.Params.K*s.Params.N {
 		return nil, fmt.Errorf("tfhe: key switch input dimension %d, want %d",
@@ -136,71 +340,41 @@ func (s *Scheme) KeySwitch(c *LweSample) (*LweSample, error) {
 // KeySwitchWith switches an LWE sample of arbitrary dimension len(ksk) to
 // the level-0 key using the given key-switch key.
 func (s *Scheme) KeySwitchWith(ksk [][]*LweSample, c *LweSample) (*LweSample, error) {
-	p := s.Params
 	if len(c.A) != len(ksk) {
 		return nil, fmt.Errorf("tfhe: key switch input dimension %d, ksk covers %d", len(c.A), len(ksk))
 	}
-	out := NewLweSample(p.NLwe)
-	out.B = c.B
-	base := Torus(1) << uint(p.KsBaseBits)
-	half := int32(base / 2)
-	mask := base - 1
-	var offset Torus
-	for j := 1; j <= p.KsT; j++ {
-		offset += (base / 2) << uint(32-j*p.KsBaseBits)
-	}
-	for i, a := range c.A {
-		at := a + offset
-		for j := 0; j < p.KsT; j++ {
-			shift := uint(32 - (j+1)*p.KsBaseBits)
-			d := int32((at>>shift)&mask) - half
-			if d == 0 {
-				continue
-			}
-			k := ksk[i][j].Copy()
-			k.MulScalarTo(d)
-			out.SubTo(k)
-		}
-	}
+	out := NewLweSample(s.Params.NLwe)
+	s.keySwitchInto(ksk, c, s.Params.KsT, out)
 	return out, nil
 }
 
-// Bootstrap performs a full programmable bootstrap: blind rotation over the
-// test vector, sample extraction, and key switch back to the level-0 key.
-// The output encrypts tv-dependent values with fresh noise.
+// Deprecated shims ---------------------------------------------------------
+
+// Bootstrap performs a full programmable bootstrap through the scheme's
+// shared default Bootstrapper (trimmed FFT engine; see the README migration
+// table).
+//
+// Deprecated: build a Bootstrapper once and call Run/RunWith — it pins the
+// test vector, exposes context cancellation, and amortizes setup. Use
+// WithEager(true) for the exact-NTT reference datapath.
 func (s *Scheme) Bootstrap(ct *LweSample, tv TorusPoly) (*LweSample, error) {
-	acc := s.BlindRotate(ct, tv)
-	ext := SampleExtract(acc)
-	return s.KeySwitch(ext)
+	b, err := s.defaultBootstrapper()
+	if err != nil {
+		return nil, err
+	}
+	return b.RunWith(context.Background(), ct, tv)
 }
 
-// BootstrapBatch runs independent programmable bootstraps concurrently —
-// the CPU counterpart of the accelerator's batch-of-128 PBS schedule (all
-// key material is read-only, so the fan-out is race-free).
+// BootstrapBatch runs independent programmable bootstraps.
+//
+// Deprecated: use Bootstrapper.RunBatch (batched key streaming, context
+// cancellation) or Bootstrapper.Stream for pipelined throughput.
 func (s *Scheme) BootstrapBatch(cts []*LweSample, tv TorusPoly, workers int) ([]*LweSample, error) {
-	if workers < 1 {
-		workers = 1
+	b, err := s.Bootstrapper(WithWorkers(workers), WithTestVector(tv))
+	if err != nil {
+		return nil, err
 	}
-	out := make([]*LweSample, len(cts))
-	errs := make([]error, len(cts))
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for i, ct := range cts {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, ct *LweSample) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			out[i], errs[i] = s.Bootstrap(ct, tv)
-		}(i, ct)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	return b.RunBatch(context.Background(), cts)
 }
 
 // GateTestVector returns the constant test vector with value mu, which maps

@@ -1,6 +1,7 @@
 package tfhe
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -110,6 +111,13 @@ func (c *Circuit) Gates() (bootstrapped, free int) {
 // evaluating independent gates concurrently (1 = sequential). Returns the
 // output wires' ciphertexts in Output order.
 func (c *Circuit) Evaluate(s *Scheme, inputs []*LweSample, workers int) ([]*LweSample, error) {
+	return c.EvaluateContext(context.Background(), s, inputs, workers)
+}
+
+// EvaluateContext is Evaluate with cancellation: the context is checked
+// between wavefronts, so a long circuit stops within one gate level of a
+// cancel instead of running to completion.
+func (c *Circuit) EvaluateContext(ctx context.Context, s *Scheme, inputs []*LweSample, workers int) ([]*LweSample, error) {
 	if len(inputs) != c.nInputs {
 		return nil, fmt.Errorf("tfhe: circuit expects %d inputs, got %d", c.nInputs, len(inputs))
 	}
@@ -122,6 +130,9 @@ func (c *Circuit) Evaluate(s *Scheme, inputs []*LweSample, workers int) ([]*LweS
 	// Wavefront schedule: a gate is ready when both inputs are materialized.
 	remaining := append([]gate(nil), c.gates...)
 	for len(remaining) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var wave, later []gate
 		for _, g := range remaining {
 			if wires[g.a] != nil && wires[g.b] != nil {

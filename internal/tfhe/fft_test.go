@@ -1,0 +1,151 @@
+package tfhe
+
+import (
+	"testing"
+
+	"alchemist/internal/prng"
+)
+
+// fftMul multiplies digit × torus polynomials through the folded FFT.
+func fftMul(f *fftTables, a IntPoly, b TorusPoly) TorusPoly {
+	ca := make([]complex128, f.h)
+	cb := make([]complex128, f.h)
+	f.fwdInt(a, ca)
+	f.fwdTorus(b, cb)
+	for i := range ca {
+		ca[i] *= cb[i]
+	}
+	out := make(TorusPoly, f.n)
+	f.invTorusInto(ca, out)
+	return out
+}
+
+// TestFFTNegacyclicExact checks the folded FFT product against the
+// schoolbook negacyclic reference at trimmed-gadget digit magnitudes. The
+// torus result must match within 1 ulp (f64 rounding only).
+func TestFFTNegacyclicExact(t *testing.T) {
+	for _, n := range []int{64, 512, 1024, 2048} {
+		f := newFFTTables(n)
+		rng := prng.New(41)
+		a := make(IntPoly, n)
+		b := make(TorusPoly, n)
+		for i := range a {
+			a[i] = int32(rng.Intn(2048)) - 1024 // |d| ≤ Bg/2 = 2^10
+		}
+		for i := range b {
+			b[i] = Torus(rng.Uint32())
+		}
+		got := fftMul(f, a, b)
+		want := mulIntTorusRef(a, b)
+		for i := range got {
+			d := int32(got[i] - want[i])
+			if d < 0 {
+				d = -d
+			}
+			if d > 1 {
+				t.Fatalf("n=%d coeff %d: fft %d, ref %d (diff %d ulp)", n, i, got[i], want[i], d)
+			}
+		}
+	}
+}
+
+// TestFFTRotationFactor checks the FFT-domain monomial rotation: the folded
+// spectrum of X^e·p must equal the spectrum of p multiplied slotwise by the
+// precomputed root factors — the identity the pair-bundled blind rotation
+// leans on to rotate without a transform round trip.
+func TestFFTRotationFactor(t *testing.T) {
+	n := 1024
+	f := newFFTTables(n)
+	rng := prng.New(43)
+	p := make(TorusPoly, n)
+	for i := range p {
+		p[i] = Torus(rng.Uint32())
+	}
+	base := make([]complex128, f.h)
+	f.fwdTorus(p, base)
+	rot := make([]complex128, f.h)
+	spec := make([]complex128, f.h)
+	rotated := make(TorusPoly, n)
+	for _, e := range []int{0, 1, 17, n - 1, n, n + 5, 2*n - 1} {
+		p.MonomialMulTo(e, rotated)
+		f.fwdTorus(rotated, spec)
+		f.rotFactorInto(e, rot)
+		for s := range spec {
+			want := base[s] * rot[s]
+			d := spec[s] - want
+			mag := real(d)*real(d) + imag(d)*imag(d)
+			ref := real(spec[s])*real(spec[s]) + imag(spec[s])*imag(spec[s]) + 1
+			if mag > 1e-12*ref {
+				t.Fatalf("e=%d slot %d: rotated spectrum %v, factored %v", e, s, spec[s], want)
+			}
+		}
+	}
+}
+
+// TestFFTLinearityRoundTrip pins the add-accumulate inverse: inv(A+B) added
+// onto a non-zero polynomial equals the schoolbook sum of both products.
+func TestFFTLinearityRoundTrip(t *testing.T) {
+	n := 512
+	f := newFFTTables(n)
+	rng := prng.New(47)
+	a1 := make(IntPoly, n)
+	a2 := make(IntPoly, n)
+	b := make(TorusPoly, n)
+	for i := range b {
+		a1[i] = int32(rng.Intn(1024)) - 512
+		a2[i] = int32(rng.Intn(1024)) - 512
+		b[i] = Torus(rng.Uint32())
+	}
+	c1 := make([]complex128, f.h)
+	c2 := make([]complex128, f.h)
+	cb := make([]complex128, f.h)
+	f.fwdInt(a1, c1)
+	f.fwdInt(a2, c2)
+	f.fwdTorus(b, cb)
+	for i := range c1 {
+		c1[i] = c1[i]*cb[i] + c2[i]*cb[i]
+	}
+	got := make(TorusPoly, n)
+	for i := range got {
+		got[i] = Torus(uint32(i)) // pre-existing accumulator contents
+	}
+	f.invTorusAddInto(c1, got)
+	w1 := mulIntTorusRef(a1, b)
+	w2 := mulIntTorusRef(a2, b)
+	for i := range got {
+		want := Torus(uint32(i)) + w1[i] + w2[i]
+		d := int32(got[i] - want)
+		if d < 0 {
+			d = -d
+		}
+		if d > 2 {
+			t.Fatalf("coeff %d: got %d, want %d", i, got[i], want)
+		}
+	}
+}
+
+func BenchmarkFFTFwdInt(b *testing.B) {
+	f := newFFTTables(1024)
+	p := make(IntPoly, 1024)
+	for i := range p {
+		p[i] = int32(i%2048) - 1024
+	}
+	out := make([]complex128, f.h)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.fwdInt(p, out)
+	}
+}
+
+func BenchmarkFFTInvTorusAdd(b *testing.B) {
+	f := newFFTTables(1024)
+	c := make([]complex128, f.h)
+	for i := range c {
+		c[i] = complex(float64(i), float64(-i))
+	}
+	out := make(TorusPoly, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.invTorusAddInto(c, out)
+	}
+}

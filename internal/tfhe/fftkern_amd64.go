@@ -1,0 +1,102 @@
+//go:build amd64
+
+package tfhe
+
+// AVX vector kernels for the folded-FFT bootstrap engine. The hot loops —
+// butterfly stages and pointwise complex multiply-accumulate — are flop-bound
+// scalar (~6 GFLOP/s), and the gc compiler does not vectorize, so the amd64
+// build carries hand-written 256-bit kernels (fftkern_amd64.s) processing two
+// complex128 per step. They are BIT-IDENTICAL to the scalar reference: the
+// vaddsubpd complex product computes re = ar·br − ai·bi, im = ai·br + ar·bi
+// with one rounding per operation, exactly like Go's complex multiply (f64
+// addition commutes exactly, and no FMA contraction is used), so the
+// Run/RunBatch/Stream bit-identity contract is engine-independent. Scalar
+// fallbacks live in fft.go; kernel-equivalence tests pin asm == scalar on
+// random inputs.
+
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+// useAVX gates the vector kernels: AVX instructions present AND the OS
+// saves/restores YMM state. All kernels use only AVX1 f64 ops.
+var useAVX = func() bool {
+	_, _, c, _ := cpuid(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if c&osxsave == 0 || c&avx == 0 {
+		return false
+	}
+	lo, _ := xgetbv()
+	return lo&0x6 == 0x6 // XMM and YMM state enabled
+}()
+
+// useAVX2 additionally gates the integer kernels (VPMULLD/VPSUBD need
+// 256-bit integer ops). Exact mod-2^32 arithmetic: bit-identical to the
+// scalar loops by definition.
+var useAVX2 = useAVX && func() bool {
+	_, b, _, _ := cpuid(7, 0)
+	return b&(1<<5) != 0
+}()
+
+// mulSubU32Vec computes out[m] -= d·row[m] (mod 2^32) over len(out)
+// elements; len(out) must be a multiple of 8 (callers pass the aligned
+// prefix and handle the tail scalar).
+//
+//go:noescape
+func mulSubU32Vec(out, row []Torus, d Torus)
+
+// decompDigitVec extracts one signed gadget digit per coefficient:
+// out[i] = int32(((p[i]+offset)>>shift)&mask) − half. len(p) must be a
+// multiple of 8.
+//
+//go:noescape
+func decompDigitVec(p []Torus, out []int32, offset, shift, mask uint32, half int32)
+
+// invTwistRoundVec fuses the inverse-FFT epilogue: z = c[j]·itw[j], then
+// lo[j] ⟵ Torus(int64(math.Round(real(z)))) and hi[j] ⟵ the imaginary
+// counterpart (accumulate when add != 0, overwrite when 0). Rounding is the
+// exact half-away-from-zero sequence (trunc + compare-adjust, every step
+// exact in f64), and the f64→uint32 conversion uses the 2^52+2^51 magic
+// constant, exact for |rounded| < 2^51 — beyond the bound where the f64
+// engine itself has already lost integer exactness. len(c) must be a
+// multiple of 4.
+//
+//go:noescape
+func invTwistRoundVec(c, itw []complex128, lo, hi []Torus, add uint64)
+
+// fwdTwistVec fuses the forward-FFT prologue: out[j] =
+// complex(float64(lo[j]), float64(hi[j])) · tw[j]. VCVTDQ2PD is exact and
+// the complex product is the vaddsubpd recipe, so the result is
+// bit-identical to the scalar loop. len(lo) must be a multiple of 2.
+//
+//go:noescape
+func fwdTwistVec(lo, hi []int32, tw, out []complex128)
+
+// fwdTwistTorusVec is fwdTwistVec for torus (uint32) inputs under the
+// centered signed interpretation — same bits, same kernel.
+//
+//go:noescape
+func fwdTwistTorusVec(lo, hi []Torus, tw, out []complex128)
+
+// fwdStageVec runs one forward DIF butterfly stage of half-size m (complex
+// units, m ≥ 2 and even) over the whole coefficient vector c:
+// for each block pair (x, y) of length m: x[j], y[j] = x[j]+y[j], (x[j]−y[j])·w[j].
+//
+//go:noescape
+func fwdStageVec(c, w []complex128, m int)
+
+// invStageVec runs one inverse DIT butterfly stage of half-size m:
+// x[j], y[j] = x[j]+y[j]·w[j], x[j]−y[j]·w[j].
+//
+//go:noescape
+func invStageVec(c, w []complex128, m int)
+
+// cmulToVec writes dst = a ⊙ b slotwise (lengths equal and even).
+//
+//go:noescape
+func cmulToVec(dst, a, b []complex128)
+
+// cmulAddVec accumulates acc += a ⊙ b slotwise (lengths equal and even).
+//
+//go:noescape
+func cmulAddVec(acc, a, b []complex128)

@@ -1,0 +1,373 @@
+// AVX kernels for the folded negacyclic FFT (see fftkern_amd64.go for the
+// contracts). Complex multiply recipe, two complex128 per ymm:
+//   wre = vmovddup(w)            [br br | br' br']
+//   wim = vshufpd(w, w, 0xF)     [bi bi | bi' bi']
+//   t1  = a · wre                [ar·br  ai·br | ...]
+//   asw = vshufpd(a, a, 0x5)     [ai ar | ai' ar']
+//   t2  = asw · wim              [ai·bi  ar·bi | ...]
+//   res = vaddsubpd(t1, t2)      [ar·br−ai·bi  ai·br+ar·bi | ...]
+// One rounding per multiply/add, no FMA: bit-identical to Go's scalar
+// complex multiply (whose imaginary part ar·bi + ai·br equals ours exactly
+// because f64 addition commutes).
+
+#include "textflag.h"
+
+// func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func mulSubU32Vec(out, row []Torus, d Torus)
+TEXT ·mulSubU32Vec(SB), NOSPLIT, $0-52
+	MOVQ out_base+0(FP), DI
+	MOVQ out_len+8(FP), CX
+	MOVQ row_base+24(FP), SI
+	MOVL d+48(FP), AX
+	MOVQ AX, X0
+	VPBROADCASTD X0, Y0
+	SHLQ $2, CX              // bytes
+	XORQ R9, R9
+
+msloop:
+	CMPQ R9, CX
+	JGE  msdone
+	VMOVDQU (SI)(R9*1), Y1
+	VPMULLD Y0, Y1, Y2       // d·row (low 32)
+	VMOVDQU (DI)(R9*1), Y3
+	VPSUBD  Y2, Y3, Y4       // out − d·row
+	VMOVDQU Y4, (DI)(R9*1)
+	ADDQ $32, R9
+	JMP  msloop
+
+msdone:
+	VZEROUPPER
+	RET
+
+// func decompDigitVec(p []Torus, out []int32, offset, shift, mask uint32, half int32)
+TEXT ·decompDigitVec(SB), NOSPLIT, $0-64
+	MOVQ p_base+0(FP), SI
+	MOVQ p_len+8(FP), CX
+	MOVQ out_base+24(FP), DI
+	MOVL offset+48(FP), AX
+	MOVQ AX, X0
+	VPBROADCASTD X0, Y0      // offset
+	MOVL shift+52(FP), AX
+	MOVQ AX, X1              // shift count (xmm)
+	MOVL mask+56(FP), AX
+	MOVQ AX, X2
+	VPBROADCASTD X2, Y5      // mask
+	MOVL half+60(FP), AX
+	MOVQ AX, X2
+	VPBROADCASTD X2, Y6      // half
+	SHLQ $2, CX
+	XORQ R9, R9
+
+ddloop:
+	CMPQ R9, CX
+	JGE  dddone
+	VMOVDQU (SI)(R9*1), Y2
+	VPADDD  Y0, Y2, Y2       // v + offset
+	VPSRLD  X1, Y2, Y2       // >> shift
+	VPAND   Y5, Y2, Y2       // & mask
+	VPSUBD  Y6, Y2, Y2       // − half
+	VMOVDQU Y2, (DI)(R9*1)
+	ADDQ $32, R9
+	JMP  ddloop
+
+dddone:
+	VZEROUPPER
+	RET
+
+// VPERMD index picking the u32 results out of a post-magic ymm of 4 f64
+// lanes [re0 im0 re1 im1]: dwords [0,4] = the two real low-words, [2,6]
+// the two imaginary low-words → low xmm [lo0 lo1 hi0 hi1].
+DATA invPermIdx<>+0(SB)/8, $0x0000000400000000
+DATA invPermIdx<>+8(SB)/8, $0x0000000600000002
+DATA invPermIdx<>+16(SB)/8, $0
+DATA invPermIdx<>+24(SB)/8, $0
+GLOBL invPermIdx<>(SB), RODATA, $32
+
+// CMULROUND: Y6 = c pair, Y7 = itw pair → OUT = permuted u32 results.
+// z = c·itw (vaddsubpd recipe), exact half-away-from-zero round
+// (trunc; |z−trunc| ≥ 0.5 → ±1 adjust; every step exact), then the
+// 2^52+2^51 magic add leaves uint32(int64(round)) in each lane's low
+// dword. Constants: Y0 magic, Y1 absmask, Y2 0.5, Y3 1.0, Y4 signmask,
+// Y5 perm index.
+#define CMULROUND(OUT) \
+	VMOVDDUP Y7, Y8;            \
+	VSHUFPD $0xF, Y7, Y7, Y9;   \
+	VMULPD Y8, Y6, Y10;         \
+	VSHUFPD $0x5, Y6, Y6, Y11;  \
+	VMULPD Y9, Y11, Y12;        \
+	VADDSUBPD Y12, Y10, Y6;     \
+	VROUNDPD $3, Y6, Y10;       \
+	VSUBPD Y10, Y6, Y11;        \
+	VANDPD Y1, Y11, Y11;        \
+	VCMPPD $13, Y2, Y11, Y12;   \
+	VANDPD Y4, Y6, Y13;         \
+	VORPD Y3, Y13, Y13;         \
+	VANDPD Y12, Y13, Y13;       \
+	VADDPD Y13, Y10, Y10;       \
+	VADDPD Y0, Y10, Y10;        \
+	VPERMD Y10, Y5, OUT
+
+// func invTwistRoundVec(c, itw []complex128, lo, hi []Torus, add uint64)
+TEXT ·invTwistRoundVec(SB), NOSPLIT, $0-104
+	MOVQ c_base+0(FP), SI
+	MOVQ itw_base+24(FP), DX
+	MOVQ lo_base+48(FP), DI
+	MOVQ lo_len+56(FP), CX
+	MOVQ hi_base+72(FP), R8
+	MOVQ add+96(FP), BX
+	MOVQ $0x4338000000000000, AX // 2^52 + 2^51
+	MOVQ AX, X0
+	VPBROADCASTQ X0, Y0
+	MOVQ $0x7FFFFFFFFFFFFFFF, AX
+	MOVQ AX, X1
+	VPBROADCASTQ X1, Y1
+	MOVQ $0x3FE0000000000000, AX // 0.5
+	MOVQ AX, X2
+	VPBROADCASTQ X2, Y2
+	MOVQ $0x3FF0000000000000, AX // 1.0
+	MOVQ AX, X3
+	VPBROADCASTQ X3, Y3
+	MOVQ $0x8000000000000000, AX
+	MOVQ AX, X4
+	VPBROADCASTQ X4, Y4
+	VMOVDQU invPermIdx<>(SB), Y5
+	SHLQ $2, CX              // lo bytes
+	XORQ R9, R9              // complex byte offset
+	XORQ R10, R10            // u32 byte offset
+
+itloop:
+	CMPQ R10, CX
+	JGE  itdone
+	VMOVUPD (SI)(R9*1), Y6
+	VMOVUPD (DX)(R9*1), Y7
+	CMULROUND(Y14)
+	VMOVUPD 32(SI)(R9*1), Y6
+	VMOVUPD 32(DX)(R9*1), Y7
+	CMULROUND(Y15)
+	VPUNPCKLQDQ X15, X14, X13 // [lo0 lo1 lo2 lo3]
+	VPUNPCKHQDQ X15, X14, X14 // [hi0 hi1 hi2 hi3]
+	CMPQ BX, $0
+	JE   itstore
+	VMOVDQU (DI)(R10*1), X12
+	VPADDD  X13, X12, X12
+	VMOVDQU X12, (DI)(R10*1)
+	VMOVDQU (R8)(R10*1), X12
+	VPADDD  X14, X12, X12
+	VMOVDQU X12, (R8)(R10*1)
+	JMP  itnext
+
+itstore:
+	VMOVDQU X13, (DI)(R10*1)
+	VMOVDQU X14, (R8)(R10*1)
+
+itnext:
+	ADDQ $16, R10
+	ADDQ $64, R9
+	JMP  itloop
+
+itdone:
+	VZEROUPPER
+	RET
+
+// func fwdTwistVec(lo, hi []int32, tw, out []complex128)
+TEXT ·fwdTwistVec(SB), NOSPLIT, $0-96
+	MOVQ lo_base+0(FP), SI
+	MOVQ lo_len+8(FP), CX
+	MOVQ hi_base+24(FP), R11
+	MOVQ tw_base+48(FP), DX
+	MOVQ out_base+72(FP), DI
+	SHLQ $4, CX              // out bytes
+	XORQ R9, R9              // i32 byte offset
+	XORQ R10, R10            // complex byte offset
+
+ftloop:
+	CMPQ R10, CX
+	JGE  ftdone
+	VMOVQ (SI)(R9*1), X6     // lo0 lo1 (VEX form: no AVX/SSE transition)
+	VMOVQ (R11)(R9*1), X7    // hi0 hi1
+	VPUNPCKLDQ X7, X6, X6    // lo0 hi0 lo1 hi1
+	VCVTDQ2PD X6, Y6         // exact i32→f64, 2 complex
+	VMOVUPD (DX)(R10*1), Y7
+	VMOVDDUP Y7, Y8
+	VSHUFPD $0xF, Y7, Y7, Y9
+	VMULPD  Y8, Y6, Y10
+	VSHUFPD $0x5, Y6, Y6, Y11
+	VMULPD  Y9, Y11, Y12
+	VADDSUBPD Y12, Y10, Y10
+	VMOVUPD Y10, (DI)(R10*1)
+	ADDQ $8, R9
+	ADDQ $32, R10
+	JMP  ftloop
+
+ftdone:
+	VZEROUPPER
+	RET
+
+// func fwdTwistTorusVec(lo, hi []Torus, tw, out []complex128)
+// Same frame layout, same bits: tail-jump to the int32 kernel.
+TEXT ·fwdTwistTorusVec(SB), NOSPLIT, $0-96
+	JMP ·fwdTwistVec(SB)
+
+// func fwdStageVec(c, w []complex128, m int)
+TEXT ·fwdStageVec(SB), NOSPLIT, $0-56
+	MOVQ c_base+0(FP), SI
+	MOVQ c_len+8(FP), CX
+	MOVQ w_base+24(FP), DX
+	MOVQ m+48(FP), R10
+	SHLQ $4, CX              // total bytes
+	SHLQ $4, R10             // m bytes
+	XORQ R9, R9              // base offset (bytes)
+
+fwdouter:
+	CMPQ R9, CX
+	JGE  fwddone
+	XORQ R11, R11            // j offset within block (bytes)
+
+fwdinner:
+	CMPQ R11, R10
+	JGE  fwdnext
+	LEAQ (R9)(R11*1), R12    // base+j
+	LEAQ (R12)(R10*1), R13   // base+j+m
+	VMOVUPD (SI)(R12*1), Y0  // u = x[j..j+1]
+	VMOVUPD (SI)(R13*1), Y1  // v = y[j..j+1]
+	VADDPD  Y1, Y0, Y2       // u+v
+	VSUBPD  Y1, Y0, Y3       // u−v
+	VMOVUPD (DX)(R11*1), Y4  // w[j..j+1]
+	VMOVDDUP Y4, Y5
+	VSHUFPD $0xF, Y4, Y4, Y6
+	VMULPD  Y5, Y3, Y7
+	VSHUFPD $0x5, Y3, Y3, Y8
+	VMULPD  Y6, Y8, Y9
+	VADDSUBPD Y9, Y7, Y10    // (u−v)·w
+	VMOVUPD Y2, (SI)(R12*1)
+	VMOVUPD Y10, (SI)(R13*1)
+	ADDQ $32, R11
+	JMP  fwdinner
+
+fwdnext:
+	LEAQ (R9)(R10*2), R9     // base += 2m
+	JMP  fwdouter
+
+fwddone:
+	VZEROUPPER
+	RET
+
+// func invStageVec(c, w []complex128, m int)
+TEXT ·invStageVec(SB), NOSPLIT, $0-56
+	MOVQ c_base+0(FP), SI
+	MOVQ c_len+8(FP), CX
+	MOVQ w_base+24(FP), DX
+	MOVQ m+48(FP), R10
+	SHLQ $4, CX
+	SHLQ $4, R10
+	XORQ R9, R9
+
+invouter:
+	CMPQ R9, CX
+	JGE  invdone
+	XORQ R11, R11
+
+invinner:
+	CMPQ R11, R10
+	JGE  invnext
+	LEAQ (R9)(R11*1), R12
+	LEAQ (R12)(R10*1), R13
+	VMOVUPD (SI)(R13*1), Y1  // y[j..j+1]
+	VMOVUPD (DX)(R11*1), Y4  // w[j..j+1]
+	VMOVDDUP Y4, Y5
+	VSHUFPD $0xF, Y4, Y4, Y6
+	VMULPD  Y5, Y1, Y7
+	VSHUFPD $0x5, Y1, Y1, Y8
+	VMULPD  Y6, Y8, Y9
+	VADDSUBPD Y9, Y7, Y10    // v = y·w
+	VMOVUPD (SI)(R12*1), Y0  // u
+	VADDPD  Y10, Y0, Y2      // u+v
+	VSUBPD  Y10, Y0, Y3      // u−v
+	VMOVUPD Y2, (SI)(R12*1)
+	VMOVUPD Y3, (SI)(R13*1)
+	ADDQ $32, R11
+	JMP  invinner
+
+invnext:
+	LEAQ (R9)(R10*2), R9
+	JMP  invouter
+
+invdone:
+	VZEROUPPER
+	RET
+
+// func cmulToVec(dst, a, b []complex128)
+TEXT ·cmulToVec(SB), NOSPLIT, $0-72
+	MOVQ dst_base+0(FP), DI
+	MOVQ a_base+24(FP), SI
+	MOVQ a_len+32(FP), CX
+	MOVQ b_base+48(FP), DX
+	SHLQ $4, CX
+	XORQ R9, R9
+
+cmtloop:
+	CMPQ R9, CX
+	JGE  cmtdone
+	VMOVUPD (SI)(R9*1), Y0
+	VMOVUPD (DX)(R9*1), Y4
+	VMOVDDUP Y4, Y5
+	VSHUFPD $0xF, Y4, Y4, Y6
+	VMULPD  Y5, Y0, Y7
+	VSHUFPD $0x5, Y0, Y0, Y8
+	VMULPD  Y6, Y8, Y9
+	VADDSUBPD Y9, Y7, Y10
+	VMOVUPD Y10, (DI)(R9*1)
+	ADDQ $32, R9
+	JMP  cmtloop
+
+cmtdone:
+	VZEROUPPER
+	RET
+
+// func cmulAddVec(acc, a, b []complex128)
+TEXT ·cmulAddVec(SB), NOSPLIT, $0-72
+	MOVQ acc_base+0(FP), DI
+	MOVQ a_base+24(FP), SI
+	MOVQ a_len+32(FP), CX
+	MOVQ b_base+48(FP), DX
+	SHLQ $4, CX
+	XORQ R9, R9
+
+cmaloop:
+	CMPQ R9, CX
+	JGE  cmadone
+	VMOVUPD (SI)(R9*1), Y0
+	VMOVUPD (DX)(R9*1), Y4
+	VMOVDDUP Y4, Y5
+	VSHUFPD $0xF, Y4, Y4, Y6
+	VMULPD  Y5, Y0, Y7
+	VSHUFPD $0x5, Y0, Y0, Y8
+	VMULPD  Y6, Y8, Y9
+	VADDSUBPD Y9, Y7, Y10
+	VMOVUPD (DI)(R9*1), Y11
+	VADDPD  Y10, Y11, Y12
+	VMOVUPD Y12, (DI)(R9*1)
+	ADDQ $32, R9
+	JMP  cmaloop
+
+cmadone:
+	VZEROUPPER
+	RET

@@ -1,0 +1,26 @@
+//go:build !amd64
+
+package tfhe
+
+// Non-amd64 builds run the scalar kernels in fft.go exclusively.
+
+const useAVX = false
+const useAVX2 = false
+
+func mulSubU32Vec(out, row []Torus, d Torus) { panic("tfhe: vector kernel on non-amd64 build") }
+func decompDigitVec(p []Torus, out []int32, offset, shift, mask uint32, half int32) {
+	panic("tfhe: vector kernel on non-amd64 build")
+}
+func invTwistRoundVec(c, itw []complex128, lo, hi []Torus, add uint64) {
+	panic("tfhe: vector kernel on non-amd64 build")
+}
+func fwdTwistVec(lo, hi []int32, tw, out []complex128) {
+	panic("tfhe: vector kernel on non-amd64 build")
+}
+func fwdTwistTorusVec(lo, hi []Torus, tw, out []complex128) {
+	panic("tfhe: vector kernel on non-amd64 build")
+}
+func fwdStageVec(c, w []complex128, m int) { panic("tfhe: vector kernel on non-amd64 build") }
+func invStageVec(c, w []complex128, m int) { panic("tfhe: vector kernel on non-amd64 build") }
+func cmulToVec(dst, a, b []complex128)     { panic("tfhe: vector kernel on non-amd64 build") }
+func cmulAddVec(acc, a, b []complex128)    { panic("tfhe: vector kernel on non-amd64 build") }

@@ -1,0 +1,293 @@
+package tfhe
+
+import (
+	"math"
+	"testing"
+)
+
+// The AVX kernels must be BIT-identical to the scalar loops — the streaming
+// bootstrap's Run/RunBatch/Stream bit-identity contract rides on every
+// engine computing the same f64 sequence regardless of dispatch. Exact
+// equality, not tolerance.
+
+func randSpectrum(n int, seed uint32) []complex128 {
+	c := make([]complex128, n)
+	x := seed | 1
+	next := func() float64 {
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		return float64(int32(x)) / (1 << 16)
+	}
+	for i := range c {
+		c[i] = complex(next(), next())
+	}
+	return c
+}
+
+func TestVecKernelsBitIdentical(t *testing.T) {
+	if !useAVX {
+		t.Skip("no AVX on this CPU/arch")
+	}
+	f := newFFTTables(1024)
+	h := f.h
+
+	// Full stage networks: vec dispatch vs forced-scalar reference.
+	scalarFwd := func(c []complex128) {
+		for m := h >> 1; m >= 1; m >>= 1 {
+			w := f.roots[m : 2*m]
+			for base := 0; base < h; base += m << 1 {
+				for j := 0; j < m; j++ {
+					u, v := c[base+j], c[base+m+j]
+					c[base+j] = u + v
+					c[base+m+j] = (u - v) * w[j]
+				}
+			}
+		}
+	}
+	scalarInv := func(c []complex128) {
+		for m := 1; m < h; m <<= 1 {
+			w := f.irts[m : 2*m]
+			for base := 0; base < h; base += m << 1 {
+				for j := 0; j < m; j++ {
+					u := c[base+j]
+					v := c[base+m+j] * w[j]
+					c[base+j] = u + v
+					c[base+m+j] = u - v
+				}
+			}
+		}
+	}
+
+	for seed := uint32(1); seed < 8; seed++ {
+		a := randSpectrum(h, seed)
+		b := append([]complex128(nil), a...)
+		f.fwdStages(a)
+		scalarFwd(b)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("fwd seed %d slot %d: vec %v scalar %v", seed, i, a[i], b[i])
+			}
+		}
+		f.invStages(a)
+		scalarInv(b)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("inv seed %d slot %d: vec %v scalar %v", seed, i, a[i], b[i])
+			}
+		}
+
+		x := randSpectrum(h, seed*31)
+		y := randSpectrum(h, seed*37)
+		gotTo := make([]complex128, h)
+		wantTo := make([]complex128, h)
+		cmulToVec(gotTo, x, y)
+		cmulToScalar(wantTo, x, y)
+		for i := range gotTo {
+			if gotTo[i] != wantTo[i] {
+				t.Fatalf("cmulTo seed %d slot %d: vec %v scalar %v", seed, i, gotTo[i], wantTo[i])
+			}
+		}
+		gotAcc := randSpectrum(h, seed*41)
+		wantAcc := append([]complex128(nil), gotAcc...)
+		cmulAddVec(gotAcc, x, y)
+		cmulAddScalar(wantAcc, x, y)
+		for i := range gotAcc {
+			if gotAcc[i] != wantAcc[i] {
+				t.Fatalf("cmulAdd seed %d slot %d: vec %v scalar %v", seed, i, gotAcc[i], wantAcc[i])
+			}
+		}
+	}
+}
+
+func TestInvTwistRoundBitIdentical(t *testing.T) {
+	if !useAVX2 {
+		t.Skip("no AVX2 on this CPU/arch")
+	}
+	const h = 512
+	// Unit-modulus twists, like the real tables (random phase): keeps the
+	// products inside the kernel's 2^51 exactness domain.
+	itw := randSpectrum(h, 9)
+	for i := range itw {
+		itw[i] /= complex(math.Hypot(real(itw[i]), imag(itw[i])), 0)
+	}
+	itw[1] = 1             // exact pass-through for planted ties
+	itw[5] = complex(0, 1) // exact quarter turn
+	mkInput := func(seed uint32) []complex128 {
+		c := randSpectrum(h, seed)
+		// Scale a band up to blind-rotate magnitudes (~2^45) and plant
+		// exact half-integer values to exercise the away-from-zero tie.
+		for i := 0; i < h; i += 3 {
+			c[i] *= 1 << 30
+		}
+		c[1] = complex(2.5, -3.5)
+		c[5] = complex(-0.5, 0.5)
+		return c
+	}
+	scalar := func(c []complex128, lo, hi []Torus, add bool) {
+		for j := range lo {
+			z := c[j] * itw[j]
+			rl := Torus(int64(math.Round(real(z))))
+			ih := Torus(int64(math.Round(imag(z))))
+			if add {
+				lo[j] += rl
+				hi[j] += ih
+			} else {
+				lo[j] = rl
+				hi[j] = ih
+			}
+		}
+	}
+	for seed := uint32(1); seed < 8; seed++ {
+		c := mkInput(seed)
+		gotLo := make([]Torus, h)
+		gotHi := make([]Torus, h)
+		wantLo := make([]Torus, h)
+		wantHi := make([]Torus, h)
+		for i := range gotLo {
+			gotLo[i] = Torus(seed * uint32(i))
+			wantLo[i] = gotLo[i]
+			gotHi[i] = Torus(seed + uint32(3*i))
+			wantHi[i] = gotHi[i]
+		}
+		invTwistRoundVec(c, itw, gotLo, gotHi, 1)
+		scalar(c, wantLo, wantHi, true)
+		for i := range gotLo {
+			if gotLo[i] != wantLo[i] || gotHi[i] != wantHi[i] {
+				t.Fatalf("add seed %d slot %d: vec (%d,%d) scalar (%d,%d)",
+					seed, i, gotLo[i], gotHi[i], wantLo[i], wantHi[i])
+			}
+		}
+		invTwistRoundVec(c, itw, gotLo, gotHi, 0)
+		scalar(c, wantLo, wantHi, false)
+		for i := range gotLo {
+			if gotLo[i] != wantLo[i] || gotHi[i] != wantHi[i] {
+				t.Fatalf("store seed %d slot %d: vec (%d,%d) scalar (%d,%d)",
+					seed, i, gotLo[i], gotHi[i], wantLo[i], wantHi[i])
+			}
+		}
+	}
+}
+
+func TestFwdTwistBitIdentical(t *testing.T) {
+	if !useAVX {
+		t.Skip("no AVX on this CPU/arch")
+	}
+	const h = 512
+	tw := randSpectrum(h, 11)
+	for seed := uint32(1); seed < 8; seed++ {
+		lo := make([]int32, h)
+		hi := make([]int32, h)
+		x := seed | 1
+		for i := range lo {
+			x ^= x << 13
+			x ^= x >> 17
+			x ^= x << 5
+			lo[i] = int32(x)
+			x ^= x << 13
+			x ^= x >> 17
+			x ^= x << 5
+			hi[i] = int32(x)
+		}
+		got := make([]complex128, h)
+		want := make([]complex128, h)
+		fwdTwistVec(lo, hi, tw, got)
+		for j := range want {
+			want[j] = complex(float64(lo[j]), float64(hi[j])) * tw[j]
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("fwdTwist seed %d slot %d: vec %v scalar %v", seed, j, got[j], want[j])
+			}
+		}
+		tlo := make([]Torus, h)
+		thi := make([]Torus, h)
+		for i := range tlo {
+			tlo[i] = Torus(lo[i])
+			thi[i] = Torus(hi[i])
+		}
+		gotT := make([]complex128, h)
+		fwdTwistTorusVec(tlo, thi, tw, gotT)
+		for j := range gotT {
+			if gotT[j] != want[j] {
+				t.Fatalf("fwdTwistTorus seed %d slot %d: vec %v scalar %v", seed, j, gotT[j], want[j])
+			}
+		}
+	}
+}
+
+func TestIntKernelsBitIdentical(t *testing.T) {
+	if !useAVX2 {
+		t.Skip("no AVX2 on this CPU/arch")
+	}
+	randTorus := func(n int, seed uint32) []Torus {
+		v := make([]Torus, n)
+		x := seed | 1
+		for i := range v {
+			x ^= x << 13
+			x ^= x >> 17
+			x ^= x << 5
+			v[i] = Torus(x)
+		}
+		return v
+	}
+	const n = 632 &^ 7 // aligned prefix of an LWE-sized vector
+	for seed := uint32(1); seed < 8; seed++ {
+		row := randTorus(n, seed)
+		got := randTorus(n, seed*31)
+		want := append([]Torus(nil), got...)
+		d := Torus(seed*2654435761 + 17)
+		mulSubU32Vec(got, row, d)
+		for m := range want {
+			want[m] -= d * row[m]
+		}
+		for m := range got {
+			if got[m] != want[m] {
+				t.Fatalf("mulSubU32 seed %d slot %d: vec %d scalar %d", seed, m, got[m], want[m])
+			}
+		}
+
+		p := randTorus(n, seed*37)
+		dec := newDecomposerLB(2, 11)
+		gotD := make([]int32, n)
+		for j := 0; j < dec.l; j++ {
+			shift := uint32(32 - (j+1)*dec.bgBits)
+			decompDigitVec(p, gotD, uint32(dec.offset), shift, uint32(dec.mask), dec.halfBg)
+			for i, v := range p {
+				wantD := int32(((v+dec.offset)>>shift)&dec.mask) - dec.halfBg
+				if gotD[i] != wantD {
+					t.Fatalf("decompDigit seed %d digit %d slot %d: vec %d scalar %d", seed, j, i, gotD[i], wantD)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFwdStages(b *testing.B) {
+	f := newFFTTables(1024)
+	c := randSpectrum(f.h, 7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.fwdStages(c)
+	}
+}
+
+func BenchmarkInvStages(b *testing.B) {
+	f := newFFTTables(1024)
+	c := randSpectrum(f.h, 7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.invStages(c)
+	}
+}
+
+func BenchmarkCmulAdd(b *testing.B) {
+	h := 512
+	acc := randSpectrum(h, 3)
+	x := randSpectrum(h, 5)
+	y := randSpectrum(h, 7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cmulAdd(acc, x, y)
+	}
+}

@@ -4,9 +4,17 @@ package tfhe
 // linear combination of the inputs followed by a bootstrap that refreshes
 // noise and binarizes the phase.
 
+import "context"
+
+// gate routes every boolean gate through the scheme's shared gate
+// bootstrapper, so all gates reuse one pinned gate test vector and one
+// warmed scratch arena instead of rebuilding both per call.
 func (s *Scheme) gate(lin *LweSample) (*LweSample, error) {
-	tv := s.GateTestVector(TorusFromDouble(0.125))
-	return s.Bootstrap(lin, tv)
+	b, err := s.gateBootstrapper()
+	if err != nil {
+		return nil, err
+	}
+	return b.Run(context.Background(), lin)
 }
 
 // constSample returns the trivial (noiseless) sample (0, mu).

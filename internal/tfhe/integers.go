@@ -1,6 +1,7 @@
 package tfhe
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -69,5 +70,9 @@ func (s *Scheme) EvalIntLUT(c *LweSample, bits int, f func(int) int) (*LweSample
 		}
 		tv[j] = TorusFromDouble(float64(v) * intScale(bits))
 	}
-	return s.Bootstrap(shifted, tv)
+	b, err := s.defaultBootstrapper()
+	if err != nil {
+		return nil, err
+	}
+	return b.RunWith(context.Background(), shifted, tv)
 }

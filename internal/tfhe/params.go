@@ -33,6 +33,16 @@ type Params struct {
 	KsT        int
 	KsBaseBits int
 
+	// Trimmed accumulator profile used by the FFT bootstrapping engine
+	// (fft.go / brfft.go): a shorter, wider gadget (TrimL digits in base
+	// 2^TrimBgBits) and a truncated key-switch decomposition (TrimKsT of
+	// the KsT digits). Zero values fall back to L/BgBits/KsT, i.e. no
+	// trimming. The noise budget justifying the defaults (l=2, Bg=2^11,
+	// 6 key-switch digits for Set I) is derived in EXPERIMENTS.md.
+	TrimL      int
+	TrimBgBits int
+	TrimKsT    int
+
 	// Noise standard deviations (as fractions of the torus).
 	LweSigma float64 // fresh LWE / key-switch key noise
 	BkSigma  float64 // bootstrapping key noise
@@ -55,7 +65,30 @@ func (p Params) Validate() error {
 	if p.KsT < 1 || p.KsBaseBits < 1 || p.KsT*p.KsBaseBits > 32 {
 		return fmt.Errorf("tfhe: invalid key-switch decomposition t=%d, BaseBits=%d", p.KsT, p.KsBaseBits)
 	}
+	if p.TrimL < 0 || p.TrimBgBits < 0 || p.TrimL*p.TrimBgBits > 32 || (p.TrimL > 0) != (p.TrimBgBits > 0) {
+		return fmt.Errorf("tfhe: invalid trimmed gadget l=%d, BgBits=%d", p.TrimL, p.TrimBgBits)
+	}
+	if p.TrimKsT < 0 || p.TrimKsT > p.KsT {
+		return fmt.Errorf("tfhe: TrimKsT=%d outside [0,%d]", p.TrimKsT, p.KsT)
+	}
 	return nil
+}
+
+// TrimGadget returns the gadget decomposition used by the trimmed FFT
+// accumulator, falling back to the exact path's gadget when no trim is set.
+func (p Params) TrimGadget() (l, bgBits int) {
+	if p.TrimL > 0 {
+		return p.TrimL, p.TrimBgBits
+	}
+	return p.L, p.BgBits
+}
+
+// TrimKs returns the key-switch digit count used by the trimmed engine.
+func (p Params) TrimKs() int {
+	if p.TrimKsT > 0 {
+		return p.TrimKsT
+	}
+	return p.KsT
 }
 
 // Bg returns the gadget base 2^BgBits.
@@ -74,6 +107,9 @@ func DefaultParams() Params {
 		NLwe:       630,
 		KsT:        8,
 		KsBaseBits: 2,
+		TrimL:      2,
+		TrimBgBits: 11,
+		TrimKsT:    6,
 		LweSigma:   3.05e-5, // 2^-15
 		BkSigma:    3.72e-9, // 2^-28
 	}
@@ -91,6 +127,9 @@ func SetII() Params {
 		NLwe:       742,
 		KsT:        8,
 		KsBaseBits: 3,
+		TrimL:      2,
+		TrimBgBits: 11,
+		TrimKsT:    6,
 		LweSigma:   1.0e-5,
 		BkSigma:    1.0e-10,
 	}
@@ -108,6 +147,9 @@ func FastTestParams() Params {
 		NLwe:       300,
 		KsT:        8,
 		KsBaseBits: 2,
+		TrimL:      2,
+		TrimBgBits: 11,
+		TrimKsT:    6,
 		LweSigma:   1.0e-5,
 		BkSigma:    1.0e-9,
 	}

@@ -58,12 +58,18 @@ type PolyMultiplier struct {
 	N   int
 	sub *ring.SubRing
 
+	// fft is the folded negacyclic f64 transform used by the trimmed
+	// bootstrapping accumulator (fft.go); the NTT above stays the exact
+	// reference path.
+	fft *fftTables
+
 	// Scratch arenas for the bootstrapping hot loop, shared safely by
 	// concurrent bootstraps (BootstrapBatch). The digit scratch is a
 	// mutex-guarded freelist rather than a sync.Pool: pooling a bare slice
 	// boxes its header on every Put, and the freelist's push/pop is
 	// allocation-free once its backing array reaches steady size.
 	buf    ring.BufPool // []uint64 NTT-domain scratch
+	cplx   cplxPool     // []complex128 spectrum scratch
 	intsMu sync.Mutex
 	ints   []IntPoly // digit scratch freelist
 	trlwe  sync.Pool // *TrlweSample scratch
@@ -79,7 +85,7 @@ func NewPolyMultiplier(n int) (*PolyMultiplier, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &PolyMultiplier{N: n, sub: sub}, nil
+	return &PolyMultiplier{N: n, sub: sub, fft: newFFTTables(n)}, nil
 }
 
 // Q returns the NTT prime.

@@ -1,0 +1,169 @@
+package tfhe
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStreamRaceCancellation hammers one Bootstrapper.Stream from many
+// producer goroutines and cancels mid-stream. The pipeline must shut down
+// promptly (results channel closes), and — the part that catches ownership
+// bugs on the cancel paths — the scheme's arenas must still be coherent:
+// a fresh bootstrap afterwards has to produce correct results.
+func TestStreamRaceCancellation(t *testing.T) {
+	s := getScheme(t)
+	b, err := s.Bootstrapper(WithWorkers(2), WithBatchWidth(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		jobs, results := b.Stream(ctx)
+
+		// Encrypt up front on this goroutine: the scheme PRNG is not
+		// thread-safe (only the bootstrap datapath is).
+		const producers = 4
+		cts := make([]*LweSample, producers)
+		for g := range cts {
+			cts[g] = s.EncryptBool(g%2 == 0)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < producers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				ct := cts[g]
+				for i := 0; ; i++ {
+					select {
+					case <-ctx.Done():
+						return
+					case jobs <- Job{Tag: g*1000 + i, Ct: ct}:
+					}
+				}
+			}(g)
+		}
+
+		// Drain some results, then cancel mid-flight.
+		delivered := 0
+		for res := range results {
+			if res.Err != nil {
+				t.Fatalf("unexpected stream error: %v", res.Err)
+			}
+			b.Recycle(res.Out)
+			if delivered++; delivered == 6 {
+				cancel()
+			}
+		}
+		cancel()
+		wg.Wait()
+
+		// The results channel closed after cancel; the pipeline goroutines
+		// must not wedge a subsequent stream on the same Bootstrapper.
+		if delivered < 6 {
+			t.Fatalf("round %d: only %d results before close", round, delivered)
+		}
+	}
+
+	// Arena coherence after repeated cancellation: fresh bootstraps must
+	// still decrypt correctly (a double-released buffer would corrupt one).
+	for i := 0; i < 8; i++ {
+		want := i%2 == 0
+		out, err := b.Run(context.Background(), s.EncryptBool(want))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.DecryptBool(out); got != want {
+			t.Fatalf("post-cancel bootstrap %d: got %v want %v", i, got, want)
+		}
+		b.Recycle(out)
+	}
+}
+
+// TestStreamDrainsOnClose: closing the intake without cancelling must flush
+// every accepted job and then close the results channel.
+func TestStreamDrainsOnClose(t *testing.T) {
+	s := getScheme(t)
+	b, err := s.Bootstrapper(WithBatchWidth(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	jobs, results := b.Stream(ctx)
+	const n = 10
+	go func() {
+		ct := s.EncryptBool(true)
+		for i := 0; i < n; i++ {
+			jobs <- Job{Tag: i, Ct: ct}
+		}
+		close(jobs)
+	}()
+	seen := make(map[int]bool)
+	timeout := time.After(30 * time.Second)
+	for len(seen) < n {
+		select {
+		case res, ok := <-results:
+			if !ok {
+				t.Fatalf("results closed after %d/%d jobs", len(seen), n)
+			}
+			if res.Err != nil {
+				t.Fatalf("job %d: %v", res.Tag, res.Err)
+			}
+			if seen[res.Tag] {
+				t.Fatalf("job %d delivered twice", res.Tag)
+			}
+			seen[res.Tag] = true
+			if !s.DecryptBool(res.Out) {
+				t.Fatalf("job %d decrypted false, want true", res.Tag)
+			}
+			b.Recycle(res.Out)
+		case <-timeout:
+			t.Fatalf("stream stalled at %d/%d jobs", len(seen), n)
+		}
+	}
+	if _, ok := <-results; ok {
+		t.Fatal("results channel not closed after drain")
+	}
+}
+
+// TestStreamPerJobTestVector: Job.TV overrides the pinned vector per job.
+func TestStreamPerJobTestVector(t *testing.T) {
+	s := getScheme(t)
+	b, err := s.Bootstrapper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	jobs, results := b.Stream(ctx)
+	ct := s.EncryptBool(true)
+	small := s.GateTestVector(TorusFromDouble(0.0625))
+	go func() {
+		jobs <- Job{Tag: 0, Ct: ct}              // pinned: ±1/8
+		jobs <- Job{Tag: 1, Ct: ct, TV: small}   // override: ±1/16
+		jobs <- Job{Tag: 2, Ct: NewLweSample(3)} // invalid dimension
+		close(jobs)
+	}()
+	for res := range results {
+		switch res.Tag {
+		case 0, 1:
+			if res.Err != nil {
+				t.Fatalf("job %d: %v", res.Tag, res.Err)
+			}
+			want := 0.125
+			if res.Tag == 1 {
+				want = 0.0625
+			}
+			got := DoubleFromTorus(s.LweKey.Phase(res.Out))
+			if diff := got - want; diff > 0.03 || diff < -0.03 {
+				t.Fatalf("job %d phase %v want %v", res.Tag, got, want)
+			}
+			b.Recycle(res.Out)
+		case 2:
+			if res.Err == nil {
+				t.Fatal("invalid job 2 returned no error")
+			}
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package tfhe
+
+// Trimmed, pair-bundled bootstrapping key for the FFT accumulator.
+//
+// Two throughput levers over the exact NTT path, both standard in
+// FFT-based TFHE implementations (FPT's fixed-point pipeline is the model):
+//
+//  1. Trimmed gadget: l=2 digits in base 2^11 instead of l=3 × 2^7. The
+//     wider base raises the per-CMux noise (∝ Bg²) and the shorter ladder
+//     raises the decomposition floor, but the budget in EXPERIMENTS.md
+//     shows the gate margin still sits at ≈11σ. One fewer digit is one
+//     third fewer forward transforms and pointwise rows per external
+//     product.
+//
+//  2. Pair bundling (bootstrapping-key unrolling): for each PAIR of LWE key
+//     bits (s₁,s₂) the rotation X^{ã₁s₁+ã₂s₂} expands over binary keys as
+//
+//         1 + s₁(X^{ã₁}−1) + s₂(X^{ã₂}−1) + s₁s₂(X^{ã₁}−1)(X^{ã₂}−1)
+//
+//     so with three TRGSW keys — K₁=TRGSW(s₁), K₂=TRGSW(s₂),
+//     K₁₂=TRGSW(s₁s₂) — two key bits cost ONE decomposition of the
+//     accumulator (4 forward FFTs at k=1, l=2) plus three pointwise
+//     accumulation terms, instead of two full CMux external products
+//     (12 transforms). The monomial factors (X^ã−1) are applied in the
+//     FFT domain via the precomputed root table (fft.rotFactorInto), which
+//     is exact polynomial algebra; the only approximation is reusing one
+//     decomposition of acc for all three terms, which amplifies the gadget
+//     rounding ε by the number of monomials in the factor (≤4) — budgeted
+//     in EXPERIMENTS.md.
+
+import (
+	"alchemist/internal/prng"
+)
+
+// newDecomposerLB builds a decomposer for an explicit gadget shape.
+func newDecomposerLB(l, bgBits int) decomposer {
+	d := decomposer{
+		l:      l,
+		bgBits: bgBits,
+		halfBg: int32(uint32(1) << uint(bgBits-1)),
+		mask:   (Torus(1) << uint(bgBits)) - 1,
+	}
+	for j := 1; j <= l; j++ {
+		d.offset += (Torus(1) << uint(bgBits-1)) << uint(32-j*bgBits)
+	}
+	return d
+}
+
+// TrgswFFT is a TRGSW ciphertext with every row stored as folded FFT
+// spectra: rows[r][c] is the spectrum (length N/2) of component c of row r.
+// Rows follow the trimmed gadget: (k+1)·TrimL rows.
+type TrgswFFT struct {
+	rows [][][]complex128
+}
+
+// encryptTrgswFFT encrypts a small integer message under the trimmed gadget
+// and transforms every row into the FFT domain.
+func (k *TrlweKey) encryptTrgswFFT(p Params, m int32, rng prng.Source) *TrgswFFT {
+	n := p.N
+	kk := p.K
+	l, bgBits := p.TrimGadget()
+	zero := make(TorusPoly, n)
+	g := &TrgswFFT{}
+	fft := k.pm.fft
+	for i := 0; i <= kk; i++ { // which component carries the gadget
+		for j := 0; j < l; j++ {
+			row := k.Encrypt(zero, p.BkSigma, rng)
+			gval := Torus(m) << uint(32-(j+1)*bgBits)
+			if i < kk {
+				row.A[i][0] += gval
+			} else {
+				row.B[0] += gval
+			}
+			comps := make([][]complex128, 0, kk+1)
+			for c := 0; c < kk; c++ {
+				spec := make([]complex128, fft.h)
+				fft.fwdTorus(row.A[c], spec)
+				comps = append(comps, spec)
+			}
+			spec := make([]complex128, fft.h)
+			fft.fwdTorus(row.B, spec)
+			comps = append(comps, spec)
+			g.rows = append(g.rows, comps)
+		}
+	}
+	return g
+}
+
+// pairBK is the pair-bundled FFT bootstrapping key: one (K₁,K₂,K₁₂) triple
+// per pair of level-0 key bits, plus a single-bit key for an odd tail bit.
+type pairBK struct {
+	pairs []pairKeys
+	last  *TrgswFFT // TRGSW(s_{n-1}) when NLwe is odd, else nil
+}
+
+type pairKeys struct {
+	k1, k2, k12 *TrgswFFT
+}
+
+// pairBootKey returns the scheme's pair-bundled FFT bootstrapping key,
+// generating it on first use. Generation draws from a PRNG derived from the
+// scheme seed (not the shared scheme stream), so the key material is
+// deterministic for a given seed no matter how many encryptions preceded
+// the first bootstrap, and lazy generation costs schemes that never
+// bootstrap nothing.
+func (s *Scheme) pairBootKey() *pairBK {
+	s.pairOnce.Do(func() {
+		p := s.Params
+		rng := prng.New(s.seed ^ 0x7a1f0fbade5eed)
+		bk := &pairBK{pairs: make([]pairKeys, p.NLwe/2)}
+		for t := range bk.pairs {
+			s1 := s.LweKey.S[2*t]
+			s2 := s.LweKey.S[2*t+1]
+			bk.pairs[t] = pairKeys{
+				k1:  s.TrlweKey.encryptTrgswFFT(p, s1, rng),
+				k2:  s.TrlweKey.encryptTrgswFFT(p, s2, rng),
+				k12: s.TrlweKey.encryptTrgswFFT(p, s1*s2, rng),
+			}
+		}
+		if p.NLwe%2 == 1 {
+			bk.last = s.TrlweKey.encryptTrgswFFT(p, s.LweKey.S[p.NLwe-1], rng)
+		}
+		s.pairKey = bk
+	})
+	return s.pairKey
+}

@@ -121,9 +121,19 @@ func (k *TrlweKey) ExtractedLweKey() *LweKey {
 // SampleExtract extracts the constant coefficient of a TRLWE phase as an LWE
 // sample of dimension k·N.
 func SampleExtract(s *TrlweSample) *LweSample {
+	out := NewLweSample(len(s.A) * len(s.B))
+	SampleExtractInto(s, out)
+	return out
+}
+
+// SampleExtractInto is SampleExtract writing into a caller-provided sample
+// of dimension k·N (fully overwritten) — the allocation-free form the
+// bootstrap pipeline's extract stage uses.
+//
+//alchemist:hot
+func SampleExtractInto(s *TrlweSample, out *LweSample) {
 	n := len(s.B)
 	k := len(s.A)
-	out := NewLweSample(k * n)
 	for i := 0; i < k; i++ {
 		out.A[i*n] = s.A[i][0]
 		for j := 1; j < n; j++ {
@@ -131,7 +141,6 @@ func SampleExtract(s *TrlweSample) *LweSample {
 		}
 	}
 	out.B = s.B[0]
-	return out
 }
 
 // Gadget decomposition -------------------------------------------------------
@@ -146,23 +155,23 @@ type decomposer struct {
 	offset Torus
 }
 
-func newDecomposer(p Params) decomposer {
-	d := decomposer{
-		l:      p.L,
-		bgBits: p.BgBits,
-		halfBg: int32(p.Bg() / 2),
-		mask:   p.Bg() - 1,
-	}
-	for j := 1; j <= p.L; j++ {
-		d.offset += (p.Bg() / 2) << uint(32-j*p.BgBits)
-	}
-	return d
-}
+func newDecomposer(p Params) decomposer { return newDecomposerLB(p.L, p.BgBits) }
 
 // decompose writes the L digit polynomials of p into out (each length N).
+// The AVX2 digit kernel is exact integer arithmetic, bit-identical to the
+// scalar loop; the scalar path covers the tail and non-amd64 builds.
 func (d decomposer) decompose(p TorusPoly, out []IntPoly) {
-	for i, v := range p {
-		vt := v + d.offset
+	i0 := 0
+	if useAVX2 {
+		n := len(p) &^ 7
+		for j := 0; j < d.l; j++ {
+			shift := uint32(32 - (j+1)*d.bgBits)
+			decompDigitVec(p[:n], out[j][:n], uint32(d.offset), shift, uint32(d.mask), d.halfBg)
+		}
+		i0 = n
+	}
+	for i := i0; i < len(p); i++ {
+		vt := p[i] + d.offset
 		for j := 0; j < d.l; j++ {
 			shift := uint(32 - (j+1)*d.bgBits)
 			out[j][i] = int32((vt>>shift)&d.mask) - d.halfBg
