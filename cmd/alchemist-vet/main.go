@@ -1,20 +1,26 @@
 // Command alchemist-vet runs the repo-specific static-analysis gate over the
 // module: the arithmetic (raw-mod), randomness (weak-rand), architecture
-// provenance (arch-const), panic-discipline and arena-lifetime (Borrow /
-// Release dataflow) rules that ordinary go vet cannot see, plus the
-// unused-allow sweep that retires stale suppressions. See internal/lint for
-// the engine and DESIGN.md for the rule rationale.
+// provenance (arch-const), panic-discipline, arena-lifetime (Borrow /
+// Release dataflow) and lazy-bounds (interval-domain reduction proofs) rules
+// that ordinary go vet cannot see, plus the unused-allow sweep that retires
+// stale suppressions. See internal/lint for the engine and DESIGN.md for the
+// rule rationale.
 //
 // Usage:
 //
 //	go run ./cmd/alchemist-vet ./...
 //	go run ./cmd/alchemist-vet ./internal/ring ./internal/tfhe
 //	go run ./cmd/alchemist-vet -json ./...
-//	go run ./cmd/alchemist-vet -rules
+//	go run ./cmd/alchemist-vet -rules lazy-bounds,arena-life ./internal/ring
+//	go run ./cmd/alchemist-vet -list-rules
 //
-// With -json, findings are emitted as a JSON array on stdout (empty array on
-// a clean tree) for CI artifacts and tooling. Exit status is 1 when any
-// finding is reported, 0 on a clean tree.
+// With -rules <csv>, only the named rules run (CI and the mutation
+// self-tests use this to isolate one heavy rule); //alchemist:allow
+// directives for the unselected rules stay valid, and the unused-allow sweep
+// is skipped since staleness cannot be judged on a partial run. With -json,
+// findings are emitted as a JSON array on stdout (empty array on a clean
+// tree) for CI artifacts and tooling. Exit status is 1 when any finding is
+// reported, 0 on a clean tree.
 package main
 
 import (
@@ -40,10 +46,11 @@ type jsonFinding struct {
 }
 
 func main() {
-	rules := flag.Bool("rules", false, "list the rules and exit")
+	rules := flag.String("rules", "", "comma-separated rule names: run only these rules (see -list-rules)")
+	listRules := flag.Bool("list-rules", false, "list the rules and exit")
 	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: alchemist-vet [-rules] [-json] [packages]\n\npackages default to ./...; patterns may be import paths or ./relative paths, with an optional /... suffix\n")
+		fmt.Fprintf(os.Stderr, "usage: alchemist-vet [-rules name,name,...] [-list-rules] [-json] [packages]\n\npackages default to ./...; patterns may be import paths or ./relative paths, with an optional /... suffix\n-rules runs a subset of the gate in isolation (unknown names are an error; the unused-allow sweep only runs unfiltered)\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -58,12 +65,17 @@ func main() {
 	}
 	runner := lint.NewRunner(loader)
 
-	if *rules {
+	if *listRules {
 		for _, a := range runner.Analyzers {
 			fmt.Printf("%-12s %s\n", a.Name(), a.Doc())
 		}
 		fmt.Printf("%-12s %s\n", "directive", "every //alchemist:allow directive must name a known rule and give a reason")
 		return
+	}
+	if *rules != "" {
+		if err := runner.Filter(strings.Split(*rules, ",")); err != nil {
+			fatal(err)
+		}
 	}
 
 	patterns := flag.Args()

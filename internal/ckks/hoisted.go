@@ -112,6 +112,7 @@ func (ev *Evaluator) KeySwitchFused(level int, c *ring.Poly, swk *SwitchingKey) 
 // outB/outA receive the coefficient-domain result over Q.
 //
 //alchemist:hot
+//alchemist:domain outB:[0,q) outA:[0,q)
 func (ev *Evaluator) keySwitchHoisted(d *Decomposition, swk *SwitchingKey, k uint64, perm bool, outB, outA *ring.Poly) {
 	ctx := ev.ctx
 	rq, rp := ctx.RQ, ctx.RP

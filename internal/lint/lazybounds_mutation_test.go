@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLazyBoundsMutation is the interval analysis' self-test: for every
+// normalization call (condSub/condSubMask/reduceOnce) whose narrowing the
+// lazy-bounds rule actually used to prove a bound in the real kernel
+// packages, splice exactly that call out — replacing it with its value
+// argument, so the package still type-checks but the value skips one
+// reduction — and assert the rule reports the injected overflow. A surviving
+// mutant means the transfer functions have a blind spot on real code, not
+// just on fixtures.
+func TestLazyBoundsMutation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-type-checks kernel packages once per normalization site; skipped in -short mode")
+	}
+	root := repoRoot(t)
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernels := []string{
+		"alchemist/internal/modmath",
+		"alchemist/internal/ring",
+	}
+	total, escaped := 0, 0
+	for _, path := range kernels {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rule := NewLazyBounds("alchemist")
+		sites := map[NormalizeSite]bool{}
+		rule.onNormalize = func(s NormalizeSite) { sites[s] = true }
+		rule.Check(pkg, func(Finding) {})
+
+		if len(sites) == 0 {
+			continue
+		}
+		dir := filepath.Join(root, strings.TrimPrefix(path, "alchemist/"))
+		for site := range sites {
+			total++
+			src, err := os.ReadFile(site.File)
+			if err != nil {
+				t.Fatal(err)
+			}
+			callStart := loader.Fset.Position(site.Pos).Offset
+			callEnd := loader.Fset.Position(site.End).Offset
+			argStart := loader.Fset.Position(site.ArgPos).Offset
+			argEnd := loader.Fset.Position(site.ArgEnd).Offset
+			mutated := fmt.Sprintf("%s(%s)%s", src[:callStart], src[argStart:argEnd], src[callEnd:])
+			overlay := map[string][]byte{filepath.Base(site.File): []byte(mutated)}
+
+			mpkg, err := loader.LoadDirOverlay(dir, path, overlay)
+			if err != nil {
+				t.Fatalf("%s: mutant at %s does not type-check: %v",
+					path, loader.Fset.Position(site.Pos), err)
+			}
+			var findings []Finding
+			NewLazyBounds("alchemist").Check(mpkg, func(f Finding) { findings = append(findings, f) })
+			if len(findings) == 0 {
+				escaped++
+				t.Errorf("mutant escaped: splicing out %s in %s at %s produced no finding",
+					site.Kind, site.Fn, loader.Fset.Position(site.Pos))
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no verified normalization sites found in kernel packages — the onNormalize hook is broken")
+	}
+	t.Logf("lazy-bounds mutation self-test: %d/%d mutants caught", total-escaped, total)
+}

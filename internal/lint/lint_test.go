@@ -25,9 +25,12 @@ func fixtureRunner(t *testing.T, l *Loader, fixture string) *Runner {
 	ew.Scope = append(ew.Scope, "fixture/"+fixture)
 	al := NewArenaLife("alchemist")
 	al.Scope = append(al.Scope, "fixture/"+fixture)
+	lb := NewLazyBounds("alchemist")
+	lb.Scope = append(lb.Scope, "fixture/"+fixture)
+	lb.Strict = append(lb.Strict, "fixture/"+fixture)
 	return &Runner{
 		Loader:    l,
-		Analyzers: []Analyzer{wr, rm, NewArchConst("alchemist"), NewPanicDisc("alchemist"), be, ew, NewHotAlloc("alchemist"), al, NewUnusedAllow("alchemist")},
+		Analyzers: []Analyzer{wr, rm, NewArchConst("alchemist"), NewPanicDisc("alchemist"), be, ew, NewHotAlloc("alchemist"), al, lb, NewUnusedAllow("alchemist")},
 	}
 }
 
@@ -45,7 +48,7 @@ func renderFindings(fs []Finding) string {
 }
 
 func TestFixturesGolden(t *testing.T) {
-	fixtures := []string{"weakrand", "rawmod", "archconst", "panicdisc", "directive", "benchengine", "errswrap", "hotalloc", "arenalife", "unusedallow"}
+	fixtures := []string{"weakrand", "rawmod", "archconst", "panicdisc", "directive", "benchengine", "errswrap", "hotalloc", "arenalife", "unusedallow", "lazybounds"}
 	for _, name := range fixtures {
 		t.Run(name, func(t *testing.T) {
 			l, err := NewLoader(repoRoot(t))
@@ -89,6 +92,7 @@ func TestFixturesFire(t *testing.T) {
 		"hotalloc":    "hot-alloc",
 		"arenalife":   "arena-lifetime",
 		"unusedallow": "unused-allow",
+		"lazybounds":  "lazy-bounds",
 	}
 	for name, rule := range expect {
 		l, err := NewLoader(repoRoot(t))

@@ -1,8 +1,10 @@
 package lint
 
 import (
+	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -17,6 +19,7 @@ func DefaultAnalyzers(module string) []Analyzer {
 		NewErrsWrap(module),
 		NewHotAlloc(module),
 		NewArenaLife(module),
+		NewLazyBounds(module),
 		NewUnusedAllow(module),
 	}
 }
@@ -28,6 +31,50 @@ type Runner struct {
 
 	// Workers bounds the package-level fan-out; 0 means GOMAXPROCS.
 	Workers int
+
+	// KnownRules is the rule-name universe for directive validation; nil
+	// derives it from Analyzers. Filter sets it to the full default set so
+	// a filtered run still accepts //alchemist:allow directives for rules
+	// it is not running.
+	KnownRules map[string]bool
+
+	filtered bool
+}
+
+// Filter restricts the runner to the named rules (CI and the mutation
+// self-tests use this to run one heavy rule in isolation). The directive
+// universe keeps every default rule name, and the unused-allow sweep is
+// skipped: with most rules not running, directive staleness cannot be
+// judged, so a filtered run neither reports nor miscounts it.
+func (r *Runner) Filter(names []string) error {
+	full := map[string]bool{}
+	for _, a := range r.Analyzers {
+		full[a.Name()] = true
+	}
+	want := map[string]bool{}
+	for _, n := range names {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		if !full[n] {
+			return fmt.Errorf("lint: unknown rule %q (valid: %s)", n, strings.Join(sortedKeys(full), ", "))
+		}
+		want[n] = true
+	}
+	if len(want) == 0 {
+		return fmt.Errorf("lint: empty rule filter")
+	}
+	var kept []Analyzer
+	for _, a := range r.Analyzers {
+		if want[a.Name()] {
+			kept = append(kept, a)
+		}
+	}
+	r.Analyzers = kept
+	r.KnownRules = full
+	r.filtered = true
+	return nil
 }
 
 // NewRunner returns a runner with the default rule set for the loader's
@@ -44,10 +91,7 @@ func NewRunner(l *Loader) *Runner {
 // are merged in input order before the final sort, keeping the output
 // byte-identical to a serial run.
 func (r *Runner) Run(importPaths []string) ([]Finding, error) {
-	known := map[string]bool{}
-	for _, a := range r.Analyzers {
-		known[a.Name()] = true
-	}
+	known := r.knownRules()
 	workers := r.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -93,13 +137,21 @@ func (r *Runner) Run(importPaths []string) ([]Finding, error) {
 // CheckPackage applies the runner's analyzers to an already-loaded package
 // (fixture tests use this with LoadDir).
 func (r *Runner) CheckPackage(pkg *Package) []Finding {
+	findings := r.checkLoaded(pkg, r.knownRules())
+	SortFindings(findings)
+	return findings
+}
+
+// knownRules is the directive-validation universe for this run.
+func (r *Runner) knownRules() map[string]bool {
+	if r.KnownRules != nil {
+		return r.KnownRules
+	}
 	known := map[string]bool{}
 	for _, a := range r.Analyzers {
 		known[a.Name()] = true
 	}
-	findings := r.checkLoaded(pkg, known)
-	SortFindings(findings)
-	return findings
+	return known
 }
 
 // checkLoaded runs every analyzer plus the directive post-passes over one
@@ -112,7 +164,7 @@ func (r *Runner) checkLoaded(pkg *Package, known map[string]bool) []Finding {
 		a.Check(pkg, report)
 	}
 	pkg.checkDirectives(known, report)
-	if known["unused-allow"] {
+	if known["unused-allow"] && !r.filtered {
 		pkg.checkUnusedAllow(known, report)
 	}
 	return findings

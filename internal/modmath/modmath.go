@@ -190,6 +190,8 @@ func MulModShoup(a, w, wShoup, q uint64) uint64 {
 // in package ring) folds r back to [0, q), making the lazy pipeline
 // byte-identical to the eager one; reduceOnce handles the wider [0, 4q)
 // accumulator range with one subtraction of 2q then one of q.
+//
+//alchemist:domain a:[0,4q) w:[0,q) q:modulus ret:[0,2q)
 func MulModShoupLazy(a, w, wShoup, q uint64) uint64 {
 	qHat, _ := bits.Mul64(a, wShoup)
 	return a*w - qHat*q

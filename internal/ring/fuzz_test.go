@@ -1,6 +1,8 @@
 package ring
 
 import (
+	"math/big"
+	"math/bits"
 	"testing"
 
 	"alchemist/internal/modmath"
@@ -141,6 +143,14 @@ func FuzzReduceOnce(f *testing.F) {
 	f.Add(^uint64(0), (uint64(1)<<62)-60)
 	f.Add(uint64(4)*12289-1, uint64(12289))
 	f.Add(uint64(2)*12289, uint64(12289))
+	// Maximum-headroom corners: x at the very top of the 4q domain with q at
+	// the top of the 2^62 Barrett bound (4q-1 here is within 4 of 2^64, so an
+	// off-by-one in either subtraction wraps the word), and the exact 2q / 4q-1
+	// boundaries at a near-2^61 Mersenne modulus.
+	f.Add(uint64(4)*((uint64(1)<<62)-60)-1, (uint64(1)<<62)-60)
+	f.Add(uint64(2)*((uint64(1)<<62)-60), (uint64(1)<<62)-60)
+	f.Add(uint64(4)*2305843009213693951-1, uint64(2305843009213693951))
+	f.Add(uint64(2)*2305843009213693951-1, uint64(2305843009213693951))
 	f.Fuzz(func(t *testing.T, xSeed, qSeed uint64) {
 		q := qSeed%((1<<62)-3) + 3
 		x := xSeed % (4 * q)
@@ -153,6 +163,77 @@ func FuzzReduceOnce(f *testing.F) {
 		}
 		if got := reduceOnce(y, 2*q, q); got != y%q {
 			t.Fatalf("reduceOnce(%d, 2q, %d) = %d want %d on [0,2q)", y, q, got, y%q)
+		}
+		// End-to-end lazy pipeline over the whole butterfly domain: a lazy
+		// Shoup product of the raw [0,4q) value followed by one conditional
+		// subtraction must land on the eager result — exactly the composition
+		// the interval rule certifies in NTTLazy's final stage.
+		w := xSeed % q
+		r := modmath.MulModShoupLazy(x, w, modmath.ShoupPrecomp(w, q), q)
+		if got, want := condSub(r, q), modmath.MulMod(x%q, w, q); got != want {
+			t.Fatalf("condSub(MulModShoupLazy(%d,%d)) mod %d = %d want %d", x, w, q, got, want)
+		}
+	})
+}
+
+// FuzzReduceAcc128Headroom pins the 128-bit accumulator capacity contract at
+// the adversarial corner the production 36-49-bit parameter shapes never
+// reach: moduli at the very top of the 2^62 Barrett bound, where
+// lazyCap = 2^(64-bits.Len64(q)) collapses to its floor of 4 and the
+// worst-case sum m·q² touches q·2^64 exactly. m full products of maximal
+// residues (plus one carried-over residue, the AddLazy128 unit) accumulate
+// unreduced and the single deferred SubRing.ReduceAcc128 fold must agree
+// with a big.Int oracle on every coefficient.
+func FuzzReduceAcc128Headroom(f *testing.F) {
+	// lazyCap boundary: q just under 2^62 (cap 4, m·q within 240 of 2^64).
+	f.Add((uint64(1)<<62)-60, uint64(3), ^uint64(0))
+	// Mersenne 2^61-1: cap 8, m·q = 2^64 - 8 at full occupancy.
+	f.Add(uint64(2305843009213693951), uint64(7), uint64(0x9e3779b97f4a7c15))
+	f.Add(uint64(12289), uint64(0), uint64(1))
+	f.Fuzz(func(t *testing.T, qSeed, mSeed, aSeed uint64) {
+		q := qSeed%((1<<62)-3) + 3
+		cap := uint64(1) << (64 - bits.Len64(q))
+		if cap > 512 {
+			cap = 512 // keep small-modulus trips bounded; headroom corners have cap ≤ 8
+		}
+		m := int(mSeed % cap) // m products + 1 residue ≤ cap units total
+		const n = 4
+		a, b := make([]uint64, n), make([]uint64, n)
+		lo, hi := make([]uint64, n), make([]uint64, n)
+		want := make([]*big.Int, n)
+		bigQ := new(big.Int).SetUint64(q)
+		x := aSeed | 1
+		next := func() uint64 {
+			x = x*6364136223846793005 + 1442695040888963407
+			return x
+		}
+		// One carried-over residue first (the AddLazy128 unit), biased to the
+		// top of the canonical domain.
+		for j := range a {
+			a[j] = q - 1 - next()%3
+			want[j] = new(big.Int).SetUint64(a[j])
+		}
+		lazyAdd(a, lo, hi)
+		for t2 := 0; t2 < m; t2++ {
+			for j := range a {
+				// Bias operands to the top of [0,q): the worst-case sum.
+				a[j] = q - 1 - next()%3
+				b[j] = q - 1 - next()%3
+			}
+			lazyMulAcc(a, b, lo, hi)
+			for j := range a {
+				prod := new(big.Int).Mul(new(big.Int).SetUint64(a[j]), new(big.Int).SetUint64(b[j]))
+				want[j].Add(want[j], prod)
+			}
+		}
+		s := &SubRing{Q: q, barrett: modmath.NewBarrett(q)}
+		out := make([]uint64, n)
+		s.ReduceAcc128(lo, hi, out)
+		for j := range out {
+			w := new(big.Int).Mod(want[j], bigQ).Uint64()
+			if out[j] != w {
+				t.Fatalf("ReduceAcc128 coeff %d after %d terms mod %d = %d want %d", j, m+1, q, out[j], w)
+			}
 		}
 	})
 }

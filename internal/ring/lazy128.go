@@ -128,17 +128,20 @@ func (r *Ring) flushAcc(level int, acc *Acc128) {
 // Slices must have equal length; callers guarantee capacity (see Acc128).
 //
 //alchemist:hot
+//alchemist:domain lo:any hi:any
 func (s *SubRing) MulCoeffsLazy128(a, b, lo, hi []uint64) { lazyMulAcc(a, b, lo, hi) }
 
 // AddLazy128 is the per-channel kernel: lo:hi += a unreduced.
 //
 //alchemist:hot
+//alchemist:domain lo:any hi:any
 func (s *SubRing) AddLazy128(a, lo, hi []uint64) { lazyAdd(a, lo, hi) }
 
 // ReduceAcc128 folds each unreduced hi:lo pair into [0, Q) via the subring's
 // Barrett state. out may alias lo.
 //
 //alchemist:hot
+//alchemist:domain lo:any hi:any
 func (s *SubRing) ReduceAcc128(lo, hi, out []uint64) {
 	red := s.barrett
 	for j := range out {

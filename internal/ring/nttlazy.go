@@ -52,6 +52,7 @@ func condSubMask(x, q uint64) uint64 {
 // bit-reversed out, fully reduced results) using lazy butterflies.
 //
 //alchemist:hot
+//alchemist:domain p:[0,q)
 func (s *SubRing) NTTLazy(p []uint64) {
 	n, q := s.N, s.Q
 	twoQ := 2 * q
@@ -59,6 +60,8 @@ func (s *SubRing) NTTLazy(p []uint64) {
 	m := 1
 	// Fused stage pairs (stages m and 2m), while stage 2m is not the last.
 	// Invariant at the top: t = n/m; values live in [0, 4q).
+	//
+	//alchemist:domain p:[0,4q)
 	for ; 4*m < n; m <<= 2 {
 		t >>= 2 // quarter-block length of the fused pair
 		for i := 0; i < m; i++ {
@@ -89,6 +92,9 @@ func (s *SubRing) NTTLazy(p []uint64) {
 			}
 		}
 	}
+	// Final fused stages write fully reduced [0, q) results back.
+	//
+	//alchemist:domain p:[0,q)
 	if m == n>>2 {
 		// log N even: the two remaining stages (m and 2m = n/2) form one
 		// more fused pair, with the full reduction to [0, q) folded into
@@ -131,6 +137,7 @@ func (s *SubRing) NTTLazy(p []uint64) {
 // the N^{-1} scaling folded into the last stage (psiInvRevN twiddle).
 //
 //alchemist:hot
+//alchemist:domain p:[0,q)
 func (s *SubRing) INTTLazy(p []uint64) {
 	n, q := s.N, s.Q
 	twoQ := 2 * q
@@ -139,6 +146,8 @@ func (s *SubRing) INTTLazy(p []uint64) {
 	// Fused stage pairs (stages m and m/2), while stage m/2 is not the last.
 	// Invariant at the top: t = n/m; sums reduced to [0, 2q), lazy products
 	// in [0, 2q).
+	//
+	//alchemist:domain p:[0,2q)
 	for ; m > 4; m >>= 2 {
 		hA, hB := m>>1, m>>2
 		for i := 0; i < hB; i++ {
@@ -170,6 +179,8 @@ func (s *SubRing) INTTLazy(p []uint64) {
 	// difference path uses the precomputed psiInvRev[1]·N^{-1}, the sum path
 	// multiplies by N^{-1} directly. MulModShoupLazy tolerates inputs < 4q
 	// and returns [0, 2q), so one conditional subtraction lands in [0, q).
+	//
+	//alchemist:domain p:[0,q)
 	w, ws := s.psiInvRevN, s.psiInvRevNShoup
 	ni, nis := s.nInv, s.nInvShoup
 	if m == 4 {

@@ -101,6 +101,7 @@ func (pm *PolyMultiplier) IntToNTT(p IntPoly) []uint64 {
 // IntToNTTInto is IntToNTT writing into caller-provided scratch (length N).
 //
 //alchemist:hot
+//alchemist:domain out:[0,q)
 func (pm *PolyMultiplier) IntToNTTInto(p IntPoly, out []uint64) {
 	q := pm.sub.Q
 	for i, v := range p {
@@ -124,6 +125,7 @@ func (pm *PolyMultiplier) TorusToNTT(p TorusPoly) []uint64 {
 // TorusToNTTInto is TorusToNTT writing into caller-provided scratch (length N).
 //
 //alchemist:hot
+//alchemist:domain out:[0,q)
 func (pm *PolyMultiplier) TorusToNTTInto(p TorusPoly, out []uint64) {
 	q := pm.sub.Q
 	for i, v := range p {
@@ -155,6 +157,7 @@ func (pm *PolyMultiplier) FromNTT(acc []uint64) TorusPoly {
 // transform runs in place, so acc holds coefficient-domain garbage after).
 //
 //alchemist:hot
+//alchemist:domain acc:[0,q)
 func (pm *PolyMultiplier) FromNTTInto(acc []uint64, out TorusPoly) {
 	pm.sub.INTTLazy(acc)
 	q := pm.sub.Q
