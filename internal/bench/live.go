@@ -129,22 +129,24 @@ func RunLive(cfg LiveConfig) (*LiveSuite, error) {
 		cfg.progress("%-28s %14.0f ns/op %12d B/op %8d allocs/op", name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
 	}
 
-	if err := liveRing(cfg, workers, add); err != nil {
-		return nil, err
+	// Each suite's contexts (rings, keys, twiddle tables — hundreds of MB at
+	// the paper shape) die when it returns; collect them before the next
+	// suite starts so one suite's retained heap cannot skew another's
+	// numbers through GC pacing or cache pressure.
+	suites := []func() error{
+		func() error { return liveRing(cfg, workers, add) },
+		func() error { return liveCKKSKeyed(cfg, workers, add) },
+		func() error { return liveCKKSKeySwitch(cfg, workers, add) },
+		func() error { return liveTFHE(cfg, add) },
+		func() error { return liveBGV(cfg, add) },
+		func() error { liveEngine(cfg, add); return nil },
 	}
-	if err := liveCKKSKeyed(cfg, workers, add); err != nil {
-		return nil, err
+	for _, run := range suites {
+		if err := run(); err != nil {
+			return nil, err
+		}
+		runtime.GC()
 	}
-	if err := liveCKKSKeySwitch(cfg, workers, add); err != nil {
-		return nil, err
-	}
-	if err := liveTFHE(cfg, add); err != nil {
-		return nil, err
-	}
-	if err := liveBGV(cfg, add); err != nil {
-		return nil, err
-	}
-	liveEngine(cfg, add)
 	return suite, nil
 }
 
@@ -175,6 +177,18 @@ func liveRing(cfg LiveConfig, workers int, add func(string, string, func(*testin
 	add("ring/intt", shape, func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			rq.INTT(level, p)
+		}
+	})
+
+	// ntt-par pins the worker pool to the host's full width so the
+	// trajectory tracks the SIMD×parallel composition, not just the
+	// single-thread kernel. On one-core hosts it degenerates to ring/ntt.
+	add("ring/ntt-par", shape, func(b *testing.B) {
+		rq.SetWorkers(runtime.GOMAXPROCS(0))
+		defer rq.SetWorkers(workers)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rq.NTT(level, p)
 		}
 	})
 

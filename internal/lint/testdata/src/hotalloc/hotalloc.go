@@ -74,3 +74,58 @@ func BadHeaderTable(rows, n int) [][]uint64 {
 	}
 	return out
 }
+
+// BadDeferLoop defers the scratch release inside the per-channel loop: each
+// iteration heap-allocates a defer record, the silent allocs-per-op
+// regression the gather-accumulate kernels hit (flagged).
+//
+//alchemist:hot
+func BadDeferLoop(chans [][]uint64) {
+	for _, c := range chans {
+		tmp := borrow(len(c))
+		defer func() { pool = append(pool, tmp) }() // flagged
+		copy(tmp, c)
+	}
+}
+
+// HotDeferOnce defers a single release outside any loop — open-coded by the
+// compiler, no per-op allocation (clean).
+//
+//alchemist:hot
+func HotDeferOnce(a []uint64) {
+	tmp := borrow(len(a))
+	defer func() { pool = append(pool, tmp) }()
+	copy(tmp, a)
+}
+
+// HotClosureDefer invokes a closure per iteration whose defer is scoped to
+// the closure call, not accumulated across the loop (clean).
+//
+//alchemist:hot
+func HotClosureDefer(chans [][]uint64) {
+	for _, c := range chans {
+		func() {
+			tmp := borrow(len(c))
+			defer func() { pool = append(pool, tmp) }()
+			copy(tmp, c)
+		}()
+	}
+}
+
+// BadAsmHot puts the hot annotation on a bodyless assembly-style declaration
+// where the rule cannot see the instruction stream; it belongs on the Go
+// dispatch wrapper (flagged).
+//
+//alchemist:hot
+func BadAsmHot(dst, src []uint64, q uint64)
+
+// vecDispatch is the sanctioned shape: the Go wrapper that borrows scratch
+// and calls the kernel carries the annotation (clean).
+//
+//alchemist:hot
+func vecDispatch(dst, src []uint64, q uint64) {
+	tmp := borrow(len(src))
+	copy(tmp, src)
+	BadAsmHot(dst, tmp, q)
+	pool = append(pool, tmp)
+}

@@ -224,3 +224,26 @@ func TestDecomposerAllocFree(t *testing.T) {
 		t.Errorf("warm DecomposeAll allocates %.1f per op, want 0", n)
 	}
 }
+
+// TestVectorKernelDispatchAllocFree pins the asm-kernel dispatch paths at
+// the SubRing level: on hardware with the vector tiers, NTTLazy/INTTLazy
+// take the blocked kernel drivers (N ≥ minVecN), and those drivers must
+// stay allocation-free — all twiddle tables are precomputed SoA slices and
+// the stage loops index them in place.
+func TestVectorKernelDispatchAllocFree(t *testing.T) {
+	if !useNTTKern {
+		t.Skip("scalar-only build: vector kernels compiled out")
+	}
+	rq, _ := allocRings(t)
+	s := rq.SubRings[0]
+	p := make([]uint64, s.N)
+	NewSampler(rq, 9).Uniform(0, &Poly{Coeffs: [][]uint64{p}})
+	s.NTTLazy(p) // warm
+	s.INTTLazy(p)
+	if n := testing.AllocsPerRun(50, func() {
+		s.NTTLazy(p)
+		s.INTTLazy(p)
+	}); n != 0 {
+		t.Errorf("vector NTTLazy+INTTLazy allocates %.1f per op, want 0", n)
+	}
+}

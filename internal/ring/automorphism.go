@@ -39,6 +39,10 @@ func (r *Ring) AutomorphismNTT(level int, a *Poly, k uint64, out *Poly) {
 	perm := r.automorphismPerm(k)
 	for i := 0; i <= level; i++ {
 		src, dst := a.Coeffs[i][:n:n], out.Coeffs[i][:n:n]
+		if useNTTKern && n&3 == 0 {
+			gatherIdxVec(dst, src, perm)
+			continue
+		}
 		for j := range dst {
 			dst[j] = src[perm[j]]
 		}

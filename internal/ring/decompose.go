@@ -33,6 +33,10 @@ import (
 func (bc *BasisConverter) ConvertLazyN(srcLevel int, in, out [][]uint64, nDst int) {
 	n := len(in[0])
 	L := srcLevel + 1
+	if bc.conv52 && L <= convBlock && L <= bc.lazyCap && n&7 == 0 {
+		bc.convertLazy52N(srcLevel, in, out, nDst)
+		return
+	}
 	y := bc.scratch.Get(L * convBlock)
 	hatRow := bc.qiHat[srcLevel]
 	for k0 := 0; k0 < n; k0 += convBlock {
@@ -46,6 +50,58 @@ func (bc *BasisConverter) ConvertLazyN(srcLevel int, in, out [][]uint64, nDst in
 		}
 	}
 	bc.scratch.Put(y)
+}
+
+// convertLazy52N is ConvertLazyN on the AVX512-IFMA kernels: step 1 runs
+// shoupMulVec52 per source channel into the channel-major tile, step 2 runs
+// convAcc52 per target channel, accumulating exact base-2^52 partial sums
+// that are reconstructed into the same 128-bit integer the scalar path folds
+// (hi·2^52 + lo, carry-exact), so the Barrett residue — and therefore the
+// output — is byte-identical to lazyConvTile. The gates (conv52, L ≤
+// convBlock, L ≤ lazyCap, 8 | n) guarantee, in order: every madd operand
+// below 2^52, the stack column stash fits, the reconstructed sum inside
+// Barrett's x < p_j·2^64 domain, and whole 8-lane tiles. No flush path is
+// needed: L ≤ convBlock = 64 keeps both lane sums far below the 2^64
+// accumulator bound (overflow would need L ≥ 2^12).
+//alchemist:hot
+func (bc *BasisConverter) convertLazy52N(srcLevel int, in, out [][]uint64, nDst int) {
+	n := len(in[0])
+	L := srcLevel + 1
+	y := bc.scratch.Get(L * convBlock)
+	invRow, inv52Row := bc.qiHatInv[srcLevel], bc.qiHatInv52[srcLevel]
+	hatRow := bc.qiHat[srcLevel]
+	var hc, lo, hi [convBlock]uint64
+	for k0 := 0; k0 < n; k0 += convBlock {
+		kn := n - k0
+		if kn > convBlock {
+			kn = convBlock
+		}
+		for i := 0; i < L; i++ {
+			shoupMulVec52(y[i*convBlock:i*convBlock+kn], in[i][k0:k0+kn], invRow[i], inv52Row[i], bc.Src[i])
+		}
+		for j := 0; j < nDst; j++ {
+			for i := 0; i < L; i++ {
+				hc[i] = hatRow[i][j]
+			}
+			convAcc52(y, hc[:L], lo[:kn], hi[:kn], convBlock)
+			convFold52(bc.dstRed[j], lo[:kn], hi[:kn], out[j][k0:k0+kn])
+		}
+	}
+	bc.scratch.Put(y)
+}
+
+// convFold52 reconstructs each coefficient's exact 128-bit sum from the
+// base-2^52 partial-sum pair and Barrett-folds it:
+// value = hi·2^52 + lo = (hi>>12)·2^64 + (hi<<52 + lo), with the add's carry
+// promoted into the high word.
+//alchemist:hot
+func convFold52(red modmath.Barrett, lo, hi, dst []uint64) {
+	for k := range dst {
+		h, l := hi[k]>>12, hi[k]<<52
+		var c uint64
+		l, c = bits.Add64(l, lo[k], 0)
+		dst[k] = red.Reduce(h+c, l)
+	}
 }
 
 // convStep1T is convStep1 with the scratch tile transposed to
@@ -202,6 +258,10 @@ func (dc *DualConverter) ConvertBoth(srcLevel int, in, outQ, outP [][]uint64, nQ
 	n := len(in[0])
 	L := srcLevel + 1
 	toQ, toP := dc.ToQ, dc.ToP
+	if toQ.conv52 && toP.conv52 && L <= convBlock && L <= toQ.lazyCap && L <= toP.lazyCap && n&7 == 0 {
+		dc.convertBoth52(srcLevel, in, outQ, outP, nQ)
+		return
+	}
 	y := toQ.scratch.Get(L * convBlock)
 	hatQ := toQ.qiHat[srcLevel]
 	hatP := toP.qiHat[srcLevel]
@@ -220,6 +280,52 @@ func (dc *DualConverter) ConvertBoth(srcLevel int, in, outQ, outP [][]uint64, nQ
 		}
 		for j := range toP.Dst {
 			lazyConvTile(hatP, L, j, kn, toP.lazyCap, y, toP.dstRed[j], outP[j][k0:k0+kn])
+		}
+	}
+	toQ.scratch.Put(y)
+}
+
+// convertBoth52 is ConvertBoth on the AVX512-IFMA kernels: the two dual
+// converters share the same source basis (validated by NewDualConverter), so
+// step 1 runs once per tile through shoupMulVec52 and both target bases
+// consume the same channel-major tile via convAcc52. The identity-copy fast
+// path for the group's own Q channels is preserved unchanged. Byte-identical
+// to the scalar ConvertBoth body for the same reasons as convertLazy52N.
+//alchemist:hot
+func (dc *DualConverter) convertBoth52(srcLevel int, in, outQ, outP [][]uint64, nQ int) {
+	n := len(in[0])
+	L := srcLevel + 1
+	toQ, toP := dc.ToQ, dc.ToP
+	y := toQ.scratch.Get(L * convBlock)
+	invRow, inv52Row := toQ.qiHatInv[srcLevel], toQ.qiHatInv52[srcLevel]
+	hatQ := toQ.qiHat[srcLevel]
+	hatP := toP.qiHat[srcLevel]
+	var hc, lo, hi [convBlock]uint64
+	for k0 := 0; k0 < n; k0 += convBlock {
+		kn := n - k0
+		if kn > convBlock {
+			kn = convBlock
+		}
+		for i := 0; i < L; i++ {
+			shoupMulVec52(y[i*convBlock:i*convBlock+kn], in[i][k0:k0+kn], invRow[i], inv52Row[i], toQ.Src[i])
+		}
+		for j := 0; j < nQ; j++ {
+			if dc.qOff >= 0 && j >= dc.qOff && j < dc.qOff+L {
+				copy(outQ[j][k0:k0+kn], in[j-dc.qOff][k0:k0+kn])
+				continue
+			}
+			for i := 0; i < L; i++ {
+				hc[i] = hatQ[i][j]
+			}
+			convAcc52(y, hc[:L], lo[:kn], hi[:kn], convBlock)
+			convFold52(toQ.dstRed[j], lo[:kn], hi[:kn], outQ[j][k0:k0+kn])
+		}
+		for j := range toP.Dst {
+			for i := 0; i < L; i++ {
+				hc[i] = hatP[i][j]
+			}
+			convAcc52(y, hc[:L], lo[:kn], hi[:kn], convBlock)
+			convFold52(toP.dstRed[j], lo[:kn], hi[:kn], outP[j][k0:k0+kn])
 		}
 	}
 	toQ.scratch.Put(y)

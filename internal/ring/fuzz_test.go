@@ -176,6 +176,155 @@ func FuzzReduceOnce(f *testing.F) {
 	})
 }
 
+// FuzzNTTLazyCrossCheck cross-checks the vectorized lazy transforms against
+// independent references: the natural-order 4-step NTT (eager arithmetic
+// end to end, itself validated against the direct DFT), the scalar lazy
+// reference path the asm kernels are pinned to, an INTT round trip, and —
+// through the transforms — the O(N²) schoolbook negacyclic product. Moduli
+// sweep the interesting widths: 30-bit (small), 49/50-bit (both sides of
+// the IFMA tier's q < 2^50 gate) and 61-bit (maximum lazy headroom, where
+// 4q−1 sits within a handful of ulps of the word and any off-by-one in the
+// butterfly ladder wraps). The zero seed drives every coefficient to q−1,
+// the input that pushes intermediate butterfly values to the top of the
+// [0,4q) domain.
+func FuzzNTTLazyCrossCheck(f *testing.F) {
+	f.Add(uint64(0), uint8(2), uint8(3)) // all-(q−1) input, 61-bit headroom ceiling
+	f.Add(uint64(0), uint8(1), uint8(1)) // all-(q−1) at the IFMA boundary
+	f.Add(uint64(1), uint8(3), uint8(2)) // random, 50-bit (IFMA falls back to AVX2)
+	f.Add(uint64(42), uint8(0), uint8(0))
+	f.Fuzz(func(t *testing.T, seed uint64, nSel, bitsSel uint8) {
+		ns := [...]int{16, 64, 256, 1024}
+		n := ns[int(nSel)%len(ns)]
+		widths := [...]uint64{30, 49, 50, 61}
+		qBits := widths[int(bitsSel)%len(widths)]
+		primes, err := modmath.GenerateNTTPrimes(qBits, uint64(2*n), 1)
+		if err != nil {
+			t.Skip("no prime at this width/degree")
+		}
+		s, err := NewSubRing(n, primes[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := s.Q
+		x := seed
+		next := func() uint64 {
+			x = x*6364136223846793005 + 1442695040888963407
+			return x
+		}
+		a := make([]uint64, n)
+		for i := range a {
+			if seed == 0 {
+				a[i] = q - 1
+			} else {
+				a[i] = next() % q
+			}
+		}
+
+		// Vectorized forward transform vs the natural-order 4-step DFT,
+		// equal up to the bit-reversal permutation.
+		lazy := append([]uint64(nil), a...)
+		s.NTTLazy(lazy)
+		logN := log2(n)
+		natural, err := s.FourStepNTT(a, 1<<(logN/2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if got := lazy[int(bitrev(uint32(i), logN))]; got != natural[i] {
+				t.Fatalf("n=%d q=%d(%d bits): NTTLazy[brv(%d)] = %d, four-step = %d",
+					n, q, qBits, i, got, natural[i])
+			}
+		}
+		// Bit-identity with the scalar lazy reference, both directions.
+		sc := append([]uint64(nil), a...)
+		s.nttLazyScalar(sc)
+		for i := range sc {
+			if sc[i] != lazy[i] {
+				t.Fatalf("n=%d q=%d: vector NTTLazy differs from scalar at %d: %d vs %d",
+					n, q, i, lazy[i], sc[i])
+			}
+		}
+		s.INTTLazy(lazy)
+		s.inttLazyScalar(sc)
+		for i := range a {
+			if lazy[i] != a[i] {
+				t.Fatalf("n=%d q=%d: INTTLazy round trip differs at %d", n, q, i)
+			}
+			if sc[i] != a[i] {
+				t.Fatalf("n=%d q=%d: scalar INTT round trip differs at %d", n, q, i)
+			}
+		}
+
+		// End-to-end negacyclic product through the vector transforms against
+		// the O(N²) schoolbook reference (small degrees only).
+		if n <= 256 {
+			b := make([]uint64, n)
+			for i := range b {
+				if seed == 0 {
+					b[i] = q - 1
+				} else {
+					b[i] = next() % q
+				}
+			}
+			want := make([]uint64, n)
+			s.NegacyclicConvolve(a, b, want)
+			pa := append([]uint64(nil), a...)
+			pb := append([]uint64(nil), b...)
+			s.NTTLazy(pa)
+			s.NTTLazy(pb)
+			for i := range pa {
+				pa[i] = modmath.MulMod(pa[i], pb[i], q)
+			}
+			s.INTTLazy(pa)
+			for i := range pa {
+				if pa[i] != want[i] {
+					t.Fatalf("n=%d q=%d: NTT-domain product differs from O(N²) reference at %d: %d vs %d",
+						n, q, i, pa[i], want[i])
+				}
+			}
+		}
+
+		// Raw kernel domain: the standalone stage kernels accept the full
+		// [0,4q) lazy range, so drive them there directly — the zero seed
+		// pins every lane to the 4q−1 corner.
+		if useNTTKern {
+			const kn = 64
+			h := kn / 2
+			fourQ := 4 * q
+			x0, x1 := make([]uint64, h), make([]uint64, h)
+			for i := 0; i < h; i++ {
+				if seed == 0 {
+					x0[i], x1[i] = fourQ-1, fourQ-1
+				} else {
+					x0[i], x1[i] = next()%fourQ, next()%fourQ
+				}
+			}
+			w := next() % q
+			m0, m1 := append([]uint64(nil), x0...), append([]uint64(nil), x1...)
+			v0, v1 := append([]uint64(nil), x0...), append([]uint64(nil), x1...)
+			modelNTTSingle(m0, m1, w, modmath.ShoupPrecomp(w, q), q, mulLazy64Model)
+			nttSingleVec(v0, v1, w, modmath.ShoupPrecomp(w, q), q)
+			for i := 0; i < h; i++ {
+				if v0[i] != m0[i] || v1[i] != m1[i] {
+					t.Fatalf("q=%d: nttSingleVec differs from scalar model at %d on [0,4q) input", q, i)
+				}
+			}
+			if useNTTKernIFMA && q < 1<<50 {
+				w52 := shoup52(w, q)
+				m0, m1 = append([]uint64(nil), x0...), append([]uint64(nil), x1...)
+				v0, v1 = append([]uint64(nil), x0...), append([]uint64(nil), x1...)
+				modelNTTSingle(m0, m1, w, w52, q, mulLazy52Model)
+				nttSingleVec52(v0, v1, w, w52, q)
+				for i := 0; i < h; i++ {
+					if v0[i] != m0[i] || v1[i] != m1[i] {
+						t.Fatalf("q=%d: nttSingleVec52 differs from the madd model at %d on [0,4q) input", q, i)
+					}
+				}
+			}
+		}
+	})
+}
+
 // FuzzReduceAcc128Headroom pins the 128-bit accumulator capacity contract at
 // the adversarial corner the production 36-49-bit parameter shapes never
 // reach: moduli at the very top of the 2^62 Barrett bound, where

@@ -51,6 +51,18 @@ func (r *Ring) KSAccumulate(level int, d, kB, kA []*Poly, k uint64, perm bool, o
 		pi = r.automorphismPerm(k & uint64(2*r.N-1))
 	}
 	n := r.N
+	// With the vector kernels available, the permuted digit is materialized
+	// once per (level, group) by the 4-wide VPGATHERDQ kernel into pooled
+	// scratch, and the chunk kernels then stream it sequentially — the same
+	// gather unit the automorphism path uses, amortized across both key
+	// halves and freeing the multiply loop of its random loads.
+	gatherKern := pi != nil && useNTTKern && n&3 == 0
+	var dg [ksChunk][]uint64
+	if gatherKern {
+		for g := range dg {
+			dg[g] = r.buf.Get(n)[:n:n]
+		}
+	}
 	var ds, bs, as [ksChunk][]uint64
 	for i := 0; i <= level; i++ {
 		s := r.SubRings[i]
@@ -66,11 +78,23 @@ func (r *Ring) KSAccumulate(level int, d, kB, kA []*Poly, k uint64, perm bool, o
 				bs[g] = kB[g0+g].Coeffs[i][:n:n]
 				as[g] = kA[g0+g].Coeffs[i][:n:n]
 			}
-			if pi != nil {
+			switch {
+			case gatherKern:
+				for g := 0; g < gn; g++ {
+					gatherIdxVec(dg[g], ds[g], pi)
+					ds[g] = dg[g]
+				}
+				ksAccChunk(ds[:gn], bs[:gn], as[:gn], red, q, g0 == 0, ob, oa)
+			case pi != nil:
 				ksAccChunkGather(ds[:gn], bs[:gn], as[:gn], pi, red, q, g0 == 0, ob, oa)
-			} else {
+			default:
 				ksAccChunk(ds[:gn], bs[:gn], as[:gn], red, q, g0 == 0, ob, oa)
 			}
+		}
+	}
+	if gatherKern {
+		for g := range dg {
+			r.buf.Put(dg[g])
 		}
 	}
 }

@@ -1,0 +1,571 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// AVX512-IFMA tier of the lazy Harvey butterfly kernels: 8 coefficients
+// per step, with the lazy Shoup product in base 2^52. For q < 2^50 every
+// value in the [0,4q) lazy domain fits a 52-bit madd operand, so
+//
+//	qHat = ⌊a·w52 / 2^52⌋            one VPMADD52HUQ (w52 = ⌊w·2^52/q⌋)
+//	r    = (a·w − qHat·q) mod 2^52   two VPMADD52LUQ, a subtract, a mask
+//
+// replaces the ten VPMULUDQ of the AVX2 composed 64×64 path. Harvey's
+// window argument holds verbatim in base 2^52: r ∈ [0, 2q) because
+// a < 4q ≤ 2^52, so the drivers' domain ladder is unchanged. The quotient
+// can differ from the scalar base-2^64 one by 1, so intermediate values
+// may differ from the scalar path by q inside the same bounds; the fully
+// reduced transform outputs are bit-identical.
+//
+// Register conventions:
+//
+//	Z20 = q broadcast    Z21 = 2q broadcast    Z22 = 2^52−1 per qword
+//	Z10, Z11 = current twiddle w, w52 (Z12, Z13 second pair when needed)
+//	Z30, Z31 = twiddle expansion permutations (tail/head kernels)
+//	K2 = 0xCC, K3 = 0xAA qword blend masks (tail/head kernels)
+//	Z0–Z9 = data and scratch
+
+// Qword permutation patterns expanding packed twiddle loads to lane form:
+// permQuad spreads [w0,w1] to [w0 ×4 | w1 ×4], permPair spreads
+// [w0,w1,w2,w3] to [w0,w0,w1,w1 | w2,w2,w3,w3].
+DATA permQuad<>+0(SB)/8, $0
+DATA permQuad<>+8(SB)/8, $0
+DATA permQuad<>+16(SB)/8, $0
+DATA permQuad<>+24(SB)/8, $0
+DATA permQuad<>+32(SB)/8, $1
+DATA permQuad<>+40(SB)/8, $1
+DATA permQuad<>+48(SB)/8, $1
+DATA permQuad<>+56(SB)/8, $1
+GLOBL permQuad<>(SB), RODATA, $64
+
+DATA permPair<>+0(SB)/8, $0
+DATA permPair<>+8(SB)/8, $0
+DATA permPair<>+16(SB)/8, $1
+DATA permPair<>+24(SB)/8, $1
+DATA permPair<>+32(SB)/8, $2
+DATA permPair<>+40(SB)/8, $2
+DATA permPair<>+48(SB)/8, $3
+DATA permPair<>+56(SB)/8, $3
+GLOBL permPair<>(SB), RODATA, $64
+
+// LOADCONSTS52 broadcasts the modulus and derives Z20=q, Z21=2q,
+// Z22=2^52−1. Clobbers AX.
+#define LOADCONSTS52(qarg) \
+	VPBROADCASTQ qarg, Z20;            \
+	VPADDQ Z20, Z20, Z21;              \
+	MOVQ $0x000FFFFFFFFFFFFF, AX;      \
+	VPBROADCASTQ AX, Z22
+
+// LAZYMUL52: dst = (a·w − ⌊a·w52/2^52⌋·q) mod 2^52, lanewise — the
+// base-2^52 lazy Shoup product, in [0, 2q) for a < 4q. a, w, w52
+// preserved; t0, t1 clobbered. Requires Z20=q, Z22=2^52−1 resident.
+#define LAZYMUL52(a, w, w52, dst, t0, t1) \
+	VPXORQ t0, t0, t0;                 \
+	VPMADD52HUQ w52, a, t0;            \
+	VPXORQ t1, t1, t1;                 \
+	VPMADD52LUQ w, a, t1;              \
+	VPXORQ dst, dst, dst;              \
+	VPMADD52LUQ Z20, t0, dst;          \
+	VPSUBQ dst, t1, dst;               \
+	VPANDQ Z22, dst, dst
+
+// CONDSUB52: dst = x − mod if x ≥ mod else x. All values < 2^52, so the
+// wrapped difference's sign bit is exactly the borrow and VPSRAQ (AVX512)
+// turns it into the add-back mask. x preserved; t0 clobbered.
+#define CONDSUB52(x, mod, dst, t0) \
+	VPSUBQ mod, x, dst;                \
+	VPSRAQ $63, dst, t0;               \
+	VPANDQ mod, t0, t0;                \
+	VPADDQ t0, dst, dst
+
+// func nttSingleVec52(x0, x1 []uint64, w, w52, q uint64)
+TEXT ·nttSingleVec52(SB), NOSPLIT, $0-72
+	MOVQ x0_base+0(FP), DI
+	MOVQ x0_len+8(FP), CX
+	MOVQ x1_base+24(FP), SI
+	LOADCONSTS52(q+64(FP))
+	VPBROADCASTQ w+48(FP), Z10
+	VPBROADCASTQ w52+56(FP), Z11
+	SHLQ $3, CX
+	XORQ R9, R9
+
+single52_loop:
+	CMPQ R9, CX
+	JGE  single52_done
+	VMOVDQU64 (DI)(R9*1), Z0
+	VMOVDQU64 (SI)(R9*1), Z1
+	CONDSUB52(Z0, Z21, Z2, Z3)
+	LAZYMUL52(Z1, Z10, Z11, Z3, Z4, Z5)
+	VPADDQ Z3, Z2, Z0
+	VPADDQ Z21, Z2, Z1
+	VPSUBQ Z3, Z1, Z1
+	VMOVDQU64 Z0, (DI)(R9*1)
+	VMOVDQU64 Z1, (SI)(R9*1)
+	ADDQ $64, R9
+	JMP  single52_loop
+
+single52_done:
+	VZEROUPPER
+	RET
+
+// func nttPairVec52(p, wA, wA52, wB, wB52 []uint64, t int, q uint64)
+TEXT ·nttPairVec52(SB), NOSPLIT, $0-136
+	MOVQ p_base+0(FP), DI
+	MOVQ wA_base+24(FP), R10
+	MOVQ wA_len+32(FP), R11
+	MOVQ wA52_base+48(FP), R12
+	MOVQ wB_base+72(FP), R13
+	MOVQ wB52_base+96(FP), R14
+	MOVQ t+120(FP), BX
+	SHLQ $3, BX
+	LEAQ (BX)(BX*2), DX
+	LOADCONSTS52(q+128(FP))
+	TESTQ R11, R11
+	JZ    pair52_done
+
+pair52_group:
+	VPBROADCASTQ (R10), Z10
+	VPBROADCASTQ (R12), Z11
+	VPBROADCASTQ (R13), Z12      // wB0
+	VPBROADCASTQ (R14), Z13
+	VPBROADCASTQ 8(R13), Z14     // wB1
+	VPBROADCASTQ 8(R14), Z15
+	XORQ R9, R9
+
+pair52_j:
+	LEAQ (DI)(R9*1), AX
+	VMOVDQU64 (AX), Z0           // a
+	VMOVDQU64 (AX)(BX*2), Z1     // c
+	CONDSUB52(Z0, Z21, Z2, Z3)
+	LAZYMUL52(Z1, Z10, Z11, Z3, Z4, Z5)
+	VPADDQ Z3, Z2, Z0            // a'
+	VPADDQ Z21, Z2, Z1
+	VPSUBQ Z3, Z1, Z1            // c'
+	VMOVDQU64 (AX)(BX*1), Z2     // b
+	VMOVDQU64 (AX)(DX*1), Z3     // d
+	CONDSUB52(Z2, Z21, Z4, Z5)
+	LAZYMUL52(Z3, Z10, Z11, Z5, Z6, Z7)
+	VPADDQ Z5, Z4, Z2            // b'
+	VPADDQ Z21, Z4, Z3
+	VPSUBQ Z5, Z3, Z3            // d'
+
+	CONDSUB52(Z0, Z21, Z4, Z5)
+	LAZYMUL52(Z2, Z12, Z13, Z5, Z6, Z7)
+	VPADDQ Z5, Z4, Z0
+	VPADDQ Z21, Z4, Z6
+	VPSUBQ Z5, Z6, Z6
+	VMOVDQU64 Z0, (AX)
+	VMOVDQU64 Z6, (AX)(BX*1)
+	CONDSUB52(Z1, Z21, Z4, Z5)
+	LAZYMUL52(Z3, Z14, Z15, Z5, Z6, Z7)
+	VPADDQ Z5, Z4, Z0
+	VPADDQ Z21, Z4, Z6
+	VPSUBQ Z5, Z6, Z6
+	VMOVDQU64 Z0, (AX)(BX*2)
+	VMOVDQU64 Z6, (AX)(DX*1)
+
+	ADDQ $64, R9
+	CMPQ R9, BX
+	JL   pair52_j
+
+	LEAQ (DI)(BX*4), DI
+	ADDQ $8, R10
+	ADDQ $8, R12
+	ADDQ $16, R13
+	ADDQ $16, R14
+	DECQ R11
+	JNZ  pair52_group
+
+pair52_done:
+	VZEROUPPER
+	RET
+
+// func nttTailVec52(p, wA, wA52, wB, wB52 []uint64, q uint64)
+// Two 4-coefficient groups per step; len(wA) even. The same in-register
+// shuffle recipe as the AVX2 tail, with VPERMQ acting per 256-bit lane and
+// the VPBLENDD immediates replaced by the K2/K3 qword merge masks.
+TEXT ·nttTailVec52(SB), NOSPLIT, $0-128
+	MOVQ p_base+0(FP), DI
+	MOVQ wA_base+24(FP), R10
+	MOVQ wA_len+32(FP), R11
+	MOVQ wA52_base+48(FP), R12
+	MOVQ wB_base+72(FP), R13
+	MOVQ wB52_base+96(FP), R14
+	LOADCONSTS52(q+120(FP))
+	VMOVDQU64 permQuad<>(SB), Z30
+	VMOVDQU64 permPair<>(SB), Z31
+	MOVL $0xCC, AX
+	KMOVB AX, K2
+	MOVL $0xAA, AX
+	KMOVB AX, K3
+	SHRQ $1, R11
+	JZ   tail52_done
+
+tail52_group:
+	VMOVDQU64 (DI), Z0           // [a,b,c,d | a,b,c,d]
+	VMOVDQU (R10), X1            // [wA0, wA1]
+	VPERMQ Z1, Z30, Z10          // [wA0 ×4 | wA1 ×4]
+	VMOVDQU (R12), X1
+	VPERMQ Z1, Z30, Z11
+	VPERMQ $0x44, Z0, Z1         // [a,b,a,b | ...]
+	VPERMQ $0xEE, Z0, Z2         // [c,d,c,d | ...]
+	CONDSUB52(Z1, Z21, Z3, Z4)
+	LAZYMUL52(Z2, Z10, Z11, Z4, Z5, Z6)
+	VPADDQ Z4, Z3, Z0
+	VPADDQ Z21, Z3, Z1
+	VPSUBQ Z4, Z1, Z1
+	VPBLENDMQ Z1, Z0, K2, Z0     // [a',b',c',d' | ...]
+
+	VMOVDQU (R13), Y1            // [wB0, wB1, wB2, wB3]
+	VPERMQ Z1, Z31, Z10          // [wB0,wB0,wB1,wB1 | wB2,wB2,wB3,wB3]
+	VMOVDQU (R14), Y1
+	VPERMQ Z1, Z31, Z11
+	VPERMQ $0xA0, Z0, Z1         // [a',a',c',c' | ...]
+	VPERMQ $0xF5, Z0, Z2         // [b',b',d',d' | ...]
+	CONDSUB52(Z1, Z21, Z3, Z4)
+	LAZYMUL52(Z2, Z10, Z11, Z4, Z5, Z6)
+	VPADDQ Z4, Z3, Z0
+	VPADDQ Z21, Z3, Z1
+	VPSUBQ Z4, Z1, Z1
+	VPBLENDMQ Z1, Z0, K3, Z0
+
+	CONDSUB52(Z0, Z21, Z1, Z3)
+	CONDSUB52(Z1, Z20, Z0, Z3)
+	VMOVDQU64 Z0, (DI)
+
+	ADDQ $64, DI
+	ADDQ $16, R10
+	ADDQ $16, R12
+	ADDQ $32, R13
+	ADDQ $32, R14
+	DECQ R11
+	JNZ  tail52_group
+
+tail52_done:
+	VZEROUPPER
+	RET
+
+// func inttHeadVec52(p, wA, wA52, wB, wB52 []uint64, q uint64)
+// Two 4-coefficient groups per step; len(wB) even.
+TEXT ·inttHeadVec52(SB), NOSPLIT, $0-128
+	MOVQ p_base+0(FP), DI
+	MOVQ wA_base+24(FP), R10
+	MOVQ wA52_base+48(FP), R12
+	MOVQ wB_base+72(FP), R13
+	MOVQ wB_len+80(FP), R11
+	MOVQ wB52_base+96(FP), R14
+	LOADCONSTS52(q+120(FP))
+	VMOVDQU64 permQuad<>(SB), Z30
+	VMOVDQU64 permPair<>(SB), Z31
+	MOVL $0xCC, AX
+	KMOVB AX, K2
+	MOVL $0xAA, AX
+	KMOVB AX, K3
+	SHRQ $1, R11
+	JZ   head52_done
+
+head52_group:
+	VMOVDQU64 (DI), Z0           // [a,b,c,d | a,b,c,d]
+	VMOVDQU (R10), Y1            // [wA0, wA1, wA2, wA3]
+	VPERMQ Z1, Z31, Z10          // [wA0,wA0,wA1,wA1 | wA2,wA2,wA3,wA3]
+	VMOVDQU (R12), Y1
+	VPERMQ Z1, Z31, Z11
+	VPERMQ $0xA0, Z0, Z1         // u = [a,a,c,c | ...]
+	VPERMQ $0xF5, Z0, Z2         // v = [b,b,d,d | ...]
+	VPADDQ Z2, Z1, Z3
+	CONDSUB52(Z3, Z21, Z4, Z5)
+	VPADDQ Z21, Z1, Z3
+	VPSUBQ Z2, Z3, Z3
+	LAZYMUL52(Z3, Z10, Z11, Z5, Z1, Z2)
+	VPBLENDMQ Z5, Z4, K3, Z0     // [sa,da,sc,dc | ...]
+
+	VMOVDQU (R13), X1            // [wB0, wB1]
+	VPERMQ Z1, Z30, Z10          // [wB0 ×4 | wB1 ×4]
+	VMOVDQU (R14), X1
+	VPERMQ Z1, Z30, Z11
+	VPERMQ $0x44, Z0, Z1         // [sa,da,sa,da | ...]
+	VPERMQ $0xEE, Z0, Z2         // [sc,dc,sc,dc | ...]
+	VPADDQ Z2, Z1, Z3
+	CONDSUB52(Z3, Z21, Z4, Z5)
+	VPADDQ Z21, Z1, Z3
+	VPSUBQ Z2, Z3, Z3
+	LAZYMUL52(Z3, Z10, Z11, Z5, Z1, Z2)
+	VPBLENDMQ Z5, Z4, K2, Z0
+	VMOVDQU64 Z0, (DI)
+
+	ADDQ $64, DI
+	ADDQ $32, R10
+	ADDQ $32, R12
+	ADDQ $16, R13
+	ADDQ $16, R14
+	DECQ R11
+	JNZ  head52_group
+
+head52_done:
+	VZEROUPPER
+	RET
+
+// func inttPairVec52(p, wA, wA52, wB, wB52 []uint64, t int, q uint64)
+TEXT ·inttPairVec52(SB), NOSPLIT, $0-136
+	MOVQ p_base+0(FP), DI
+	MOVQ wA_base+24(FP), R10
+	MOVQ wA52_base+48(FP), R12
+	MOVQ wB_base+72(FP), R13
+	MOVQ wB_len+80(FP), R11
+	MOVQ wB52_base+96(FP), R14
+	MOVQ t+120(FP), BX
+	SHLQ $3, BX
+	LEAQ (BX)(BX*2), DX
+	LOADCONSTS52(q+128(FP))
+	TESTQ R11, R11
+	JZ    ipair52_done
+
+ipair52_group:
+	VPBROADCASTQ (R10), Z10      // wA0
+	VPBROADCASTQ (R12), Z11
+	VPBROADCASTQ 8(R10), Z12     // wA1
+	VPBROADCASTQ 8(R12), Z13
+	VPBROADCASTQ (R13), Z14      // wB
+	VPBROADCASTQ (R14), Z15
+	XORQ R9, R9
+
+ipair52_j:
+	LEAQ (DI)(R9*1), AX
+	VMOVDQU64 (AX), Z0           // a
+	VMOVDQU64 (AX)(BX*1), Z1     // b
+	VPADDQ Z1, Z0, Z2            // a + b
+	VPADDQ Z21, Z0, Z4
+	VPSUBQ Z1, Z4, Z4            // a + 2q − b
+	CONDSUB52(Z2, Z21, Z0, Z1)
+	LAZYMUL52(Z4, Z10, Z11, Z1, Z2, Z5)   // sa=Z0, da=Z1
+	VMOVDQU64 (AX)(BX*2), Z2     // c
+	VMOVDQU64 (AX)(DX*1), Z3     // d
+	VPADDQ Z3, Z2, Z4            // c + d
+	VPADDQ Z21, Z2, Z5
+	VPSUBQ Z3, Z5, Z5            // c + 2q − d
+	CONDSUB52(Z4, Z21, Z2, Z3)
+	LAZYMUL52(Z5, Z12, Z13, Z3, Z4, Z6)   // sc=Z2, dc=Z3
+
+	VPADDQ Z2, Z0, Z4
+	CONDSUB52(Z4, Z21, Z5, Z6)
+	VMOVDQU64 Z5, (AX)           // condSub(sa+sc, 2q)
+	VPADDQ Z3, Z1, Z4
+	CONDSUB52(Z4, Z21, Z5, Z6)
+	VMOVDQU64 Z5, (AX)(BX*1)     // condSub(da+dc, 2q)
+	VPADDQ Z21, Z0, Z4
+	VPSUBQ Z2, Z4, Z4            // sa + 2q − sc
+	LAZYMUL52(Z4, Z14, Z15, Z5, Z6, Z7)
+	VMOVDQU64 Z5, (AX)(BX*2)
+	VPADDQ Z21, Z1, Z4
+	VPSUBQ Z3, Z4, Z4            // da + 2q − dc
+	LAZYMUL52(Z4, Z14, Z15, Z5, Z6, Z7)
+	VMOVDQU64 Z5, (AX)(DX*1)
+
+	ADDQ $64, R9
+	CMPQ R9, BX
+	JL   ipair52_j
+
+	LEAQ (DI)(BX*4), DI
+	ADDQ $16, R10
+	ADDQ $16, R12
+	ADDQ $8, R13
+	ADDQ $8, R14
+	DECQ R11
+	JNZ  ipair52_group
+
+ipair52_done:
+	VZEROUPPER
+	RET
+
+// func inttLastEvenVec52(p []uint64, wA0, wA052, wA1, wA152, ni, ni52, w, w52, q uint64)
+TEXT ·inttLastEvenVec52(SB), NOSPLIT, $0-96
+	MOVQ p_base+0(FP), DI
+	MOVQ p_len+8(FP), CX
+	SHRQ $2, CX
+	SHLQ $3, CX
+	MOVQ CX, BX
+	LEAQ (BX)(BX*2), DX
+	LOADCONSTS52(q+88(FP))
+	VPBROADCASTQ wA0+24(FP), Z10
+	VPBROADCASTQ wA052+32(FP), Z11
+	VPBROADCASTQ wA1+40(FP), Z12
+	VPBROADCASTQ wA152+48(FP), Z13
+	VPBROADCASTQ ni+56(FP), Z14
+	VPBROADCASTQ ni52+64(FP), Z15
+	VPBROADCASTQ w+72(FP), Z16
+	VPBROADCASTQ w52+80(FP), Z17
+	XORQ R9, R9
+
+ilast52_j:
+	CMPQ R9, BX
+	JGE  ilast52_done
+	LEAQ (DI)(R9*1), AX
+	VMOVDQU64 (AX), Z0           // a
+	VMOVDQU64 (AX)(BX*1), Z1     // b
+	VPADDQ Z1, Z0, Z2
+	VPADDQ Z21, Z0, Z4
+	VPSUBQ Z1, Z4, Z4
+	CONDSUB52(Z2, Z21, Z0, Z1)
+	LAZYMUL52(Z4, Z10, Z11, Z1, Z2, Z5)   // sa=Z0, da=Z1
+	VMOVDQU64 (AX)(BX*2), Z2     // c
+	VMOVDQU64 (AX)(DX*1), Z3     // d
+	VPADDQ Z3, Z2, Z4
+	VPADDQ Z21, Z2, Z5
+	VPSUBQ Z3, Z5, Z5
+	CONDSUB52(Z4, Z21, Z2, Z3)
+	LAZYMUL52(Z5, Z12, Z13, Z3, Z4, Z6)   // sc=Z2, dc=Z3
+
+	VPADDQ Z2, Z0, Z4            // s0 = sa + sc
+	VPADDQ Z21, Z0, Z5
+	VPSUBQ Z2, Z5, Z5            // d0 = sa + 2q − sc
+	LAZYMUL52(Z4, Z14, Z15, Z0, Z2, Z6)
+	CONDSUB52(Z0, Z20, Z2, Z4)
+	VMOVDQU64 Z2, (AX)
+	VPADDQ Z3, Z1, Z4            // s1 = da + dc
+	VPADDQ Z21, Z1, Z6
+	VPSUBQ Z3, Z6, Z6            // d1 = da + 2q − dc
+	LAZYMUL52(Z4, Z14, Z15, Z0, Z1, Z2)
+	CONDSUB52(Z0, Z20, Z2, Z1)
+	VMOVDQU64 Z2, (AX)(BX*1)
+	LAZYMUL52(Z5, Z16, Z17, Z0, Z1, Z2)
+	CONDSUB52(Z0, Z20, Z2, Z1)
+	VMOVDQU64 Z2, (AX)(BX*2)
+	LAZYMUL52(Z6, Z16, Z17, Z0, Z1, Z2)
+	CONDSUB52(Z0, Z20, Z2, Z1)
+	VMOVDQU64 Z2, (AX)(DX*1)
+
+	ADDQ $64, R9
+	JMP  ilast52_j
+
+ilast52_done:
+	VZEROUPPER
+	RET
+
+// func inttLastOddVec52(x0, x1 []uint64, ni, ni52, w, w52, q uint64)
+TEXT ·inttLastOddVec52(SB), NOSPLIT, $0-88
+	MOVQ x0_base+0(FP), DI
+	MOVQ x0_len+8(FP), CX
+	MOVQ x1_base+24(FP), SI
+	LOADCONSTS52(q+80(FP))
+	VPBROADCASTQ ni+48(FP), Z10
+	VPBROADCASTQ ni52+56(FP), Z11
+	VPBROADCASTQ w+64(FP), Z12
+	VPBROADCASTQ w52+72(FP), Z13
+	SHLQ $3, CX
+	XORQ R9, R9
+
+iodd52_j:
+	CMPQ R9, CX
+	JGE  iodd52_done
+	VMOVDQU64 (DI)(R9*1), Z0
+	VMOVDQU64 (SI)(R9*1), Z1
+	VPADDQ Z1, Z0, Z2            // u + v
+	VPADDQ Z21, Z0, Z3
+	VPSUBQ Z1, Z3, Z3            // u + 2q − v
+	LAZYMUL52(Z2, Z10, Z11, Z0, Z1, Z4)
+	CONDSUB52(Z0, Z20, Z1, Z4)
+	VMOVDQU64 Z1, (DI)(R9*1)
+	LAZYMUL52(Z3, Z12, Z13, Z0, Z1, Z4)
+	CONDSUB52(Z0, Z20, Z1, Z4)
+	VMOVDQU64 Z1, (SI)(R9*1)
+	ADDQ $64, R9
+	JMP  iodd52_j
+
+iodd52_done:
+	VZEROUPPER
+	RET
+
+// func shoupMulVec52(dst, src []uint64, w, w52, q uint64)
+TEXT ·shoupMulVec52(SB), NOSPLIT, $0-72
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ src_base+24(FP), SI
+	LOADCONSTS52(q+64(FP))
+	VPBROADCASTQ w+48(FP), Z10
+	VPBROADCASTQ w52+56(FP), Z11
+	SHLQ $3, CX
+	XORQ R9, R9
+
+shoupmul52_loop:
+	CMPQ R9, CX
+	JGE  shoupmul52_done
+	VMOVDQU64 (SI)(R9*1), Z0
+	LAZYMUL52(Z0, Z10, Z11, Z1, Z2, Z3)
+	CONDSUB52(Z1, Z20, Z1, Z2)
+	VMOVDQU64 Z1, (DI)(R9*1)
+	ADDQ $64, R9
+	JMP  shoupmul52_loop
+
+shoupmul52_done:
+	VZEROUPPER
+	RET
+
+// func convAcc52(y, hc, lo, hi []uint64, stride int)
+TEXT ·convAcc52(SB), NOSPLIT, $0-104
+	MOVQ y_base+0(FP), DI
+	MOVQ hc_base+24(FP), R10
+	MOVQ hc_len+32(FP), R11
+	MOVQ lo_base+48(FP), R12
+	MOVQ lo_len+56(FP), R13
+	MOVQ hi_base+72(FP), R14
+	MOVQ stride+96(FP), BX
+	SHLQ $3, BX
+	SHLQ $3, R13
+	XORQ R9, R9
+
+convacc52_kloop:
+	CMPQ R9, R13
+	JGE  convacc52_done
+	VPXORQ Z0, Z0, Z0
+	VPXORQ Z1, Z1, Z1
+	LEAQ (DI)(R9*1), SI
+	MOVQ R10, DX
+	MOVQ R11, CX
+
+convacc52_iloop:
+	VPBROADCASTQ (DX), Z2
+	VMOVDQU64 (SI), Z3
+	VPMADD52LUQ Z2, Z3, Z0
+	VPMADD52HUQ Z2, Z3, Z1
+	ADDQ $8, DX
+	ADDQ BX, SI
+	DECQ CX
+	JNZ  convacc52_iloop
+
+	VMOVDQU64 Z0, (R12)(R9*1)
+	VMOVDQU64 Z1, (R14)(R9*1)
+	ADDQ $64, R9
+	JMP  convacc52_kloop
+
+convacc52_done:
+	VZEROUPPER
+	RET
+
+// func rescaleVec52(dst, src, last []uint64, inv, inv52, q uint64)
+TEXT ·rescaleVec52(SB), NOSPLIT, $0-96
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ src_base+24(FP), SI
+	MOVQ last_base+48(FP), R10
+	LOADCONSTS52(q+88(FP))
+	VPBROADCASTQ inv+72(FP), Z10
+	VPBROADCASTQ inv52+80(FP), Z11
+	SHLQ $3, CX
+	XORQ R9, R9
+
+rescale52_loop:
+	CMPQ R9, CX
+	JGE  rescale52_done
+	VMOVDQU64 (SI)(R9*1), Z0
+	VMOVDQU64 (R10)(R9*1), Z1
+	CONDSUB52(Z1, Z20, Z1, Z2)
+	VPADDQ Z20, Z0, Z0
+	VPSUBQ Z1, Z0, Z0
+	LAZYMUL52(Z0, Z10, Z11, Z1, Z2, Z3)
+	CONDSUB52(Z1, Z20, Z1, Z2)
+	VMOVDQU64 Z1, (DI)(R9*1)
+	ADDQ $64, R9
+	JMP  rescale52_loop
+
+rescale52_done:
+	VZEROUPPER
+	RET

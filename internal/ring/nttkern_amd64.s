@@ -1,0 +1,532 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// AVX2 kernels for the lazy Harvey NTT/INTT butterflies. Every kernel
+// replays the exact scalar dataflow from nttlazy.go: the same 64×64
+// multiplies (composed from VPMULUDQ 32×32 partial products), the same
+// conditional subtractions, all arithmetic exact mod 2^64, so outputs are
+// bit-identical to the scalar reference on every input.
+//
+// Register conventions, shared by all butterfly kernels:
+//
+//	Y15 = q broadcast        Y14 = q >> 32 broadcast
+//	Y13 = 2q broadcast       Y12 = 0x00000000FFFFFFFF per qword
+//	Y10, Y11 = current twiddle w, wShoup broadcast
+//	Y0–Y9 = data and scratch
+//
+// DI walks the coefficient data, R10/R12 walk the stage-A twiddle/Shoup
+// tables, R13/R14 the stage-B tables, R11 counts groups.
+
+// func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// LOADCONSTS broadcasts the modulus from its FP slot and derives the four
+// resident constants Y15=q, Y14=q>>32, Y13=2q, Y12=low-32 mask.
+#define LOADCONSTS(qarg) \
+	VPBROADCASTQ qarg, Y15;  \
+	VPSRLQ $32, Y15, Y14;    \
+	VPADDQ Y15, Y15, Y13;    \
+	VPCMPEQD Y12, Y12, Y12;  \
+	VPSRLQ $32, Y12, Y12
+
+// LAZYMUL: dst = a·w − mulhi64(a, ws)·q mod 2^64, lanewise — the vector
+// MulModShoupLazy. For a < 4q, w < q, q < 2^62 the result is in [0, 2q),
+// same as the scalar contract. a, w, ws are preserved; t0–t4 clobbered.
+// Requires Y15=q, Y14=q>>32, Y12=M32 resident.
+//
+// mulhi64(a, ws) from four VPMULUDQ partials (al·wsl, al·wsh, ah·wsl,
+// ah·wsh) with the standard carry recombination; the two mullo64 products
+// (a·w, qHat·q) need three VPMULUDQ each.
+#define LAZYMUL(a, w, ws, dst, t0, t1, t2, t3, t4) \
+	VPSRLQ $32, a, t0;       \
+	VPSRLQ $32, ws, t1;      \
+	VPMULUDQ ws, a, t2;      \
+	VPMULUDQ t1, a, t3;      \
+	VPMULUDQ ws, t0, t4;     \
+	VPMULUDQ t1, t0, t1;     \
+	VPSRLQ $32, t2, t2;      \
+	VPAND Y12, t3, dst;      \
+	VPADDQ dst, t2, t2;      \
+	VPAND Y12, t4, dst;      \
+	VPADDQ dst, t2, t2;      \
+	VPSRLQ $32, t2, t2;      \
+	VPSRLQ $32, t3, t3;      \
+	VPSRLQ $32, t4, t4;      \
+	VPADDQ t3, t1, t1;       \
+	VPADDQ t4, t1, t1;       \
+	VPADDQ t2, t1, t1;       \
+	VPSRLQ $32, w, t2;       \
+	VPMULUDQ t2, a, t3;      \
+	VPMULUDQ w, t0, t4;      \
+	VPMULUDQ w, a, dst;      \
+	VPADDQ t4, t3, t3;       \
+	VPSLLQ $32, t3, t3;      \
+	VPADDQ t3, dst, dst;     \
+	VPSRLQ $32, t1, t0;      \
+	VPMULUDQ Y14, t1, t2;    \
+	VPMULUDQ Y15, t0, t3;    \
+	VPMULUDQ Y15, t1, t4;    \
+	VPADDQ t3, t2, t2;       \
+	VPSLLQ $32, t2, t2;      \
+	VPADDQ t2, t4, t4;       \
+	VPSUBQ t4, dst, dst
+
+// CONDSUBM: dst = x − mod if x ≥ mod else x, branch-free. Sound for any
+// x < mod + 2^63 (mod < 2^63): the subtraction wraps above 2^63 exactly
+// when x < mod, so the VPCMPGTQ sign test selects the add-back correctly
+// even for x ≥ 2^63. x preserved; t0, t1 clobbered.
+#define CONDSUBM(x, mod, dst, t0, t1) \
+	VPSUBQ mod, x, dst;      \
+	VPXOR t0, t0, t0;        \
+	VPCMPGTQ dst, t0, t1;    \
+	VPAND mod, t1, t1;       \
+	VPADDQ t1, dst, dst
+
+// func nttSingleVec(x0, x1 []uint64, w, ws, q uint64)
+// One standalone CT stage across the half-arrays: the leading radix-2
+// stage of the odd-log-N vector schedule.
+TEXT ·nttSingleVec(SB), NOSPLIT, $0-72
+	MOVQ x0_base+0(FP), DI
+	MOVQ x0_len+8(FP), CX
+	MOVQ x1_base+24(FP), SI
+	LOADCONSTS(q+64(FP))
+	VPBROADCASTQ w+48(FP), Y10
+	VPBROADCASTQ ws+56(FP), Y11
+	SHLQ $3, CX
+	XORQ R9, R9
+
+nttsingle_loop:
+	CMPQ R9, CX
+	JGE  nttsingle_done
+	VMOVDQU (DI)(R9*1), Y0
+	VMOVDQU (SI)(R9*1), Y1
+	CONDSUBM(Y0, Y13, Y2, Y3, Y4)
+	LAZYMUL(Y1, Y10, Y11, Y3, Y4, Y5, Y6, Y7, Y8)
+	VPADDQ Y3, Y2, Y0   // u + v
+	VPADDQ Y13, Y2, Y1
+	VPSUBQ Y3, Y1, Y1   // u + 2q − v
+	VMOVDQU Y0, (DI)(R9*1)
+	VMOVDQU Y1, (SI)(R9*1)
+	ADDQ $32, R9
+	JMP  nttsingle_loop
+
+nttsingle_done:
+	VZEROUPPER
+	RET
+
+// func nttPairVec(p, wA, wAs, wB, wBs []uint64, t int, q uint64)
+// One fused CT stage pair over len(wA) groups of 4t coefficients.
+// Quarters of group g: a=p[g4t:], b=+t, c=+2t, d=+3t. Stage A butterflies
+// (a,c) and (b,d) with wA[g]; stage B butterflies (a,b) with wB[2g] and
+// (c,d) with wB[2g+1]. t is a multiple of 4.
+TEXT ·nttPairVec(SB), NOSPLIT, $0-136
+	MOVQ p_base+0(FP), DI
+	MOVQ wA_base+24(FP), R10
+	MOVQ wA_len+32(FP), R11
+	MOVQ wAs_base+48(FP), R12
+	MOVQ wB_base+72(FP), R13
+	MOVQ wBs_base+96(FP), R14
+	MOVQ t+120(FP), BX
+	SHLQ $3, BX           // t in bytes
+	LEAQ (BX)(BX*2), DX   // 3t in bytes
+	LOADCONSTS(q+128(FP))
+	TESTQ R11, R11
+	JZ    nttpair_done
+
+nttpair_group:
+	XORQ R9, R9
+
+nttpair_j:
+	LEAQ (DI)(R9*1), AX
+	VPBROADCASTQ (R10), Y10
+	VPBROADCASTQ (R12), Y11
+	VMOVDQU (AX), Y0         // a
+	VMOVDQU (AX)(BX*2), Y1   // c
+	CONDSUBM(Y0, Y13, Y2, Y3, Y4)
+	LAZYMUL(Y1, Y10, Y11, Y3, Y4, Y5, Y6, Y7, Y8)
+	VPADDQ Y3, Y2, Y0        // a' = u0 + v0
+	VPADDQ Y13, Y2, Y1
+	VPSUBQ Y3, Y1, Y1        // c' = u0 + 2q − v0
+	VMOVDQU (AX)(BX*1), Y2   // b
+	VMOVDQU (AX)(DX*1), Y3   // d
+	CONDSUBM(Y2, Y13, Y4, Y5, Y6)
+	LAZYMUL(Y3, Y10, Y11, Y5, Y2, Y6, Y7, Y8, Y9)
+	VPADDQ Y5, Y4, Y2        // b' = u1 + v1
+	VPADDQ Y13, Y4, Y3
+	VPSUBQ Y5, Y3, Y3        // d' = u1 + 2q − v1
+
+	// Stage B: (a', b') with wB[2g]; (c', d') with wB[2g+1].
+	VPBROADCASTQ (R13), Y10
+	VPBROADCASTQ (R14), Y11
+	CONDSUBM(Y0, Y13, Y4, Y5, Y6)
+	LAZYMUL(Y2, Y10, Y11, Y5, Y0, Y6, Y7, Y8, Y9)
+	VPADDQ Y5, Y4, Y0
+	VPADDQ Y13, Y4, Y6
+	VPSUBQ Y5, Y6, Y6
+	VMOVDQU Y0, (AX)
+	VMOVDQU Y6, (AX)(BX*1)
+	VPBROADCASTQ 8(R13), Y10
+	VPBROADCASTQ 8(R14), Y11
+	CONDSUBM(Y1, Y13, Y4, Y5, Y6)
+	LAZYMUL(Y3, Y10, Y11, Y5, Y0, Y6, Y7, Y8, Y9)
+	VPADDQ Y5, Y4, Y0
+	VPADDQ Y13, Y4, Y6
+	VPSUBQ Y5, Y6, Y6
+	VMOVDQU Y0, (AX)(BX*2)
+	VMOVDQU Y6, (AX)(DX*1)
+
+	ADDQ $32, R9
+	CMPQ R9, BX
+	JL   nttpair_j
+
+	LEAQ (DI)(BX*4), DI
+	ADDQ $8, R10
+	ADDQ $8, R12
+	ADDQ $16, R13
+	ADDQ $16, R14
+	DECQ R11
+	JNZ  nttpair_group
+
+nttpair_done:
+	VZEROUPPER
+	RET
+
+// func nttTailVec(p, wA, wAs, wB, wBs []uint64, q uint64)
+// Final fused CT stage pair (t = 1) over len(wA) groups of 4 consecutive
+// coefficients [a,b,c,d], folding the full reduction to [0, q) into the
+// last stage. Stage A: (a,c) and (b,d) with wA[g], via the lane split
+// [a,b,a,b] / [c,d,c,d]. Stage B: (a',b') with wB[2g], (c',d') with
+// wB[2g+1], via [a',a',c',c'] / [b',b',d',d'] and a per-pair twiddle
+// vector [wB0,wB0,wB1,wB1].
+TEXT ·nttTailVec(SB), NOSPLIT, $0-128
+	MOVQ p_base+0(FP), DI
+	MOVQ wA_base+24(FP), R10
+	MOVQ wA_len+32(FP), R11
+	MOVQ wAs_base+48(FP), R12
+	MOVQ wB_base+72(FP), R13
+	MOVQ wBs_base+96(FP), R14
+	LOADCONSTS(q+120(FP))
+	TESTQ R11, R11
+	JZ    ntttail_done
+
+ntttail_group:
+	VMOVDQU (DI), Y0         // [a, b, c, d]
+	VPBROADCASTQ (R10), Y10
+	VPBROADCASTQ (R12), Y11
+	VPERMQ $0x44, Y0, Y1     // [a, b, a, b]
+	VPERMQ $0xEE, Y0, Y2     // [c, d, c, d]
+	CONDSUBM(Y1, Y13, Y3, Y4, Y5)
+	LAZYMUL(Y2, Y10, Y11, Y4, Y5, Y6, Y7, Y8, Y9)
+	VPADDQ Y4, Y3, Y0
+	VPADDQ Y13, Y3, Y1
+	VPSUBQ Y4, Y1, Y1
+	VPBLENDD $0xF0, Y1, Y0, Y0   // [a', b', c', d']
+
+	VBROADCASTI128 (R13), Y10    // [wB0, wB1, wB0, wB1]
+	VPERMQ $0x50, Y10, Y10       // [wB0, wB0, wB1, wB1]
+	VBROADCASTI128 (R14), Y11
+	VPERMQ $0x50, Y11, Y11
+	VPERMQ $0xA0, Y0, Y1         // [a', a', c', c']
+	VPERMQ $0xF5, Y0, Y2         // [b', b', d', d']
+	CONDSUBM(Y1, Y13, Y3, Y4, Y5)
+	LAZYMUL(Y2, Y10, Y11, Y4, Y5, Y6, Y7, Y8, Y9)
+	VPADDQ Y4, Y3, Y0
+	VPADDQ Y13, Y3, Y1
+	VPSUBQ Y4, Y1, Y1
+	VPBLENDD $0xCC, Y1, Y0, Y0   // interleave sums and diffs
+
+	// Full reduction [0, 4q) → [0, q), fused into the last stage exactly
+	// as the scalar epilogue: condSub(condSub(x, 2q), q).
+	CONDSUBM(Y0, Y13, Y1, Y3, Y4)
+	CONDSUBM(Y1, Y15, Y0, Y3, Y4)
+	VMOVDQU Y0, (DI)
+
+	ADDQ $32, DI
+	ADDQ $8, R10
+	ADDQ $8, R12
+	ADDQ $16, R13
+	ADDQ $16, R14
+	DECQ R11
+	JNZ  ntttail_group
+
+ntttail_done:
+	VZEROUPPER
+	RET
+
+// func inttHeadVec(p, wA, wAs, wB, wBs []uint64, q uint64)
+// Leading fused GS stage pair (t = 1) over len(wB) groups of 4 consecutive
+// coefficients [a,b,c,d]. Stage A: (a,b) with wA[2g], (c,d) with wA[2g+1],
+// via [a,a,c,c] / [b,b,d,d] and twiddle vector [wA0,wA0,wA1,wA1].
+// Stage B: (sa,sc) and (da,dc) with wB[g], via [sa,da,sa,da] / [sc,dc,sc,dc].
+TEXT ·inttHeadVec(SB), NOSPLIT, $0-128
+	MOVQ p_base+0(FP), DI
+	MOVQ wA_base+24(FP), R10
+	MOVQ wAs_base+48(FP), R12
+	MOVQ wB_base+72(FP), R13
+	MOVQ wB_len+80(FP), R11
+	MOVQ wBs_base+96(FP), R14
+	LOADCONSTS(q+120(FP))
+	TESTQ R11, R11
+	JZ    intthead_done
+
+intthead_group:
+	VMOVDQU (DI), Y0             // [a, b, c, d]
+	VBROADCASTI128 (R10), Y10
+	VPERMQ $0x50, Y10, Y10       // [wA0, wA0, wA1, wA1]
+	VBROADCASTI128 (R12), Y11
+	VPERMQ $0x50, Y11, Y11
+	VPERMQ $0xA0, Y0, Y1         // u = [a, a, c, c]
+	VPERMQ $0xF5, Y0, Y2         // v = [b, b, d, d]
+	VPADDQ Y2, Y1, Y3
+	CONDSUBM(Y3, Y13, Y4, Y5, Y6)   // s = condSub(u+v, 2q)
+	VPADDQ Y13, Y1, Y3
+	VPSUBQ Y2, Y3, Y3               // u + 2q − v
+	LAZYMUL(Y3, Y10, Y11, Y5, Y1, Y2, Y6, Y7, Y8)
+	VPBLENDD $0xCC, Y5, Y4, Y0      // [sa, da, sc, dc]
+
+	VPBROADCASTQ (R13), Y10
+	VPBROADCASTQ (R14), Y11
+	VPERMQ $0x44, Y0, Y1         // [sa, da, sa, da]
+	VPERMQ $0xEE, Y0, Y2         // [sc, dc, sc, dc]
+	VPADDQ Y2, Y1, Y3
+	CONDSUBM(Y3, Y13, Y4, Y5, Y6)
+	VPADDQ Y13, Y1, Y3
+	VPSUBQ Y2, Y3, Y3
+	LAZYMUL(Y3, Y10, Y11, Y5, Y1, Y2, Y6, Y7, Y8)
+	VPBLENDD $0xF0, Y5, Y4, Y0
+	VMOVDQU Y0, (DI)
+
+	ADDQ $32, DI
+	ADDQ $16, R10
+	ADDQ $16, R12
+	ADDQ $8, R13
+	ADDQ $8, R14
+	DECQ R11
+	JNZ  intthead_group
+
+intthead_done:
+	VZEROUPPER
+	RET
+
+// func inttPairVec(p, wA, wAs, wB, wBs []uint64, t int, q uint64)
+// One fused GS stage pair over len(wB) groups of 4t coefficients.
+// Stage A: (a,b) with wA[2g], (c,d) with wA[2g+1]; stage B: (sa,sc) and
+// (da,dc) with wB[g]. t is a multiple of 4.
+TEXT ·inttPairVec(SB), NOSPLIT, $0-136
+	MOVQ p_base+0(FP), DI
+	MOVQ wA_base+24(FP), R10
+	MOVQ wAs_base+48(FP), R12
+	MOVQ wB_base+72(FP), R13
+	MOVQ wB_len+80(FP), R11
+	MOVQ wBs_base+96(FP), R14
+	MOVQ t+120(FP), BX
+	SHLQ $3, BX
+	LEAQ (BX)(BX*2), DX
+	LOADCONSTS(q+128(FP))
+	TESTQ R11, R11
+	JZ    inttpair_done
+
+inttpair_group:
+	XORQ R9, R9
+
+inttpair_j:
+	LEAQ (DI)(R9*1), AX
+	VMOVDQU (AX), Y0         // a
+	VMOVDQU (AX)(BX*1), Y1   // b
+	VPBROADCASTQ (R10), Y10
+	VPBROADCASTQ (R12), Y11
+	VPADDQ Y1, Y0, Y2        // a + b
+	VPADDQ Y13, Y0, Y4
+	VPSUBQ Y1, Y4, Y4        // a + 2q − b
+	CONDSUBM(Y2, Y13, Y0, Y1, Y5)
+	LAZYMUL(Y4, Y10, Y11, Y1, Y2, Y5, Y6, Y7, Y8)   // sa=Y0, da=Y1
+	VMOVDQU (AX)(BX*2), Y2   // c
+	VMOVDQU (AX)(DX*1), Y3   // d
+	VPBROADCASTQ 8(R10), Y10
+	VPBROADCASTQ 8(R12), Y11
+	VPADDQ Y3, Y2, Y4        // c + d
+	VPADDQ Y13, Y2, Y5
+	VPSUBQ Y3, Y5, Y5        // c + 2q − d
+	CONDSUBM(Y4, Y13, Y2, Y3, Y6)
+	LAZYMUL(Y5, Y10, Y11, Y3, Y4, Y6, Y7, Y8, Y9)   // sc=Y2, dc=Y3
+
+	// Stage B with wB[g]: sums condSub'd, diffs through the lazy multiply.
+	VPBROADCASTQ (R13), Y10
+	VPBROADCASTQ (R14), Y11
+	VPADDQ Y2, Y0, Y4
+	CONDSUBM(Y4, Y13, Y5, Y6, Y7)
+	VMOVDQU Y5, (AX)         // condSub(sa+sc, 2q)
+	VPADDQ Y3, Y1, Y4
+	CONDSUBM(Y4, Y13, Y5, Y6, Y7)
+	VMOVDQU Y5, (AX)(BX*1)   // condSub(da+dc, 2q)
+	VPADDQ Y13, Y0, Y4
+	VPSUBQ Y2, Y4, Y4        // sa + 2q − sc
+	LAZYMUL(Y4, Y10, Y11, Y5, Y0, Y2, Y6, Y7, Y8)
+	VMOVDQU Y5, (AX)(BX*2)
+	VPADDQ Y13, Y1, Y4
+	VPSUBQ Y3, Y4, Y4        // da + 2q − dc
+	LAZYMUL(Y4, Y10, Y11, Y5, Y0, Y1, Y2, Y6, Y7)
+	VMOVDQU Y5, (AX)(DX*1)
+
+	ADDQ $32, R9
+	CMPQ R9, BX
+	JL   inttpair_j
+
+	LEAQ (DI)(BX*4), DI
+	ADDQ $16, R10
+	ADDQ $16, R12
+	ADDQ $8, R13
+	ADDQ $8, R14
+	DECQ R11
+	JNZ  inttpair_group
+
+inttpair_done:
+	VZEROUPPER
+	RET
+
+// func inttLastEvenVec(p []uint64, wA0, wA0s, wA1, wA1s, ni, nis, w, ws, q uint64)
+// Even-log-N INTT epilogue: the unpaired m = 4 GS stage (twiddles wA0, wA1
+// over the quarter-arrays) fused with the final N^{-1}-scaled stage, fully
+// reducing to [0, q). len(p)/4 is a multiple of 4.
+TEXT ·inttLastEvenVec(SB), NOSPLIT, $0-96
+	MOVQ p_base+0(FP), DI
+	MOVQ p_len+8(FP), CX
+	SHRQ $2, CX
+	SHLQ $3, CX           // quarter length in bytes
+	MOVQ CX, BX
+	LEAQ (BX)(BX*2), DX
+	LOADCONSTS(q+88(FP))
+	XORQ R9, R9
+
+inttlast_j:
+	CMPQ R9, BX
+	JGE  inttlast_done
+	LEAQ (DI)(R9*1), AX
+	VMOVDQU (AX), Y0         // a
+	VMOVDQU (AX)(BX*1), Y1   // b
+	VPBROADCASTQ wA0+24(FP), Y10
+	VPBROADCASTQ wA0s+32(FP), Y11
+	VPADDQ Y1, Y0, Y2
+	VPADDQ Y13, Y0, Y4
+	VPSUBQ Y1, Y4, Y4
+	CONDSUBM(Y2, Y13, Y0, Y1, Y5)
+	LAZYMUL(Y4, Y10, Y11, Y1, Y2, Y5, Y6, Y7, Y8)   // sa=Y0, da=Y1
+	VMOVDQU (AX)(BX*2), Y2   // c
+	VMOVDQU (AX)(DX*1), Y3   // d
+	VPBROADCASTQ wA1+40(FP), Y10
+	VPBROADCASTQ wA1s+48(FP), Y11
+	VPADDQ Y3, Y2, Y4
+	VPADDQ Y13, Y2, Y5
+	VPSUBQ Y3, Y5, Y5
+	CONDSUBM(Y4, Y13, Y2, Y3, Y6)
+	LAZYMUL(Y5, Y10, Y11, Y3, Y4, Y6, Y7, Y8, Y9)   // sc=Y2, dc=Y3
+
+	// Final stage: sums scaled by N^{-1}, diffs by psiInvRevN, each
+	// condSubMask'd down to [0, q) — the scalar even epilogue verbatim.
+	VPADDQ Y2, Y0, Y4        // s0 = sa + sc
+	VPADDQ Y13, Y0, Y5
+	VPSUBQ Y2, Y5, Y5        // d0 = sa + 2q − sc
+	VPBROADCASTQ ni+56(FP), Y10
+	VPBROADCASTQ nis+64(FP), Y11
+	LAZYMUL(Y4, Y10, Y11, Y0, Y2, Y6, Y7, Y8, Y9)
+	CONDSUBM(Y0, Y15, Y2, Y4, Y6)
+	VMOVDQU Y2, (AX)
+	VPADDQ Y3, Y1, Y4        // s1 = da + dc
+	VPADDQ Y13, Y1, Y6
+	VPSUBQ Y3, Y6, Y6        // d1 = da + 2q − dc
+	LAZYMUL(Y4, Y10, Y11, Y0, Y1, Y2, Y3, Y7, Y8)
+	CONDSUBM(Y0, Y15, Y2, Y1, Y3)
+	VMOVDQU Y2, (AX)(BX*1)
+	VPBROADCASTQ w+72(FP), Y10
+	VPBROADCASTQ ws+80(FP), Y11
+	LAZYMUL(Y5, Y10, Y11, Y0, Y1, Y2, Y3, Y4, Y7)
+	CONDSUBM(Y0, Y15, Y2, Y1, Y3)
+	VMOVDQU Y2, (AX)(BX*2)
+	LAZYMUL(Y6, Y10, Y11, Y0, Y1, Y2, Y3, Y4, Y7)
+	CONDSUBM(Y0, Y15, Y2, Y1, Y3)
+	VMOVDQU Y2, (AX)(DX*1)
+
+	ADDQ $32, R9
+	JMP  inttlast_j
+
+inttlast_done:
+	VZEROUPPER
+	RET
+
+// func inttLastOddVec(x0, x1 []uint64, ni, nis, w, ws, q uint64)
+// Odd-log-N INTT epilogue: the final N^{-1}-scaled GS stage over the
+// half-arrays, fully reducing to [0, q).
+TEXT ·inttLastOddVec(SB), NOSPLIT, $0-88
+	MOVQ x0_base+0(FP), DI
+	MOVQ x0_len+8(FP), CX
+	MOVQ x1_base+24(FP), SI
+	LOADCONSTS(q+80(FP))
+	SHLQ $3, CX
+	XORQ R9, R9
+
+inttodd_j:
+	CMPQ R9, CX
+	JGE  inttodd_done
+	VMOVDQU (DI)(R9*1), Y0
+	VMOVDQU (SI)(R9*1), Y1
+	VPADDQ Y1, Y0, Y2        // u + v
+	VPADDQ Y13, Y0, Y3
+	VPSUBQ Y1, Y3, Y3        // u + 2q − v
+	VPBROADCASTQ ni+48(FP), Y10
+	VPBROADCASTQ nis+56(FP), Y11
+	LAZYMUL(Y2, Y10, Y11, Y0, Y1, Y4, Y5, Y6, Y7)
+	CONDSUBM(Y0, Y15, Y1, Y4, Y5)
+	VMOVDQU Y1, (DI)(R9*1)
+	VPBROADCASTQ w+64(FP), Y10
+	VPBROADCASTQ ws+72(FP), Y11
+	LAZYMUL(Y3, Y10, Y11, Y0, Y1, Y4, Y5, Y6, Y7)
+	CONDSUBM(Y0, Y15, Y1, Y4, Y5)
+	VMOVDQU Y1, (SI)(R9*1)
+	ADDQ $32, R9
+	JMP  inttodd_j
+
+inttodd_done:
+	VZEROUPPER
+	RET
+
+// func gatherIdxVec(dst, src []uint64, idx []int32)
+// dst[j] = src[idx[j]], 4 elements per VPGATHERDQ. The all-ones mask is
+// regenerated every iteration because the gather clears it.
+TEXT ·gatherIdxVec(SB), NOSPLIT, $0-72
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ src_base+24(FP), SI
+	MOVQ idx_base+48(FP), R10
+	SHRQ $2, CX
+	JZ   gather_done
+
+gather_loop:
+	VMOVDQU (R10), X1
+	VPCMPEQD Y2, Y2, Y2
+	VPGATHERDQ Y2, (SI)(X1*8), Y0
+	VMOVDQU Y0, (DI)
+	ADDQ $32, DI
+	ADDQ $16, R10
+	DECQ CX
+	JNZ  gather_loop
+
+gather_done:
+	VZEROUPPER
+	RET

@@ -1,0 +1,86 @@
+//go:build !amd64 || purego
+
+package ring
+
+// Scalar-only builds (non-amd64, or the purego tag): the vector butterfly
+// kernels are compiled out and the NTTLazy/INTTLazy drivers take the scalar
+// path unconditionally. The stubs below exist so the portable drivers
+// type-check; with useNTTKern a false constant the calls are dead code, and
+// reaching one anyway is a dispatch bug worth crashing on.
+
+const (
+	useNTTKern     = false
+	useNTTKernIFMA = false
+)
+
+func nttSingleVec(x0, x1 []uint64, w, ws, q uint64) {
+	panic("ring: nttSingleVec called on scalar-only build")
+}
+
+func nttPairVec(p, wA, wAs, wB, wBs []uint64, t int, q uint64) {
+	panic("ring: nttPairVec called on scalar-only build")
+}
+
+func nttTailVec(p, wA, wAs, wB, wBs []uint64, q uint64) {
+	panic("ring: nttTailVec called on scalar-only build")
+}
+
+func inttHeadVec(p, wA, wAs, wB, wBs []uint64, q uint64) {
+	panic("ring: inttHeadVec called on scalar-only build")
+}
+
+func inttPairVec(p, wA, wAs, wB, wBs []uint64, t int, q uint64) {
+	panic("ring: inttPairVec called on scalar-only build")
+}
+
+func inttLastEvenVec(p []uint64, wA0, wA0s, wA1, wA1s, ni, nis, w, ws, q uint64) {
+	panic("ring: inttLastEvenVec called on scalar-only build")
+}
+
+func inttLastOddVec(x0, x1 []uint64, ni, nis, w, ws, q uint64) {
+	panic("ring: inttLastOddVec called on scalar-only build")
+}
+
+func gatherIdxVec(dst, src []uint64, idx []int32) {
+	panic("ring: gatherIdxVec called on scalar-only build")
+}
+
+func nttSingleVec52(x0, x1 []uint64, w, w52, q uint64) {
+	panic("ring: nttSingleVec52 called on scalar-only build")
+}
+
+func nttPairVec52(p, wA, wA52, wB, wB52 []uint64, t int, q uint64) {
+	panic("ring: nttPairVec52 called on scalar-only build")
+}
+
+func nttTailVec52(p, wA, wA52, wB, wB52 []uint64, q uint64) {
+	panic("ring: nttTailVec52 called on scalar-only build")
+}
+
+func inttHeadVec52(p, wA, wA52, wB, wB52 []uint64, q uint64) {
+	panic("ring: inttHeadVec52 called on scalar-only build")
+}
+
+func inttPairVec52(p, wA, wA52, wB, wB52 []uint64, t int, q uint64) {
+	panic("ring: inttPairVec52 called on scalar-only build")
+}
+
+func inttLastEvenVec52(p []uint64, wA0, wA052, wA1, wA152, ni, ni52, w, w52, q uint64) {
+	panic("ring: inttLastEvenVec52 called on scalar-only build")
+}
+
+func inttLastOddVec52(x0, x1 []uint64, ni, ni52, w, w52, q uint64) {
+	panic("ring: inttLastOddVec52 called on scalar-only build")
+}
+
+func shoupMulVec52(dst, src []uint64, w, w52, q uint64) {
+	panic("ring: shoupMulVec52 called on scalar-only build")
+}
+
+func convAcc52(y, hc, lo, hi []uint64, stride int) {
+	panic("ring: convAcc52 called on scalar-only build")
+}
+
+func rescaleVec52(dst, src, last []uint64, inv, inv52, q uint64) {
+	panic("ring: rescaleVec52 called on scalar-only build")
+}

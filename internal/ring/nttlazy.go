@@ -1,6 +1,10 @@
 package ring
 
-import "alchemist/internal/modmath"
+import (
+	"math/bits"
+
+	"alchemist/internal/modmath"
+)
 
 // Lazy-reduction NTT kernels (Harvey): butterfly values live in [0, 4q) and
 // only the twiddle product is reduced (to [0, 2q)), deferring the rest of
@@ -48,12 +52,121 @@ func condSubMask(x, q uint64) uint64 {
 	return d + (q & uint64(int64(d)>>63))
 }
 
+// nttBlockWords is the cache-block size for the vector drivers, in
+// coefficients: 4096 words = 32 KiB, sized to a typical L1d. Once the fused
+// butterfly span fits a block, all remaining stages run block-by-block so
+// each block is loaded from L2/L3 once and then stays L1-resident through
+// the whole small-stride tail instead of being swept once per stage pair.
+const nttBlockWords = 4096
+
+// minVecN is the smallest ring degree routed to the vector kernels: the
+// fused tail kernels shuffle 4 consecutive coefficients per 256-bit lane
+// group and the INTT even epilogue needs quarter-arrays of at least one
+// full lane.
+const minVecN = 16
+
 // NTTLazy computes the same transform as NTT (natural order in,
-// bit-reversed out, fully reduced results) using lazy butterflies.
+// bit-reversed out, fully reduced results) using lazy butterflies. On
+// amd64 with AVX2 the butterfly stages run in the 4-lane assembly kernels
+// (nttkern_amd64.s) with cache-blocked stage iteration; outputs are
+// bit-identical to the scalar path on every input.
 //
 //alchemist:hot
 //alchemist:domain p:[0,q)
 func (s *SubRing) NTTLazy(p []uint64) {
+	if useNTTKern && s.N >= minVecN {
+		s.nttLazyVec(p)
+		return
+	}
+	s.nttLazyScalar(p)
+}
+
+// nttLazyVec drives the AVX2 butterfly kernels over the same stage
+// sequence as the scalar path, in three phases: an optional leading
+// radix-2 stage when log N is odd (the scalar path instead leaves the
+// unpaired stage for the end; regrouping is value-exact because no
+// reduction happens between fused stages, every stage applies
+// condSub/MulModShoupLazy to its own inputs, and the arithmetic is exact
+// mod 2^64), then fused stage pairs swept globally while their butterfly
+// span exceeds nttBlockWords, then one L1-resident pass per block running
+// all remaining pairs plus the fully-reducing tail back to back.
+//
+//alchemist:hot
+//alchemist:domain p:[0,q)
+func (s *SubRing) nttLazyVec(p []uint64) {
+	n, q := s.N, s.Q
+	ifma := s.ifma
+	m, t := 1, n
+	// Values live in [0, 4q) between stages, exactly as in the scalar path.
+	//
+	//alchemist:domain p:[0,4q)
+	if bits.TrailingZeros(uint(n))&1 == 1 {
+		// log N odd: leading single stage (t = n/2) with twiddle psiRev[1].
+		h := n >> 1
+		if ifma {
+			nttSingleVec52(p[0:h:h], p[h:n:n], s.psiRev[1], s.psiRev52[1], q)
+		} else {
+			nttSingleVec(p[0:h:h], p[h:n:n], s.psiRev[1], s.psiRevShoup[1], q)
+		}
+		m, t = 2, h
+	}
+	blockW := nttBlockWords
+	if blockW > n {
+		blockW = n
+	}
+	// A stage pair at m covers groups g0:g1 with quarter length qt. The
+	// IFMA tier needs 8 full lanes per quarter; the only narrower stage is
+	// the qt = 4 pair just before the tail, which takes the AVX2 kernel.
+	pair := func(dst []uint64, m, g0, g1, qt int) {
+		if ifma && qt&7 == 0 {
+			nttPairVec52(dst, s.psiRev[m+g0:m+g1], s.psiRev52[m+g0:m+g1],
+				s.psiRev[2*m+2*g0:2*m+2*g1], s.psiRev52[2*m+2*g0:2*m+2*g1], qt, q)
+			return
+		}
+		nttPairVec(dst, s.psiRev[m+g0:m+g1], s.psiRevShoup[m+g0:m+g1],
+			s.psiRev[2*m+2*g0:2*m+2*g1], s.psiRevShoup[2*m+2*g0:2*m+2*g1], qt, q)
+	}
+	// Fused stage pairs with span t > blockW sweep the whole array.
+	for ; 4*m < n; m <<= 2 {
+		if t <= blockW {
+			break
+		}
+		qt := t >> 2
+		pair(p, m, 0, m, qt)
+		t = qt
+	}
+	// Remaining pairs and the tail fit a block: run them per block. Block
+	// starts are multiples of every remaining span, so group ranges are
+	// exact and no butterfly crosses a block boundary.
+	for j0 := 0; j0 < n; j0 += blockW {
+		blk := p[j0 : j0+blockW : j0+blockW]
+		mb, tb := m, t
+		for ; 4*mb < n; mb <<= 2 {
+			qt := tb >> 2
+			pair(blk, mb, j0/(4*qt), (j0+blockW)/(4*qt), qt)
+			tb = qt
+		}
+		g0, g1 := j0>>2, (j0+blockW)>>2
+		if ifma {
+			nttTailVec52(blk, s.psiRev[mb+g0:mb+g1], s.psiRev52[mb+g0:mb+g1],
+				s.psiRev[2*mb+2*g0:2*mb+2*g1], s.psiRev52[2*mb+2*g0:2*mb+2*g1], q)
+		} else {
+			nttTailVec(blk, s.psiRev[mb+g0:mb+g1], s.psiRevShoup[mb+g0:mb+g1],
+				s.psiRev[2*mb+2*g0:2*mb+2*g1], s.psiRevShoup[2*mb+2*g0:2*mb+2*g1], q)
+		}
+	}
+	// The tail kernels fold the full reduction into the last stage pair, so
+	// every block is back in [0, q) here.
+	//
+	//alchemist:domain p:[0,q)
+}
+
+// nttLazyScalar is the portable reference implementation; the vector
+// kernels are pinned bit-identical to it.
+//
+//alchemist:hot
+//alchemist:domain p:[0,q)
+func (s *SubRing) nttLazyScalar(p []uint64) {
 	n, q := s.N, s.Q
 	twoQ := 2 * q
 	t := n
@@ -134,11 +247,110 @@ func (s *SubRing) NTTLazy(p []uint64) {
 }
 
 // INTTLazy computes the same transform as INTT using lazy butterflies, with
-// the N^{-1} scaling folded into the last stage (psiInvRevN twiddle).
+// the N^{-1} scaling folded into the last stage (psiInvRevN twiddle). On
+// amd64 with AVX2 the stages run in the 4-lane assembly kernels with
+// cache-blocked stage iteration, bit-identical to the scalar path.
 //
 //alchemist:hot
 //alchemist:domain p:[0,q)
 func (s *SubRing) INTTLazy(p []uint64) {
+	if useNTTKern && s.N >= minVecN {
+		s.inttLazyVec(p)
+		return
+	}
+	s.inttLazyScalar(p)
+}
+
+// inttLazyVec drives the AVX2 GS kernels over the exact scalar stage
+// sequence, mirror-image blocked: the INTT's small butterfly spans come
+// first, so each block runs the t = 1 head pair and every pair whose span
+// fits the block in one L1-resident pass, then the remaining wide pairs
+// sweep globally, then the N^{-1}-scaled epilogue fully reduces.
+//
+//alchemist:hot
+//alchemist:domain p:[0,q)
+func (s *SubRing) inttLazyVec(p []uint64) {
+	n, q := s.N, s.Q
+	ifma := s.ifma
+	// Sums and lazy products live in [0, 2q) between stages, as in the
+	// scalar path.
+	//
+	//alchemist:domain p:[0,2q)
+	blockW := nttBlockWords
+	if blockW > n {
+		blockW = n
+	}
+	// A GS stage pair at m covers groups g0:g1 with quarter length t; the
+	// t = 4 pair right after the head takes the AVX2 kernel (8-lane
+	// quarters need t a multiple of 8).
+	pair := func(dst []uint64, m, g0, g1, t int) {
+		a, b := m>>1, m>>2
+		if ifma && t&7 == 0 {
+			inttPairVec52(dst, s.psiInvRev[a+2*g0:a+2*g1], s.psiInvRev52[a+2*g0:a+2*g1],
+				s.psiInvRev[b+g0:b+g1], s.psiInvRev52[b+g0:b+g1], t, q)
+			return
+		}
+		inttPairVec(dst, s.psiInvRev[a+2*g0:a+2*g1], s.psiInvRevShoup[a+2*g0:a+2*g1],
+			s.psiInvRev[b+g0:b+g1], s.psiInvRevShoup[b+g0:b+g1], t, q)
+	}
+	hA, hB := n>>1, n>>2
+	for j0 := 0; j0 < n; j0 += blockW {
+		blk := p[j0 : j0+blockW : j0+blockW]
+		g0, g1 := j0>>2, (j0+blockW)>>2
+		if ifma {
+			inttHeadVec52(blk, s.psiInvRev[hA+2*g0:hA+2*g1], s.psiInvRev52[hA+2*g0:hA+2*g1],
+				s.psiInvRev[hB+g0:hB+g1], s.psiInvRev52[hB+g0:hB+g1], q)
+		} else {
+			inttHeadVec(blk, s.psiInvRev[hA+2*g0:hA+2*g1], s.psiInvRevShoup[hA+2*g0:hA+2*g1],
+				s.psiInvRev[hB+g0:hB+g1], s.psiInvRevShoup[hB+g0:hB+g1], q)
+		}
+		for m := n >> 2; m > 4; m >>= 2 {
+			t := n / m
+			if 4*t > blockW {
+				break
+			}
+			pair(blk, m, j0/(4*t), (j0+blockW)/(4*t), t)
+		}
+	}
+	// Wide pairs (span beyond a block) sweep the whole array, ascending t.
+	for m := n >> 2; m > 4; m >>= 2 {
+		t := n / m
+		if 4*t <= blockW {
+			continue
+		}
+		pair(p, m, 0, m>>2, t)
+	}
+	// Epilogue fully reduces to [0, q).
+	//
+	//alchemist:domain p:[0,q)
+	if bits.TrailingZeros(uint(n))&1 == 0 {
+		// The 8-lane even epilogue needs quarter-arrays of at least one
+		// full ZMM register (n ≥ 32).
+		if ifma && (n>>2)&7 == 0 {
+			inttLastEvenVec52(p, s.psiInvRev[2], s.psiInvRev52[2],
+				s.psiInvRev[3], s.psiInvRev52[3],
+				s.nInv, s.nInv52, s.psiInvRevN, s.psiInvRevN52, q)
+			return
+		}
+		inttLastEvenVec(p, s.psiInvRev[2], s.psiInvRevShoup[2],
+			s.psiInvRev[3], s.psiInvRevShoup[3],
+			s.nInv, s.nInvShoup, s.psiInvRevN, s.psiInvRevNShoup, q)
+		return
+	}
+	h := n >> 1
+	if ifma {
+		inttLastOddVec52(p[0:h:h], p[h:n:n], s.nInv, s.nInv52, s.psiInvRevN, s.psiInvRevN52, q)
+		return
+	}
+	inttLastOddVec(p[0:h:h], p[h:n:n], s.nInv, s.nInvShoup, s.psiInvRevN, s.psiInvRevNShoup, q)
+}
+
+// inttLazyScalar is the portable reference implementation; the vector
+// kernels are pinned bit-identical to it.
+//
+//alchemist:hot
+//alchemist:domain p:[0,q)
+func (s *SubRing) inttLazyScalar(p []uint64) {
 	n, q := s.N, s.Q
 	twoQ := 2 * q
 	t := 1
@@ -215,6 +427,15 @@ func (s *SubRing) INTTLazy(p []uint64) {
 		x[j] = condSubMask(modmath.MulModShoupLazy(u+v, ni, nis, q), q)
 		y[j] = condSubMask(modmath.MulModShoupLazy(u+twoQ-v, w, ws, q), q)
 	}
+}
+
+// shoup52 returns ⌊w·2^52/q⌋, the base-2^52 Shoup precomputation used by
+// the 52-bit madd kernels in place of ShoupPrecomp's base 2^64. Callers
+// guarantee w < q < 2^50, so the dividend's high word w>>12 is below q and
+// the quotient fits 52 bits.
+func shoup52(w, q uint64) uint64 {
+	quo, _ := bits.Div64(w>>12, w<<52, q)
+	return quo
 }
 
 // reduceOnce folds a lazy-domain value x < 4q into [0, q): one conditional

@@ -43,24 +43,55 @@ func SetPoolDebug(on bool) { poolDebug.Store(on) }
 // PoolDebug reports whether release-poisoning is enabled.
 func PoolDebug() bool { return poolDebug.Load() }
 
-// BufPool is a sync.Pool of []uint64 scratch buffers. Buffers of any length
+// BufPool is an arena of []uint64 scratch buffers. Buffers of any length
 // can be requested; in steady state all callers of one pool request the same
 // length, so recycled buffers always fit.
 //
-// The pool stores *[]uint64 rather than []uint64: storing a bare slice in a
-// sync.Pool boxes its three-word header on every Put (non-pointer → interface
-// conversion allocates), which would leave one allocation per call in kernels
-// this arena exists to make allocation-free. The header boxes themselves are
-// recycled through a second pool, so a steady-state Get/Put cycle allocates
-// nothing.
+// Two tiers. A small mutex-guarded resident stack holds the working set with
+// strong references, so a GC cannot evict it — sync.Pool alone loses its
+// contents (and its internal per-P chains) across collection cycles, which
+// shows up as a few stray bytes/op in benchmark harnesses that force a GC
+// per run, exactly the steady-state noise this arena exists to eliminate.
+// Overflow beyond the resident stack spills to a sync.Pool, which stores
+// *[]uint64 rather than []uint64: storing a bare slice boxes its three-word
+// header on every Put (non-pointer → interface conversion allocates). The
+// header boxes themselves are recycled through a second pool, so a
+// steady-state Get/Put cycle allocates nothing on either tier.
 type BufPool struct {
-	bufs sync.Pool // *[]uint64 with the buffer attached
-	hdrs sync.Pool // spare *[]uint64 header boxes awaiting reuse
+	mu       sync.Mutex
+	resident [][]uint64 // GC-immune free stack, at most bufPoolResident deep
+	bufs     sync.Pool  // overflow: *[]uint64 with the buffer attached
+	hdrs     sync.Pool  // spare *[]uint64 header boxes awaiting reuse
 }
+
+// bufPoolResident caps the strongly-referenced free stack: deep enough for
+// every concurrent scratch need in one kernel call (KSAccumulate holds
+// ksChunk buffers at once), small enough that an idle pool pins little.
+const bufPoolResident = 4
+
+// bufPoolResidentMaxWords bounds which buffers the resident stack accepts:
+// conversion-tile and digit scratch (tens of KB) ride it, full ring-degree
+// polynomials at production N do not — pinning those across every pool in a
+// long-lived process trades the stray bytes/op they'd occasionally cost for
+// megabytes of heap that every later workload pays for.
+const bufPoolResidentMaxWords = 1 << 15
 
 // Get returns a length-n scratch slice with arbitrary contents. The caller
 // must overwrite before reading.
 func (bp *BufPool) Get(n int) []uint64 {
+	bp.mu.Lock()
+	for i := len(bp.resident) - 1; i >= 0; i-- {
+		b := bp.resident[i]
+		if cap(b) >= n {
+			last := len(bp.resident) - 1
+			bp.resident[i] = bp.resident[last]
+			bp.resident[last] = nil
+			bp.resident = bp.resident[:last]
+			bp.mu.Unlock()
+			return b[:n]
+		}
+	}
+	bp.mu.Unlock()
 	if v := bp.bufs.Get(); v != nil {
 		h := v.(*[]uint64)
 		b := *h
@@ -83,6 +114,15 @@ func (bp *BufPool) Put(b []uint64) {
 		for i := range b {
 			b[i] = poolPoison
 		}
+	}
+	if cap(b) <= bufPoolResidentMaxWords {
+		bp.mu.Lock()
+		if len(bp.resident) < bufPoolResident {
+			bp.resident = append(bp.resident, b[:cap(b)])
+			bp.mu.Unlock()
+			return
+		}
+		bp.mu.Unlock()
 	}
 	var h *[]uint64
 	if v := bp.hdrs.Get(); v != nil {

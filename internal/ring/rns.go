@@ -21,6 +21,9 @@ type BasisConverter struct {
 	// qiHatInv[l][i] = (Q_l/q_i)^{-1} mod q_i where Q_l = q_0…q_l.
 	qiHatInv      [][]uint64
 	qiHatInvShoup [][]uint64
+	// qiHatInv52[l][i] is the base-2^52 Shoup precomputation of qiHatInv,
+	// populated only when conv52 is set (the AVX512-IFMA conversion tier).
+	qiHatInv52 [][]uint64
 	// qiHat[l][i][j] = (Q_l/q_i) mod p_j.
 	qiHat      [][][]uint64
 	qiHatShoup [][][]uint64
@@ -36,6 +39,11 @@ type BasisConverter struct {
 	// moduli, so a capacity-bounded sum stays inside Barrett.Reduce's
 	// x < p_j·2^64 domain.
 	lazyCap int
+	// conv52 selects the AVX512-IFMA conversion kernels (decompose.go):
+	// requires the IFMA tier plus every source AND target modulus below
+	// 2^51, so step 1's lazy Shoup range [0, 2q) and every step-2 madd
+	// operand fit base 2^52.
+	conv52 bool
 }
 
 // convBlock is the coefficient tile width of the basis conversions: the
@@ -67,6 +75,15 @@ func NewBasisConverter(src, dst []uint64) *BasisConverter {
 		}
 	}
 	bc.lazyCap = 1 << (64 - bits.Len64(maxSrc))
+	bc.conv52 = useNTTKernIFMA && maxSrc < 1<<51
+	for _, pj := range dst {
+		if pj >= 1<<51 {
+			bc.conv52 = false
+		}
+	}
+	if bc.conv52 {
+		bc.qiHatInv52 = make([][]uint64, L)
+	}
 	for l := 0; l < L; l++ {
 		Ql := big.NewInt(1)
 		for i := 0; i <= l; i++ {
@@ -74,6 +91,9 @@ func NewBasisConverter(src, dst []uint64) *BasisConverter {
 		}
 		bc.qiHatInv[l] = make([]uint64, l+1)
 		bc.qiHatInvShoup[l] = make([]uint64, l+1)
+		if bc.conv52 {
+			bc.qiHatInv52[l] = make([]uint64, l+1)
+		}
 		bc.qiHat[l] = make([][]uint64, l+1)
 		bc.qiHatShoup[l] = make([][]uint64, l+1)
 		tmp := new(big.Int)
@@ -84,6 +104,9 @@ func NewBasisConverter(src, dst []uint64) *BasisConverter {
 			invU := modmath.InvMod(inv.Uint64(), src[i])
 			bc.qiHatInv[l][i] = invU
 			bc.qiHatInvShoup[l][i] = modmath.ShoupPrecomp(invU, src[i])
+			if bc.conv52 {
+				bc.qiHatInv52[l][i] = shoup52(invU, src[i])
+			}
 			bc.qiHat[l][i] = make([]uint64, len(dst))
 			bc.qiHatShoup[l][i] = make([]uint64, len(dst))
 			for j, pj := range dst {
@@ -175,6 +198,13 @@ type Extender struct {
 	// qlInv[l][i] = q_l^{-1} mod q_i (i < l), for rescaling by the last modulus.
 	qlInv      [][]uint64
 	qlInvShoup [][]uint64
+
+	// pInv52 / qlInv52 are the base-2^52 Shoup precomputations of the two
+	// inverse tables, populated only on the AVX512-IFMA tier: the rescale and
+	// ModDown channel steps share one fused subtract-scale-reduce kernel
+	// (rescaleVec52) whenever the channel modulus fits its q < 2^51 bound.
+	pInv52  []uint64
+	qlInv52 [][]uint64
 }
 
 // NewExtender builds an Extender for rings rQ (main basis) and rP (special
@@ -208,6 +238,19 @@ func NewExtender(rQ, rP *Ring) *Extender {
 			inv := modmath.InvMod(rQ.SubRings[i].ReduceWord(rQ.Moduli[l]), rQ.Moduli[i])
 			e.qlInv[l][i] = inv
 			e.qlInvShoup[l][i] = modmath.ShoupPrecomp(inv, rQ.Moduli[i])
+		}
+	}
+	if useNTTKernIFMA {
+		e.pInv52 = make([]uint64, len(rQ.Moduli))
+		for i, qi := range rQ.Moduli {
+			e.pInv52[i] = shoup52(e.pInv[i], qi)
+		}
+		e.qlInv52 = make([][]uint64, L)
+		for l := 1; l < L; l++ {
+			e.qlInv52[l] = make([]uint64, l)
+			for i := 0; i < l; i++ {
+				e.qlInv52[l][i] = shoup52(e.qlInv[l][i], rQ.Moduli[i])
+			}
 		}
 	}
 	return e
@@ -257,11 +300,19 @@ func (e *Extender) ModDownEager(level int, aQ, aP, out *Poly) {
 }
 
 // modDownChannel applies the subtract-and-scale step of ModDown in channel i.
+//
+//alchemist:hot
 func (e *Extender) modDownChannel(i int, aQ, conv, out *Poly) {
 	n := e.RQ.N
 	qi := e.RQ.Moduli[i]
 	inv, invS := e.pInv[i], e.pInvShoup[i]
 	src, c, dst := aQ.Coeffs[i][:n:n], conv.Coeffs[i][:n:n], out.Coeffs[i][:n:n]
+	if useNTTKernIFMA && qi < 1<<51 && n&7 == 0 {
+		// c is fully reduced, so the kernel's leading condSub is a no-op and
+		// the composition matches this loop bit for bit.
+		rescaleVec52(dst, src, c, inv, e.pInv52[i], qi)
+		return
+	}
 	for k := 0; k < n; k++ {
 		d := src[k] + qi - c[k] // src, c < q_i, so d < 2q_i
 		dst[k] = condSubMask(modmath.MulModShoupLazy(d, inv, invS, qi), qi)
@@ -296,6 +347,8 @@ func (e *Extender) RescaleByLastModulus(level int, a, out *Poly) {
 
 // rescaleChannel applies the rescale step out_i = (a_i - a_level)·q_level^{-1}
 // in channel i, with the a_level→q_i reduction specialized per the doc above.
+//
+//alchemist:hot
 func (e *Extender) rescaleChannel(level, i int, a, out *Poly) {
 	n := e.RQ.N
 	ql := e.RQ.Moduli[level]
@@ -303,6 +356,14 @@ func (e *Extender) rescaleChannel(level, i int, a, out *Poly) {
 	qi := e.RQ.Moduli[i]
 	inv, invS := e.qlInv[level][i], e.qlInvShoup[level][i]
 	src, dst := a.Coeffs[i][:n:n], out.Coeffs[i][:n:n]
+	if useNTTKernIFMA && qi < 1<<51 && ql <= 2*qi && n&7 == 0 {
+		// One kernel covers both cheap reduction cases: its leading condSub
+		// of last is the identity when q_l ≤ q_i and exactly the scalar
+		// condSubMask when q_l ≤ 2q_i, so either way the composition is
+		// bit-identical to the matching scalar loop below.
+		rescaleVec52(dst, src, last, inv, e.qlInv52[level][i], qi)
+		return
+	}
 	switch {
 	case ql <= qi:
 		for k := 0; k < n; k++ {

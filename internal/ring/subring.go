@@ -35,6 +35,17 @@ type SubRing struct {
 	psiInvRevN      uint64
 	psiInvRevNShoup uint64
 
+	// Base-2^52 Shoup tables for the AVX512-IFMA butterfly kernels:
+	// w52 = ⌊w·2^52/q⌋ replaces the base-2^64 precomputation, so the lazy
+	// product is two 52-bit madds instead of a composed 64×64 multiply.
+	// Built only when the IFMA tier can run this subring (q < 2^50, so the
+	// whole [0,4q) lazy domain fits a 52-bit madd operand).
+	psiRev52     []uint64
+	psiInvRev52  []uint64
+	nInv52       uint64
+	psiInvRevN52 uint64
+	ifma         bool // IFMA tier usable: CPU support ∧ q < 2^50 ∧ N ≥ minVecN
+
 	barrett modmath.Barrett
 
 	scratch BufPool // 4-step NTT matrix scratch (fourstep.go)
@@ -92,6 +103,17 @@ func (s *SubRing) buildTables() {
 	s.nInvShoup = modmath.ShoupPrecomp(s.nInv, s.Q)
 	s.psiInvRevN = modmath.MulMod(s.psiInvRev[1], s.nInv, s.Q)
 	s.psiInvRevNShoup = modmath.ShoupPrecomp(s.psiInvRevN, s.Q)
+	if useNTTKernIFMA && s.Q < 1<<50 && n >= minVecN {
+		s.ifma = true
+		s.psiRev52 = make([]uint64, n)
+		s.psiInvRev52 = make([]uint64, n)
+		for i := 0; i < n; i++ {
+			s.psiRev52[i] = shoup52(s.psiRev[i], s.Q)
+			s.psiInvRev52[i] = shoup52(s.psiInvRev[i], s.Q)
+		}
+		s.nInv52 = shoup52(s.nInv, s.Q)
+		s.psiInvRevN52 = shoup52(s.psiInvRevN, s.Q)
+	}
 }
 
 func log2(n int) int {

@@ -1,3 +1,5 @@
+//go:build amd64 && !purego
+
 // AVX kernels for the folded negacyclic FFT (see fftkern_amd64.go for the
 // contracts). Complex multiply recipe, two complex128 per ymm:
 //   wre = vmovddup(w)            [br br | br' br']
