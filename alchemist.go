@@ -47,6 +47,7 @@ import (
 	"alchemist/internal/errs"
 	"alchemist/internal/sim"
 	"alchemist/internal/tfhe"
+	"alchemist/internal/tokens"
 	"alchemist/internal/trace"
 	"alchemist/internal/workload"
 )
@@ -132,6 +133,16 @@ func BaselineJob(cfg BaselineConfig, g *Graph) Job { return engine.BaselineJob(c
 
 // WithWorkers sets the evaluation pool size (default runtime.NumCPU).
 func WithWorkers(n int) Option { return engine.WithWorkers(n) }
+
+// SetComputeBudget retunes the process-wide compute-token budget (default
+// GOMAXPROCS) shared by the engine's job parallelism and the ring layer's
+// limb/block parallelism: the two compose additively against this one
+// budget, so enabling both never oversubscribes the machine. Values below 1
+// clamp to 1.
+func SetComputeBudget(n int) { tokens.SetBudget(n) }
+
+// ComputeBudget reports the configured compute-token budget.
+func ComputeBudget() int { return tokens.Budget() }
 
 // WithTimeout bounds each job's wall time.
 func WithTimeout(d time.Duration) Option { return engine.WithTimeout(d) }

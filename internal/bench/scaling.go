@@ -1,0 +1,301 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"alchemist/internal/tokens"
+)
+
+// Multi-worker scaling captures (schema alchemist-bench/v2).
+//
+// A v1 capture is one pass of the live suite at a single worker count. A v2
+// capture wraps one sub-suite per requested worker count — each measured
+// with GOMAXPROCS and the process-wide compute-token budget raised to match,
+// so the ring scheduler can actually grant helpers — plus a derived scaling
+// table: speedup of every kernel versus the workers=1 sub-suite and parallel
+// efficiency (speedup divided by the worker count the host could physically
+// grant, min(workers, NumCPU)). On a single-core host efficiency is reported
+// against 1 effective worker: a ~1.0x "speedup" there is the honest result —
+// the capture proves byte-identical composition and bounded overhead, not
+// parallel wall-clock gains it physically cannot have.
+//
+// Comparisons refuse to match sub-suites captured under different
+// (GOMAXPROCS, workers) settings: a serial capture diffed against a parallel
+// one would print phantom regressions or phantom wins, so zero matching
+// sub-suites is a hard error, not an empty table.
+
+// SchemaV1 and SchemaV2 are the accepted capture schema tags.
+const (
+	SchemaV1 = "alchemist-bench/v1"
+	SchemaV2 = "alchemist-bench/v2"
+)
+
+// ScalingRow is one kernel × worker-count point of the scaling table.
+type ScalingRow struct {
+	Name       string  `json:"name"`
+	Workers    int     `json:"workers"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	Speedup    float64 `json:"speedup"`    // ns(workers=1) / ns(workers=W)
+	Efficiency float64 `json:"efficiency"` // Speedup / min(W, NumCPU)
+}
+
+// ScalingSuite is a multi-worker capture: one LiveSuite per worker count
+// plus the derived scaling table.
+type ScalingSuite struct {
+	Schema    string       `json:"schema"`
+	Label     string       `json:"label"`
+	GoVersion string       `json:"go"`
+	NumCPU    int          `json:"numcpu"`
+	Subs      []*LiveSuite `json:"subs"`
+	Scaling   []ScalingRow `json:"scaling,omitempty"`
+}
+
+// RunScaling measures the live suite once per worker count. Each pass runs
+// with runtime.GOMAXPROCS and tokens.SetBudget raised to that count (both
+// restored afterwards); without that, a capture on a host that booted with
+// GOMAXPROCS=1 would silently measure the serial path at every count.
+func RunScaling(cfg LiveConfig, workerCounts []int) (*ScalingSuite, error) {
+	ss := &ScalingSuite{
+		Schema:    SchemaV2,
+		Label:     cfg.Label,
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+	}
+	oldProcs := runtime.GOMAXPROCS(0)
+	oldBudget := tokens.Budget()
+	defer func() {
+		runtime.GOMAXPROCS(oldProcs)
+		tokens.SetBudget(oldBudget)
+	}()
+	for _, w := range workerCounts {
+		if w < 1 {
+			return nil, fmt.Errorf("bench: worker count %d < 1", w)
+		}
+		procs := w
+		if procs < oldProcs {
+			procs = oldProcs
+		}
+		runtime.GOMAXPROCS(procs)
+		tokens.SetBudget(procs)
+		sub := cfg
+		sub.Workers = w
+		sub.Label = fmt.Sprintf("%s/workers=%d", cfg.Label, w)
+		cfg.progress("--- workers=%d (GOMAXPROCS=%d) ---", w, procs)
+		s, err := RunLive(sub)
+		if err != nil {
+			return nil, err
+		}
+		ss.Subs = append(ss.Subs, s)
+	}
+	ss.Scaling = ss.deriveScaling()
+	return ss, nil
+}
+
+// deriveScaling computes speedup and efficiency for every kernel of every
+// sub-suite against the workers=1 sub-suite (no rows if there isn't one).
+func (ss *ScalingSuite) deriveScaling() []ScalingRow {
+	var base *LiveSuite
+	for _, s := range ss.Subs {
+		if s.Workers == 1 {
+			base = s
+			break
+		}
+	}
+	if base == nil {
+		return nil
+	}
+	ref := make(map[string]float64, len(base.Results))
+	for _, r := range base.Results {
+		ref[r.Name] = r.NsPerOp
+	}
+	var rows []ScalingRow
+	for _, s := range ss.Subs {
+		if s.Workers == 1 {
+			continue
+		}
+		eff := s.Workers
+		if ss.NumCPU < eff {
+			eff = ss.NumCPU
+		}
+		if eff < 1 {
+			eff = 1
+		}
+		for _, r := range s.Results {
+			b, ok := ref[r.Name]
+			if !ok || r.NsPerOp <= 0 {
+				continue
+			}
+			sp := b / r.NsPerOp
+			rows = append(rows, ScalingRow{
+				Name:       r.Name,
+				Workers:    s.Workers,
+				NsPerOp:    r.NsPerOp,
+				Speedup:    sp,
+				Efficiency: sp / float64(eff),
+			})
+		}
+	}
+	return rows
+}
+
+// ScalingReport renders the scaling table.
+func (ss *ScalingSuite) ScalingReport() *Report {
+	r := &Report{
+		ID:      "bench-scaling",
+		Title:   fmt.Sprintf("parallel scaling: %s (NumCPU=%d)", ss.Label, ss.NumCPU),
+		Headers: []string{"kernel", "workers", "ns/op", "speedup", "efficiency"},
+	}
+	for _, row := range ss.Scaling {
+		r.AddRow(row.Name, f("%d", row.Workers), f("%.0f", row.NsPerOp),
+			f("%.2fx", row.Speedup), f("%.0f%%", row.Efficiency*100))
+	}
+	return r
+}
+
+// scalingKernels are the kernels whose work is actually partitioned by the
+// ring scheduler — the ones an efficiency floor may be asserted on. Kernels
+// outside this set (TFHE pipeline, engine report cache) do not scale with
+// ring workers by design.
+var scalingKernels = map[string]bool{
+	"ring/ntt":              true,
+	"ring/intt":             true,
+	"ring/ntt-par":          true,
+	"ring/modup":            true,
+	"ring/automorphism-ntt": true,
+	"ckks/rescale":          true,
+	"ckks/keyswitch-fused":  true,
+}
+
+// CheckEfficiencyFloor fails if any scheduler-partitioned kernel's parallel
+// efficiency falls below floor. Only meaningful on hosts with NumCPU >= the
+// captured worker counts; on narrower hosts min(W, NumCPU) normalization
+// already reflects the physical limit.
+func (ss *ScalingSuite) CheckEfficiencyFloor(floor float64) error {
+	if floor <= 0 {
+		return nil
+	}
+	var bad []string
+	for _, row := range ss.Scaling {
+		if scalingKernels[row.Name] && row.Efficiency < floor {
+			bad = append(bad, fmt.Sprintf("%s@workers=%d: efficiency %.0f%% < floor %.0f%%",
+				row.Name, row.Workers, row.Efficiency*100, floor*100))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("bench: %d kernel(s) under the efficiency floor:\n  %s",
+			len(bad), joinLines(bad))
+	}
+	return nil
+}
+
+func joinLines(lines []string) string {
+	out := ""
+	for i, l := range lines {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += l
+	}
+	return out
+}
+
+// ReadCapture loads a committed capture of either schema, normalizing a v1
+// single suite into a one-sub ScalingSuite so the comparison path is
+// uniform.
+func ReadCapture(path string) (*ScalingSuite, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var head struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &head); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	switch head.Schema {
+	case SchemaV2:
+		var ss ScalingSuite
+		if err := json.Unmarshal(data, &ss); err != nil {
+			return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+		}
+		return &ss, nil
+	case SchemaV1, "":
+		var s LiveSuite
+		if err := json.Unmarshal(data, &s); err != nil {
+			return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+		}
+		return &ScalingSuite{
+			Schema:    SchemaV1,
+			Label:     s.Label,
+			GoVersion: s.GoVersion,
+			Subs:      []*LiveSuite{&s},
+		}, nil
+	default:
+		return nil, fmt.Errorf("bench: %s: unknown schema %q", path, head.Schema)
+	}
+}
+
+// Wrap lifts a freshly measured single suite into the uniform capture shape.
+func Wrap(s *LiveSuite) *ScalingSuite {
+	return &ScalingSuite{Schema: SchemaV1, Label: s.Label, GoVersion: s.GoVersion, Subs: []*LiveSuite{s}}
+}
+
+// Comparable reports whether two sub-suites were measured under the same
+// parallel configuration. Diffing across configurations is meaningless —
+// the gap would be scheduling, not kernels.
+func (s *LiveSuite) Comparable(base *LiveSuite) bool {
+	return s.GOMAXPROCS == base.GOMAXPROCS && s.Workers == base.Workers
+}
+
+// MatchedPair is one comparable (new, base) sub-suite pair.
+type MatchedPair struct {
+	New, Base *LiveSuite
+}
+
+// MatchSubs pairs sub-suites by (GOMAXPROCS, workers). Zero pairs is a hard
+// error: a gate run that silently compared nothing would always pass.
+func MatchSubs(new, base *ScalingSuite) ([]MatchedPair, error) {
+	var pairs []MatchedPair
+	used := make([]bool, len(base.Subs))
+	for _, n := range new.Subs {
+		for i, b := range base.Subs {
+			if !used[i] && n.Comparable(b) {
+				pairs = append(pairs, MatchedPair{New: n, Base: b})
+				used[i] = true
+				break
+			}
+		}
+	}
+	if len(pairs) == 0 {
+		var nw, bw []string
+		for _, s := range new.Subs {
+			nw = append(nw, fmt.Sprintf("gomaxprocs=%d/workers=%d", s.GOMAXPROCS, s.Workers))
+		}
+		for _, s := range base.Subs {
+			bw = append(bw, fmt.Sprintf("gomaxprocs=%d/workers=%d", s.GOMAXPROCS, s.Workers))
+		}
+		return nil, fmt.Errorf(
+			"bench: no comparable sub-suites: capture has [%s], baseline has [%s]; "+
+				"re-capture with matching -workers and GOMAXPROCS",
+			join(nw), join(bw))
+	}
+	return pairs, nil
+}
+
+// WriteJSON writes the capture to path ("-" for stdout).
+func (ss *ScalingSuite) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(ss, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

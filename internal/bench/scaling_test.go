@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sub(gomaxprocs, workers int, results ...LiveResult) *LiveSuite {
+	return &LiveSuite{
+		Schema:     SchemaV1,
+		GOMAXPROCS: gomaxprocs,
+		Workers:    workers,
+		Results:    results,
+	}
+}
+
+func TestDeriveScaling(t *testing.T) {
+	ss := &ScalingSuite{
+		Schema: SchemaV2,
+		NumCPU: 2,
+		Subs: []*LiveSuite{
+			sub(1, 1, LiveResult{Name: "ring/ntt", NsPerOp: 1000}),
+			sub(4, 4, LiveResult{Name: "ring/ntt", NsPerOp: 500}, LiveResult{Name: "ring/new", NsPerOp: 10}),
+		},
+	}
+	rows := ss.deriveScaling()
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1 (kernels without a workers=1 reference are skipped)", len(rows))
+	}
+	r := rows[0]
+	if r.Name != "ring/ntt" || r.Workers != 4 {
+		t.Fatalf("unexpected row %+v", r)
+	}
+	if r.Speedup != 2.0 {
+		t.Errorf("speedup = %v, want 2.0", r.Speedup)
+	}
+	// 4 workers on a 2-CPU host: efficiency normalizes by min(4, 2) = 2.
+	if r.Efficiency != 1.0 {
+		t.Errorf("efficiency = %v, want 1.0", r.Efficiency)
+	}
+}
+
+func TestDeriveScalingNoBaseline(t *testing.T) {
+	ss := &ScalingSuite{Subs: []*LiveSuite{sub(4, 4, LiveResult{Name: "x", NsPerOp: 1})}}
+	if rows := ss.deriveScaling(); rows != nil {
+		t.Fatalf("no workers=1 sub-suite must yield no scaling rows, got %v", rows)
+	}
+}
+
+func TestCheckEfficiencyFloor(t *testing.T) {
+	ss := &ScalingSuite{
+		Scaling: []ScalingRow{
+			{Name: "ring/ntt", Workers: 4, Efficiency: 0.9},
+			{Name: "ring/modup", Workers: 4, Efficiency: 0.2},
+			{Name: "tfhe/bootstrap", Workers: 4, Efficiency: 0.01}, // not scheduler-partitioned: exempt
+		},
+	}
+	if err := ss.CheckEfficiencyFloor(0); err != nil {
+		t.Fatalf("floor 0 must disable the check: %v", err)
+	}
+	if err := ss.CheckEfficiencyFloor(0.1); err != nil {
+		t.Fatalf("all partitioned kernels above 0.1: %v", err)
+	}
+	err := ss.CheckEfficiencyFloor(0.5)
+	if err == nil {
+		t.Fatal("ring/modup at 0.2 must trip a 0.5 floor")
+	}
+	if !strings.Contains(err.Error(), "ring/modup") || strings.Contains(err.Error(), "tfhe/bootstrap") {
+		t.Fatalf("floor error must name ring/modup and exempt tfhe/bootstrap: %v", err)
+	}
+}
+
+func TestMatchSubsPairsByConfig(t *testing.T) {
+	newC := &ScalingSuite{Subs: []*LiveSuite{sub(1, 1), sub(4, 4)}}
+	base := &ScalingSuite{Subs: []*LiveSuite{sub(1, 1)}}
+	pairs, err := MatchSubs(newC, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 || pairs[0].New.Workers != 1 || pairs[0].Base.Workers != 1 {
+		t.Fatalf("got %d pairs %v, want the single workers=1 pair", len(pairs), pairs)
+	}
+}
+
+func TestMatchSubsMismatchIsHardError(t *testing.T) {
+	newC := &ScalingSuite{Subs: []*LiveSuite{sub(4, 4)}}
+	base := &ScalingSuite{Subs: []*LiveSuite{sub(1, 1)}}
+	if _, err := MatchSubs(newC, base); err == nil {
+		t.Fatal("comparing gomaxprocs=4/workers=4 against gomaxprocs=1/workers=1 must be a hard error")
+	} else if !strings.Contains(err.Error(), "gomaxprocs=4/workers=4") {
+		t.Fatalf("error must spell out both configurations: %v", err)
+	}
+}
+
+func TestReadCaptureNormalizesSchemas(t *testing.T) {
+	dir := t.TempDir()
+
+	v1 := &LiveSuite{Schema: SchemaV1, Label: "v1cap", GOMAXPROCS: 1, Workers: 1,
+		Results: []LiveResult{{Name: "ring/ntt", NsPerOp: 10}}}
+	v1Path := filepath.Join(dir, "v1.json")
+	if err := v1.WriteJSON(v1Path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCapture(v1Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Subs) != 1 || got.Subs[0].Workers != 1 || got.Label != "v1cap" {
+		t.Fatalf("v1 capture not normalized to a one-sub suite: %+v", got)
+	}
+
+	v2 := &ScalingSuite{Schema: SchemaV2, Label: "v2cap", NumCPU: 1,
+		Subs: []*LiveSuite{sub(1, 1), sub(4, 4)}}
+	v2Path := filepath.Join(dir, "v2.json")
+	if err := v2.WriteJSON(v2Path); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadCapture(v2Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Subs) != 2 || got.Label != "v2cap" {
+		t.Fatalf("v2 capture round-trip lost subs: %+v", got)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"alchemist-bench/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCapture(bad); err == nil {
+		t.Fatal("unknown schema must be rejected")
+	}
+}
+
+func TestScalingReportRenders(t *testing.T) {
+	ss := &ScalingSuite{
+		Label:  "x",
+		NumCPU: 4,
+		Scaling: []ScalingRow{
+			{Name: "ring/ntt", Workers: 4, NsPerOp: 250, Speedup: 3.2, Efficiency: 0.8},
+		},
+	}
+	out := ss.ScalingReport().String()
+	for _, want := range []string{"ring/ntt", "3.20x", "80%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -151,8 +151,14 @@ func NewContext(params Parameters) (*Context, error) {
 			hi = len(params.Q)
 		}
 		src := params.Q[g*alpha : hi]
-		ctx.groupToQ = append(ctx.groupToQ, ring.NewBasisConverter(src, params.Q))
-		ctx.groupToP = append(ctx.groupToP, ring.NewBasisConverter(src, params.P))
+		toQ := ring.NewBasisConverter(src, params.Q)
+		toP := ring.NewBasisConverter(src, params.P)
+		// Digit conversions ride the main ring's scheduler so SetWorkers
+		// reaches the fused keyswitch's Bconv tiles too.
+		toQ.BindScheduler(rq)
+		toP.BindScheduler(rq)
+		ctx.groupToQ = append(ctx.groupToQ, toQ)
+		ctx.groupToP = append(ctx.groupToP, toP)
 	}
 	duals := make([]*ring.DualConverter, len(ctx.groupToQ))
 	for g := range duals {
@@ -176,6 +182,27 @@ func NewContext(params Parameters) (*Context, error) {
 		ctx.pInvQ = append(ctx.pInvQ, modmath.InvMod(pq, qi))
 	}
 	return ctx, nil
+}
+
+// SetWorkers fans the worker count out to every ring the context owns (RQ,
+// RP) — and with them the bound converters — so one call configures the
+// whole kernel suite an evaluation touches. 1 (the default) disables
+// parallelism. Safe to call concurrently with running evaluations; the
+// setting applies to subsequently submitted kernels.
+func (c *Context) SetWorkers(n int) {
+	c.RQ.SetWorkers(n)
+	c.RP.SetWorkers(n)
+}
+
+// Workers reports the configured worker count (minimum 1).
+func (c *Context) Workers() int { return c.RQ.Workers() }
+
+// Close tears down the resident worker pools of the context's rings (see
+// ring.Ring.Close); the context remains usable, falling back to serial
+// kernels until another parallel call respawns workers.
+func (c *Context) Close() {
+	c.RQ.Close()
+	c.RP.Close()
 }
 
 func (c *Context) groupRange(g int) (lo, hi int) {

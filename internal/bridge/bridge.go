@@ -79,6 +79,15 @@ func New(ctx *ckks.Context, kg *ckks.KeyGenerator, sk *ckks.SecretKey, tf *tfhe.
 	}, nil
 }
 
+// SetWorkers fans the worker count out to the bridge's CKKS context (and
+// through it to every ring kernel the SlotToCoeff evaluation and the
+// extraction run). The TFHE side is already streamed by its own pipeline
+// (tfhe.Bootstrapper); its parallelism is configured there.
+func (b *Bridge) SetWorkers(n int) { b.ckksCtx.SetWorkers(n) }
+
+// Workers reports the configured worker count (minimum 1).
+func (b *Bridge) Workers() int { return b.ckksCtx.Workers() }
+
 // TorusScale returns the factor mapping slot values to torus phases for a
 // ciphertext about to be extracted: value·Scale/q0 of the torus.
 func (b *Bridge) TorusScale(ct *ckks.Ciphertext) float64 {

@@ -35,6 +35,7 @@ import (
 	"alchemist/internal/errs"
 	"alchemist/internal/sim"
 	"alchemist/internal/streamcheck"
+	"alchemist/internal/tokens"
 	"alchemist/internal/trace"
 )
 
@@ -217,7 +218,17 @@ func (e *Engine) Close() {
 func (e *Engine) worker() {
 	defer e.wg.Done()
 	for t := range e.tasks {
+		// Hold one compute token per in-flight job so engine-level job
+		// parallelism and ring-level limb parallelism draw from the same
+		// budget: while k jobs run, concurrent ring kernels see k fewer
+		// helper tokens and shrink accordingly instead of oversubscribing
+		// the machine. Acquisition never blocks — a zero grant just means
+		// the ring side is already using the budget, and this job runs
+		// uncounted rather than stall the queue (the pool is bounded by
+		// workers anyway).
+		g := tokens.Acquire(1)
 		res := run(t.ctx, t.job, e.cfg, &e.cacheHits, &e.cacheMisses)
+		tokens.Release(g)
 		e.completed.Add(1)
 		if res.Err != nil {
 			e.failed.Add(1)

@@ -161,3 +161,70 @@ func RoleSwap(r *Ring, n int) {
 	r.Release(next)
 	_ = acc //alchemist:owns parity decides which poly stayed pooled; the release above balances the arena
 }
+
+// --- scheduler shapes: the limb-scheduler borrow discipline ---------------
+
+// Job stands in for the scheduler's op-coded job: a recycled descriptor
+// whose fields point at operands for helper goroutines.
+type Job struct{ Conv *Poly }
+
+var jobSink *Job
+
+// SchedulerShareThenRelease is the production ModDown shape: the caller
+// borrows scratch, hands it to the partitioned kernel as a plain parameter
+// (the callee fills a job and waits for helpers — parameters carry no
+// release obligation), then releases after the parallel section completes.
+func SchedulerShareThenRelease(r *Ring, n int) {
+	conv := r.Borrow(n)
+	runPartitioned(r, conv)
+	r.Release(conv)
+}
+
+// runPartitioned models the dispatch helper: conv is a parameter, so the
+// borrow obligation stays with the caller.
+func runPartitioned(r *Ring, conv *Poly) {
+	conv.C[0] = 7
+}
+
+// SchedulerCancelClean covers the cancellation path with a defer, so the
+// early return releases too.
+func SchedulerCancelClean(r *Ring, canceled bool) {
+	conv := r.Borrow(0)
+	defer r.Release(conv)
+	if canceled {
+		return
+	}
+	runPartitioned(r, conv)
+}
+
+// SchedulerCancelLeak bails out of a canceled dispatch before the release:
+// the cancellation path leaks the scratch.
+func SchedulerCancelLeak(r *Ring, canceled bool) {
+	conv := r.Borrow(0)
+	if canceled {
+		return
+	}
+	runPartitioned(r, conv)
+	r.Release(conv)
+}
+
+// SchedulerJobEscape parks a borrowed poly in a job that outlives the
+// function (the job is recycled on a free list; nothing releases the poly).
+func SchedulerJobEscape(r *Ring) {
+	jobSink = &Job{Conv: r.Borrow(0)}
+}
+
+// SchedulerJobAnnotated documents the same hand-off: the job's completer
+// inherits the release obligation.
+func SchedulerJobAnnotated(r *Ring) {
+	jobSink = &Job{Conv: r.Borrow(0)} //alchemist:owns the job completer releases Conv when the parallel section drains
+}
+
+// SchedulerHelperEscape captures live scratch in a spawned helper while the
+// caller releases concurrently — the race the scheduler's barrier (caller
+// waits for outstanding partitions before Release) exists to prevent.
+func SchedulerHelperEscape(r *Ring) {
+	conv := r.Borrow(0)
+	go runPartitioned(r, conv)
+	r.Release(conv)
+}

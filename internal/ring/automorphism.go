@@ -37,6 +37,14 @@ func (r *Ring) AutomorphismNTT(level int, a *Poly, k uint64, out *Poly) {
 	mask := uint64(2*n - 1)
 	k &= mask
 	perm := r.automorphismPerm(k)
+	// Limb-parallel gather: the permutation table is computed (or fetched
+	// from the cache) once above, then shared read-only by every partition.
+	if parts := r.parWidth(level + 1); parts > 1 {
+		j := r.getJob()
+		j.op, j.a, j.out, j.pi, j.tasks = opAutoNTT, a, out, perm, level+1
+		r.runParallel(j, parts)
+		return
+	}
 	for i := 0; i <= level; i++ {
 		src, dst := a.Coeffs[i][:n:n], out.Coeffs[i][:n:n]
 		if useNTTKern && n&3 == 0 {

@@ -32,14 +32,38 @@ import (
 //alchemist:hot
 func (bc *BasisConverter) ConvertLazyN(srcLevel int, in, out [][]uint64, nDst int) {
 	n := len(in[0])
+	tiles := (n + convBlock - 1) / convBlock
+	if r := bc.host; r != nil {
+		// Column-parallel dispatch: tiles are disjoint coefficient ranges, so
+		// partitions write disjoint slices of every target channel and the
+		// per-tile arithmetic — and therefore the output — is byte-identical
+		// to the serial tile loop.
+		if parts := r.parWidth(tiles); parts > 1 {
+			j := r.getJob()
+			j.op, j.bc, j.srcLevel, j.in, j.o1, j.nDst, j.tasks = opConvert, bc, srcLevel, in, out, nDst, tiles
+			r.runParallel(j, parts)
+			return
+		}
+	}
+	bc.convertLazyRange(srcLevel, in, out, nDst, 0, tiles, 0)
+}
+
+// convertLazyRange is the tile-range body of ConvertLazyN: it processes
+// tiles [t0, t1) (tile t covers coefficients [t·convBlock, (t+1)·convBlock)
+// clamped to n), drawing scratch from the given arena shard so concurrent
+// partitions never contend on one resident stack.
+//
+//alchemist:hot
+func (bc *BasisConverter) convertLazyRange(srcLevel int, in, out [][]uint64, nDst, t0, t1, shard int) {
+	n := len(in[0])
 	L := srcLevel + 1
 	if bc.conv52 && L <= convBlock && L <= bc.lazyCap && n&7 == 0 {
-		bc.convertLazy52N(srcLevel, in, out, nDst)
+		bc.convertLazy52Range(srcLevel, in, out, nDst, t0, t1, shard)
 		return
 	}
-	y := bc.scratch.Get(L * convBlock)
+	y := bc.scratch.GetShard(shard, L*convBlock)
 	hatRow := bc.qiHat[srcLevel]
-	for k0 := 0; k0 < n; k0 += convBlock {
+	for k0 := t0 * convBlock; k0 < t1*convBlock && k0 < n; k0 += convBlock {
 		kn := n - k0
 		if kn > convBlock {
 			kn = convBlock
@@ -49,29 +73,31 @@ func (bc *BasisConverter) ConvertLazyN(srcLevel int, in, out [][]uint64, nDst in
 			lazyConvTile(hatRow, L, j, kn, bc.lazyCap, y, bc.dstRed[j], out[j][k0:k0+kn])
 		}
 	}
-	bc.scratch.Put(y)
+	bc.scratch.PutShard(shard, y)
 }
 
-// convertLazy52N is ConvertLazyN on the AVX512-IFMA kernels: step 1 runs
-// shoupMulVec52 per source channel into the channel-major tile, step 2 runs
-// convAcc52 per target channel, accumulating exact base-2^52 partial sums
-// that are reconstructed into the same 128-bit integer the scalar path folds
-// (hi·2^52 + lo, carry-exact), so the Barrett residue — and therefore the
-// output — is byte-identical to lazyConvTile. The gates (conv52, L ≤
-// convBlock, L ≤ lazyCap, 8 | n) guarantee, in order: every madd operand
-// below 2^52, the stack column stash fits, the reconstructed sum inside
-// Barrett's x < p_j·2^64 domain, and whole 8-lane tiles. No flush path is
-// needed: L ≤ convBlock = 64 keeps both lane sums far below the 2^64
-// accumulator bound (overflow would need L ≥ 2^12).
+// convertLazy52Range is the tile-range body of ConvertLazyN on the
+// AVX512-IFMA kernels: step 1 runs shoupMulVec52 per source channel into the
+// channel-major tile, step 2 runs convAcc52 per target channel, accumulating
+// exact base-2^52 partial sums that are reconstructed into the same 128-bit
+// integer the scalar path folds (hi·2^52 + lo, carry-exact), so the Barrett
+// residue — and therefore the output — is byte-identical to lazyConvTile.
+// The gates (conv52, L ≤ convBlock, L ≤ lazyCap, 8 | n) guarantee, in order:
+// every madd operand below 2^52, the stack column stash fits, the
+// reconstructed sum inside Barrett's x < p_j·2^64 domain, and whole 8-lane
+// tiles. No flush path is needed: L ≤ convBlock = 64 keeps both lane sums
+// far below the 2^64 accumulator bound (overflow would need L ≥ 2^12). The
+// per-call stack tiles make the range form trivially partition-safe.
+//
 //alchemist:hot
-func (bc *BasisConverter) convertLazy52N(srcLevel int, in, out [][]uint64, nDst int) {
+func (bc *BasisConverter) convertLazy52Range(srcLevel int, in, out [][]uint64, nDst, t0, t1, shard int) {
 	n := len(in[0])
 	L := srcLevel + 1
-	y := bc.scratch.Get(L * convBlock)
+	y := bc.scratch.GetShard(shard, L*convBlock)
 	invRow, inv52Row := bc.qiHatInv[srcLevel], bc.qiHatInv52[srcLevel]
 	hatRow := bc.qiHat[srcLevel]
 	var hc, lo, hi [convBlock]uint64
-	for k0 := 0; k0 < n; k0 += convBlock {
+	for k0 := t0 * convBlock; k0 < t1*convBlock && k0 < n; k0 += convBlock {
 		kn := n - k0
 		if kn > convBlock {
 			kn = convBlock
@@ -87,13 +113,14 @@ func (bc *BasisConverter) convertLazy52N(srcLevel int, in, out [][]uint64, nDst 
 			convFold52(bc.dstRed[j], lo[:kn], hi[:kn], out[j][k0:k0+kn])
 		}
 	}
-	bc.scratch.Put(y)
+	bc.scratch.PutShard(shard, y)
 }
 
 // convFold52 reconstructs each coefficient's exact 128-bit sum from the
 // base-2^52 partial-sum pair and Barrett-folds it:
 // value = hi·2^52 + lo = (hi>>12)·2^64 + (hi<<52 + lo), with the add's carry
 // promoted into the high word.
+//
 //alchemist:hot
 func convFold52(red modmath.Barrett, lo, hi, dst []uint64) {
 	for k := range dst {
@@ -256,16 +283,36 @@ func NewDualConverter(toQ, toP *BasisConverter, qOff int) (*DualConverter, error
 //alchemist:hot
 func (dc *DualConverter) ConvertBoth(srcLevel int, in, outQ, outP [][]uint64, nQ int) {
 	n := len(in[0])
+	tiles := (n + convBlock - 1) / convBlock
+	if r := dc.ToQ.host; r != nil {
+		if parts := r.parWidth(tiles); parts > 1 {
+			j := r.getJob()
+			j.op, j.dc, j.srcLevel, j.in, j.o1, j.o2, j.nQ, j.tasks = opConvertBoth, dc, srcLevel, in, outQ, outP, nQ, tiles
+			r.runParallel(j, parts)
+			return
+		}
+	}
+	dc.convertBothRange(srcLevel, in, outQ, outP, nQ, 0, tiles, 0)
+}
+
+// convertBothRange is the tile-range body of ConvertBoth (tiles [t0, t1),
+// scratch from the given arena shard). The identity-copy fast path and the
+// per-tile fold order are unchanged, so the range decomposition is
+// byte-identical to the full sweep.
+//
+//alchemist:hot
+func (dc *DualConverter) convertBothRange(srcLevel int, in, outQ, outP [][]uint64, nQ, t0, t1, shard int) {
+	n := len(in[0])
 	L := srcLevel + 1
 	toQ, toP := dc.ToQ, dc.ToP
 	if toQ.conv52 && toP.conv52 && L <= convBlock && L <= toQ.lazyCap && L <= toP.lazyCap && n&7 == 0 {
-		dc.convertBoth52(srcLevel, in, outQ, outP, nQ)
+		dc.convertBoth52Range(srcLevel, in, outQ, outP, nQ, t0, t1, shard)
 		return
 	}
-	y := toQ.scratch.Get(L * convBlock)
+	y := toQ.scratch.GetShard(shard, L*convBlock)
 	hatQ := toQ.qiHat[srcLevel]
 	hatP := toP.qiHat[srcLevel]
-	for k0 := 0; k0 < n; k0 += convBlock {
+	for k0 := t0 * convBlock; k0 < t1*convBlock && k0 < n; k0 += convBlock {
 		kn := n - k0
 		if kn > convBlock {
 			kn = convBlock
@@ -282,26 +329,28 @@ func (dc *DualConverter) ConvertBoth(srcLevel int, in, outQ, outP [][]uint64, nQ
 			lazyConvTile(hatP, L, j, kn, toP.lazyCap, y, toP.dstRed[j], outP[j][k0:k0+kn])
 		}
 	}
-	toQ.scratch.Put(y)
+	toQ.scratch.PutShard(shard, y)
 }
 
-// convertBoth52 is ConvertBoth on the AVX512-IFMA kernels: the two dual
-// converters share the same source basis (validated by NewDualConverter), so
-// step 1 runs once per tile through shoupMulVec52 and both target bases
-// consume the same channel-major tile via convAcc52. The identity-copy fast
-// path for the group's own Q channels is preserved unchanged. Byte-identical
-// to the scalar ConvertBoth body for the same reasons as convertLazy52N.
+// convertBoth52Range is convertBothRange on the AVX512-IFMA kernels: the two
+// dual converters share the same source basis (validated by
+// NewDualConverter), so step 1 runs once per tile through shoupMulVec52 and
+// both target bases consume the same channel-major tile via convAcc52. The
+// identity-copy fast path for the group's own Q channels is preserved
+// unchanged. Byte-identical to the scalar range body for the same reasons as
+// convertLazy52Range.
+//
 //alchemist:hot
-func (dc *DualConverter) convertBoth52(srcLevel int, in, outQ, outP [][]uint64, nQ int) {
+func (dc *DualConverter) convertBoth52Range(srcLevel int, in, outQ, outP [][]uint64, nQ, t0, t1, shard int) {
 	n := len(in[0])
 	L := srcLevel + 1
 	toQ, toP := dc.ToQ, dc.ToP
-	y := toQ.scratch.Get(L * convBlock)
+	y := toQ.scratch.GetShard(shard, L*convBlock)
 	invRow, inv52Row := toQ.qiHatInv[srcLevel], toQ.qiHatInv52[srcLevel]
 	hatQ := toQ.qiHat[srcLevel]
 	hatP := toP.qiHat[srcLevel]
 	var hc, lo, hi [convBlock]uint64
-	for k0 := 0; k0 < n; k0 += convBlock {
+	for k0 := t0 * convBlock; k0 < t1*convBlock && k0 < n; k0 += convBlock {
 		kn := n - k0
 		if kn > convBlock {
 			kn = convBlock
@@ -328,7 +377,7 @@ func (dc *DualConverter) convertBoth52(srcLevel int, in, outQ, outP [][]uint64, 
 			convFold52(toP.dstRed[j], lo[:kn], hi[:kn], outP[j][k0:k0+kn])
 		}
 	}
-	toQ.scratch.Put(y)
+	toQ.scratch.PutShard(shard, y)
 }
 
 // Decomposer batches the dual conversion over every digit group of a hybrid

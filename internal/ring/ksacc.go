@@ -50,6 +50,26 @@ func (r *Ring) KSAccumulate(level int, d, kB, kA []*Poly, k uint64, perm bool, o
 	if perm {
 		pi = r.automorphismPerm(k & uint64(2*r.N-1))
 	}
+	// Limb-parallel dispatch: each partition runs the full digit-group chunk
+	// loop over its own limb range with its own 128-bit register accumulators
+	// and its own gather scratch (per-partition arena shard), so partitions
+	// share nothing but read-only operands and the result is byte-identical
+	// to the serial limb loop.
+	if parts := r.parWidth(level + 1); parts > 1 {
+		j := r.getJob()
+		j.op, j.dp, j.kb, j.ka, j.pi, j.a, j.out, j.tasks = opKSAcc, d, kB, kA, pi, outB, outA, level+1
+		r.runParallel(j, parts)
+		return
+	}
+	r.ksAccLimbs(0, level+1, 0, d, kB, kA, pi, outB, outA)
+}
+
+// ksAccLimbs accumulates the keyswitch inner product for limbs [lo, hi),
+// drawing gather scratch from the given arena shard. This is the partition
+// body of KSAccumulate; outB doubles as the job's `a` operand slot.
+//
+//alchemist:hot
+func (r *Ring) ksAccLimbs(lo, hi, shard int, d, kB, kA []*Poly, pi []int32, outB, outA *Poly) {
 	n := r.N
 	// With the vector kernels available, the permuted digit is materialized
 	// once per (level, group) by the 4-wide VPGATHERDQ kernel into pooled
@@ -60,11 +80,11 @@ func (r *Ring) KSAccumulate(level int, d, kB, kA []*Poly, k uint64, perm bool, o
 	var dg [ksChunk][]uint64
 	if gatherKern {
 		for g := range dg {
-			dg[g] = r.buf.Get(n)[:n:n]
+			dg[g] = r.buf.GetShard(shard, n)[:n:n]
 		}
 	}
 	var ds, bs, as [ksChunk][]uint64
-	for i := 0; i <= level; i++ {
+	for i := lo; i < hi; i++ {
 		s := r.SubRings[i]
 		red, q := s.barrett, s.Q
 		ob, oa := outB.Coeffs[i][:n:n], outA.Coeffs[i][:n:n]
@@ -94,7 +114,7 @@ func (r *Ring) KSAccumulate(level int, d, kB, kA []*Poly, k uint64, perm bool, o
 	}
 	if gatherKern {
 		for g := range dg {
-			r.buf.Put(dg[g])
+			r.buf.PutShard(shard, dg[g])
 		}
 	}
 }

@@ -1,29 +1,15 @@
 package ring
 
-import (
-	"runtime"
-	"sync"
-)
+// Worker-count knobs for the limb/block scheduler (sched.go). Parallelism is
+// disabled by default — the paper's CPU baseline is single-threaded — and
+// enabled explicitly per Ring (or via the evaluator contexts' SetWorkers,
+// which fan the setting out to every ring they own).
 
-// Channel-level parallelism: RNS channels are independent, so the Ring can
-// fan NTT work out across goroutines. Disabled by default — the paper's CPU
-// baseline is single-threaded — and enabled explicitly per Ring for
-// applications that want wall-clock speed.
-//
-// Workers are RESIDENT: the first parallel transform spawns a pool of
-// goroutines (clamped to runtime.GOMAXPROCS(0) at spawn time, the caller
-// counting as one worker) that park on a condition variable between jobs.
-// This replaces the previous goroutine-plus-channel-per-call fan-out, whose
-// spawn latency and channel allocations dominated short transforms. Work
-// within a job is distributed by an index counter, claims are made under the
-// pool mutex (a claim guards ~N=2^11..2^16 coefficients of work, so the
-// critical section is negligible), and jobs are recycled through a free list
-// so a steady-state parallel transform performs no allocation.
-
-// SetWorkers sets the number of goroutines used by NTT/INTT (1 disables
-// parallelism; values above the channel count are clamped at use). It is
-// safe to call concurrently with running transforms: each job snapshots the
-// count once when it is submitted, so retuning affects subsequent calls.
+// SetWorkers sets the goroutine count used by the parallel kernel suite
+// (1 disables parallelism; values above the task count or GOMAXPROCS are
+// clamped at use). It is safe to call concurrently with running kernels:
+// each job snapshots the count once when it is submitted, so retuning
+// affects subsequent calls.
 func (r *Ring) SetWorkers(n int) {
 	if n < 1 {
 		n = 1
@@ -41,13 +27,14 @@ func (r *Ring) Workers() int {
 
 // Close tears down the ring's resident worker pool, if one was spawned.
 // Outstanding jobs finish first. The ring remains usable afterwards —
-// transforms fall back to the serial path until a parallel call respawns
+// kernels fall back to the serial path until a parallel call respawns
 // workers — but Close is intended for teardown so tests and short-lived
 // rings do not leak goroutines. It is safe to call multiple times and
-// concurrently with running transforms.
+// concurrently with running kernels.
 func (r *Ring) Close() {
 	p := &r.pool
 	p.mu.Lock()
+	p.init()
 	p.closing = true
 	for p.spawned > 0 {
 		p.cond.Broadcast()
@@ -55,182 +42,4 @@ func (r *Ring) Close() {
 	}
 	p.closing = false
 	p.mu.Unlock()
-}
-
-// workerPool is the resident goroutine pool attached to a Ring. The zero
-// value is ready to use after init() is called (done lazily by submit).
-type workerPool struct {
-	mu      sync.Mutex
-	cond    *sync.Cond // workers park here waiting for jobs
-	done    *sync.Cond // callers wait here for job completion / teardown
-	inited  bool
-	jobs    []*poolJob // jobs with unclaimed work, oldest first
-	free    []*poolJob // recycled job records
-	spawned int        // resident worker goroutines
-	closing bool       // Close in progress: workers drain and exit
-}
-
-// Job kinds. Specialized kinds avoid a closure allocation on the hottest
-// transforms; jobFn is the generic escape hatch.
-const (
-	jobFn = iota
-	jobNTT
-	jobINTT
-)
-
-// poolJob is one forEachChannel invocation. All fields are guarded by the
-// pool mutex except during run, which touches only the immutable-for-the-
-// job's-lifetime kind/r/p/fn fields.
-type poolJob struct {
-	kind int
-	r    *Ring
-	p    *Poly
-	fn   func(i int)
-
-	next        int // next unclaimed index
-	limit       int // one past the last index
-	outstanding int // claimed but not yet finished
-}
-
-func (j *poolJob) run(i int) {
-	switch j.kind {
-	case jobNTT:
-		j.r.SubRings[i].NTTLazy(j.p.Coeffs[i])
-	case jobINTT:
-		j.r.SubRings[i].INTTLazy(j.p.Coeffs[i])
-	default:
-		j.fn(i)
-	}
-}
-
-func (p *workerPool) init() {
-	if !p.inited {
-		p.cond = sync.NewCond(&p.mu)
-		p.done = sync.NewCond(&p.mu)
-		p.inited = true
-	}
-}
-
-// helpers reports how many resident workers a job wants alongside the
-// caller: the configured worker count clamped to the channel count and to
-// GOMAXPROCS at spawn time (more runnable goroutines than Ps only adds
-// scheduling overhead).
-func (r *Ring) helpers(level int) int {
-	w := r.Workers()
-	if n := level + 1; w > n {
-		w = n
-	}
-	if maxp := runtime.GOMAXPROCS(0); w > maxp {
-		w = maxp
-	}
-	return w - 1
-}
-
-// runJob executes fn(i) (or the specialized kind) for i in [0, limit) with
-// the caller plus up to helpers resident workers, blocking until every index
-// has finished.
-func (r *Ring) runJob(kind int, p *Poly, fn func(i int), limit, helpers int) {
-	pool := &r.pool
-	pool.mu.Lock()
-	pool.init()
-	var j *poolJob
-	if n := len(pool.free); n > 0 {
-		j = pool.free[n-1]
-		pool.free = pool.free[:n-1]
-	} else {
-		j = new(poolJob)
-	}
-	j.kind, j.r, j.p, j.fn = kind, r, p, fn
-	j.next, j.limit, j.outstanding = 0, limit, 0
-	pool.jobs = append(pool.jobs, j)
-	// Top up resident workers; Close may have torn them down.
-	for pool.spawned < helpers && !pool.closing {
-		pool.spawned++
-		go pool.worker()
-	}
-	pool.cond.Broadcast()
-	// The caller claims work like any worker. Like the worker loop, it must
-	// detach the job the moment the last index is claimed — before releasing
-	// the lock — so no other worker finds a drained job in the list and
-	// claims an index past limit.
-	for j.next < j.limit {
-		i := j.next
-		j.next++
-		j.outstanding++
-		if j.next >= j.limit {
-			pool.detach(j)
-		}
-		pool.mu.Unlock()
-		j.run(i)
-		pool.mu.Lock()
-		j.outstanding--
-		if j.outstanding == 0 && j.next >= j.limit {
-			pool.done.Broadcast()
-		}
-	}
-	pool.detach(j)
-	for j.outstanding > 0 {
-		pool.done.Wait()
-	}
-	// No list entry and no in-flight claims: j is unreachable by workers.
-	j.r, j.p, j.fn = nil, nil, nil
-	pool.free = append(pool.free, j)
-	pool.mu.Unlock()
-}
-
-// detach removes j from the active list (idempotent; callers hold mu).
-func (p *workerPool) detach(j *poolJob) {
-	for k, a := range p.jobs {
-		if a == j {
-			copy(p.jobs[k:], p.jobs[k+1:])
-			p.jobs[len(p.jobs)-1] = nil
-			p.jobs = p.jobs[:len(p.jobs)-1]
-			return
-		}
-	}
-}
-
-// worker is the resident goroutine body: claim an index from the oldest
-// job, run it, repeat; park when idle, exit on Close.
-func (p *workerPool) worker() {
-	p.mu.Lock()
-	for {
-		for len(p.jobs) == 0 && !p.closing {
-			p.cond.Wait()
-		}
-		if len(p.jobs) == 0 {
-			break // closing, and nothing left to drain
-		}
-		j := p.jobs[0]
-		i := j.next
-		j.next++
-		j.outstanding++
-		if j.next >= j.limit {
-			p.detach(j)
-		}
-		p.mu.Unlock()
-		j.run(i)
-		p.mu.Lock()
-		j.outstanding--
-		if j.outstanding == 0 && j.next >= j.limit {
-			p.done.Broadcast()
-		}
-	}
-	p.spawned--
-	p.done.Broadcast()
-	p.mu.Unlock()
-}
-
-// forEachChannel runs fn(i) for i in [0, level] using the configured worker
-// count. The serial guard comes before the closure so single-threaded rings
-// (the default) never allocate.
-func (r *Ring) forEachChannel(level int, fn func(i int)) {
-	h := r.helpers(level)
-	if h <= 0 {
-		for i := 0; i <= level; i++ {
-			fn(i)
-		}
-		return
-	}
-	r.runJob(jobFn, nil, fn, level+1, h)
 }

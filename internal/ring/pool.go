@@ -47,29 +47,50 @@ func PoolDebug() bool { return poolDebug.Load() }
 // can be requested; in steady state all callers of one pool request the same
 // length, so recycled buffers always fit.
 //
-// Two tiers. A small mutex-guarded resident stack holds the working set with
-// strong references, so a GC cannot evict it — sync.Pool alone loses its
-// contents (and its internal per-P chains) across collection cycles, which
-// shows up as a few stray bytes/op in benchmark harnesses that force a GC
-// per run, exactly the steady-state noise this arena exists to eliminate.
-// Overflow beyond the resident stack spills to a sync.Pool, which stores
-// *[]uint64 rather than []uint64: storing a bare slice boxes its three-word
-// header on every Put (non-pointer → interface conversion allocates). The
-// header boxes themselves are recycled through a second pool, so a
-// steady-state Get/Put cycle allocates nothing on either tier.
+// Two tiers. A resident tier holds the working set with strong references,
+// so a GC cannot evict it — sync.Pool alone loses its contents (and its
+// internal per-P chains) across collection cycles, which shows up as a few
+// stray bytes/op in benchmark harnesses that force a GC per run, exactly the
+// steady-state noise this arena exists to eliminate. The resident tier is
+// SHARDED: each shard is an independent mutex-guarded stack padded to its
+// own cache line, and the limb/block scheduler routes each partition's
+// scratch to the shard named by its partition index, so parallel kernel
+// partitions recycle scratch with zero mutex contention and zero false
+// sharing (the single-threaded Get/Put path uses shard 0 and behaves exactly
+// like the old single stack). Overflow beyond a shard's stack spills to a
+// shared sync.Pool, which stores *[]uint64 rather than []uint64: storing a
+// bare slice boxes its three-word header on every Put (non-pointer →
+// interface conversion allocates). The header boxes themselves are recycled
+// through a second pool, so a steady-state Get/Put cycle allocates nothing
+// on either tier.
 type BufPool struct {
-	mu       sync.Mutex
-	resident [][]uint64 // GC-immune free stack, at most bufPoolResident deep
-	bufs     sync.Pool  // overflow: *[]uint64 with the buffer attached
-	hdrs     sync.Pool  // spare *[]uint64 header boxes awaiting reuse
+	shards [bufPoolShards]bufShard
+	bufs   sync.Pool // overflow: *[]uint64 with the buffer attached
+	hdrs   sync.Pool // spare *[]uint64 header boxes awaiting reuse
 }
 
-// bufPoolResident caps the strongly-referenced free stack: deep enough for
-// every concurrent scratch need in one kernel call (KSAccumulate holds
-// ksChunk buffers at once), small enough that an idle pool pins little.
+// bufShard is one resident stack. The pad keeps adjacent shards' mutexes and
+// stack headers on distinct cache lines so concurrent partitions do not
+// false-share.
+type bufShard struct {
+	mu       sync.Mutex
+	resident [][]uint64 // GC-immune free stack, at most bufPoolResident deep
+	_        [64]byte
+}
+
+// bufPoolShards is the resident-tier shard count: a power of two at least as
+// large as the partition counts common on desktop/server parts, so shard
+// routing is a mask. Partition indexes beyond it wrap — correctness never
+// depends on exclusivity, only contention does.
+const bufPoolShards = 8
+
+// bufPoolResident caps each shard's strongly-referenced free stack: deep
+// enough for every concurrent scratch need in one kernel partition
+// (KSAccumulate holds ksChunk buffers at once), small enough that an idle
+// pool pins little.
 const bufPoolResident = 4
 
-// bufPoolResidentMaxWords bounds which buffers the resident stack accepts:
+// bufPoolResidentMaxWords bounds which buffers the resident tier accepts:
 // conversion-tile and digit scratch (tens of KB) ride it, full ring-degree
 // polynomials at production N do not — pinning those across every pool in a
 // long-lived process trades the stray bytes/op they'd occasionally cost for
@@ -78,20 +99,27 @@ const bufPoolResidentMaxWords = 1 << 15
 
 // Get returns a length-n scratch slice with arbitrary contents. The caller
 // must overwrite before reading.
-func (bp *BufPool) Get(n int) []uint64 {
-	bp.mu.Lock()
-	for i := len(bp.resident) - 1; i >= 0; i-- {
-		b := bp.resident[i]
+func (bp *BufPool) Get(n int) []uint64 { return bp.GetShard(0, n) }
+
+// GetShard is Get routed to the resident shard named by the caller's
+// partition index (any non-negative value; it is masked down). Parallel
+// kernel partitions pass their partition index so concurrent scratch traffic
+// spreads across shard mutexes.
+func (bp *BufPool) GetShard(shard, n int) []uint64 {
+	s := &bp.shards[shard&(bufPoolShards-1)]
+	s.mu.Lock()
+	for i := len(s.resident) - 1; i >= 0; i-- {
+		b := s.resident[i]
 		if cap(b) >= n {
-			last := len(bp.resident) - 1
-			bp.resident[i] = bp.resident[last]
-			bp.resident[last] = nil
-			bp.resident = bp.resident[:last]
-			bp.mu.Unlock()
+			last := len(s.resident) - 1
+			s.resident[i] = s.resident[last]
+			s.resident[last] = nil
+			s.resident = s.resident[:last]
+			s.mu.Unlock()
 			return b[:n]
 		}
 	}
-	bp.mu.Unlock()
+	s.mu.Unlock()
 	if v := bp.bufs.Get(); v != nil {
 		h := v.(*[]uint64)
 		b := *h
@@ -106,7 +134,12 @@ func (bp *BufPool) Get(n int) []uint64 {
 }
 
 // Put returns a buffer obtained from Get to the pool.
-func (bp *BufPool) Put(b []uint64) {
+func (bp *BufPool) Put(b []uint64) { bp.PutShard(0, b) }
+
+// PutShard returns a buffer to the resident shard named by the caller's
+// partition index (pair with GetShard; the pairing is a contention hint, not
+// a correctness requirement — any buffer may come back through any shard).
+func (bp *BufPool) PutShard(shard int, b []uint64) {
 	if b == nil {
 		return
 	}
@@ -116,13 +149,14 @@ func (bp *BufPool) Put(b []uint64) {
 		}
 	}
 	if cap(b) <= bufPoolResidentMaxWords {
-		bp.mu.Lock()
-		if len(bp.resident) < bufPoolResident {
-			bp.resident = append(bp.resident, b[:cap(b)])
-			bp.mu.Unlock()
+		s := &bp.shards[shard&(bufPoolShards-1)]
+		s.mu.Lock()
+		if len(s.resident) < bufPoolResident {
+			s.resident = append(s.resident, b[:cap(b)])
+			s.mu.Unlock()
 			return
 		}
-		bp.mu.Unlock()
+		s.mu.Unlock()
 	}
 	var h *[]uint64
 	if v := bp.hdrs.Get(); v != nil {

@@ -147,13 +147,15 @@ func (r *Ring) Equal(level int, a, b *Poly) bool {
 }
 
 // NTT transforms p in place at levels 0..level (lazy-reduction kernel,
-// channel-parallel when SetWorkers enabled it). The serial path and the
-// specialized job kind keep the steady state allocation-free either way.
+// limb-parallel when SetWorkers enabled it). The serial guard and the op-
+// coded job keep the steady state allocation-free either way.
 //
 //alchemist:hot
 func (r *Ring) NTT(level int, p *Poly) {
-	if h := r.helpers(level); h > 0 {
-		r.runJob(jobNTT, p, nil, level+1, h)
+	if parts := r.parWidth(level + 1); parts > 1 {
+		j := r.getJob()
+		j.op, j.a, j.tasks = opNTT, p, level+1
+		r.runParallel(j, parts)
 		return
 	}
 	for i := 0; i <= level; i++ {
@@ -162,12 +164,14 @@ func (r *Ring) NTT(level int, p *Poly) {
 }
 
 // INTT transforms p back to coefficient order in place at levels 0..level
-// (lazy-reduction kernel, channel-parallel when SetWorkers enabled it).
+// (lazy-reduction kernel, limb-parallel when SetWorkers enabled it).
 //
 //alchemist:hot
 func (r *Ring) INTT(level int, p *Poly) {
-	if h := r.helpers(level); h > 0 {
-		r.runJob(jobINTT, p, nil, level+1, h)
+	if parts := r.parWidth(level + 1); parts > 1 {
+		j := r.getJob()
+		j.op, j.a, j.tasks = opINTT, p, level+1
+		r.runParallel(j, parts)
 		return
 	}
 	for i := 0; i <= level; i++ {
@@ -175,8 +179,24 @@ func (r *Ring) INTT(level int, p *Poly) {
 	}
 }
 
+// elemParWidth is parWidth gated on the degree floor for the elementwise
+// kernels: one limb of a small ring is less work than the submit/barrier
+// handshake, so those stay serial regardless of the worker setting.
+func (r *Ring) elemParWidth(tasks int) int {
+	if r.N < minElemParN {
+		return 1
+	}
+	return r.parWidth(tasks)
+}
+
 // Add sets out = a + b at levels 0..level.
 func (r *Ring) Add(level int, a, b, out *Poly) {
+	if parts := r.elemParWidth(level + 1); parts > 1 {
+		j := r.getJob()
+		j.op, j.a, j.b, j.out, j.tasks = opAdd, a, b, out, level+1
+		r.runParallel(j, parts)
+		return
+	}
 	for i := 0; i <= level; i++ {
 		r.SubRings[i].Add(a.Coeffs[i], b.Coeffs[i], out.Coeffs[i])
 	}
@@ -184,6 +204,12 @@ func (r *Ring) Add(level int, a, b, out *Poly) {
 
 // Sub sets out = a - b at levels 0..level.
 func (r *Ring) Sub(level int, a, b, out *Poly) {
+	if parts := r.elemParWidth(level + 1); parts > 1 {
+		j := r.getJob()
+		j.op, j.a, j.b, j.out, j.tasks = opSub, a, b, out, level+1
+		r.runParallel(j, parts)
+		return
+	}
 	for i := 0; i <= level; i++ {
 		r.SubRings[i].Sub(a.Coeffs[i], b.Coeffs[i], out.Coeffs[i])
 	}
@@ -191,6 +217,12 @@ func (r *Ring) Sub(level int, a, b, out *Poly) {
 
 // Neg sets out = -a at levels 0..level.
 func (r *Ring) Neg(level int, a, out *Poly) {
+	if parts := r.elemParWidth(level + 1); parts > 1 {
+		j := r.getJob()
+		j.op, j.a, j.out, j.tasks = opNeg, a, out, level+1
+		r.runParallel(j, parts)
+		return
+	}
 	for i := 0; i <= level; i++ {
 		r.SubRings[i].Neg(a.Coeffs[i], out.Coeffs[i])
 	}
@@ -198,6 +230,12 @@ func (r *Ring) Neg(level int, a, out *Poly) {
 
 // MulCoeffs sets out = a ⊙ b (pointwise, NTT domain) at levels 0..level.
 func (r *Ring) MulCoeffs(level int, a, b, out *Poly) {
+	if parts := r.elemParWidth(level + 1); parts > 1 {
+		j := r.getJob()
+		j.op, j.a, j.b, j.out, j.tasks = opMul, a, b, out, level+1
+		r.runParallel(j, parts)
+		return
+	}
 	for i := 0; i <= level; i++ {
 		r.SubRings[i].MulCoeffs(a.Coeffs[i], b.Coeffs[i], out.Coeffs[i])
 	}
@@ -205,6 +243,12 @@ func (r *Ring) MulCoeffs(level int, a, b, out *Poly) {
 
 // MulCoeffsAndAdd sets out += a ⊙ b (pointwise, NTT domain) at levels 0..level.
 func (r *Ring) MulCoeffsAndAdd(level int, a, b, out *Poly) {
+	if parts := r.elemParWidth(level + 1); parts > 1 {
+		j := r.getJob()
+		j.op, j.a, j.b, j.out, j.tasks = opMulAdd, a, b, out, level+1
+		r.runParallel(j, parts)
+		return
+	}
 	for i := 0; i <= level; i++ {
 		r.SubRings[i].MulCoeffsAndAdd(a.Coeffs[i], b.Coeffs[i], out.Coeffs[i])
 	}
@@ -213,6 +257,12 @@ func (r *Ring) MulCoeffsAndAdd(level int, a, b, out *Poly) {
 // MulScalar sets out = c·a at levels 0..level, c given as a uint64 applied in
 // every RNS channel.
 func (r *Ring) MulScalar(level int, a *Poly, c uint64, out *Poly) {
+	if parts := r.elemParWidth(level + 1); parts > 1 {
+		j := r.getJob()
+		j.op, j.a, j.out, j.scalar, j.tasks = opMulScalar, a, out, c, level+1
+		r.runParallel(j, parts)
+		return
+	}
 	for i := 0; i <= level; i++ {
 		r.SubRings[i].MulScalar(a.Coeffs[i], c, out.Coeffs[i])
 	}

@@ -44,6 +44,11 @@ type BasisConverter struct {
 	// 2^51, so step 1's lazy Shoup range [0, 2q) and every step-2 madd
 	// operand fit base 2^52.
 	conv52 bool
+	// host, when set via BindScheduler, is the ring whose limb/block
+	// scheduler fans the lazy conversion's coefficient tiles out across
+	// workers. Nil (the default) keeps every conversion serial regardless
+	// of any ring's worker setting.
+	host *Ring
 }
 
 // convBlock is the coefficient tile width of the basis conversions: the
@@ -119,6 +124,13 @@ func NewBasisConverter(src, dst []uint64) *BasisConverter {
 	}
 	return bc
 }
+
+// BindScheduler attaches the converter to r's limb/block scheduler so the
+// lazy conversions (ConvertLazyN, ConvertBoth) run tile-parallel under r's
+// worker setting. The ring only supplies scheduling — any ring of the same
+// degree works — so the evaluator contexts bind their main ring. Not safe to
+// call concurrently with running conversions.
+func (bc *BasisConverter) BindScheduler(r *Ring) { bc.host = r }
 
 // Convert performs the basis conversion for every coefficient. in holds
 // srcLevel+1 channels over the source moduli (coefficient domain); out must
@@ -216,6 +228,10 @@ func NewExtender(rQ, rP *Ring) *Extender {
 		qToP: NewBasisConverter(rQ.Moduli, rP.Moduli),
 		pToQ: NewBasisConverter(rP.Moduli, rQ.Moduli),
 	}
+	// Both conversions ride the main ring's scheduler: ModUp/ModDown tiles
+	// split across its workers alongside the limb-parallel channel steps.
+	e.qToP.BindScheduler(rQ)
+	e.pToQ.BindScheduler(rQ)
 	P := big.NewInt(1)
 	for _, p := range rP.Moduli {
 		P.Mul(P, new(big.Int).SetUint64(p))
@@ -273,16 +289,24 @@ func (e *Extender) ModUp(level int, a *Poly, outP *Poly) {
 func (e *Extender) ModDown(level int, aQ, aP, out *Poly) {
 	conv := e.RQ.Borrow(level)
 	e.pToQ.ConvertLazyN(len(e.RP.Moduli)-1, aP.Coeffs, conv.Coeffs, level+1)
-	// Serial guard before the closure literal so the default single-threaded
-	// path stays allocation-free (closures handed to runJob escape).
-	if h := e.RQ.helpers(level); h > 0 {
-		e.RQ.runJob(jobFn, nil, func(i int) { e.modDownChannel(i, aQ, conv, out) }, level+1, h)
-	} else {
-		for i := 0; i <= level; i++ {
-			e.modDownChannel(i, aQ, conv, out)
-		}
-	}
+	e.modDownLimbs(level, aQ, conv, out)
 	e.RQ.Release(conv)
+}
+
+// modDownLimbs runs the subtract-and-scale step over all channels, limb-
+// parallel via the op-coded scheduler when workers are configured. conv is
+// owned by the caller for the whole call (the scheduler's barrier returns
+// before ModDown releases it), so the job only ever sees live scratch.
+func (e *Extender) modDownLimbs(level int, aQ, conv, out *Poly) {
+	if parts := e.RQ.parWidth(level + 1); parts > 1 {
+		j := e.RQ.getJob()
+		j.op, j.ext, j.a, j.b, j.out, j.tasks = opModDown, e, aQ, conv, out, level+1
+		e.RQ.runParallel(j, parts)
+		return
+	}
+	for i := 0; i <= level; i++ {
+		e.modDownChannel(i, aQ, conv, out)
+	}
 }
 
 // ModDownEager is ModDown on the eager conversion kernel (ConvertN, a
@@ -336,8 +360,10 @@ func (e *Extender) RescaleByLastModulus(level int, a, out *Poly) {
 	if level == 0 {
 		panic("ring: cannot rescale below level 0")
 	}
-	if h := e.RQ.helpers(level - 1); h > 0 {
-		e.RQ.runJob(jobFn, nil, func(i int) { e.rescaleChannel(level, i, a, out) }, level, h)
+	if parts := e.RQ.parWidth(level); parts > 1 {
+		j := e.RQ.getJob()
+		j.op, j.ext, j.level, j.a, j.out, j.tasks = opRescale, e, level, a, out, level
+		e.RQ.runParallel(j, parts)
 		return
 	}
 	for i := 0; i < level; i++ {

@@ -125,12 +125,6 @@ func (bc *BasisConverter) ConvertExact(srcLevel int, in, out [][]uint64, nDst in
 func (e *Extender) ModDownExact(level int, aQ, aP, out *Poly) {
 	conv := e.RQ.Borrow(level)
 	e.pToQ.ConvertExact(len(e.RP.Moduli)-1, aP.Coeffs, conv.Coeffs, level+1, true)
-	if h := e.RQ.helpers(level); h > 0 {
-		e.RQ.runJob(jobFn, nil, func(i int) { e.modDownChannel(i, aQ, conv, out) }, level+1, h)
-	} else {
-		for i := 0; i <= level; i++ {
-			e.modDownChannel(i, aQ, conv, out)
-		}
-	}
+	e.modDownLimbs(level, aQ, conv, out)
 	e.RQ.Release(conv)
 }

@@ -1,0 +1,98 @@
+// Package tokens is the process-wide compute-token budget shared by every
+// parallel subsystem in the repository: the ring layer's limb/block scheduler
+// (internal/ring) and the batch-evaluation engine (internal/engine) both draw
+// helper capacity from one pool instead of sizing two independent worker
+// pools to the machine.
+//
+// Without a shared budget the two layers compose multiplicatively: an engine
+// sized to NumCPU running jobs whose ring kernels each spawn NumCPU-1 limb
+// helpers would put O(NumCPU²) runnable goroutines on NumCPU Ps, and the
+// scheduler-churn tax lands exactly on the hot kernels the helpers were meant
+// to speed up. The token rule keeps the composition additive:
+//
+//   - the budget is GOMAXPROCS tokens (SetBudget retunes it);
+//   - a goroutine that is already running compute pays for the EXTRA
+//     concurrency it creates: ring kernels acquire one token per helper
+//     goroutine, the engine acquires one token per in-flight job;
+//   - acquisition never blocks. Acquire returns however many tokens are
+//     available up to the request — possibly zero — and the caller degrades
+//     gracefully: a ring kernel granted zero helpers runs its partition
+//     serially (byte-identical output, see internal/ring's scheduler), an
+//     engine worker granted nothing still runs its job (its pool is already
+//     bounded) but the accounting makes concurrent ring kernels shrink.
+//
+// Degrading instead of blocking means the budget can transiently be exceeded
+// by engine jobs, but it can never deadlock and never leaves a kernel waiting
+// on a slower subsystem.
+package tokens
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+var (
+	// avail is the current number of unclaimed tokens. It can go negative
+	// transiently when SetBudget shrinks the budget below the outstanding
+	// claims; Acquire treats any non-positive value as empty.
+	avail atomic.Int64
+	// budget is the configured total, kept so Budget/InUse can report it.
+	budget atomic.Int64
+)
+
+func init() {
+	n := int64(runtime.GOMAXPROCS(0))
+	budget.Store(n)
+	avail.Store(n)
+}
+
+// Budget returns the configured token total.
+func Budget() int { return int(budget.Load()) }
+
+// InUse returns how many tokens are currently claimed (never negative).
+func InUse() int {
+	if n := budget.Load() - avail.Load(); n > 0 {
+		return int(n)
+	}
+	return 0
+}
+
+// SetBudget retunes the total token count (values below 1 clamp to 1).
+// Outstanding claims are unaffected: shrinking below the claimed count
+// drives the available pool negative until those tokens are released, which
+// simply means no new helpers are granted in the interim.
+func SetBudget(n int) {
+	if n < 1 {
+		n = 1
+	}
+	old := budget.Swap(int64(n))
+	avail.Add(int64(n) - old)
+}
+
+// Acquire claims up to max tokens without blocking and returns the granted
+// count (possibly zero). The caller must Release exactly what was granted.
+func Acquire(max int) int {
+	if max <= 0 {
+		return 0
+	}
+	for {
+		a := avail.Load()
+		if a <= 0 {
+			return 0
+		}
+		take := int64(max)
+		if take > a {
+			take = a
+		}
+		if avail.CompareAndSwap(a, a-take) {
+			return int(take)
+		}
+	}
+}
+
+// Release returns n tokens to the pool.
+func Release(n int) {
+	if n > 0 {
+		avail.Add(int64(n))
+	}
+}
